@@ -1,0 +1,66 @@
+// ablation_adaptive_threshold — ABL2: READ with and without Fig. 6's
+// adaptive idleness threshold (lines 20-24). Without it the hard veto
+// still caps transitions, but disks burn the whole budget early and then
+// can never spin down again; with it the threshold doubles pre-emptively,
+// spreading the budget across the day (fewer forced-high hours, better
+// energy at equal reliability).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/system.h"
+#include "policy/read_policy.h"
+#include "util/table.h"
+#include "workload/synthetic.h"
+
+int main() {
+  using namespace pr;
+  // Same low-traffic day as ABL1: the threshold adaptation only matters
+  // when disks actually cycle (see ablation_transition_cap.cpp).
+  auto wc = worldcup98_light_config(42);
+  wc.mean_interarrival = Seconds{0.7};
+  wc.request_count = 120'000;
+  if (bench::quick_mode()) {
+    wc.file_count = 1000;
+    wc.request_count = 30'000;
+  }
+  const auto w = generate_workload(wc);
+
+  SystemConfig cfg;
+  cfg.sim.disk_count = 8;
+  cfg.sim.epoch = Seconds{3600.0};
+
+  bench::CsvSink csv("ablation_adaptive_threshold");
+  csv.row(std::string("variant"), std::string("cap_s"),
+          std::string("array_afr"), std::string("energy_j"),
+          std::string("mean_rt_ms"), std::string("transitions"),
+          std::string("max_trans_per_day"));
+
+  AsciiTable table(
+      "ABL2 — READ adaptive idleness threshold on/off (8 disks, light "
+      "WC98-like day)");
+  table.set_header({"variant", "S", "array AFR", "energy (kJ)",
+                    "mean RT (ms)", "transitions", "max trans/day"});
+
+  for (std::uint64_t cap : {10ull, 40ull}) {
+    for (bool adaptive : {true, false}) {
+      ReadConfig rc;
+      rc.max_transitions_per_day = cap;
+      rc.adaptive_threshold = adaptive;
+      ReadPolicy policy(rc);
+      const auto report = evaluate(cfg, w.files, w.trace, policy);
+      const std::string variant =
+          adaptive ? "adaptive H (Fig. 6)" : "fixed H (veto only)";
+      table.add_row({variant, std::to_string(cap), pct(report.array_afr, 2),
+                     num(report.sim.energy_joules() / 1e3, 1),
+                     num(report.sim.mean_response_time_s() * 1e3, 2),
+                     std::to_string(report.sim.total_transitions),
+                     num(report.sim.max_transitions_per_day, 1)});
+      csv.row(variant, cap, report.array_afr, report.sim.energy_joules(),
+              report.sim.mean_response_time_s() * 1e3,
+              report.sim.total_transitions,
+              report.sim.max_transitions_per_day);
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

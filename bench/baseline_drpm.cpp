@@ -1,0 +1,91 @@
+// baseline_drpm — the paper's *other* energy-saving family (§2: power
+// management — Multi-speed, DRPM, Hibernator) evaluated under PRESS,
+// against READ and Static. PRESS's Fig. 1 explicitly lists DRPM among the
+// schemes whose ESRRA factors it scores; this bench supplies that row of
+// the story: load-driven speed modulation with no reliability safeguard
+// cycles freely and pays for it in AFR.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/system.h"
+#include "policy/drpm_policy.h"
+#include "policy/hibernator_policy.h"
+#include "policy/read_policy.h"
+#include "policy/static_policy.h"
+#include "util/table.h"
+#include "workload/synthetic.h"
+
+int main() {
+  using namespace pr;
+
+  bench::CsvSink csv("baseline_drpm");
+  csv.row(std::string("traffic"), std::string("policy"),
+          std::string("array_afr"), std::string("energy_j"),
+          std::string("mean_rt_ms"), std::string("transitions"),
+          std::string("max_trans_per_day"));
+
+  AsciiTable table(
+      "Power management (DRPM-style) vs READ vs Static under PRESS "
+      "(8 disks, WC98-like day)");
+  table.set_header({"traffic", "policy", "array AFR", "energy (kJ)",
+                    "mean RT (ms)", "transitions", "max trans/day"});
+
+  struct Scenario {
+    const char* label;
+    double interarrival_s;
+    std::size_t requests;
+  };
+  for (const Scenario& scenario :
+       {Scenario{"peak (58.4 ms)", 0.0584, 1'480'081},
+        Scenario{"quiet (0.7 s)", 0.7, 120'000}}) {
+    auto wc = worldcup98_light_config(42);
+    wc.mean_interarrival = Seconds{scenario.interarrival_s};
+    wc.request_count =
+        bench::quick_mode() ? scenario.requests / 10 : scenario.requests;
+    const auto w = generate_workload(wc);
+
+    SystemConfig cfg;
+    cfg.sim.disk_count = 8;
+    cfg.sim.epoch = Seconds{3600.0};
+
+    std::vector<std::unique_ptr<Policy>> policies;
+    policies.push_back(std::make_unique<ReadPolicy>());
+    policies.push_back(std::make_unique<DrpmPolicy>());
+    {
+      DrpmConfig aggressive;
+      aggressive.aggressive = true;
+      aggressive.idleness_threshold = Seconds{10.0};
+      policies.push_back(std::make_unique<DrpmPolicy>(aggressive));
+    }
+    policies.push_back(std::make_unique<HibernatorPolicy>());
+    policies.push_back(std::make_unique<StaticPolicy>());
+    for (const auto& policy : policies) {
+      const auto report = evaluate(cfg, w.files, w.trace, *policy);
+      table.add_row({scenario.label, report.sim.policy_name,
+                     pct(report.array_afr, 2),
+                     num(report.sim.energy_joules() / 1e3, 1),
+                     num(report.sim.mean_response_time_s() * 1e3, 2),
+                     std::to_string(report.sim.total_transitions),
+                     num(report.sim.max_transitions_per_day, 1)});
+      csv.row(std::string(scenario.label), report.sim.policy_name,
+              report.array_afr, report.sim.energy_joules(),
+              report.sim.mean_response_time_s() * 1e3,
+              report.sim.total_transitions,
+              report.sim.max_transitions_per_day);
+    }
+    table.add_separator();
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nReading: at peak load no power-management scheme can help "
+         "(idle windows are too small — the paper's §2 argument for why "
+         "plain spin-down fails on server workloads). On quiet traffic, "
+         "gentle modulation (serve-at-low, promote-on-backlog) is safe and "
+         "cheap, but the aggressive performance-first tuning — spin up for "
+         "every request — cycles without bound and pays in AFR: §3.5's "
+         "\"it is not wise to aggressively switch disk speed to save some "
+         "amount of energy\", quantified. READ's budget S keeps cycling "
+         "bounded by construction at any tuning.\n";
+  return 0;
+}

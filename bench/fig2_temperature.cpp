@@ -1,0 +1,42 @@
+// fig2_temperature — regenerates Figure 2b: the temperature-reliability
+// function (AFR of a 3-year-old disk vs operating temperature), derived
+// from Google's field data ([22] Fig. 5). Prints the curve over the
+// [25, 50] °C domain plus the two operating points PRESS actually uses
+// (40 °C low speed, 50 °C high speed).
+#include <iostream>
+
+#include "bench_common.h"
+#include "press/temperature_fn.h"
+
+int main() {
+  using namespace pr;
+  bench::CsvSink csv("fig2b_temperature_reliability");
+  csv.row(std::string("temperature_c"), std::string("afr"));
+
+  AsciiTable table(
+      "Figure 2b — temperature-reliability function (3-year-old disks, "
+      "digitized from [22] Fig. 5)");
+  table.set_header({"temp (C)", "AFR", "note"});
+  for (double t = 25.0; t <= 50.0 + 1e-9; t += 2.5) {
+    const double afr = temperature_afr(Celsius{t});
+    std::string note;
+    if (t == 40.0) note = "<- low-speed operating point (3,600 RPM)";
+    if (t == 50.0) note = "<- high-speed operating point (10,000 RPM)";
+    table.add_row({num(t, 1), pct(afr, 2), note});
+    csv.row(t, afr);
+  }
+  table.add_separator();
+  table.add_row({"anchors", "", "piecewise-linear between the points below"});
+  for (const auto& a : kTemperatureAnchors) {
+    table.add_row({num(a.celsius, 0), pct(a.afr, 1), "digitized anchor"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape check (paper §3.2): AFR(50C)/AFR(40C) = "
+            << num(temperature_afr(Celsius{50.0}) /
+                       temperature_afr(Celsius{40.0}),
+                   2)
+            << "  (high temperature is the second most significant ESRRA "
+               "factor)\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// micro_benchmarks — google-benchmark microbenchmarks for the hot paths:
+// event queue, Zipf sampling, disk service, PRESS evaluation, and
+// end-to-end simulation throughput. These guard against performance
+// regressions that would make the Fig. 7 grid impractical.
+#include <benchmark/benchmark.h>
+
+#include "core/system.h"
+#include "policy/read_policy.h"
+#include "policy/static_policy.h"
+#include "press/press_model.h"
+#include "sim/event_queue.h"
+#include "workload/synthetic.h"
+#include "workload/zipf.h"
+
+namespace {
+
+using namespace pr;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    EventQueue<int> q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(Seconds{rng.uniform()}, static_cast<int>(i));
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1'000)->Arg(100'000);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution zipf(static_cast<std::size_t>(state.range(0)), 0.8);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(4'079)->Arg(100'000);
+
+void BM_DiskServe(benchmark::State& state) {
+  Disk disk(0, two_speed_cheetah(), DiskSpeed::kHigh);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.01;
+    benchmark::DoNotOptimize(disk.serve(Seconds{t}, 8 * kKiB));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiskServe);
+
+void BM_PressDiskAfr(benchmark::State& state) {
+  PressModel press;
+  DiskTelemetry t;
+  t.temperature = Celsius{47.0};
+  t.utilization = 0.62;
+  t.transitions_per_day = 38.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(press.disk_afr(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PressDiskAfr);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  SyntheticWorkloadConfig cfg;
+  cfg.file_count = 1'000;
+  cfg.request_count = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_workload(cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(10'000)->Arg(100'000);
+
+void BM_SimulationThroughput(benchmark::State& state) {
+  SyntheticWorkloadConfig cfg;
+  cfg.file_count = 1'000;
+  cfg.request_count = static_cast<std::size_t>(state.range(0));
+  const auto w = generate_workload(cfg);
+  SimConfig sim;
+  sim.disk_params = two_speed_cheetah();
+  sim.disk_count = 8;
+  for (auto _ : state) {
+    StaticPolicy policy;
+    benchmark::DoNotOptimize(
+        run_simulation(sim, w.files, w.trace, policy));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SimulationThroughput)->Arg(10'000)->Arg(100'000);
+
+void BM_ReadPolicySimulation(benchmark::State& state) {
+  SyntheticWorkloadConfig cfg;
+  cfg.file_count = 1'000;
+  cfg.request_count = static_cast<std::size_t>(state.range(0));
+  const auto w = generate_workload(cfg);
+  SimConfig sim;
+  sim.disk_params = two_speed_cheetah();
+  sim.disk_count = 8;
+  sim.epoch = Seconds{600.0};
+  for (auto _ : state) {
+    ReadPolicy policy;
+    benchmark::DoNotOptimize(
+        run_simulation(sim, w.files, w.trace, policy));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ReadPolicySimulation)->Arg(10'000)->Arg(100'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// capacity_planning — a storage-administrator workflow built on the
+// library (the use case §1 motivates: "storage system administrators can
+// evaluate existing energy-saving schemes' impacts on disk array
+// reliability, and thus choose the most appropriate one"):
+// given a reliability budget (max array AFR) and a response-time SLO,
+// sweep array sizes × policies and recommend the cheapest-energy
+// configuration that satisfies both.
+//
+//   $ ./capacity_planning [max_afr_percent] [slo_ms] [--quick]
+#include <cstring>
+#include <iostream>
+#include <optional>
+
+#include "core/experiment.h"
+#include "policy/maid_policy.h"
+#include "policy/pdc_policy.h"
+#include "policy/read_policy.h"
+#include "policy/static_policy.h"
+#include "util/table.h"
+#include "workload/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace pr;
+  double max_afr = 0.20;
+  double slo_ms = 15.0;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (max_afr == 0.20) {
+      max_afr = std::atof(argv[i]) / 100.0;
+    } else {
+      slo_ms = std::atof(argv[i]);
+    }
+  }
+
+  auto workload_config = worldcup98_light_config(42);
+  if (quick) {
+    workload_config.file_count = 1'000;
+    workload_config.request_count = 80'000;
+  }
+  const auto workload = generate_workload(workload_config);
+
+  SweepConfig sweep;
+  sweep.base.sim.epoch = Seconds{3600.0};
+  sweep.disk_counts = {6, 8, 10, 12, 14, 16};
+
+  const std::vector<std::pair<std::string, PolicyFactory>> policies = {
+      {"READ", [] { return std::make_unique<ReadPolicy>(); }},
+      {"MAID", [] { return std::make_unique<MaidPolicy>(); }},
+      {"PDC", [] { return std::make_unique<PdcPolicy>(); }},
+      {"Static", [] { return std::make_unique<StaticPolicy>(); }},
+  };
+  const std::vector<NamedWorkload> workloads = {
+      {"day", &workload.files, &workload.trace}};
+
+  std::cout << "requirements: array AFR <= " << pct(max_afr, 1)
+            << ", mean response time <= " << slo_ms << " ms\n"
+            << "sweeping " << policies.size() * sweep.disk_counts.size()
+            << " configurations...\n\n";
+  const auto cells = run_sweep(sweep, policies, workloads);
+
+  AsciiTable table("Configuration sweep (one WC98-like day)");
+  table.set_header({"policy", "disks", "AFR", "mean RT (ms)", "energy (kJ)",
+                    "feasible"});
+  std::optional<SweepCell> best;
+  for (const auto& cell : cells) {
+    const bool afr_ok = cell.report.array_afr <= max_afr;
+    const bool rt_ok =
+        cell.report.sim.mean_response_time_s() * 1e3 <= slo_ms;
+    const bool feasible = afr_ok && rt_ok;
+    table.add_row({cell.policy, std::to_string(cell.disk_count),
+                   pct(cell.report.array_afr, 2),
+                   num(cell.report.sim.mean_response_time_s() * 1e3, 2),
+                   num(cell.report.sim.energy_joules() / 1e3, 1),
+                   feasible       ? "yes"
+                   : afr_ok       ? "no (RT)"
+                   : rt_ok        ? "no (AFR)"
+                                  : "no (both)"});
+    if (feasible &&
+        (!best || cell.report.sim.energy_joules() <
+                      best->report.sim.energy_joules())) {
+      best = cell;
+    }
+  }
+  table.print(std::cout);
+
+  if (best) {
+    std::cout << "\nrecommendation: " << best->policy << " on "
+              << best->disk_count << " disks — "
+              << num(best->report.sim.energy_joules() / 1e3, 1) << " kJ/day, AFR "
+              << pct(best->report.array_afr, 2) << ", mean RT "
+              << num(best->report.sim.mean_response_time_s() * 1e3, 2)
+              << " ms\n";
+  } else {
+    std::cout << "\nno configuration satisfies the requirements — relax the "
+                 "AFR budget or the SLO, or extend the sweep.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// quickstart — the smallest useful program: build a synthetic web
+// workload, run the READ policy on an 8-disk array of 2-speed disks, and
+// print the three metrics the paper evaluates (mean response time, energy,
+// PRESS array AFR).
+//
+//   $ ./quickstart [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/system.h"
+#include "policy/read_policy.h"
+#include "workload/synthetic.h"
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  // 1. A workload: 1,000 files, ~30 minutes of Zipf-skewed web traffic.
+  pr::SyntheticWorkloadConfig workload_config;
+  workload_config.file_count = 1'000;
+  workload_config.request_count = 30'000;
+  workload_config.seed = seed;
+  const pr::SyntheticWorkload workload = pr::generate_workload(workload_config);
+
+  // 2. A system: 8 two-speed Cheetah-class disks, hourly epochs.
+  pr::SystemConfig config;
+  config.sim.disk_count = 8;
+  config.sim.epoch = pr::Seconds{600.0};
+
+  // 3. A policy: READ with the paper's transition budget S = 40/day.
+  pr::ReadPolicy policy;
+
+  // 4. Run and report.
+  const pr::SystemReport report =
+      pr::evaluate(config, workload.files, workload.trace, policy);
+  std::cout << report.summary() << "\n";
+
+  std::cout << "PRESS guidance: keep speed transitions under "
+            << pr::PressModel::recommended_max_transitions_per_day()
+            << "/day per disk for a 5-year warranty (paper §3.5).\n";
+  return 0;
+}

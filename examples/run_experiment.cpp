@@ -1,0 +1,192 @@
+// run_experiment — command-line driver exposing the library without
+// writing code: pick a policy and knobs, run one simulation, print the
+// full report (optionally the per-disk breakdown).
+//
+//   $ ./run_experiment --policy read --disks 8 --load 1.0 --cap 40
+//   $ ./run_experiment --policy maid --disks 12 --cache-disks 3
+//   $ ./run_experiment --policy pdc --epoch 1800 --detail
+//   $ ./run_experiment --policy read --trace mytrace.csv
+//
+// Flags (all optional):
+//   --policy read|maid|pdc|static|raid0|read-repl|read-raid0|drpm|hibernator
+//   --disks N            array size                  (default 8)
+//   --load X             arrival-rate multiplier     (default 1.0)
+//   --requests N         synthetic request count     (default 1480081)
+//   --files N            synthetic file count        (default 4079)
+//   --epoch SECONDS      epoch length P              (default 3600)
+//   --cap S              READ transition budget      (default 40)
+//   --threshold SECONDS  initial idleness threshold
+//   --cache-disks N      MAID cache disk count       (default n/4)
+//   --seed N             workload seed               (default 42)
+//   --trace FILE         CSV trace instead of synthetic workload
+//   --positioned         enable seek-curve positional I/O
+//   --detail             per-disk ESRRA/PRESS table
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/system.h"
+#include "policy/drpm_policy.h"
+#include "policy/hibernator_policy.h"
+#include "policy/maid_policy.h"
+#include "policy/pdc_policy.h"
+#include "policy/read_policy.h"
+#include "policy/replication.h"
+#include "policy/static_policy.h"
+#include "policy/striped_read_policy.h"
+#include "policy/striping.h"
+#include "trace/csv_trace.h"
+#include "util/table.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+struct Options {
+  std::string policy = "read";
+  std::size_t disks = 8;
+  double load = 1.0;
+  std::size_t requests = 1'480'081;
+  std::size_t files = 4'079;
+  double epoch_s = 3600.0;
+  std::uint64_t cap = 40;
+  std::optional<double> threshold_s;
+  std::size_t cache_disks = 0;
+  std::uint64_t seed = 42;
+  std::string trace_file;
+  bool positioned = false;
+  bool detail = false;
+};
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--policy") opt.policy = next();
+    else if (flag == "--disks") opt.disks = std::stoul(next());
+    else if (flag == "--load") opt.load = std::stod(next());
+    else if (flag == "--requests") opt.requests = std::stoul(next());
+    else if (flag == "--files") opt.files = std::stoul(next());
+    else if (flag == "--epoch") opt.epoch_s = std::stod(next());
+    else if (flag == "--cap") opt.cap = std::stoull(next());
+    else if (flag == "--threshold") opt.threshold_s = std::stod(next());
+    else if (flag == "--cache-disks") opt.cache_disks = std::stoul(next());
+    else if (flag == "--seed") opt.seed = std::stoull(next());
+    else if (flag == "--trace") opt.trace_file = next();
+    else if (flag == "--positioned") opt.positioned = true;
+    else if (flag == "--detail") opt.detail = true;
+    else if (flag == "--help" || flag == "-h") return false;
+    else throw std::runtime_error("unknown flag " + flag);
+  }
+  return true;
+}
+
+std::unique_ptr<pr::Policy> make_policy(const Options& opt) {
+  using namespace pr;
+  if (opt.policy == "read") {
+    ReadConfig rc;
+    rc.max_transitions_per_day = opt.cap;
+    if (opt.threshold_s) rc.idleness_threshold = Seconds{*opt.threshold_s};
+    return std::make_unique<ReadPolicy>(rc);
+  }
+  if (opt.policy == "read-repl") {
+    ReplicationConfig rc;
+    rc.read.max_transitions_per_day = opt.cap;
+    if (opt.threshold_s) {
+      rc.read.idleness_threshold = Seconds{*opt.threshold_s};
+    }
+    return std::make_unique<ReplicatedReadPolicy>(rc);
+  }
+  if (opt.policy == "maid") {
+    MaidConfig mc;
+    mc.cache_disks = opt.cache_disks;
+    if (opt.threshold_s) mc.idleness_threshold = Seconds{*opt.threshold_s};
+    return std::make_unique<MaidPolicy>(mc);
+  }
+  if (opt.policy == "pdc") {
+    PdcConfig pc;
+    if (opt.threshold_s) pc.idleness_threshold = Seconds{*opt.threshold_s};
+    return std::make_unique<PdcPolicy>(pc);
+  }
+  if (opt.policy == "static") return std::make_unique<StaticPolicy>();
+  if (opt.policy == "raid0") return std::make_unique<StripedStaticPolicy>();
+  if (opt.policy == "read-raid0") {
+    StripedReadConfig src;
+    src.read.max_transitions_per_day = opt.cap;
+    if (opt.threshold_s) {
+      src.read.idleness_threshold = Seconds{*opt.threshold_s};
+    }
+    return std::make_unique<StripedReadPolicy>(src);
+  }
+  if (opt.policy == "drpm") {
+    DrpmConfig dc;
+    if (opt.threshold_s) dc.idleness_threshold = Seconds{*opt.threshold_s};
+    return std::make_unique<DrpmPolicy>(dc);
+  }
+  if (opt.policy == "hibernator") {
+    return std::make_unique<HibernatorPolicy>();
+  }
+  throw std::runtime_error("unknown policy '" + opt.policy + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pr;
+  Options opt;
+  try {
+    if (!parse(argc, argv, opt)) {
+      std::cout << "usage: see header comment of run_experiment.cpp\n";
+      return 0;
+    }
+
+    FileSet files;
+    Trace trace;
+    if (!opt.trace_file.empty()) {
+      trace = read_csv_trace_file(opt.trace_file);
+      files = FileSet::from_trace_stats(compute_trace_stats(trace));
+      std::cout << "loaded " << trace.size() << " requests over "
+                << files.size() << " files from " << opt.trace_file << "\n";
+    } else {
+      auto wc = worldcup98_light_config(opt.seed);
+      wc.load_factor = opt.load;
+      wc.file_count = opt.files;
+      wc.request_count = opt.requests;
+      auto workload = generate_workload(wc);
+      files = std::move(workload.files);
+      trace = std::move(workload.trace);
+      std::cout << "synthesised " << trace.size() << " requests over "
+                << files.size() << " files (load x" << opt.load << ")\n";
+    }
+
+    SystemConfig config;
+    config.sim.disk_count = opt.disks;
+    config.sim.epoch = Seconds{opt.epoch_s};
+    if (opt.positioned) config.sim.seek_curve = cheetah_seek_curve();
+
+    auto policy = make_policy(opt);
+    const SystemReport report = evaluate(config, files, trace, *policy);
+    std::cout << "\n" << report.summary();
+
+    if (opt.detail) {
+      AsciiTable detail("per-disk ESRRA / PRESS breakdown");
+      detail.set_header({"disk", "temp", "util", "trans/day", "AFR"});
+      for (std::size_t d = 0; d < report.sim.telemetry.size(); ++d) {
+        const auto& t = report.sim.telemetry[d];
+        detail.add_row({std::to_string(d),
+                        num(t.temperature.value(), 1) + "C",
+                        pct(t.utilization, 1), num(t.transitions_per_day, 1),
+                        pct(report.disk_press[d].combined_afr, 2)});
+      }
+      detail.print(std::cout);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every figure/table — the full reproduction
+# pipeline. Outputs land in results/ (CSV) and on stdout (ASCII tables).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  [ -x "$b" ] && [ ! -d "$b" ] || continue
+  echo
+  echo "================================================================"
+  echo "== $(basename "$b")"
+  echo "================================================================"
+  "$b"
+done

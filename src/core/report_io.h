@@ -1,0 +1,25 @@
+// report_io.h — machine-readable export of simulation reports. The ASCII
+// tables serve humans; toolchains (dashboards, regression trackers,
+// plotting scripts) get JSON. Only an emitter is provided — the library
+// never needs to parse its own reports back.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/system.h"
+
+namespace pr {
+
+/// JSON-escape a string (control characters, quotes, backslashes).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Serialize a full report: run-level metrics, per-disk telemetry and the
+/// PRESS breakdowns. Stable key order; numbers in full precision.
+[[nodiscard]] std::string to_json(const SystemReport& report);
+
+/// Write to a stream / file (throws std::runtime_error on I/O failure).
+void write_json(const SystemReport& report, std::ostream& out);
+void write_json_file(const SystemReport& report, const std::string& path);
+
+}  // namespace pr

@@ -1,0 +1,54 @@
+#include "core/system.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace pr {
+
+SystemReport score(const PressModel& press, SimResult sim) {
+  SystemReport report;
+  report.sim = std::move(sim);
+  report.disk_press.reserve(report.sim.telemetry.size());
+  for (const auto& t : report.sim.telemetry) {
+    report.disk_press.push_back(press.breakdown(t));
+  }
+  for (std::size_t d = 0; d < report.disk_press.size(); ++d) {
+    if (report.disk_press[d].combined_afr > report.array_afr) {
+      report.array_afr = report.disk_press[d].combined_afr;
+      report.worst_disk = static_cast<DiskId>(d);
+    }
+  }
+  return report;
+}
+
+SystemReport evaluate(const SystemConfig& config, const FileSet& files,
+                      const Trace& trace, Policy& policy) {
+  SimResult sim = run_simulation(config.sim, files, trace, policy);
+  return score(PressModel{config.press}, std::move(sim));
+}
+
+std::string SystemReport::summary() const {
+  std::ostringstream out;
+  out << "policy: " << sim.policy_name << "\n"
+      << "  requests:          " << sim.user_requests << "\n"
+      << "  mean response:     " << num(sim.mean_response_time_s() * 1e3, 3)
+      << " ms  (p95 " << num(sim.response_time_sample.quantile(0.95) * 1e3, 3)
+      << " ms, p99 " << num(sim.response_time_sample.quantile(0.99) * 1e3, 3)
+      << " ms)\n"
+      << "  energy:            " << si(sim.energy_joules()) << "J\n"
+      << "  array AFR (PRESS): " << pct(array_afr, 2) << "  (worst disk "
+      << worst_disk << ")\n"
+      << "  transitions:       " << sim.total_transitions << " total, max "
+      << num(sim.max_transitions_per_day, 1) << "/day on one disk\n"
+      << "  migrations:        " << sim.migrations << " ("
+      << si(static_cast<double>(sim.migration_bytes)) << "B)\n"
+      << "  mean utilization:  " << pct(sim.mean_utilization(), 1)
+      << " (stddev " << pct(sim.utilization_stddev(), 1) << ")\n";
+  for (const auto& [key, value] : sim.counters) {
+    out << "  " << key << ": " << value << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pr

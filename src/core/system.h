@@ -1,0 +1,53 @@
+// system.h — the library's high-level facade: configure an array, a
+// workload and a policy; get back the paper's three evaluation metrics
+// (mean response time, energy, PRESS array AFR) plus full per-disk detail.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   auto workload = pr::generate_workload(pr::worldcup98_light_config());
+//   pr::SystemConfig config;
+//   config.sim.disk_count = 8;
+//   pr::ReadPolicy policy;
+//   pr::SystemReport report =
+//       pr::evaluate(config, workload.files, workload.trace, policy);
+//   std::cout << report.summary();
+#pragma once
+
+#include <string>
+
+#include "press/press_model.h"
+#include "sim/array_sim.h"
+
+namespace pr {
+
+struct SystemConfig {
+  SystemConfig() { sim.disk_params = two_speed_cheetah(); }
+
+  SimConfig sim;
+  PressConfig press;
+};
+
+/// A SimResult augmented with the PRESS reliability verdict.
+struct SystemReport {
+  SimResult sim;
+  /// Per-disk AFR breakdowns (index = disk id).
+  std::vector<PressBreakdown> disk_press;
+  /// Array AFR = worst disk (§3.5).
+  double array_afr = 0.0;
+  /// Id of the disk that determines the array AFR.
+  DiskId worst_disk = 0;
+
+  /// Human-readable multi-line summary (policy, RT, energy, AFR).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Run the simulation and score it with PRESS.
+[[nodiscard]] SystemReport evaluate(const SystemConfig& config,
+                                    const FileSet& files, const Trace& trace,
+                                    Policy& policy);
+
+/// Score an already-run simulation (e.g. to re-score one run under several
+/// PRESS integrator strategies, bench ABL3).
+[[nodiscard]] SystemReport score(const PressModel& press, SimResult sim);
+
+}  // namespace pr

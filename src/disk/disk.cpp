@@ -1,0 +1,162 @@
+#include "disk/disk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pr {
+
+Disk::Disk(DiskId id, const TwoSpeedDiskParams& params, DiskSpeed initial)
+    : id_(id), params_(params), speed_(initial), initial_speed_(initial) {
+  validate(params_);
+}
+
+void Disk::add_time_at_speed(DiskSpeed s, Seconds dt) {
+  if (s == DiskSpeed::kLow) {
+    ledger_.time_at_low += dt;
+  } else {
+    ledger_.time_at_high += dt;
+  }
+}
+
+void Disk::account_idle_until(Seconds t) {
+  if (t <= accounted_until_) return;
+  const Seconds dt = t - accounted_until_;
+  ledger_.idle_time += dt;
+  ledger_.energy += params_.mode(speed_ == DiskSpeed::kHigh).idle_power * dt;
+  add_time_at_speed(speed_, dt);
+  accounted_until_ = t;
+}
+
+Seconds Disk::serve(Seconds arrival, Bytes bytes, bool internal) {
+  return serve_impl(arrival, bytes, internal, std::nullopt);
+}
+
+Seconds Disk::serve_positioned(Seconds arrival, Bytes bytes,
+                               Cylinder cylinder, bool internal) {
+  if (!seek_curve_) return serve(arrival, bytes, internal);
+  return serve_impl(arrival, bytes, internal, cylinder);
+}
+
+void Disk::set_seek_curve(const SeekCurve& curve) {
+  if (accounted_until_ > Seconds{0.0} || ready_time_ > Seconds{0.0} ||
+      activity_generation_ != 0) {
+    throw std::logic_error("Disk::set_seek_curve: simulation already started");
+  }
+  seek_curve_ = curve;
+}
+
+Seconds Disk::serve_impl(Seconds arrival, Bytes bytes, bool internal,
+                         std::optional<Cylinder> cylinder) {
+  if (arrival < Seconds{0.0}) {
+    throw std::invalid_argument("Disk::serve: negative arrival");
+  }
+  ++activity_generation_;
+  const Seconds start = std::max(arrival, ready_time_);
+  account_idle_until(start);
+
+  const auto& mode = params_.mode(speed_ == DiskSpeed::kHigh);
+  ServiceCost cost = service_cost(mode, bytes);
+  if (cylinder) {
+    // Replace the average seek with the head-travel seek.
+    const Cylinder target =
+        *cylinder % seek_curve_->geometry().cylinders;
+    const Cylinder distance = target >= head_ ? target - head_
+                                              : head_ - target;
+    cost.time = cost.time - mode.avg_seek + seek_curve_->seek_time(distance);
+    cost.energy = mode.active_power * cost.time;
+    head_ = target;
+  }
+  ledger_.busy_time += cost.time;
+  ledger_.energy += cost.energy;
+  add_time_at_speed(speed_, cost.time);
+  if (internal) {
+    ++ledger_.internal_ops;
+    ledger_.internal_bytes += bytes;
+  } else {
+    ++ledger_.requests;
+    ledger_.bytes_served += bytes;
+  }
+
+  ready_time_ = start + cost.time;
+  accounted_until_ = ready_time_;
+  return ready_time_;
+}
+
+void Disk::note_transition_start(Seconds at) {
+  const auto day = static_cast<std::int64_t>(
+      std::floor(at.value() / kSecondsPerDay.value()));
+  if (day != current_day_) {
+    current_day_ = day;
+    transitions_in_day_ = 0;
+  }
+  ++transitions_in_day_;
+  ledger_.max_transitions_in_day =
+      std::max(ledger_.max_transitions_in_day, transitions_in_day_);
+}
+
+Seconds Disk::transition(Seconds at, DiskSpeed target) {
+  const Seconds start = std::max(at, ready_time_);
+  if (target == speed_) return start;
+  account_idle_until(start);
+
+  const bool up = target == DiskSpeed::kHigh;
+  const Seconds dur =
+      up ? params_.transition_up_time : params_.transition_down_time;
+  const Joules lump =
+      up ? params_.transition_up_energy : params_.transition_down_energy;
+
+  ledger_.transition_time += dur;
+  ledger_.energy += lump;
+  ++ledger_.transitions;
+  if (up) ++ledger_.transitions_up;
+  note_transition_start(start);
+
+  speed_ = target;
+  ready_time_ = start + dur;
+  accounted_until_ = ready_time_;
+  speed_history_.emplace_back(ready_time_, target);
+  return ready_time_;
+}
+
+void Disk::finish(Seconds end) { account_idle_until(end); }
+
+void Disk::set_initial_speed(DiskSpeed speed) {
+  if (accounted_until_ > Seconds{0.0} || ready_time_ > Seconds{0.0} ||
+      activity_generation_ != 0 || ledger_.transitions != 0) {
+    throw std::logic_error(
+        "Disk::set_initial_speed: simulation already started");
+  }
+  speed_ = speed;
+  initial_speed_ = speed;
+}
+
+std::uint64_t Disk::transitions_today(Seconds now) const {
+  const auto day = static_cast<std::int64_t>(
+      std::floor(now.value() / kSecondsPerDay.value()));
+  return day == current_day_ ? transitions_in_day_ : 0;
+}
+
+Celsius Disk::mean_temperature() const {
+  const double t_low = ledger_.time_at_low.value();
+  const double t_high = ledger_.time_at_high.value();
+  const double t_trans = ledger_.transition_time.value();
+  const double total = t_low + t_high + t_trans;
+  const double low_c = params_.low.operating_temp.value();
+  const double high_c = params_.high.operating_temp.value();
+  if (total <= 0.0) {
+    return speed_ == DiskSpeed::kHigh ? params_.high.operating_temp
+                                      : params_.low.operating_temp;
+  }
+  const double mid = 0.5 * (low_c + high_c);
+  return Celsius{(t_low * low_c + t_high * high_c + t_trans * mid) / total};
+}
+
+Celsius Disk::max_temperature() const {
+  if (ledger_.time_at_high.value() > 0.0 || speed_ == DiskSpeed::kHigh) {
+    return params_.high.operating_temp;
+  }
+  return params_.low.operating_temp;
+}
+
+}  // namespace pr

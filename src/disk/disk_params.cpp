@@ -1,0 +1,107 @@
+#include "disk/disk_params.h"
+
+#include <stdexcept>
+
+namespace pr {
+
+TwoSpeedDiskParams two_speed_cheetah() {
+  TwoSpeedDiskParams p;
+  p.model_name = "cheetah-2speed";
+  p.capacity = 18 * kGiB;
+
+  p.high.rpm = 10'000.0;
+  p.high.transfer_mib_per_s = 31.0;
+  p.high.avg_seek = Seconds{5.3e-3};
+  p.high.active_power = Watts{13.5};
+  p.high.idle_power = Watts{10.2};
+  p.high.operating_temp = Celsius{50.0};
+
+  p.low.rpm = 3'600.0;
+  p.low.transfer_mib_per_s = 31.0 * 3'600.0 / 10'000.0;  // linear in RPM
+  p.low.avg_seek = Seconds{5.3e-3};
+  p.low.active_power = Watts{6.1};
+  p.low.idle_power = Watts{2.9};
+  p.low.operating_temp = Celsius{40.0};
+
+  p.transition_up_time = Seconds{8.0};
+  p.transition_down_time = Seconds{2.0};
+  p.transition_up_energy = Joules{135.0};
+  p.transition_down_energy = Joules{13.0};
+  return p;
+}
+
+TwoSpeedDiskParams two_speed_deskstar() {
+  TwoSpeedDiskParams p;
+  p.model_name = "deskstar-7k400-2speed";
+  p.capacity = 400 * kGiB;
+
+  p.high.rpm = 7'200.0;
+  p.high.transfer_mib_per_s = 60.0;
+  p.high.avg_seek = Seconds{8.5e-3};
+  p.high.active_power = Watts{12.6};
+  p.high.idle_power = Watts{8.5};
+  // Desktop drive in a cooler enclosure than a server Cheetah; §3.2's
+  // RPM-cubed argument puts 7,200 RPM between the paper's two bands.
+  p.high.operating_temp = Celsius{45.0};
+
+  p.low.rpm = 4'500.0;
+  p.low.transfer_mib_per_s = 60.0 * 4'500.0 / 7'200.0;
+  p.low.avg_seek = Seconds{8.5e-3};
+  p.low.active_power = Watts{7.2};
+  p.low.idle_power = Watts{4.7};  // Hitachi's "unload idle / low RPM" mode
+  p.low.operating_temp = Celsius{40.0};
+
+  // Shallower RPM gap: faster, cheaper transitions than the Cheetah.
+  p.transition_up_time = Seconds{4.0};
+  p.transition_down_time = Seconds{1.5};
+  p.transition_up_energy = Joules{55.0};
+  p.transition_down_energy = Joules{8.0};
+  return p;
+}
+
+void validate(const TwoSpeedDiskParams& params) {
+  auto check_mode = [](const DiskSpeedMode& m, const char* which) {
+    if (!(m.rpm > 0.0)) {
+      throw std::invalid_argument(std::string("disk params: ") + which +
+                                  ": rpm must be > 0");
+    }
+    if (!(m.transfer_mib_per_s > 0.0)) {
+      throw std::invalid_argument(std::string("disk params: ") + which +
+                                  ": transfer rate must be > 0");
+    }
+    if (m.avg_seek < Seconds{0.0}) {
+      throw std::invalid_argument(std::string("disk params: ") + which +
+                                  ": negative seek");
+    }
+    if (m.active_power < m.idle_power) {
+      throw std::invalid_argument(std::string("disk params: ") + which +
+                                  ": active power below idle power");
+    }
+    if (!(m.idle_power.value() >= 0.0)) {
+      throw std::invalid_argument(std::string("disk params: ") + which +
+                                  ": negative idle power");
+    }
+  };
+  check_mode(params.low, "low mode");
+  check_mode(params.high, "high mode");
+  if (params.low.rpm >= params.high.rpm) {
+    throw std::invalid_argument("disk params: low rpm must be < high rpm");
+  }
+  if (params.low.transfer_mib_per_s > params.high.transfer_mib_per_s) {
+    throw std::invalid_argument(
+        "disk params: low transfer rate exceeds high transfer rate");
+  }
+  if (params.transition_up_time < Seconds{0.0} ||
+      params.transition_down_time < Seconds{0.0}) {
+    throw std::invalid_argument("disk params: negative transition time");
+  }
+  if (params.transition_up_energy < Joules{0.0} ||
+      params.transition_down_energy < Joules{0.0}) {
+    throw std::invalid_argument("disk params: negative transition energy");
+  }
+  if (params.capacity == 0) {
+    throw std::invalid_argument("disk params: zero capacity");
+  }
+}
+
+}  // namespace pr

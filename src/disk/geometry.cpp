@@ -1,0 +1,60 @@
+#include "disk/geometry.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pr {
+
+SeekCurve::SeekCurve(const DiskGeometry& geometry, Seconds single_track,
+                     Seconds average, Seconds full_stroke)
+    : geometry_(geometry) {
+  if (geometry.cylinders < 4) {
+    throw std::invalid_argument("SeekCurve: need >= 4 cylinders");
+  }
+  const double t1 = single_track.value();
+  const double ta = average.value();
+  const double tf = full_stroke.value();
+  if (!(t1 > 0.0) || !(ta > t1) || !(tf > ta)) {
+    throw std::invalid_argument(
+        "SeekCurve: need 0 < single-track < average < full-stroke");
+  }
+
+  // Anchor distances (in the (d − 1) domain of the curve).
+  const double d_avg = static_cast<double>(geometry.cylinders) / 3.0 - 1.0;
+  const double d_full = static_cast<double>(geometry.cylinders) - 2.0;
+
+  // t(1): a·0 + b·0 + c = t1  =>  c = t1.
+  c_ = t1;
+  // Two equations in (a, b):
+  //   a·sqrt(d_avg)  + b·d_avg  = ta − c
+  //   a·sqrt(d_full) + b·d_full = tf − c
+  const double s1 = std::sqrt(d_avg);
+  const double s2 = std::sqrt(d_full);
+  const double r1 = ta - c_;
+  const double r2 = tf - c_;
+  const double det = s1 * d_full - s2 * d_avg;
+  if (det == 0.0) {
+    throw std::invalid_argument("SeekCurve: degenerate calibration");
+  }
+  a_ = (r1 * d_full - r2 * d_avg) / det;
+  b_ = (s1 * r2 - s2 * r1) / det;
+  // A physically sensible spec yields a ≥ 0 (concave start); b may be
+  // small either way, but the curve must stay monotone over the domain —
+  // verify at the far end where the b term dominates.
+  if (seek_time(geometry.cylinders - 1) < seek_time(geometry.cylinders / 2)) {
+    throw std::invalid_argument("SeekCurve: non-monotone calibration");
+  }
+}
+
+Seconds SeekCurve::seek_time(Cylinder distance) const {
+  if (distance == 0) return Seconds{0.0};
+  const double d = static_cast<double>(distance) - 1.0;
+  return Seconds{a_ * std::sqrt(d) + b_ * d + c_};
+}
+
+SeekCurve cheetah_seek_curve() {
+  return SeekCurve(DiskGeometry{50'000}, Seconds{0.6e-3}, Seconds{5.3e-3},
+                   Seconds{10.5e-3});
+}
+
+}  // namespace pr

@@ -1,0 +1,64 @@
+// geometry.h — optional positional realism for the service-time model.
+//
+// The default pipeline uses average-case positioning (average seek + half
+// a revolution), which is the granularity the paper's file-level simulator
+// needs. For users who want DiskSim-style fidelity, this module provides:
+//   * a cylinder-count geometry,
+//   * the classic concave seek curve t(d) = a·√(d−1) + b·(d−1) + c
+//     (Lee's approximation, used throughout the DiskSim literature),
+//     calibrated from a drive's (single-track, average, full-stroke)
+//     seek specification, and
+//   * a per-disk head-position model: consecutive requests pay the seek
+//     distance between the previous request's cylinder and theirs.
+//
+// Enabled via SimConfig::positioned_io; the array simulator then lays
+// files out contiguously per disk (placement order) and passes each
+// request's cylinder to the disk.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace pr {
+
+using Cylinder = std::uint32_t;
+
+struct DiskGeometry {
+  Cylinder cylinders = 50'000;
+
+  friend bool operator==(const DiskGeometry&, const DiskGeometry&) = default;
+};
+
+/// Three-point concave seek curve. For a seek of d cylinders (d ≥ 1):
+///   t(d) = a·sqrt(d − 1) + b·(d − 1) + c,   t(0) = 0.
+/// Calibrated so t(1) = single-track, t(cyl/3) = average (the mean seek
+/// distance of uniformly random request pairs is ≈ C/3), and
+/// t(cyl − 1) = full-stroke.
+class SeekCurve {
+ public:
+  /// Throws std::invalid_argument for non-increasing seek specs or a
+  /// geometry too small to calibrate (needs ≥ 4 cylinders).
+  SeekCurve(const DiskGeometry& geometry, Seconds single_track,
+            Seconds average, Seconds full_stroke);
+
+  [[nodiscard]] Seconds seek_time(Cylinder distance) const;
+  [[nodiscard]] const DiskGeometry& geometry() const { return geometry_; }
+
+  [[nodiscard]] double a() const { return a_; }
+  [[nodiscard]] double b() const { return b_; }
+  [[nodiscard]] double c() const { return c_; }
+
+ private:
+  DiskGeometry geometry_;
+  double a_ = 0.0;
+  double b_ = 0.0;
+  double c_ = 0.0;
+};
+
+/// A Cheetah-10K-class calibration matching the repo's default preset:
+/// 0.6 ms single-track, 5.3 ms average, 10.5 ms full-stroke over 50k
+/// cylinders.
+[[nodiscard]] SeekCurve cheetah_seek_curve();
+
+}  // namespace pr

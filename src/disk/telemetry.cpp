@@ -1,0 +1,44 @@
+#include "disk/telemetry.h"
+
+#include "disk/thermal.h"
+
+namespace pr {
+
+DiskTelemetry extract_telemetry(const Disk& disk,
+                                TemperatureAttribution attribution) {
+  DiskTelemetry t;
+  t.disk = disk.id();
+  switch (attribution) {
+    case TemperatureAttribution::kMax:
+      t.temperature = disk.max_temperature();
+      break;
+    case TemperatureAttribution::kThermalLag: {
+      const auto segments = segments_from_history(
+          disk.params(), disk.initial_speed(), disk.speed_history());
+      const Seconds window = disk.ledger().observed();
+      if (window > Seconds{0.0}) {
+        t.temperature =
+            simulate_thermal(segments, Seconds{0.0}, window).mean;
+      } else {
+        t.temperature = disk.mean_temperature();
+      }
+      break;
+    }
+    case TemperatureAttribution::kTimeWeighted:
+      t.temperature = disk.mean_temperature();
+      break;
+  }
+  t.utilization = disk.ledger().utilization();
+  t.transitions_per_day = disk.ledger().transitions_per_day();
+  return t;
+}
+
+std::vector<DiskTelemetry> extract_telemetry(
+    const std::vector<Disk>& disks, TemperatureAttribution attribution) {
+  std::vector<DiskTelemetry> out;
+  out.reserve(disks.size());
+  for (const auto& d : disks) out.push_back(extract_telemetry(d, attribution));
+  return out;
+}
+
+}  // namespace pr

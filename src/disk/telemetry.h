@@ -1,0 +1,45 @@
+// telemetry.h — the bridge between the simulator and the PRESS model: the
+// three ESRRA factors (§3) extracted from a finished disk ledger.
+#pragma once
+
+#include <vector>
+
+#include "disk/disk.h"
+
+namespace pr {
+
+/// PRESS inputs for one disk over an observation window.
+struct DiskTelemetry {
+  DiskId disk = 0;
+  /// Operating temperature fed to the temperature-reliability function.
+  Celsius temperature{40.0};
+  /// Utilization as a fraction in [0, 1] (PRESS clamps to its [25%, 100%]
+  /// domain internally, matching §3.3's measurement floor).
+  double utilization = 0.0;
+  /// Speed transitions per day.
+  double transitions_per_day = 0.0;
+};
+
+enum class TemperatureAttribution {
+  /// Time-weighted mean of the per-speed operating points (default — a
+  /// disk that spends the day at high speed reports ≈50 °C, one that
+  /// mostly rests reports ≈40 °C; the paper's own attribution in §3.5).
+  kTimeWeighted,
+  /// Hottest sustained operating point (conservative).
+  kMax,
+  /// First-order thermal-lag reconstruction (disk/thermal.h): mean of the
+  /// simulated temperature trajectory. Softens the temperature factor for
+  /// frequently-switching disks that never reach steady state.
+  kThermalLag,
+};
+
+/// Extract PRESS inputs from a finished disk.
+[[nodiscard]] DiskTelemetry extract_telemetry(
+    const Disk& disk,
+    TemperatureAttribution attribution = TemperatureAttribution::kTimeWeighted);
+
+[[nodiscard]] std::vector<DiskTelemetry> extract_telemetry(
+    const std::vector<Disk>& disks,
+    TemperatureAttribution attribution = TemperatureAttribution::kTimeWeighted);
+
+}  // namespace pr

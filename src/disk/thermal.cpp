@@ -1,0 +1,88 @@
+#include "disk/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace pr {
+
+ThermalTrace simulate_thermal(std::span<const SpeedSegment> segments,
+                              Seconds window_start, Seconds window_end,
+                              const ThermalParams& params) {
+  if (segments.empty()) {
+    throw std::invalid_argument("simulate_thermal: no segments");
+  }
+  if (window_end < window_start) {
+    throw std::invalid_argument("simulate_thermal: inverted window");
+  }
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    if (segments[i].start < segments[i - 1].start) {
+      throw std::invalid_argument("simulate_thermal: unsorted segments");
+    }
+  }
+  if (segments.front().start > window_start) {
+    throw std::invalid_argument(
+        "simulate_thermal: first segment starts after the window");
+  }
+
+  const double tau = params.time_constant.value();
+  if (!(tau > 0.0)) {
+    throw std::invalid_argument("simulate_thermal: non-positive tau");
+  }
+
+  double temp = params.initial.value() >= 0.0
+                    ? params.initial.value()
+                    : segments.front().steady_target.value();
+
+  ThermalTrace trace;
+  trace.max = Celsius{temp};
+  double weighted_sum = 0.0;
+  const double window = (window_end - window_start).value();
+
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const double seg_begin =
+        std::max(segments[i].start.value(), window_start.value());
+    const double seg_end = i + 1 < segments.size()
+                               ? std::min(segments[i + 1].start.value(),
+                                          window_end.value())
+                               : window_end.value();
+    if (seg_end <= seg_begin) continue;
+    const double dt = seg_end - seg_begin;
+    const double target = segments[i].steady_target.value();
+
+    // T(t) = target + (T0 − target)·e^(−t/τ); mean over [0, dt] is
+    // target + (T0 − target)·τ/dt·(1 − e^(−dt/τ)).
+    const double decay = std::exp(-dt / tau);
+    const double mean_seg =
+        target + (temp - target) * tau / dt * (1.0 - decay);
+    weighted_sum += mean_seg * dt;
+
+    const double end_temp = target + (temp - target) * decay;
+    // Temperature is monotone within a segment: extremes at endpoints.
+    trace.max = Celsius{std::max({trace.max.value(), temp, end_temp})};
+    temp = end_temp;
+  }
+
+  trace.final = Celsius{temp};
+  trace.mean = window > 0.0 ? Celsius{weighted_sum / window} : trace.final;
+  if (window == 0.0) trace.max = trace.final;
+  return trace;
+}
+
+std::vector<SpeedSegment> segments_from_history(
+    const TwoSpeedDiskParams& params, DiskSpeed initial_speed,
+    std::span<const std::pair<Seconds, DiskSpeed>> transitions) {
+  std::vector<SpeedSegment> segments;
+  segments.reserve(transitions.size() + 1);
+  auto target = [&](DiskSpeed s) {
+    return params.mode(s == DiskSpeed::kHigh).operating_temp;
+  };
+  segments.push_back({Seconds{0.0}, target(initial_speed)});
+  for (const auto& [when, speed] : transitions) {
+    segments.push_back({when, target(speed)});
+  }
+  return segments;
+}
+
+}  // namespace pr

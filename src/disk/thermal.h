@@ -1,0 +1,64 @@
+// thermal.h — first-order thermal model for a disk's operating
+// temperature. §3.2 assigns each speed a steady-state band ([35,40] °C at
+// 3,600 RPM, [45,50] °C at 10,000 RPM, heat ∝ ~RPM³ per [18]); a real
+// drive approaches those points exponentially — [12] reports a Cheetah
+// taking ~48 minutes to reach thermal steady state. This module
+// reconstructs the temperature trajectory from a disk's speed-change
+// history and reports the statistics PRESS can consume (time-weighted
+// mean, maximum reached).
+//
+// The default PRESS pipeline uses the paper's simpler attribution (band
+// values weighted by time-at-speed); the lag model is an opt-in
+// refinement (`TemperatureAttribution::kThermalLag`) whose main effect is
+// to soften the temperature factor for disks that switch speed often —
+// they never dwell long enough to reach the hot band's steady point.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "disk/disk.h"
+#include "disk/disk_params.h"
+#include "util/units.h"
+
+namespace pr {
+
+struct ThermalParams {
+  /// Exponential time constant of the drive + enclosure. [12]'s ~48 min
+  /// to steady state corresponds to 3–4 time constants.
+  Seconds time_constant{900.0};
+  /// Temperature the disk starts at when the window opens. Negative
+  /// means "start at the first segment's steady-state target" (a disk
+  /// that has been running in that mode for a while).
+  Celsius initial{-1.0};
+};
+
+/// One constant-speed segment of a disk's history.
+struct SpeedSegment {
+  Seconds start{0.0};
+  Celsius steady_target{40.0};
+};
+
+struct ThermalTrace {
+  Celsius mean{0.0};   // time-weighted average over the window
+  Celsius max{0.0};    // hottest instant
+  Celsius final{0.0};  // temperature at window end
+};
+
+/// Integrate the first-order response across `segments` (sorted by start,
+/// first at/before the window start) over [window_start, window_end].
+/// Throws std::invalid_argument for an empty/unsorted history or an
+/// inverted window.
+[[nodiscard]] ThermalTrace simulate_thermal(
+    std::span<const SpeedSegment> segments, Seconds window_start,
+    Seconds window_end, const ThermalParams& params = {});
+
+/// Convenience: build the segment list for a two-speed disk from its
+/// initial speed and transition history (pairs of completion time + new
+/// speed), using each mode's operating temperature as the steady target.
+[[nodiscard]] std::vector<SpeedSegment> segments_from_history(
+    const TwoSpeedDiskParams& params, DiskSpeed initial_speed,
+    std::span<const std::pair<Seconds, DiskSpeed>> transitions);
+
+}  // namespace pr

@@ -1,0 +1,152 @@
+#include "policy/read_policy.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "trace/trace_stats.h"
+#include "util/log.h"
+
+namespace pr {
+
+ReadPolicy::ReadPolicy(ReadConfig config) : config_(config) {
+  if (config_.theta < 0.0 || config_.theta > 1.0) {
+    throw std::invalid_argument("ReadPolicy: theta outside [0, 1]");
+  }
+  if (config_.max_transitions_per_day == 0) {
+    throw std::invalid_argument("ReadPolicy: S must be >= 1");
+  }
+  if (!(config_.idleness_threshold > Seconds{0.0})) {
+    throw std::invalid_argument("ReadPolicy: H must be > 0");
+  }
+}
+
+DiskId ReadPolicy::next_hot_disk() {
+  const auto d = static_cast<DiskId>(hot_cursor_ % zoning_.hot_disks);
+  ++hot_cursor_;
+  return d;
+}
+
+DiskId ReadPolicy::next_cold_disk() {
+  if (zoning_.cold_disks == 0) return next_hot_disk();
+  const auto d = static_cast<DiskId>(zoning_.hot_disks +
+                                     cold_cursor_ % zoning_.cold_disks);
+  ++cold_cursor_;
+  return d;
+}
+
+void ReadPolicy::initialize(ArrayContext& ctx) {
+  const FileSet& files = ctx.files();
+  if (files.empty()) throw std::invalid_argument("ReadPolicy: no files");
+
+  // θ: configured, or estimated from the file set's access weights
+  // (Fig. 6 takes θ as an input; our estimator mirrors line 11's epoch
+  // re-estimation so both paths use the same statistic).
+  double theta = config_.theta;
+  if (theta == 0.0) {
+    std::vector<double> weights;
+    weights.reserve(files.size());
+    for (const auto& f : files.files()) weights.push_back(f.access_rate);
+    theta = estimate_theta_from_weights(weights, config_.theta_b);
+  }
+
+  // Fig. 6 step 5: sort by size ascending — the initial popularity proxy.
+  const std::vector<FileId> by_size = files.ids_by_size_ascending();
+
+  // Steps 1-3: zoning from Eq. 4/5 with loads in (assumed) popularity
+  // order.
+  std::vector<double> loads;
+  loads.reserve(by_size.size());
+  for (FileId f : by_size) loads.push_back(files.by_id(f).load());
+  zoning_ = compute_zoning(loads, ctx.disk_count(), theta);
+
+  // Step 4: hot zone high speed, cold zone low speed; DPM per zone.
+  for (DiskId d = 0; d < ctx.disk_count(); ++d) {
+    const bool hot = is_hot_disk(d);
+    ctx.set_initial_speed(d, hot ? DiskSpeed::kHigh : DiskSpeed::kLow);
+    DpmConfig dpm;
+    if (hot) {
+      // Hot disks may rest when idle but must come back up to serve;
+      // the veto below enforces the daily budget S.
+      dpm.spin_down_when_idle = true;
+      dpm.idleness_threshold = config_.idleness_threshold;
+      dpm.spin_up_to_serve = true;
+    } else {
+      // Cold disks stay low and serve at low speed (no transitions).
+      dpm.spin_down_when_idle = false;
+      dpm.spin_up_to_serve = false;
+    }
+    ctx.set_dpm(d, dpm);
+  }
+
+  // Steps 6-7: round-robin placement, popular -> hot, unpopular -> cold.
+  hot_file_.assign(files.size(), 0);
+  for (std::size_t rank = 0; rank < by_size.size(); ++rank) {
+    const FileId f = by_size[rank];
+    const bool popular = rank < zoning_.popular_files;
+    hot_file_[f] = popular ? 1 : 0;
+    ctx.place(f, popular ? next_hot_disk() : next_cold_disk());
+  }
+}
+
+DiskId ReadPolicy::route(ArrayContext& ctx, const Request& req) {
+  return ctx.location(req.file);
+}
+
+void ReadPolicy::on_epoch(ArrayContext& ctx, Seconds now) {
+  epoch_migrations_ = 0;
+  const auto& counts = ctx.epoch_access_counts();
+
+  if (ctx.epoch_requests() > 0) {
+    // Lines 10-11: re-rank by observed accesses, re-estimate θ.
+    std::vector<FileId> order(counts.size());
+    std::iota(order.begin(), order.end(), FileId{0});
+    std::stable_sort(order.begin(), order.end(), [&](FileId a, FileId b) {
+      return counts[a] > counts[b];
+    });
+
+    std::vector<std::uint64_t> sorted_counts;
+    sorted_counts.reserve(counts.size());
+    for (FileId f : order) sorted_counts.push_back(counts[f]);
+    const double theta = estimate_theta(sorted_counts, config_.theta_b);
+    const std::size_t popular = popular_file_count(counts.size(), theta);
+
+    // Lines 12-19: migrate files whose category changed. Targets follow
+    // the zone round-robin cursors.
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      const FileId f = order[rank];
+      const bool now_popular = rank < popular;
+      if (now_popular && !hot_file_[f]) {
+        ctx.migrate(f, next_hot_disk());
+        hot_file_[f] = 1;
+        ++epoch_migrations_;
+      } else if (!now_popular && hot_file_[f]) {
+        ctx.migrate(f, next_cold_disk());
+        hot_file_[f] = 0;
+        ++epoch_migrations_;
+      }
+    }
+  }
+
+  // Lines 20-24: adaptive threshold — half the budget spent => double H.
+  if (!config_.adaptive_threshold) return;
+  for (DiskId d = 0; d < ctx.disk_count(); ++d) {
+    if (!ctx.dpm(d).spin_down_when_idle) continue;
+    if (ctx.disk(d).transitions_today(now) * 2 >=
+        config_.max_transitions_per_day) {
+      const Seconds doubled = ctx.dpm(d).idleness_threshold * 2.0;
+      ctx.set_idleness_threshold(d, doubled);
+      PR_LOG(kDebug) << "READ: disk " << d << " H doubled to "
+                     << doubled.value() << "s";
+    }
+  }
+}
+
+bool ReadPolicy::allow_spin_down(ArrayContext& ctx, DiskId d, Seconds now) {
+  // A spin-down commits the disk to a spin-up later; deny when the pair
+  // would blow the daily budget S (§5.2's hard cap).
+  return ctx.disk(d).transitions_today(now) + 2 <=
+         config_.max_transitions_per_day;
+}
+
+}  // namespace pr

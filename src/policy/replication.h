@@ -1,0 +1,57 @@
+// replication.h — hot-file replication extension (paper §6 future work:
+// "a high file redistribution cost may arise as the number of file
+// migrations increases substantially. One possible solution is to use
+// file replication").
+//
+// ReplicatedReadPolicy wraps READ: the hottest files get extra copies on
+// other hot-zone disks (created as background copy I/O), and reads pick
+// the least-loaded replica — cutting queueing on the hottest disk and
+// cushioning the epoch-migration churn the paper worries about. Replica
+// sets are rebuilt at each epoch from observed popularity.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "policy/read_policy.h"
+
+namespace pr {
+
+struct ReplicationConfig {
+  /// Copies per replicated file, including the primary (≥ 2 to replicate).
+  std::size_t replicas = 2;
+  /// How many of the hottest files get replicas.
+  std::size_t top_files = 64;
+  ReadConfig read{};
+};
+
+class ReplicatedReadPolicy final : public Policy {
+ public:
+  explicit ReplicatedReadPolicy(ReplicationConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "READ+replication"; }
+
+  void initialize(ArrayContext& ctx) override;
+  DiskId route(ArrayContext& ctx, const Request& req) override;
+  void after_serve(ArrayContext& ctx, const Request& req, DiskId d) override;
+  void on_epoch(ArrayContext& ctx, Seconds now) override;
+  bool allow_spin_down(ArrayContext& ctx, DiskId d, Seconds now) override;
+
+  [[nodiscard]] std::size_t replicated_files() const {
+    return replicas_.size();
+  }
+  [[nodiscard]] const ReadPolicy& base() const { return base_; }
+
+ private:
+  /// (Re)build replica sets for the given hottest files.
+  void build_replicas(ArrayContext& ctx, const std::vector<FileId>& hottest);
+  [[nodiscard]] std::vector<DiskId> replica_targets(const ArrayContext& ctx,
+                                                    FileId f) const;
+
+  ReplicationConfig config_;
+  ReadPolicy base_;
+  /// file -> extra replica locations (primary lives in the placement map).
+  std::unordered_map<FileId, std::vector<DiskId>> replicas_;
+};
+
+}  // namespace pr

@@ -1,0 +1,102 @@
+#include "policy/zoning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "trace/trace_stats.h"
+
+namespace pr {
+
+double eq4_delta(double theta) {
+  if (!(theta > 0.0)) throw std::invalid_argument("eq4_delta: theta <= 0");
+  return (1.0 - theta) / theta;
+}
+
+std::size_t popular_file_count(std::size_t file_count, double theta) {
+  if (file_count <= 1) return file_count;
+  const double raw = (1.0 - theta) * static_cast<double>(file_count);
+  auto n = static_cast<std::size_t>(std::llround(raw));
+  return std::clamp<std::size_t>(n, 1, file_count - 1);
+}
+
+double eq5_gamma(double theta, double popular_load, double unpopular_load) {
+  if (!(theta > 0.0)) throw std::invalid_argument("eq5_gamma: theta <= 0");
+  const double numerator = (1.0 - theta) * popular_load;
+  const double denominator = theta * unpopular_load;
+  if (denominator <= 0.0) {
+    // No measurable cold load: the array is effectively all hot; callers
+    // clamp to keep one cold disk.
+    return std::numeric_limits<double>::infinity();
+  }
+  return numerator / denominator;
+}
+
+ZoningDecision compute_zoning(const std::vector<double>& loads_by_popularity,
+                              std::size_t disk_count, double theta) {
+  if (loads_by_popularity.empty()) {
+    throw std::invalid_argument("compute_zoning: no files");
+  }
+  if (disk_count == 0) {
+    throw std::invalid_argument("compute_zoning: no disks");
+  }
+  if (!(theta > 0.0) || theta > 1.0) {
+    throw std::invalid_argument("compute_zoning: theta outside (0, 1]");
+  }
+
+  ZoningDecision z;
+  z.theta = theta;
+  z.delta = eq4_delta(theta);
+  z.popular_files = popular_file_count(loads_by_popularity.size(), theta);
+  z.unpopular_files = loads_by_popularity.size() - z.popular_files;
+
+  const double popular_load = std::accumulate(
+      loads_by_popularity.begin(),
+      loads_by_popularity.begin() + static_cast<std::ptrdiff_t>(z.popular_files),
+      0.0);
+  const double total_load = std::accumulate(loads_by_popularity.begin(),
+                                            loads_by_popularity.end(), 0.0);
+  z.gamma = eq5_gamma(theta, popular_load, total_load - popular_load);
+
+  if (disk_count == 1) {
+    z.hot_disks = 1;
+    z.cold_disks = 0;
+    return z;
+  }
+  double hd_raw;
+  if (std::isinf(z.gamma)) {
+    hd_raw = static_cast<double>(disk_count - 1);
+  } else {
+    hd_raw = z.gamma * static_cast<double>(disk_count) / (z.gamma + 1.0);
+  }
+  auto hd = static_cast<std::size_t>(std::llround(hd_raw));
+  z.hot_disks = std::clamp<std::size_t>(hd, 1, disk_count - 1);
+  z.cold_disks = disk_count - z.hot_disks;
+  return z;
+}
+
+double estimate_theta_from_weights(const std::vector<double>& weights,
+                                   double files_fraction) {
+  std::vector<double> active;
+  active.reserve(weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) {
+      active.push_back(w);
+      total += w;
+    }
+  }
+  if (active.size() < 2 || total <= 0.0) return 1.0;
+  std::sort(active.begin(), active.end(), std::greater<>());
+  auto top_n = static_cast<std::size_t>(
+      std::ceil(files_fraction * static_cast<double>(active.size())));
+  top_n = std::clamp<std::size_t>(top_n, 1, active.size() - 1);
+  double top = 0.0;
+  for (std::size_t i = 0; i < top_n; ++i) top += active[i];
+  return theta_from_skew(top / total,
+                         static_cast<double>(top_n) /
+                             static_cast<double>(active.size()));
+}
+
+}  // namespace pr

@@ -1,0 +1,51 @@
+// zoning.h — READ's hot/cold partition math (paper §4, Eq. 4–5).
+//
+// Given the Zipf-like skew parameter θ (Lee et al. [20]: the top x fraction
+// of files captures x^θ of accesses):
+//   * the popular file count is |Fp| = (1−θ)·m (Fig. 6 step 1 via Eq. 4's
+//     ratio δ = (1−θ)/θ);
+//   * the hot/cold disk split follows the load ratio
+//     γ = (1−θ)·Σ_{f∈Fp} h_f / (θ·Σ_{f∈Fu} h_f)          (Eq. 5)
+//     and HD = γ·n/(γ+1) (Fig. 6 step 3), with both zones kept non-empty.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pr {
+
+struct ZoningDecision {
+  double theta = 1.0;
+  double delta = 0.0;  // Eq. 4: |Fp| / |Fu|
+  double gamma = 0.0;  // Eq. 5: hot/cold disk ratio
+  std::size_t popular_files = 0;   // |Fp|
+  std::size_t unpopular_files = 0; // |Fu|
+  std::size_t hot_disks = 0;       // HD
+  std::size_t cold_disks = 0;      // CD = n − HD
+};
+
+/// Eq. 4: δ = (1−θ)/θ.
+[[nodiscard]] double eq4_delta(double theta);
+
+/// |Fp| = (1−θ)·m rounded to nearest, clamped to [1, m−1] so both sets are
+/// non-empty (degenerate m ≤ 1 yields everything popular).
+[[nodiscard]] std::size_t popular_file_count(std::size_t file_count,
+                                             double theta);
+
+/// Eq. 5 with explicit load sums.
+[[nodiscard]] double eq5_gamma(double theta, double popular_load,
+                               double unpopular_load);
+
+/// Full zoning decision. `loads_by_popularity` must be ordered most-popular
+/// first (h_i = λ_i·s_i); θ ∈ (0, 1]. Throws std::invalid_argument on an
+/// empty load vector, non-positive θ, or disk_count == 0.
+[[nodiscard]] ZoningDecision compute_zoning(
+    const std::vector<double>& loads_by_popularity, std::size_t disk_count,
+    double theta);
+
+/// θ estimated from per-file access weights (rates or counts, any positive
+/// scale); mirrors estimate_theta() in trace_stats but for doubles.
+[[nodiscard]] double estimate_theta_from_weights(
+    const std::vector<double>& weights, double files_fraction = 0.2);
+
+}  // namespace pr

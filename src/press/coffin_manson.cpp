@@ -1,0 +1,82 @@
+#include "press/coffin_manson.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pr {
+
+double arrhenius_g(Celsius tmax, const CoffinMansonConstants& k) {
+  const double t_kelvin = to_kelvin_paper(tmax);
+  return std::exp(-k.activation_energy_ev /
+                  (k.boltzmann_ev_per_k * t_kelvin));
+}
+
+double frequency_factor(double cycles_per_day,
+                        FrequencyExponentConvention convention,
+                        const CoffinMansonConstants& k) {
+  if (!(cycles_per_day > 0.0)) {
+    throw std::invalid_argument("frequency_factor: cycles_per_day <= 0");
+  }
+  const double exponent = convention == FrequencyExponentConvention::kPaper
+                              ? k.alpha_magnitude
+                              : -k.alpha_magnitude;
+  return std::pow(cycles_per_day, exponent);
+}
+
+double calibrate_a_a0(double cycles_to_failure_rating, double cycles_per_day,
+                      double delta_t_celsius, Celsius tmax,
+                      FrequencyExponentConvention convention,
+                      const CoffinMansonConstants& k) {
+  if (!(cycles_to_failure_rating > 0.0) || !(delta_t_celsius > 0.0)) {
+    throw std::invalid_argument("calibrate_a_a0: non-positive input");
+  }
+  const double f_term = frequency_factor(cycles_per_day, convention, k);
+  const double dt_term = std::pow(delta_t_celsius, -k.beta);
+  const double g = arrhenius_g(tmax, k);
+  return cycles_to_failure_rating / (f_term * dt_term * g);
+}
+
+double cycles_to_failure(double a_a0, double cycles_per_day,
+                         double delta_t_celsius, Celsius tmax,
+                         FrequencyExponentConvention convention,
+                         const CoffinMansonConstants& k) {
+  if (!(a_a0 > 0.0) || !(delta_t_celsius > 0.0)) {
+    throw std::invalid_argument("cycles_to_failure: non-positive input");
+  }
+  const double f_term = frequency_factor(cycles_per_day, convention, k);
+  const double dt_term = std::pow(delta_t_celsius, -k.beta);
+  const double g = arrhenius_g(tmax, k);
+  return a_a0 * f_term * dt_term * g;
+}
+
+SpeedTransitionDerivation derive_speed_transition_damage(
+    FrequencyExponentConvention convention, const CoffinMansonConstants& k) {
+  SpeedTransitionDerivation d{};
+
+  // Start/stop calibration (§3.4): datasheet limit Nf = 50,000 cycles,
+  // suggested 25 power cycles/day, ambient 28 °C to Tmax 50 °C => ΔT = 22.
+  constexpr double kNfStartStop = 50'000.0;
+  constexpr double kCyclesPerDay = 25.0;
+  constexpr double kDeltaTStartStop = 22.0;
+  const Celsius kTmaxStartStop{50.0};
+
+  d.g_tmax_start_stop = arrhenius_g(kTmaxStartStop, k);
+  d.a_a0 = calibrate_a_a0(kNfStartStop, kCyclesPerDay, kDeltaTStartStop,
+                          kTmaxStartStop, convention, k);
+
+  // Speed transitions: same 25/day, Tmax = 45 °C (midway between the low
+  // band's 40 °C and the high band's 50 °C, since transitions are
+  // bi-directional), ΔT = 10 (gap between the two bands).
+  constexpr double kDeltaTTransition = 10.0;
+  const Celsius kTmaxTransition{45.0};
+
+  d.g_tmax_transition = arrhenius_g(kTmaxTransition, k);
+  d.transitions_to_failure =
+      cycles_to_failure(d.a_a0, kCyclesPerDay, kDeltaTTransition,
+                        kTmaxTransition, convention, k);
+  d.damage_ratio = d.transitions_to_failure / kNfStartStop;
+  d.daily_limit_5yr = d.transitions_to_failure / (5.0 * 365.0);
+  return d;
+}
+
+}  // namespace pr

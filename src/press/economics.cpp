@@ -1,0 +1,38 @@
+#include "press/economics.h"
+
+#include <stdexcept>
+
+namespace pr {
+
+AnnualCost annual_cost(Joules energy, Seconds window,
+                       std::span<const double> disk_afrs,
+                       const CostModel& model) {
+  if (!(window.value() > 0.0)) {
+    throw std::invalid_argument("annual_cost: non-positive window");
+  }
+  AnnualCost cost;
+
+  const double years = window / kSecondsPerYear;
+  const double joules_per_year = energy.value() / years;
+  const double kwh_per_year = joules_per_year / 3.6e6;
+  cost.energy_dollars = kwh_per_year * model.dollars_per_kwh;
+
+  for (double afr : disk_afrs) {
+    cost.expected_failures_per_year += afr;
+    cost.replacement_dollars += afr * model.disk_replacement_dollars;
+    cost.data_loss_dollars += afr * model.data_loss_probability *
+                              model.data_loss_dollars_per_failure;
+  }
+  return cost;
+}
+
+CostDelta compare_costs(const AnnualCost& candidate,
+                        const AnnualCost& baseline) {
+  CostDelta delta;
+  delta.energy_saved = baseline.energy_dollars - candidate.energy_dollars;
+  delta.reliability_added =
+      candidate.reliability_dollars() - baseline.reliability_dollars();
+  return delta;
+}
+
+}  // namespace pr

@@ -1,0 +1,67 @@
+// economics.h — the title question in dollars. §3.5 argues: "the high AFR
+// caused by a high speed transition frequency would cost much more than
+// the energy-saving gained. Normally, the value of lost data plus the
+// price of failed disks substantially outweigh the energy-saving gained."
+// This module turns a simulated day (energy) and a PRESS verdict (per-disk
+// AFR) into an annualized cost comparison so that claim can be computed
+// rather than asserted (bench/cost_analysis).
+#pragma once
+
+#include <span>
+
+#include "util/units.h"
+
+namespace pr {
+
+struct CostModel {
+  /// Electricity price. US commercial average around the paper's era.
+  double dollars_per_kwh = 0.10;
+  /// Replacement cost of one enterprise drive (2008-era 10K SCSI/SAS).
+  double disk_replacement_dollars = 300.0;
+  /// Expected value of data lost per disk failure. Dominated by recovery
+  /// labour/downtime rather than the raw bytes; deliberately conservative
+  /// (the paper's argument only needs it to be >> the energy delta).
+  double data_loss_dollars_per_failure = 5'000.0;
+  /// Probability a disk failure actually loses data (a RAID-protected
+  /// array mostly turns failures into rebuilds; see mttdl.h for the
+  /// array-level view). 1.0 = unprotected JBOD.
+  double data_loss_probability = 1.0;
+};
+
+struct AnnualCost {
+  double energy_dollars = 0.0;
+  double replacement_dollars = 0.0;     // Σ per-disk AFR × disk cost
+  double data_loss_dollars = 0.0;       // Σ per-disk AFR × P(loss) × value
+  double expected_failures_per_year = 0.0;
+
+  [[nodiscard]] double reliability_dollars() const {
+    return replacement_dollars + data_loss_dollars;
+  }
+  [[nodiscard]] double total_dollars() const {
+    return energy_dollars + reliability_dollars();
+  }
+};
+
+/// Annualize a measured window: `energy` consumed over `window` scales to
+/// a year; `disk_afrs` are PRESS per-disk AFRs (fractions/year).
+/// Throws std::invalid_argument for a non-positive window.
+[[nodiscard]] AnnualCost annual_cost(Joules energy, Seconds window,
+                                     std::span<const double> disk_afrs,
+                                     const CostModel& model = {});
+
+/// Convenience: dollars saved per year by `candidate` relative to
+/// `baseline` (positive = candidate cheaper), split into the energy and
+/// reliability components so "is it worthwhile?" reads off directly.
+struct CostDelta {
+  double energy_saved = 0.0;       // baseline.energy − candidate.energy
+  double reliability_added = 0.0;  // candidate.rel − baseline.rel
+  [[nodiscard]] double net_saved() const {
+    return energy_saved - reliability_added;
+  }
+  [[nodiscard]] bool worthwhile() const { return net_saved() > 0.0; }
+};
+
+[[nodiscard]] CostDelta compare_costs(const AnnualCost& candidate,
+                                      const AnnualCost& baseline);
+
+}  // namespace pr

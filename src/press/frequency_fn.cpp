@@ -1,0 +1,56 @@
+#include "press/frequency_fn.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pr {
+
+double eq3_frequency_afr(double transitions_per_day) {
+  if (transitions_per_day < 0.0) {
+    throw std::invalid_argument("eq3_frequency_afr: negative frequency");
+  }
+  const double f = std::min(transitions_per_day, kFrequencyDomainMax);
+  const double r = kEq3A * f * f + kEq3B * f + kEq3C;
+  return std::max(r, 0.0);
+}
+
+namespace {
+// Quadratic a·x² + b·x through (0, 0) and the paper's stated point
+// (350/month, +0.15 AFR) with the curvature of a convex adder (the curve
+// "bends up": we place a third implicit anchor at (175, 0.06), i.e. the
+// midpoint adds 40% of the endpoint value, matching the re-plotted shape).
+constexpr double kIdemaMid = 175.0;
+constexpr double kIdemaMidAdder = 0.06;
+constexpr double kIdemaEnd = 350.0;
+constexpr double kIdemaEndAdder = 0.15;
+// Solve a·175² + b·175 = 0.06 ; a·350² + b·350 = 0.15:
+constexpr double kIdemaA =
+    (kIdemaEndAdder - 2.0 * kIdemaMidAdder) / (2.0 * kIdemaMid * kIdemaMid);
+constexpr double kIdemaB =
+    (4.0 * kIdemaMidAdder - kIdemaEndAdder) / (2.0 * kIdemaMid);
+}  // namespace
+
+double idema_start_stop_adder(double start_stops_per_month) {
+  if (start_stops_per_month < 0.0) {
+    throw std::invalid_argument("idema_start_stop_adder: negative rate");
+  }
+  return kIdemaA * start_stops_per_month * start_stops_per_month +
+         kIdemaB * start_stops_per_month;
+}
+
+double halved_idema_frequency_afr(double transitions_per_day) {
+  const double f = std::min(transitions_per_day, kFrequencyDomainMax);
+  return 0.5 * idema_start_stop_adder(f);
+}
+
+double frequency_afr(double transitions_per_day, FrequencyCurve curve) {
+  switch (curve) {
+    case FrequencyCurve::kEq3:
+      return eq3_frequency_afr(transitions_per_day);
+    case FrequencyCurve::kHalvedIdema:
+      return halved_idema_frequency_afr(transitions_per_day);
+  }
+  return eq3_frequency_afr(transitions_per_day);
+}
+
+}  // namespace pr

@@ -1,0 +1,53 @@
+// frequency_fn.h — the frequency-reliability function (paper §3.4,
+// Fig. 4a/4b and Eq. 3).
+//
+// Construction chain in the paper:
+//   1. IDEMA's spindle start/stop failure-rate adder (Fig. 4a), given for
+//      [0, 350] start/stops per month, extended by quadratic fitting;
+//   2. the Coffin–Manson derivation (coffin_manson.h) concluding a speed
+//      transition causes ≈50% of a start/stop's damage, so the adder is
+//      halved and the X axis relabelled to transitions/day (Fig. 4b);
+//   3. the final quadratic fit, printed as Eq. 3:
+//         R(f) = 1.51e-5·f² − 1.09e-4·f + 1.39e-4,   f ∈ [0, 1600]/day.
+//
+// Fidelity note (also in EXPERIMENTS.md): the printed Eq. 3 is not
+// numerically consistent with step 2 at small f (the paper's own
+// inconsistency — e.g. IDEMA's "10/day adds 0.15 AFR" vs Eq. 3's 5.6e-4 at
+// f = 10). We implement both: Eq. 3 verbatim (PRESS's default, since it is
+// the only printed formula and it makes frequency the dominant ESRRA
+// factor exactly as §3.5 claims) and the halved-IDEMA construction.
+#pragma once
+
+namespace pr {
+
+constexpr double kFrequencyDomainMax = 1600.0;  // transitions/day (Eq. 3)
+
+/// Eq. 3 verbatim, clamped to its stated domain and floored at 0 (the
+/// polynomial dips slightly negative for f ∈ (1.66, 5.56)).
+[[nodiscard]] double eq3_frequency_afr(double transitions_per_day);
+
+/// IDEMA spindle start/stop failure-rate adder (Fig. 4a): AFR added as a
+/// function of start/stops per *month*. Quadratic through the paper's
+/// stated anchors — 0 at 0, +0.15 AFR at 350/month (≈10/day + margin) —
+/// extended beyond 350/month by the same quadratic, per §3.4.
+[[nodiscard]] double idema_start_stop_adder(double start_stops_per_month);
+
+/// The halved, per-day-relabelled curve of Fig. 4b built from Fig. 4a:
+/// 0.5 × idema_start_stop_adder evaluated with the per-day count on the
+/// original per-month axis (the paper "changes the unit of the X axis").
+[[nodiscard]] double halved_idema_frequency_afr(double transitions_per_day);
+
+enum class FrequencyCurve {
+  kEq3,          // printed Eq. 3 (default)
+  kHalvedIdema,  // construction-chain curve
+};
+
+[[nodiscard]] double frequency_afr(double transitions_per_day,
+                                   FrequencyCurve curve = FrequencyCurve::kEq3);
+
+/// Eq. 3 coefficients, exposed for tests/benches.
+inline constexpr double kEq3A = 1.51e-5;
+inline constexpr double kEq3B = -1.09e-4;
+inline constexpr double kEq3C = 1.39e-4;
+
+}  // namespace pr

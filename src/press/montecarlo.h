@@ -1,0 +1,63 @@
+// montecarlo.h — Monte-Carlo failure/repair simulation of a redundant
+// array driven by PRESS per-disk AFRs. The closed-form MTTDL expressions
+// in mttdl.h rest on exponential/μ≫λ assumptions; this simulator makes no
+// such approximation and also yields quantities the formulas cannot —
+// the distribution of data-loss times, loss probability over a finite
+// deployment horizon, and expected replacement counts (feeding the §3.5
+// economics with array-level numbers).
+//
+// Model: each disk fails independently at its own exponential rate
+// (per-disk AFRs may differ — e.g. PRESS output where one hot disk is the
+// bottleneck). A failed disk begins repair immediately (unbounded repair
+// crew, exponential repair time). Data is lost when the number of
+// concurrently-failed disks exceeds the layout's tolerance (RAID0: 0,
+// RAID1/RAID5: 1, RAID6: 2). After a loss event the array is restored and
+// the clock keeps running (losses form a renewal-ish process).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "press/mttdl.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace pr {
+
+struct MonteCarloConfig {
+  /// Simulated deployment length per trial.
+  double horizon_years = 5.0;
+  /// Independent trials.
+  std::size_t trials = 2'000;
+  /// Mean repair/rebuild time.
+  Seconds mttr{24.0 * 3600.0};
+  std::uint64_t seed = 42;
+};
+
+struct MonteCarloResult {
+  std::size_t trials = 0;
+  double horizon_years = 0.0;
+  /// Fraction of trials with >= 1 data-loss event.
+  double loss_probability = 0.0;
+  /// Mean data-loss events per trial.
+  double mean_loss_events = 0.0;
+  /// Mean disk failures (replacements) per trial.
+  double mean_failures = 0.0;
+  /// Mean time to the first loss among trials that lost data, in hours
+  /// (0 when no trial lost data).
+  double mean_hours_to_first_loss = 0.0;
+};
+
+/// Tolerated concurrent failures for a layout (RAID0: 0, RAID1/5: 1,
+/// RAID6: 2).
+[[nodiscard]] unsigned fault_tolerance(RaidLevel level);
+
+/// Run the simulation. `disk_afrs` gives each disk's AFR (fraction/year);
+/// size defines the array. Throws std::invalid_argument on an empty
+/// array, non-positive AFR/MTTR/horizon, or zero trials.
+[[nodiscard]] MonteCarloResult simulate_array_lifetime(
+    RaidLevel level, std::span<const double> disk_afrs,
+    const MonteCarloConfig& config = {});
+
+}  // namespace pr

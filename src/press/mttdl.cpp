@@ -1,0 +1,73 @@
+#include "press/mttdl.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pr {
+
+namespace {
+constexpr double kHoursPerYear = 8'760.0;
+}
+
+double afr_to_failures_per_hour(double afr) {
+  if (afr < 0.0) {
+    throw std::invalid_argument("afr_to_failures_per_hour: negative AFR");
+  }
+  return afr / kHoursPerYear;
+}
+
+double mttdl_hours(RaidLevel level, const MttdlInputs& inputs) {
+  if (inputs.disks == 0) {
+    throw std::invalid_argument("mttdl_hours: zero disks");
+  }
+  if (!(inputs.disk_afr > 0.0)) {
+    throw std::invalid_argument("mttdl_hours: non-positive AFR");
+  }
+  if (!(inputs.mttr.value() > 0.0)) {
+    throw std::invalid_argument("mttdl_hours: non-positive MTTR");
+  }
+  const double lambda = afr_to_failures_per_hour(inputs.disk_afr);
+  const double mu = 3'600.0 / inputs.mttr.value();  // repairs per hour
+  const auto n = static_cast<double>(inputs.disks);
+
+  switch (level) {
+    case RaidLevel::kRaid0:
+      // First failure anywhere loses data.
+      return 1.0 / (n * lambda);
+    case RaidLevel::kRaid1: {
+      // n/2 mirrored pairs; a pair dies when its partner fails during
+      // repair: MTTDL_pair = (λ+μ... standard: ≈ μ / (2λ²) per pair.
+      if (inputs.disks % 2 != 0 || inputs.disks < 2) {
+        throw std::invalid_argument("mttdl_hours: RAID1 needs even n >= 2");
+      }
+      const double pairs = n / 2.0;
+      const double per_pair = (3.0 * lambda + mu) / (2.0 * lambda * lambda);
+      return per_pair / pairs;
+    }
+    case RaidLevel::kRaid5: {
+      // Classic PGK: MTTDL ≈ μ / (n(n−1)λ²) (+ lower-order terms).
+      if (inputs.disks < 2) {
+        throw std::invalid_argument("mttdl_hours: RAID5 needs n >= 2");
+      }
+      return ((2.0 * n - 1.0) * lambda + mu) /
+             (n * (n - 1.0) * lambda * lambda);
+    }
+    case RaidLevel::kRaid6: {
+      // Double parity: three failures in overlapping repair windows.
+      if (inputs.disks < 3) {
+        throw std::invalid_argument("mttdl_hours: RAID6 needs n >= 3");
+      }
+      return mu * mu /
+             (n * (n - 1.0) * (n - 2.0) * lambda * lambda * lambda);
+    }
+  }
+  throw std::invalid_argument("mttdl_hours: unknown RAID level");
+}
+
+double annual_data_loss_probability(RaidLevel level,
+                                    const MttdlInputs& inputs) {
+  const double mttdl = mttdl_hours(level, inputs);
+  return 1.0 - std::exp(-kHoursPerYear / mttdl);
+}
+
+}  // namespace pr

@@ -1,0 +1,56 @@
+// mttdl.h — array-level data-loss reliability from per-disk AFR.
+//
+// The paper's §1 frames the problem at array scale ("the very large number
+// of disks dramatically lowers down the overall MTBF of the entire
+// system") and its baseline storage model is RAID-style redundancy. This
+// module closes the loop: PRESS gives a per-disk failure rate λ; classic
+// Markov MTTDL formulas (Patterson/Gibson/Katz and successors, the
+// paper's [10][29] territory) turn λ plus a repair rate into the mean
+// time to data loss and an annual data-loss probability for common
+// layouts — so an energy policy's reliability damage can be quoted as
+// "expected data-loss events per year" for the array a user actually
+// runs.
+//
+// Assumptions (standard for these closed forms): independent exponential
+// failures at rate λ per disk, exponential repairs at rate μ = 1/MTTR,
+// μ >> λ, one repair at a time.
+#pragma once
+
+#include <cstddef>
+
+#include "util/units.h"
+
+namespace pr {
+
+enum class RaidLevel {
+  kRaid0,   // any single failure loses data
+  kRaid1,   // mirrored pairs (n even)
+  kRaid5,   // single parity, survives one failure per group
+  kRaid6,   // double parity, survives two failures per group
+};
+
+struct MttdlInputs {
+  /// Per-disk AFR (fraction/year) — e.g. the PRESS array bottleneck value
+  /// applied uniformly, or a population mean.
+  double disk_afr = 0.04;
+  /// Disks in the array / group.
+  std::size_t disks = 8;
+  /// Mean time to repair/rebuild one disk.
+  Seconds mttr{24.0 * 3600.0};
+};
+
+/// Per-disk failure rate λ in 1/hour from an AFR fraction/year.
+[[nodiscard]] double afr_to_failures_per_hour(double afr);
+
+/// Mean time to data loss, in hours. Throws std::invalid_argument for
+/// degenerate inputs (zero disks, non-positive rates, RAID1 with odd n,
+/// RAID5 with < 2 disks, RAID6 with < 3).
+[[nodiscard]] double mttdl_hours(RaidLevel level, const MttdlInputs& inputs);
+
+/// P(at least one data-loss event within one year) assuming the loss
+/// process is ~Poisson with rate 1/MTTDL (valid when MTTDL >> 1 year,
+/// conservative otherwise).
+[[nodiscard]] double annual_data_loss_probability(RaidLevel level,
+                                                  const MttdlInputs& inputs);
+
+}  // namespace pr

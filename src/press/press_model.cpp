@@ -1,0 +1,50 @@
+#include "press/press_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pr {
+
+PressBreakdown PressModel::breakdown(const DiskTelemetry& t) const {
+  PressBreakdown b;
+  b.temperature_afr = temperature_afr(t.temperature);
+  b.utilization_afr = utilization_afr(t.utilization);
+  b.frequency_afr =
+      frequency_afr(std::max(t.transitions_per_day, 0.0),
+                    config_.frequency_curve);
+  b.combined_afr = integrate(b);
+  return b;
+}
+
+double PressModel::integrate(const PressBreakdown& b) const {
+  double afr = 0.0;
+  switch (config_.integrator) {
+    case IntegratorStrategy::kSum:
+      afr = b.temperature_afr + b.utilization_afr + b.frequency_afr;
+      break;
+    case IntegratorStrategy::kMax:
+      afr = std::max({b.temperature_afr, b.utilization_afr, b.frequency_afr});
+      break;
+    case IntegratorStrategy::kIndependentHazards:
+      afr = 1.0 - (1.0 - b.temperature_afr) * (1.0 - b.utilization_afr) *
+                      (1.0 - b.frequency_afr);
+      break;
+  }
+  return std::clamp(afr, 0.0, 1.0);
+}
+
+double PressModel::disk_afr(const DiskTelemetry& t) const {
+  return breakdown(t).combined_afr;
+}
+
+double PressModel::array_afr(std::span<const DiskTelemetry> disks) const {
+  double worst = 0.0;
+  for (const auto& t : disks) worst = std::max(worst, disk_afr(t));
+  return worst;
+}
+
+double PressModel::recommended_max_transitions_per_day() {
+  return derive_speed_transition_damage().daily_limit_5yr;
+}
+
+}  // namespace pr

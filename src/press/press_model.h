@@ -1,0 +1,69 @@
+// press_model.h — PRESS: Predictor of Reliability for Energy-Saving
+// Schemes (paper §3, Fig. 1). Three ESRRA-factor functions feed a
+// reliability integrator that yields a per-disk AFR; the array's AFR is
+// that of its least reliable disk (§3.5: "the reliability level of a disk
+// array is only as high as the lowest level of reliability possessed by a
+// single disk").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "disk/telemetry.h"
+#include "press/coffin_manson.h"
+#include "press/frequency_fn.h"
+#include "press/temperature_fn.h"
+#include "press/utilization_fn.h"
+#include "util/units.h"
+
+namespace pr {
+
+/// How the integrator combines the three per-factor AFR values. The paper
+/// specifies the inputs and the array-level max but not the per-disk
+/// combination rule; kSum treats the frequency term as the "adder" IDEMA
+/// calls it and the temperature/utilization terms as additive marginal
+/// hazards, and is the default (see DESIGN.md §4.3 and the ABL3 bench).
+enum class IntegratorStrategy {
+  kSum,                 // AFR_t + AFR_u + AFR_f (clamped to [0,1])
+  kMax,                 // worst single factor
+  kIndependentHazards,  // 1 − (1−AFR_t)(1−AFR_u)(1−AFR_f)
+};
+
+struct PressConfig {
+  IntegratorStrategy integrator = IntegratorStrategy::kSum;
+  FrequencyCurve frequency_curve = FrequencyCurve::kEq3;
+};
+
+/// Per-factor breakdown for one disk (useful for reporting/benches).
+struct PressBreakdown {
+  double temperature_afr = 0.0;
+  double utilization_afr = 0.0;
+  double frequency_afr = 0.0;
+  double combined_afr = 0.0;
+};
+
+class PressModel {
+ public:
+  explicit PressModel(PressConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] const PressConfig& config() const { return config_; }
+
+  /// AFR of a single disk from its ESRRA telemetry.
+  [[nodiscard]] double disk_afr(const DiskTelemetry& t) const;
+  [[nodiscard]] PressBreakdown breakdown(const DiskTelemetry& t) const;
+
+  /// Array AFR = AFR of the least reliable member disk (§3.5). Returns 0
+  /// for an empty array.
+  [[nodiscard]] double array_afr(std::span<const DiskTelemetry> disks) const;
+
+  /// §3.5 insight 1: the speed-transition budget compatible with a 5-year
+  /// warranty (≈65/day from the Coffin–Manson derivation).
+  [[nodiscard]] static double recommended_max_transitions_per_day();
+
+ private:
+  [[nodiscard]] double integrate(const PressBreakdown& b) const;
+
+  PressConfig config_;
+};
+
+}  // namespace pr

@@ -1,0 +1,25 @@
+#include "press/temperature_fn.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace pr {
+
+double temperature_afr(Celsius temp) {
+  const double t = std::clamp(temp.value(), kTemperatureDomainLow.value(),
+                              kTemperatureDomainHigh.value());
+  const auto* begin = std::begin(kTemperatureAnchors);
+  const auto* end = std::end(kTemperatureAnchors);
+  if (t <= begin->celsius) return begin->afr;
+  for (const auto* it = begin; it + 1 != end; ++it) {
+    const auto& a = *it;
+    const auto& b = *(it + 1);
+    if (t <= b.celsius) {
+      const double frac = (t - a.celsius) / (b.celsius - a.celsius);
+      return a.afr + frac * (b.afr - a.afr);
+    }
+  }
+  return (end - 1)->afr;
+}
+
+}  // namespace pr

@@ -1,0 +1,42 @@
+// temperature_fn.h — the temperature-reliability function (paper §3.2,
+// Fig. 2b). Derived from the 3-year-old disk population of Pinheiro et
+// al.'s field study (Google, FAST'07 — the paper's [22], Figure 5): the
+// paper argues the 3-year cohort is the right foundation because damage
+// from early high-temperature exposure surfaces as failures in year 3,
+// while the 4-year data "loses the hidden failures".
+//
+// [22] publishes the relationship as a figure only, so we use digitized
+// anchor points (documented below) joined piecewise-linearly; the shape —
+// mild below 35 °C, steep above — is what all of the paper's reasoning
+// relies on, and every policy is scored with the same curve (the paper's
+// §3.5 validity argument).
+#pragma once
+
+#include "util/units.h"
+
+namespace pr {
+
+/// AFR (fraction/year, e.g. 0.10 == 10%) of a 3-year-old disk operating at
+/// temperature `temp`. Clamped to the study's [25, 50] °C domain.
+[[nodiscard]] double temperature_afr(Celsius temp);
+
+/// Domain of the function (Fig. 2b X axis).
+constexpr Celsius kTemperatureDomainLow{25.0};
+constexpr Celsius kTemperatureDomainHigh{50.0};
+
+/// Anchor table (digitized from [22] Fig. 5, 3-year-old series), exposed
+/// for tests and for the Fig. 2b bench.
+struct TemperatureAnchor {
+  double celsius;
+  double afr;
+};
+inline constexpr TemperatureAnchor kTemperatureAnchors[] = {
+    {25.0, 0.045},  // <=25 °C bucket
+    {30.0, 0.050},
+    {35.0, 0.055},  // knee: effects become salient above 35 °C (§3.2)
+    {40.0, 0.095},
+    {45.0, 0.120},
+    {50.0, 0.145},  // >=45 °C bucket extrapolated to the band edge
+};
+
+}  // namespace pr

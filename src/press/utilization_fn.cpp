@@ -1,0 +1,33 @@
+#include "press/utilization_fn.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace pr {
+
+UtilizationBand utilization_band(double utilization) {
+  const double u = std::clamp(utilization, kUtilizationDomainLow,
+                              kUtilizationDomainHigh);
+  if (u < 0.50) return UtilizationBand::kLow;
+  if (u < 0.75) return UtilizationBand::kMedium;
+  return UtilizationBand::kHigh;
+}
+
+double utilization_afr(double utilization) {
+  const double u = std::clamp(utilization, kUtilizationDomainLow,
+                              kUtilizationDomainHigh);
+  const auto* begin = std::begin(kUtilizationAnchors);
+  const auto* end = std::end(kUtilizationAnchors);
+  if (u <= begin->utilization) return begin->afr;
+  for (const auto* it = begin; it + 1 != end; ++it) {
+    const auto& a = *it;
+    const auto& b = *(it + 1);
+    if (u <= b.utilization) {
+      const double frac = (u - a.utilization) / (b.utilization - a.utilization);
+      return a.afr + frac * (b.afr - a.afr);
+    }
+  }
+  return (end - 1)->afr;
+}
+
+}  // namespace pr

@@ -1,0 +1,40 @@
+// utilization_fn.h — the utilization-reliability function (paper §3.3,
+// Fig. 3b). Based on the 4-year-old disk population of [22] Figure 3: the
+// paper selects that cohort because (1) only disks older than 1 year are
+// considered, (2) the 2/3-year cohorts show no explicit utilization effect
+// (the paper's "middle-age resilience" reading), (3) 5-year disks are
+// outside typical warranty, and (4) the 4-year results match Seagate's
+// duty-cycle findings [5].
+//
+// §3.3 converts [22]'s categorical buckets into a continuous metric:
+// low = [25%, 50%), medium = [50%, 75%), high = [75%, 100%]. We anchor the
+// AFR at each category midpoint (digitized from the 4-year series) and
+// interpolate linearly, holding the end values flat to the domain edges.
+#pragma once
+
+namespace pr {
+
+enum class UtilizationBand { kLow, kMedium, kHigh };
+
+/// §3.3's banding over the [25%, 100%] domain (fraction in [0,1]).
+[[nodiscard]] UtilizationBand utilization_band(double utilization);
+
+/// AFR (fraction/year) of a 4-year-old disk at `utilization` ∈ [0, 1].
+/// Inputs below the study's 25% floor are clamped up to it.
+[[nodiscard]] double utilization_afr(double utilization);
+
+constexpr double kUtilizationDomainLow = 0.25;
+constexpr double kUtilizationDomainHigh = 1.00;
+
+/// Category-midpoint anchors (digitized from [22] Fig. 3, 4-year series).
+struct UtilizationAnchor {
+  double utilization;  // fraction
+  double afr;
+};
+inline constexpr UtilizationAnchor kUtilizationAnchors[] = {
+    {0.375, 0.025},  // low    [25%, 50%)  midpoint
+    {0.625, 0.035},  // medium [50%, 75%)  midpoint
+    {0.875, 0.065},  // high   [75%, 100%] midpoint
+};
+
+}  // namespace pr

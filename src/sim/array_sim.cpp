@@ -1,0 +1,330 @@
+#include "sim/array_sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace pr {
+
+ArrayContext::ArrayContext(const SimConfig& config, const FileSet& files)
+    : config_(&config), files_(&files) {
+  if (config.disk_count == 0) {
+    throw std::invalid_argument("ArrayContext: disk_count == 0");
+  }
+  disks_.reserve(config.disk_count);
+  for (std::size_t i = 0; i < config.disk_count; ++i) {
+    disks_.emplace_back(static_cast<DiskId>(i), config.disk_params,
+                        config.initial_speed);
+    if (config.seek_curve) disks_.back().set_seek_curve(*config.seek_curve);
+  }
+  dpm_.assign(config.disk_count, DpmConfig{});
+  placement_.assign(files.size(), kInvalidDisk);
+  epoch_counts_.assign(files.size(), 0);
+  if (config.seek_curve) {
+    file_cylinder_.assign(files.size(), 0);
+    alloc_cursor_.assign(config.disk_count, 0);
+  }
+}
+
+void ArrayContext::assign_cylinders(FileId f, DiskId d) {
+  if (file_cylinder_.empty()) return;
+  const auto& geometry = config_->seek_curve->geometry();
+  const Bytes per_cylinder =
+      std::max<Bytes>(1, config_->disk_params.capacity / geometry.cylinders);
+  const Bytes size = files_->by_id(f).size;
+  const auto span = static_cast<Cylinder>(
+      std::max<Bytes>(1, (size + per_cylinder - 1) / per_cylinder));
+  file_cylinder_[f] = alloc_cursor_[d] % geometry.cylinders;
+  alloc_cursor_[d] = (alloc_cursor_[d] + span) % geometry.cylinders;
+}
+
+void ArrayContext::place(FileId f, DiskId d) {
+  if (f >= placement_.size()) {
+    throw std::invalid_argument("ArrayContext::place: unknown file");
+  }
+  if (d >= disks_.size()) {
+    throw std::invalid_argument("ArrayContext::place: unknown disk");
+  }
+  placement_[f] = d;
+  assign_cylinders(f, d);
+}
+
+void ArrayContext::migrate(FileId f, DiskId to) {
+  if (f >= placement_.size() || to >= disks_.size()) {
+    throw std::invalid_argument("ArrayContext::migrate: bad arguments");
+  }
+  const DiskId from = placement_[f];
+  if (from == kInvalidDisk) {
+    throw std::logic_error("ArrayContext::migrate: file never placed");
+  }
+  if (from == to) return;
+  const Bytes bytes = files_->by_id(f).size;
+  disks_[from].serve(now_, bytes, /*internal=*/true);
+  disks_[to].serve(now_, bytes, /*internal=*/true);
+  placement_[f] = to;
+  assign_cylinders(f, to);
+  ++migrations_;
+  migration_bytes_ += bytes;
+}
+
+void ArrayContext::background_copy(DiskId from, DiskId to, Bytes bytes) {
+  if (from >= disks_.size() || to >= disks_.size()) {
+    throw std::invalid_argument("ArrayContext::background_copy: bad disk");
+  }
+  disks_[from].serve(now_, bytes, /*internal=*/true);
+  if (from != to) disks_[to].serve(now_, bytes, /*internal=*/true);
+}
+
+void ArrayContext::set_initial_speed(DiskId d, DiskSpeed speed) {
+  if (d >= disks_.size()) {
+    throw std::invalid_argument("ArrayContext::set_initial_speed: bad disk");
+  }
+  disks_[d].set_initial_speed(speed);
+}
+
+Seconds ArrayContext::request_transition(DiskId d, DiskSpeed target) {
+  if (d >= disks_.size()) {
+    throw std::invalid_argument("ArrayContext::request_transition: bad disk");
+  }
+  return disks_[d].transition(now_, target);
+}
+
+void ArrayContext::set_dpm(DiskId d, const DpmConfig& config) {
+  if (d >= dpm_.size()) {
+    throw std::invalid_argument("ArrayContext::set_dpm: bad disk");
+  }
+  dpm_[d] = config;
+}
+
+void ArrayContext::set_idleness_threshold(DiskId d, Seconds h) {
+  if (d >= dpm_.size()) {
+    throw std::invalid_argument("ArrayContext::set_idleness_threshold: bad disk");
+  }
+  dpm_[d].idleness_threshold = h;
+}
+
+void ArrayContext::bump(const std::string& counter, std::uint64_t by) {
+  counters_[counter] += by;
+}
+
+void ArrayContext::schedule_idle_check(DiskId d, Seconds completion) {
+  if (!dpm_[d].spin_down_when_idle) return;
+  idle_events_.push(completion + dpm_[d].idleness_threshold,
+                    IdleCheck{d, disks_[d].activity_generation()});
+}
+
+/// Internal driver; separated from the public function so the context can
+/// stay a friend-only construct. Defined in this TU only — the header
+/// forward-declares it solely for the friendship grant.
+class ArraySimulator {
+ public:
+  ArraySimulator(const SimConfig& config, const FileSet& files,
+                 const Trace& trace, Policy& policy)
+      : config_(config), files_(files), trace_(trace), policy_(policy),
+        ctx_(config, files) {}
+
+  SimResult run() {
+    validate_inputs();
+    policy_.initialize(ctx_);
+    validate_placement();
+    arm_initial_idle_checks();
+
+    next_epoch_ = ctx_.config_->epoch;
+    Seconds horizon{0.0};
+
+    for (const Request& req : trace_.requests) {
+      drain_until(req.arrival);
+      fire_epochs_until(req.arrival);
+      ctx_.now_ = req.arrival;
+
+      // Per-epoch popularity tracking (Fig. 6 line 9, the "Access
+      // Tracking Manager").
+      ++ctx_.epoch_counts_[req.file];
+      ++ctx_.epoch_requests_;
+
+      Seconds completion{0.0};
+      DiskId primary = kInvalidDisk;
+      if (policy_.striped()) {
+        const auto chunks = policy_.stripe(ctx_, req);
+        if (chunks.empty()) {
+          throw std::logic_error("striped policy produced no chunks");
+        }
+        // All chunks start in parallel; the request completes when the
+        // slowest disk finishes its piece.
+        for (const auto& chunk : chunks) {
+          const Seconds done = serve_on(chunk.disk, req.arrival, chunk.bytes, req.file);
+          completion = std::max(completion, done);
+        }
+        primary = chunks.front().disk;
+      } else {
+        primary = policy_.route(ctx_, req);
+        completion = serve_on(primary, req.arrival, req.size, req.file);
+      }
+      horizon = std::max(horizon, completion);
+
+      const double rt = (completion - req.arrival).value();
+      result_.response_time.add(rt);
+      result_.response_time_sample.add(rt);
+      ++result_.user_requests;
+
+      // after_serve may add background I/O (MAID cache fills); the idle
+      // checks are armed afterwards so they see the final generation and
+      // the disks' true ready times.
+      policy_.after_serve(ctx_, req, primary);
+      for (const DiskId d : touched_) {
+        ctx_.schedule_idle_check(d, ctx_.disks_[d].ready_time());
+      }
+      touched_.clear();
+    }
+
+    if (!trace_.requests.empty()) {
+      horizon = std::max(horizon, trace_.requests.back().arrival);
+    }
+    // Trailing events inside the horizon still count (a final spin-down
+    // whose idle window closed before the last completion).
+    drain_until(horizon);
+
+    finalize(horizon);
+    return std::move(result_);
+  }
+
+ private:
+  /// Serve `bytes` of `file` on disk `d` at `arrival`, applying
+  /// spin-up-to-serve, and remember the disk for idle-check arming.
+  /// Returns completion.
+  Seconds serve_on(DiskId d, Seconds arrival, Bytes bytes, FileId file) {
+    if (d >= ctx_.disks_.size()) {
+      throw std::logic_error("policy routed to nonexistent disk");
+    }
+    Disk& disk = ctx_.disks_[d];
+    if (disk.speed() == DiskSpeed::kLow) {
+      const bool promote_always = ctx_.dpm_[d].spin_up_to_serve;
+      const Seconds backlog_limit = ctx_.dpm_[d].spin_up_backlog;
+      const bool promote_on_load =
+          backlog_limit < kNeverTime &&
+          disk.ready_time() - arrival > backlog_limit;
+      if (promote_always || promote_on_load) {
+        disk.transition(arrival, DiskSpeed::kHigh);
+      }
+    }
+    const Seconds completion =
+        ctx_.positioned_io()
+            ? disk.serve_positioned(arrival, bytes, ctx_.cylinder_of(file))
+            : disk.serve(arrival, bytes);
+    touched_.push_back(d);
+    return completion;
+  }
+
+  void validate_inputs() const {
+    if (!trace_.is_sorted()) {
+      throw std::invalid_argument("run_simulation: trace is not sorted");
+    }
+    for (const auto& r : trace_.requests) {
+      if (r.file == kInvalidFile || r.file >= files_.size()) {
+        throw std::invalid_argument(
+            "run_simulation: trace references unknown file");
+      }
+    }
+  }
+
+  void validate_placement() const {
+    for (std::size_t f = 0; f < ctx_.placement_.size(); ++f) {
+      if (ctx_.placement_[f] == kInvalidDisk) {
+        throw std::logic_error("policy left file " + std::to_string(f) +
+                               " unplaced");
+      }
+    }
+  }
+
+  void arm_initial_idle_checks() {
+    for (DiskId d = 0; d < ctx_.disks_.size(); ++d) {
+      ctx_.schedule_idle_check(d, Seconds{0.0});
+    }
+  }
+
+  /// Process deferred events with time <= t (and epoch boundaries that
+  /// precede them), in order.
+  void drain_until(Seconds t) {
+    while (!ctx_.idle_events_.empty() && ctx_.idle_events_.next_time() <= t) {
+      auto event = ctx_.idle_events_.pop();
+      fire_epochs_until(event.time);
+      ctx_.now_ = event.time;
+      handle_idle_check(event.time, event.payload);
+    }
+  }
+
+  void handle_idle_check(Seconds at, const ArrayContext::IdleCheck& check) {
+    Disk& disk = ctx_.disks_[check.disk];
+    if (disk.activity_generation() != check.generation) return;  // stale
+    if (!ctx_.dpm_[check.disk].spin_down_when_idle) return;
+    if (disk.speed() != DiskSpeed::kHigh) return;
+    // The threshold may have grown since this check was scheduled (READ's
+    // adaptive doubling), or the disk may still be working off queued
+    // I/O: honour the *current* deadline. The strict `>` comparison on the
+    // deadline (not on the elapsed idle time) guarantees any re-pushed
+    // event lies strictly in the future — comparing elapsed-vs-H instead
+    // can re-push an event at its own timestamp when floating-point
+    // rounding makes (at − idle_since) dip just below H, which livelocks.
+    const Seconds idle_since = disk.ready_time();
+    const Seconds deadline =
+        idle_since + ctx_.dpm_[check.disk].idleness_threshold;
+    if (deadline > at) {
+      ctx_.idle_events_.push(
+          deadline, ArrayContext::IdleCheck{check.disk, check.generation});
+      return;
+    }
+    if (!policy_.allow_spin_down(ctx_, check.disk, at)) return;
+    disk.transition(at, DiskSpeed::kLow);
+  }
+
+  void fire_epochs_until(Seconds t) {
+    while (next_epoch_ <= t) {
+      ctx_.now_ = next_epoch_;
+      policy_.on_epoch(ctx_, next_epoch_);
+      std::fill(ctx_.epoch_counts_.begin(), ctx_.epoch_counts_.end(), 0);
+      ctx_.epoch_requests_ = 0;
+      next_epoch_ += ctx_.config_->epoch;
+    }
+  }
+
+  void finalize(Seconds horizon) {
+    result_.policy_name = policy_.name();
+    result_.horizon = horizon;
+    result_.ledgers.reserve(ctx_.disks_.size());
+    result_.telemetry.reserve(ctx_.disks_.size());
+    for (auto& disk : ctx_.disks_) {
+      disk.finish(horizon);
+      result_.ledgers.push_back(disk.ledger());
+      result_.telemetry.push_back(
+          extract_telemetry(disk, config_.temperature_attribution));
+      result_.total_energy += disk.ledger().energy;
+      result_.total_transitions += disk.ledger().transitions;
+      result_.max_transitions_per_day = std::max(
+          result_.max_transitions_per_day, disk.ledger().transitions_per_day());
+    }
+    result_.migrations = ctx_.migrations_;
+    result_.migration_bytes = ctx_.migration_bytes_;
+    result_.counters = ctx_.counters_;
+  }
+
+  const SimConfig& config_;
+  const FileSet& files_;
+  const Trace& trace_;
+  Policy& policy_;
+  ArrayContext ctx_;
+  Seconds next_epoch_{0.0};
+  SimResult result_;
+  /// Disks served during the current request (usually one; several for
+  /// striped requests), pending idle-check arming.
+  std::vector<DiskId> touched_;
+};
+
+SimResult run_simulation(const SimConfig& config, const FileSet& files,
+                         const Trace& trace, Policy& policy) {
+  validate(config.disk_params);
+  ArraySimulator sim(config, files, trace, policy);
+  return sim.run();
+}
+
+}  // namespace pr

@@ -1,0 +1,203 @@
+// array_sim.h — the trace-driven disk-array simulator (paper §5.1: "an
+// execution-driven simulator that models an array of 2-speed disks").
+//
+// Architecture: the simulator owns the *mechanisms* — FCFS disks, the
+// file→disk placement table, dynamic power management (idleness-threshold
+// spin-down, spin-up-to-serve), epoch bookkeeping, background migration
+// I/O, and the energy/response-time ledgers. Energy-saving schemes (READ,
+// MAID, PDC, ...) are Policy objects that own the *decisions*: where files
+// live, which disk serves a request, what happens at epoch boundaries, and
+// whether a proposed spin-down is allowed.
+//
+// Determinism: arrivals are replayed in trace order; deferred events
+// (idle checks) live in an EventQueue with FIFO tie-breaking; policies
+// receive callbacks at well-defined points only.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "disk/disk.h"
+#include "disk/telemetry.h"
+#include "sim/dpm.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "trace/request.h"
+#include "workload/fileset.h"
+
+namespace pr {
+
+constexpr DiskId kInvalidDisk = ~DiskId{0};
+
+struct SimConfig {
+  TwoSpeedDiskParams disk_params;
+  std::size_t disk_count = 8;
+  /// Epoch length P for the policies' periodic redistribution (Fig. 6).
+  Seconds epoch{3600.0};
+  /// How per-disk operating temperature is attributed for PRESS.
+  TemperatureAttribution temperature_attribution =
+      TemperatureAttribution::kTimeWeighted;
+  /// Initial speed for every disk (policies typically override per zone in
+  /// initialize()).
+  DiskSpeed initial_speed = DiskSpeed::kHigh;
+  /// Optional DiskSim-style positional fidelity: when set, files are laid
+  /// out contiguously per disk in placement order and every user request
+  /// pays the real head-travel seek from this curve instead of the
+  /// average seek (background migration I/O keeps average-cost seeks).
+  std::optional<SeekCurve> seek_curve;
+};
+
+class Policy;
+
+/// The policy-facing view of the running simulation.
+class ArrayContext {
+ public:
+  ArrayContext(const SimConfig& config, const FileSet& files);
+
+  // --- observation ---------------------------------------------------
+  [[nodiscard]] std::size_t disk_count() const { return disks_.size(); }
+  [[nodiscard]] const Disk& disk(DiskId d) const { return disks_.at(d); }
+  [[nodiscard]] Seconds now() const { return now_; }
+  [[nodiscard]] const FileSet& files() const { return *files_; }
+  [[nodiscard]] const SimConfig& config() const { return *config_; }
+  [[nodiscard]] DiskId location(FileId f) const { return placement_.at(f); }
+  /// Cylinder of the file on its current disk (positional mode only;
+  /// returns 0 otherwise).
+  [[nodiscard]] Cylinder cylinder_of(FileId f) const {
+    return f < file_cylinder_.size() ? file_cylinder_[f] : 0;
+  }
+  [[nodiscard]] bool positioned_io() const {
+    return config_->seek_curve.has_value();
+  }
+  /// Requests per file within the current epoch (reset at each boundary).
+  [[nodiscard]] const std::vector<std::uint64_t>& epoch_access_counts()
+      const {
+    return epoch_counts_;
+  }
+  [[nodiscard]] std::uint64_t epoch_requests() const {
+    return epoch_requests_;
+  }
+
+  // --- placement & data movement --------------------------------------
+  /// Initial placement (no I/O cost); each file must be placed exactly
+  /// once before the run starts.
+  void place(FileId f, DiskId d);
+  /// Move a file: background read on its current disk + write on `to`;
+  /// placement is updated. No-op if already there.
+  void migrate(FileId f, DiskId to);
+  /// Background copy traffic that does not change placement (MAID cache
+  /// fills, replication): read on `from`, write on `to`.
+  void background_copy(DiskId from, DiskId to, Bytes bytes);
+
+  // --- speed & DPM -----------------------------------------------------
+  /// Free, uncounted speed assignment; only valid during initialize()
+  /// (see Disk::set_initial_speed).
+  void set_initial_speed(DiskId d, DiskSpeed speed);
+  /// Explicit speed change (zone reconfiguration); returns finish time.
+  Seconds request_transition(DiskId d, DiskSpeed target);
+  [[nodiscard]] const DpmConfig& dpm(DiskId d) const { return dpm_.at(d); }
+  void set_dpm(DiskId d, const DpmConfig& config);
+  /// Adjust only the idleness threshold (READ's adaptive doubling).
+  void set_idleness_threshold(DiskId d, Seconds h);
+
+  // --- diagnostics ------------------------------------------------------
+  /// Bump a policy-defined counter (reported in SimResult::counters).
+  void bump(const std::string& counter, std::uint64_t by = 1);
+
+ private:
+  friend class ArraySimulator;
+
+  struct IdleCheck {
+    DiskId disk = kInvalidDisk;
+    std::uint64_t generation = 0;
+  };
+
+  void schedule_idle_check(DiskId d, Seconds completion);
+  /// Allocate a contiguous cylinder range for `f` on disk `d` and record
+  /// its start cylinder (positional mode only).
+  void assign_cylinders(FileId f, DiskId d);
+
+  const SimConfig* config_;
+  const FileSet* files_;
+  std::vector<Disk> disks_;
+  std::vector<DpmConfig> dpm_;
+  std::vector<DiskId> placement_;
+  std::vector<Cylinder> file_cylinder_;   // positional mode only
+  std::vector<Cylinder> alloc_cursor_;    // per-disk next free cylinder
+  std::vector<std::uint64_t> epoch_counts_;
+  std::uint64_t epoch_requests_ = 0;
+  Seconds now_{0.0};
+  EventQueue<IdleCheck> idle_events_;
+  std::uint64_t migrations_ = 0;
+  Bytes migration_bytes_ = 0;
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+/// One piece of a striped request: `bytes` served by `disk`.
+struct StripeChunk {
+  DiskId disk = kInvalidDisk;
+  Bytes bytes = 0;
+};
+
+/// An energy-saving scheme under evaluation.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Place every file, set initial speeds and DPM knobs.
+  virtual void initialize(ArrayContext& ctx) = 0;
+
+  /// Pick the disk that serves `req` (usually location(req.file); MAID
+  /// may answer from a cache disk).
+  virtual DiskId route(ArrayContext& ctx, const Request& req) = 0;
+
+  /// Striping support (paper §6 future work / RAID-0 extension): when
+  /// this returns true the simulator calls stripe() instead of route(),
+  /// serves every chunk in parallel on its disk, and completes the
+  /// request when the slowest chunk finishes.
+  [[nodiscard]] virtual bool striped() const { return false; }
+
+  /// Decompose `req` into per-disk chunks (non-empty, bytes summing to
+  /// req.size). Only called when striped() is true.
+  virtual std::vector<StripeChunk> stripe(ArrayContext& ctx,
+                                          const Request& req) {
+    return {StripeChunk{route(ctx, req), req.size}};
+  }
+
+  /// Called after `req` was served by `d` (completion already ledgered) —
+  /// cache management, copy triggering, etc.
+  virtual void after_serve(ArrayContext& ctx, const Request& req, DiskId d) {
+    (void)ctx;
+    (void)req;
+    (void)d;
+  }
+
+  /// Epoch boundary (Fig. 6's "for each epoch P"): re-rank, migrate,
+  /// adapt thresholds. `now` is the boundary instant.
+  virtual void on_epoch(ArrayContext& ctx, Seconds now) {
+    (void)ctx;
+    (void)now;
+  }
+
+  /// Veto hook for DPM spin-downs (READ's transition cap).
+  virtual bool allow_spin_down(ArrayContext& ctx, DiskId d, Seconds now) {
+    (void)ctx;
+    (void)d;
+    (void)now;
+    return true;
+  }
+};
+
+/// Drive `policy` over `trace` against an array built from `config`.
+/// The trace must be sorted by arrival; every file referenced must be in
+/// `files`. Throws std::invalid_argument / std::logic_error on contract
+/// violations (unsorted trace, unplaced file, bad route target).
+[[nodiscard]] SimResult run_simulation(const SimConfig& config,
+                                       const FileSet& files,
+                                       const Trace& trace, Policy& policy);
+
+}  // namespace pr

@@ -1,0 +1,36 @@
+// dpm.h — per-disk dynamic power management configuration. Every policy in
+// the paper manages speed the same mechanical way — spin down after an
+// idleness threshold, spin (back) up to serve — and differs only in which
+// disks participate and how the threshold adapts (READ doubles it to cap
+// transition counts, Fig. 6 lines 20-24). The simulator owns the
+// mechanism; policies own these knobs.
+#pragma once
+
+#include "util/units.h"
+
+namespace pr {
+
+struct DpmConfig {
+  /// Schedule an idle-check after each completion; if the disk stays idle
+  /// for `idleness_threshold`, transition it to low speed (subject to the
+  /// policy's allow_spin_down veto).
+  bool spin_down_when_idle = false;
+  /// The idleness threshold H. Policies may change it at any time (READ's
+  /// adaptive doubling); in-flight idle checks use the value current when
+  /// they fire.
+  Seconds idleness_threshold{10.0};
+  /// When a request arrives at a disk resting at low speed, transition to
+  /// high speed first (the request waits out the transition). When false
+  /// the disk serves at its current speed (READ's cold zone).
+  bool spin_up_to_serve = false;
+  /// DRPM-style load-driven promotion: when a request arrives at a
+  /// low-speed disk whose backlog (time until the disk frees up) already
+  /// exceeds this, spin up to high speed even if spin_up_to_serve is
+  /// false. kNeverTime disables it. This models "dynamically modulate
+  /// disk speed to control energy consumption" (paper §2 on DRPM [13]):
+  /// isolated requests are served at low speed; sustained load promotes
+  /// the disk.
+  Seconds spin_up_backlog{kNeverTime};
+};
+
+}  // namespace pr

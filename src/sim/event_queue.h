@@ -1,0 +1,53 @@
+// event_queue.h — deterministic timed event queue for the discrete-event
+// engine. A plain binary heap keyed on (time, sequence): the sequence
+// number guarantees FIFO order among simultaneous events, so runs are
+// bit-reproducible regardless of heap implementation details.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/units.h"
+
+namespace pr {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    Seconds time{};
+    std::uint64_t seq = 0;
+    Payload payload{};
+  };
+
+  void push(Seconds time, Payload payload) {
+    heap_.push(Event{time, next_seq_++, std::move(payload)});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Earliest event time (undefined when empty — check empty() first).
+  [[nodiscard]] Seconds next_time() const { return heap_.top().time; }
+
+  /// Remove and return the earliest event.
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return b.time < a.time;
+      return b.seq < a.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pr

@@ -1,0 +1,25 @@
+#include "sim/metrics.h"
+
+#include <cmath>
+
+namespace pr {
+
+double SimResult::mean_utilization() const {
+  if (ledgers.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& l : ledgers) sum += l.utilization();
+  return sum / static_cast<double>(ledgers.size());
+}
+
+double SimResult::utilization_stddev() const {
+  if (ledgers.size() < 2) return 0.0;
+  const double mean = mean_utilization();
+  double m2 = 0.0;
+  for (const auto& l : ledgers) {
+    const double d = l.utilization() - mean;
+    m2 += d * d;
+  }
+  return std::sqrt(m2 / static_cast<double>(ledgers.size() - 1));
+}
+
+}  // namespace pr

@@ -1,0 +1,57 @@
+// metrics.h — everything a finished simulation reports. The paper's §5
+// metrics are mean response time (user requests only), total energy, and
+// the per-disk ESRRA telemetry PRESS turns into an array AFR; we addition-
+// ally keep percentiles and per-disk ledgers because downstream users of a
+// library need more than three scalars.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "disk/disk.h"
+#include "disk/telemetry.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace pr {
+
+struct SimResult {
+  std::string policy_name;
+
+  /// User-request response times, in seconds (arrival -> completion).
+  StreamingStats response_time;
+  /// Reservoir for percentiles (p95/p99) over the same population.
+  ReservoirSample response_time_sample{4096};
+
+  Joules total_energy{0.0};
+  /// Simulation horizon: max(last arrival, last completion); all ledgers
+  /// are closed at this instant.
+  Seconds horizon{0.0};
+
+  std::size_t user_requests = 0;
+  std::uint64_t migrations = 0;
+  Bytes migration_bytes = 0;
+  std::uint64_t total_transitions = 0;
+  /// Highest per-disk transitions/day across the array (the quantity
+  /// READ's cap S constrains).
+  double max_transitions_per_day = 0.0;
+
+  std::vector<DiskLedger> ledgers;
+  std::vector<DiskTelemetry> telemetry;
+
+  /// Policy-defined counters (e.g. MAID cache hits/misses).
+  std::map<std::string, std::uint64_t> counters;
+
+  [[nodiscard]] double mean_response_time_s() const {
+    return response_time.mean();
+  }
+  [[nodiscard]] double energy_joules() const { return total_energy.value(); }
+
+  /// Mean utilization across disks and its spread — READ's "more even
+  /// utilization distribution" claim is checked against the spread.
+  [[nodiscard]] double mean_utilization() const;
+  [[nodiscard]] double utilization_stddev() const;
+};
+
+}  // namespace pr

@@ -1,0 +1,223 @@
+#include "trace/clf.h"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace pr {
+
+namespace {
+
+constexpr std::array<std::string_view, 12> kMonths = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+bool to_int(std::string_view s, std::int64_t& out) {
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto result = std::from_chars(begin, end, out);
+  return result.ec == std::errc{} && result.ptr == end;
+}
+
+/// Days since epoch for a Gregorian date (civil-days algorithm,
+/// Howard Hinnant's days_from_civil).
+std::int64_t days_from_civil(std::int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const auto yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+}  // namespace
+
+bool parse_clf_timestamp(std::string_view text, std::int64_t& out) {
+  // "10/Oct/2000:13:55:36 -0700"
+  if (text.size() < 26) return false;
+  std::int64_t day = 0;
+  std::int64_t year = 0;
+  std::int64_t hour = 0;
+  std::int64_t minute = 0;
+  std::int64_t second = 0;
+  if (text[2] != '/' || text[6] != '/' || text[11] != ':' ||
+      text[14] != ':' || text[17] != ':' || text[20] != ' ') {
+    return false;
+  }
+  if (!to_int(text.substr(0, 2), day)) return false;
+  const std::string_view month_name = text.substr(3, 3);
+  const auto it = std::find(kMonths.begin(), kMonths.end(), month_name);
+  if (it == kMonths.end()) return false;
+  const auto month = static_cast<unsigned>(it - kMonths.begin() + 1);
+  if (!to_int(text.substr(7, 4), year)) return false;
+  if (!to_int(text.substr(12, 2), hour)) return false;
+  if (!to_int(text.substr(15, 2), minute)) return false;
+  if (!to_int(text.substr(18, 2), second)) return false;
+
+  const char sign = text[21];
+  std::int64_t off_hour = 0;
+  std::int64_t off_min = 0;
+  if ((sign != '+' && sign != '-') || !to_int(text.substr(22, 2), off_hour) ||
+      !to_int(text.substr(24, 2), off_min)) {
+    return false;
+  }
+  if (day < 1 || day > 31 || hour > 23 || minute > 59 || second > 60) {
+    return false;
+  }
+
+  const std::int64_t days =
+      days_from_civil(year, month, static_cast<unsigned>(day));
+  std::int64_t utc = days * 86'400 + hour * 3'600 + minute * 60 + second;
+  const std::int64_t offset = off_hour * 3'600 + off_min * 60;
+  utc += sign == '+' ? -offset : offset;  // local = UTC + offset
+  out = utc;
+  return true;
+}
+
+bool parse_clf_line(std::string_view line, ClfRecord& out) {
+  // host ident authuser [timestamp] "request" status bytes [extras...]
+  const std::size_t ts_open = line.find('[');
+  if (ts_open == std::string_view::npos) return false;
+  const std::size_t ts_close = line.find(']', ts_open);
+  if (ts_close == std::string_view::npos) return false;
+
+  ClfRecord record;
+  if (!parse_clf_timestamp(
+          line.substr(ts_open + 1, ts_close - ts_open - 1),
+          record.timestamp)) {
+    return false;
+  }
+
+  const std::size_t req_open = line.find('"', ts_close);
+  if (req_open == std::string_view::npos) return false;
+  const std::size_t req_close = line.find('"', req_open + 1);
+  if (req_close == std::string_view::npos) return false;
+  const std::string_view request =
+      line.substr(req_open + 1, req_close - req_open - 1);
+
+  // request = METHOD SP URL [SP PROTOCOL]
+  const std::size_t sp1 = request.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return false;
+  record.method = std::string(request.substr(0, sp1));
+  const std::size_t sp2 = request.find(' ', sp1 + 1);
+  const std::string_view url =
+      sp2 == std::string_view::npos
+          ? request.substr(sp1 + 1)
+          : request.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (url.empty()) return false;
+  record.url = std::string(url);
+
+  // status and bytes follow the closing quote.
+  std::istringstream tail{std::string(line.substr(req_close + 1))};
+  std::string status_text;
+  std::string bytes_text;
+  if (!(tail >> status_text >> bytes_text)) return false;
+  std::int64_t status = 0;
+  if (!to_int(status_text, status) || status < 100 || status > 599) {
+    return false;
+  }
+  record.status = static_cast<int>(status);
+  if (bytes_text == "-") {
+    record.bytes = 0;
+  } else {
+    std::int64_t bytes = 0;
+    if (!to_int(bytes_text, bytes) || bytes < 0) return false;
+    record.bytes = static_cast<Bytes>(bytes);
+  }
+
+  out = std::move(record);
+  return true;
+}
+
+std::vector<ClfRecord> read_clf_records(std::istream& in,
+                                        ClfParseStats* stats) {
+  std::vector<ClfRecord> records;
+  ClfParseStats local;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    ++local.lines;
+    ClfRecord record;
+    if (parse_clf_line(line, record)) {
+      ++local.parsed;
+      records.push_back(std::move(record));
+    } else {
+      ++local.skipped;
+    }
+  }
+  if (stats) *stats = local;
+  return records;
+}
+
+std::vector<ClfRecord> read_clf_records_file(const std::string& path,
+                                             ClfParseStats* stats) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("read_clf_records_file: cannot open " + path);
+  }
+  return read_clf_records(in, stats);
+}
+
+Trace clf_to_trace(const std::vector<ClfRecord>& records,
+                   const ClfConvertOptions& options,
+                   std::vector<std::string>* url_map) {
+  if (url_map) url_map->clear();
+
+  // Filter + stable order by timestamp.
+  std::vector<const ClfRecord*> kept;
+  kept.reserve(records.size());
+  for (const auto& r : records) {
+    if (options.successful_only && (r.status < 200 || r.status >= 300)) {
+      continue;
+    }
+    kept.push_back(&r);
+  }
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const ClfRecord* a, const ClfRecord* b) {
+                     return a->timestamp < b->timestamp;
+                   });
+
+  std::unordered_map<std::int64_t, std::uint32_t> per_second_total;
+  std::unordered_map<std::int64_t, std::uint32_t> per_second_seen;
+  if (options.spread_within_second) {
+    for (const auto* r : kept) ++per_second_total[r->timestamp];
+  }
+
+  const std::int64_t base =
+      (options.rebase_to_zero && !kept.empty()) ? kept.front()->timestamp : 0;
+
+  std::unordered_map<std::string, FileId> dense;
+  Trace trace;
+  trace.requests.reserve(kept.size());
+  for (const auto* r : kept) {
+    Request req;
+    double t = static_cast<double>(r->timestamp - base);
+    if (options.spread_within_second) {
+      const std::uint32_t total = per_second_total[r->timestamp];
+      const std::uint32_t seq = per_second_seen[r->timestamp]++;
+      t += (static_cast<double>(seq) + 0.5) / static_cast<double>(total);
+    }
+    req.arrival = Seconds{t};
+
+    auto [it, inserted] =
+        dense.try_emplace(r->url, static_cast<FileId>(dense.size()));
+    req.file = it->second;
+    if (inserted && url_map) url_map->push_back(r->url);
+
+    req.size = r->bytes > 0 ? r->bytes : options.default_size;
+    const bool is_write =
+        std::find(options.write_methods.begin(), options.write_methods.end(),
+                  r->method) != options.write_methods.end();
+    req.kind = is_write ? RequestKind::kWrite : RequestKind::kRead;
+    trace.requests.push_back(std::move(req));
+  }
+  return trace;
+}
+
+}  // namespace pr

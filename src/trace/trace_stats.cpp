@@ -1,0 +1,141 @@
+#include "trace/trace_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pr {
+
+double theta_from_skew(double accesses_fraction, double files_fraction) {
+  if (!(accesses_fraction > 0.0) || accesses_fraction >= 1.0 ||
+      !(files_fraction > 0.0) || files_fraction >= 1.0) {
+    return 1.0;
+  }
+  const double theta = std::log(accesses_fraction) / std::log(files_fraction);
+  return std::clamp(theta, 1e-6, 1.0);
+}
+
+double accesses_captured(double files_fraction, double theta) {
+  files_fraction = std::clamp(files_fraction, 0.0, 1.0);
+  if (files_fraction == 0.0) return 0.0;
+  return std::pow(files_fraction, theta);
+}
+
+double estimate_theta(const std::vector<std::uint64_t>& counts,
+                      double files_fraction) {
+  const std::uint64_t total =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  // Count only files that were actually accessed: the universe of files a
+  // policy distributes is the referenced set.
+  std::vector<std::uint64_t> active;
+  active.reserve(counts.size());
+  for (auto c : counts) {
+    if (c > 0) active.push_back(c);
+  }
+  if (total == 0 || active.size() < 2) return 1.0;
+
+  std::sort(active.begin(), active.end(), std::greater<>());
+  auto top_n = static_cast<std::size_t>(
+      std::ceil(files_fraction * static_cast<double>(active.size())));
+  top_n = std::clamp<std::size_t>(top_n, 1, active.size() - 1);
+
+  std::uint64_t top_accesses = 0;
+  for (std::size_t i = 0; i < top_n; ++i) top_accesses += active[i];
+
+  const double a =
+      static_cast<double>(top_accesses) / static_cast<double>(total);
+  const double b =
+      static_cast<double>(top_n) / static_cast<double>(active.size());
+  return theta_from_skew(a, b);
+}
+
+TraceStats compute_trace_stats(const Trace& trace,
+                               const TraceStatsOptions& options) {
+  TraceStats stats;
+  stats.theta_b = options.theta_b;
+  stats.request_count = trace.size();
+  if (trace.empty()) return stats;
+
+  const std::size_t universe = trace.file_universe();
+  stats.access_counts.assign(universe, 0);
+  stats.mean_file_bytes.assign(universe, 0.0);
+
+  for (const auto& r : trace.requests) {
+    stats.total_bytes += r.size;
+    if (r.file != kInvalidFile) {
+      ++stats.access_counts[r.file];
+      // incremental mean per file
+      const auto n = static_cast<double>(stats.access_counts[r.file]);
+      stats.mean_file_bytes[r.file] +=
+          (static_cast<double>(r.size) - stats.mean_file_bytes[r.file]) / n;
+    }
+  }
+  stats.file_count = static_cast<std::size_t>(std::count_if(
+      stats.access_counts.begin(), stats.access_counts.end(),
+      [](std::uint64_t c) { return c > 0; }));
+
+  stats.duration = trace.duration();
+  stats.mean_interarrival =
+      trace.size() > 1
+          ? Seconds{stats.duration.value() /
+                    static_cast<double>(trace.size() - 1)}
+          : Seconds{0};
+  stats.mean_request_bytes = static_cast<double>(stats.total_bytes) /
+                             static_cast<double>(trace.size());
+
+  stats.theta = estimate_theta(stats.access_counts, options.theta_b);
+
+  // Fraction of accesses going to the top θ_b fraction of (active) files.
+  {
+    std::vector<std::uint64_t> active;
+    active.reserve(stats.file_count);
+    for (auto c : stats.access_counts) {
+      if (c > 0) active.push_back(c);
+    }
+    std::sort(active.begin(), active.end(), std::greater<>());
+    if (!active.empty()) {
+      auto top_n = static_cast<std::size_t>(std::ceil(
+          options.theta_b * static_cast<double>(active.size())));
+      top_n = std::clamp<std::size_t>(top_n, 1, active.size());
+      std::uint64_t top = 0;
+      for (std::size_t i = 0; i < top_n; ++i) top += active[i];
+      stats.top_fraction_accesses =
+          static_cast<double>(top) / static_cast<double>(trace.size());
+    }
+  }
+
+  // Zipf exponent: least-squares slope of log(count) on log(rank).
+  {
+    std::vector<std::uint64_t> active;
+    active.reserve(stats.file_count);
+    for (auto c : stats.access_counts) {
+      if (c > 0) active.push_back(c);
+    }
+    std::sort(active.begin(), active.end(), std::greater<>());
+    std::size_t n = active.size();
+    if (options.zipf_fit_ranks > 0) n = std::min(n, options.zipf_fit_ranks);
+    if (n >= 3) {
+      double sx = 0.0;
+      double sy = 0.0;
+      double sxx = 0.0;
+      double sxy = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = std::log(static_cast<double>(i + 1));
+        const double y = std::log(static_cast<double>(active[i]));
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+      }
+      const auto dn = static_cast<double>(n);
+      const double denom = dn * sxx - sx * sx;
+      if (denom > 0.0) {
+        stats.zipf_alpha = -(dn * sxy - sx * sy) / denom;
+      }
+    }
+  }
+
+  return stats;
+}
+
+}  // namespace pr

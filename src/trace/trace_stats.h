@@ -1,0 +1,68 @@
+// trace_stats.h — workload characterisation. READ (§4) parameterises itself
+// from workload statistics: the Zipf-like skew parameter θ (Lee et al. [20]:
+// the fraction of accesses captured by the top x fraction of files is x^θ,
+// θ = log(A/100)/log(B/100) when A% of accesses go to B% of files), file
+// popularity ranking, and per-file loads. This module computes all of that
+// from any Trace, so the same code path serves real WC98 input and the
+// synthetic generator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/request.h"
+
+namespace pr {
+
+struct TraceStats {
+  std::size_t request_count = 0;
+  std::size_t file_count = 0;  // distinct files referenced
+  Seconds duration{0};
+  Seconds mean_interarrival{0};
+  double mean_request_bytes = 0.0;
+  Bytes total_bytes = 0;
+
+  /// access_count[f] for every file id in [0, file_universe).
+  std::vector<std::uint64_t> access_counts;
+  /// Mean transfer size observed per file (0 for never-accessed ids).
+  std::vector<double> mean_file_bytes;
+
+  /// Skew parameter θ estimated at the configured B (top-fraction) point.
+  double theta = 1.0;
+  /// Fraction of accesses captured by the top `theta_b` fraction of files.
+  double top_fraction_accesses = 0.0;
+  /// The B used for the θ estimate (fraction of files, e.g. 0.2).
+  double theta_b = 0.2;
+
+  /// Zipf exponent fitted by least squares on log(rank) vs log(count)
+  /// (0 when the trace has too few distinct counts to fit).
+  double zipf_alpha = 0.0;
+};
+
+struct TraceStatsOptions {
+  /// Top-fraction of files at which θ is measured (Lee et al. use the
+  /// A%/B% formulation; B = 20% reproduces the classic 80/20 reading).
+  double theta_b = 0.2;
+  /// Number of top-ranked files used in the Zipf log-log fit (0 = all).
+  std::size_t zipf_fit_ranks = 0;
+};
+
+/// Single-pass (plus sort over distinct files) trace characterisation.
+[[nodiscard]] TraceStats compute_trace_stats(const Trace& trace,
+                                             const TraceStatsOptions& options = {});
+
+/// θ from an A/B skew statement: A fraction of accesses to B fraction of
+/// files; both in (0, 1). θ = log(A)/log(B). θ ∈ (0, 1] for A ≥ B.
+[[nodiscard]] double theta_from_skew(double accesses_fraction,
+                                     double files_fraction);
+
+/// Inverse helper: fraction of accesses captured by top `files_fraction`
+/// of files under skew θ (the Lee et al. cumulative law x^θ).
+[[nodiscard]] double accesses_captured(double files_fraction, double theta);
+
+/// θ estimated from raw access counts (need not be normalised); returns
+/// 1.0 (uniform) for degenerate inputs.
+[[nodiscard]] double estimate_theta(const std::vector<std::uint64_t>& counts,
+                                    double files_fraction = 0.2);
+
+}  // namespace pr

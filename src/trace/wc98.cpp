@@ -1,0 +1,142 @@
+#include "trace/wc98.h"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace pr {
+
+namespace {
+
+std::uint32_t load_be32(const unsigned char* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+void store_be32(std::uint32_t v, unsigned char* p) {
+  p[0] = static_cast<unsigned char>(v >> 24);
+  p[1] = static_cast<unsigned char>(v >> 16);
+  p[2] = static_cast<unsigned char>(v >> 8);
+  p[3] = static_cast<unsigned char>(v);
+}
+
+}  // namespace
+
+std::vector<Wc98Record> read_wc98_records(std::istream& in) {
+  std::vector<Wc98Record> records;
+  std::array<unsigned char, kWc98RecordBytes> buf{};
+  for (;;) {
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+    const auto got = in.gcount();
+    if (got == 0) break;
+    if (got != static_cast<std::streamsize>(buf.size())) {
+      throw std::runtime_error(
+          "read_wc98_records: truncated record (got " + std::to_string(got) +
+          " of " + std::to_string(kWc98RecordBytes) + " bytes)");
+    }
+    Wc98Record r;
+    r.timestamp = load_be32(buf.data());
+    r.client_id = load_be32(buf.data() + 4);
+    r.object_id = load_be32(buf.data() + 8);
+    r.size = load_be32(buf.data() + 12);
+    r.method = buf[16];
+    r.status = buf[17];
+    r.type = buf[18];
+    r.server = buf[19];
+    records.push_back(r);
+    if (!in) break;
+  }
+  return records;
+}
+
+std::vector<Wc98Record> read_wc98_records_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("read_wc98_records_file: cannot open " + path);
+  }
+  return read_wc98_records(in);
+}
+
+void write_wc98_records(const std::vector<Wc98Record>& records,
+                        std::ostream& out) {
+  std::array<unsigned char, kWc98RecordBytes> buf{};
+  for (const auto& r : records) {
+    store_be32(r.timestamp, buf.data());
+    store_be32(r.client_id, buf.data() + 4);
+    store_be32(r.object_id, buf.data() + 8);
+    store_be32(r.size, buf.data() + 12);
+    buf[16] = r.method;
+    buf[17] = r.status;
+    buf[18] = r.type;
+    buf[19] = r.server;
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+  }
+}
+
+Trace wc98_to_trace(const std::vector<Wc98Record>& records,
+                    const Wc98ConvertOptions& options,
+                    std::vector<std::uint32_t>* object_id_map) {
+  Trace trace;
+  trace.requests.reserve(records.size());
+  if (object_id_map) object_id_map->clear();
+
+  // The published logs are time-ordered; tolerate minor disorder by a
+  // stable sort on timestamp (sequence preserved within a second).
+  std::vector<std::size_t> order(records.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return records[a].timestamp < records[b].timestamp;
+                   });
+
+  std::unordered_map<std::uint32_t, FileId> dense;
+  dense.reserve(records.size() / 8 + 16);
+
+  const std::uint32_t base =
+      (options.rebase_to_zero && !order.empty())
+          ? records[order.front()].timestamp
+          : 0;
+
+  // Pre-count per-second populations so in-second spreading is uniform.
+  std::unordered_map<std::uint32_t, std::uint32_t> per_second_total;
+  if (options.spread_within_second) {
+    per_second_total.reserve(records.size() / 16 + 16);
+    for (const auto& r : records) ++per_second_total[r.timestamp];
+  }
+  std::unordered_map<std::uint32_t, std::uint32_t> per_second_seen;
+
+  for (std::size_t idx : order) {
+    const auto& r = records[idx];
+    Request req;
+
+    double t = static_cast<double>(r.timestamp - base);
+    if (options.spread_within_second) {
+      const std::uint32_t total = per_second_total[r.timestamp];
+      const std::uint32_t seq = per_second_seen[r.timestamp]++;
+      // Deterministic uniform spread: k-th of N arrivals in the second
+      // lands at (k + 0.5)/N into it, keeping ordering and counts intact.
+      t += (static_cast<double>(seq) + 0.5) / static_cast<double>(total);
+    }
+    req.arrival = Seconds{t};
+
+    auto [it, inserted] =
+        dense.try_emplace(r.object_id, static_cast<FileId>(dense.size()));
+    req.file = it->second;
+    if (inserted && object_id_map) object_id_map->push_back(r.object_id);
+
+    req.size = (r.size == kWc98UnknownSize || r.size == 0)
+                   ? options.default_size
+                   : static_cast<Bytes>(r.size);
+    req.kind = RequestKind::kRead;  // web GET traffic
+    trace.requests.push_back(req);
+  }
+  return trace;
+}
+
+}  // namespace pr

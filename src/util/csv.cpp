@@ -1,0 +1,124 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pr {
+
+std::vector<std::string> split_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+namespace {
+
+bool needs_quoting(std::string_view field) {
+  return field.find_first_of(",\"\n") != std::string_view::npos;
+}
+
+std::string escape_field(const std::string& field) {
+  if (!needs_quoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape_field(fields[i]);
+  }
+  out_ << '\n';
+}
+
+template <typename T>
+std::string CsvWriter::format_field(const T& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+// Explicit instantiations for the types benches actually use keeps the
+// template out of every translation unit.
+template std::string CsvWriter::format_field<int>(const int&);
+template std::string CsvWriter::format_field<unsigned>(const unsigned&);
+template std::string CsvWriter::format_field<long>(const long&);
+template std::string CsvWriter::format_field<unsigned long>(
+    const unsigned long&);
+template std::string CsvWriter::format_field<double>(const double&);
+template std::string CsvWriter::format_field<std::string>(const std::string&);
+
+CsvReader CsvReader::parse(std::string_view text, bool has_header) {
+  CsvReader reader;
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || (line.size() == 1 && line[0] == '\r')) {
+      if (end == text.size()) break;
+      continue;
+    }
+    auto fields = split_csv_line(line);
+    if (first && has_header) {
+      reader.header_ = std::move(fields);
+    } else {
+      reader.rows_.push_back(std::move(fields));
+    }
+    first = false;
+    if (end == text.size()) break;
+  }
+  return reader;
+}
+
+CsvReader CsvReader::load(const std::string& path, bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("CsvReader: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str(), has_header);
+}
+
+int CsvReader::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace pr

@@ -1,0 +1,64 @@
+// csv.h — minimal, dependency-free CSV reading/writing used by the trace
+// layer and the benchmark harnesses (each figure bench also emits a CSV so
+// results can be re-plotted outside the repo).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pr {
+
+/// Splits one CSV line. Handles double-quoted fields with embedded commas
+/// and doubled quotes (RFC 4180 subset, no embedded newlines).
+[[nodiscard]] std::vector<std::string> split_csv_line(std::string_view line);
+
+/// Streaming writer; quotes fields only when necessary.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Write a full row; each field is escaped as needed.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: variadic row of stream-formattable values.
+  template <typename... Ts>
+  void row(const Ts&... vals) {
+    write_row({format_field(vals)...});
+  }
+
+ private:
+  template <typename T>
+  static std::string format_field(const T& v);
+
+  std::ostream& out_;
+};
+
+/// Whole-file reader (traces are at most a few hundred MB; figure CSVs are
+/// tiny). Returns rows of fields; skips fully empty lines.
+class CsvReader {
+ public:
+  /// Parse CSV text. If `has_header` the first row is stored separately.
+  static CsvReader parse(std::string_view text, bool has_header);
+  /// Load and parse a file. Throws std::runtime_error on I/O failure.
+  static CsvReader load(const std::string& path, bool has_header);
+
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+  /// Index of a header column, or -1 if absent.
+  [[nodiscard]] int column_index(std::string_view name) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pr

@@ -1,0 +1,50 @@
+// log.h — leveled logging to stderr. The simulator is a library first, so
+// logging defaults to Warn and is globally (thread-safely) adjustable; the
+// hot path never formats a suppressed message.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace pr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped unformatted.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit a pre-formatted message (used by the macro below).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace pr
+
+/// Usage: PR_LOG(kInfo) << "epoch " << i << " migrated " << n << " files";
+#define PR_LOG(level_suffix)                                        \
+  if (::pr::LogLevel::level_suffix < ::pr::log_level()) {           \
+  } else                                                            \
+    ::pr::detail::LogLine(::pr::LogLevel::level_suffix)

@@ -1,0 +1,89 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace pr {
+
+void AsciiTable::add_separator() { rows_.emplace_back(); }
+
+std::string AsciiTable::render() const {
+  // Column widths from header + all rows.
+  std::vector<std::size_t> widths;
+  auto absorb = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  absorb(header_);
+  for (const auto& row : rows_) absorb(row);
+
+  std::size_t total = widths.empty() ? 0 : 3 * (widths.size() - 1);
+  for (auto w : widths) total += w;
+
+  std::ostringstream out;
+  auto rule = [&](char c) { out << std::string(std::max<std::size_t>(total, title_.size()), c) << "\n"; };
+
+  rule('=');
+  out << title_ << "\n";
+  rule('=');
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out << cell << std::string(widths[i] - cell.size(), ' ');
+      if (i + 1 < widths.size()) out << " | ";
+    }
+    out << "\n";
+  };
+
+  if (!header_.empty()) {
+    emit_row(header_);
+    rule('-');
+  }
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      rule('-');
+    } else {
+      emit_row(row);
+    }
+  }
+  rule('=');
+  return out.str();
+}
+
+void AsciiTable::print(std::ostream& out) const { out << render(); }
+
+std::string num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string pct(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+std::string si(double v, int precision) {
+  const char* suffix = "";
+  double scaled = v;
+  const double mag = std::abs(v);
+  if (mag >= 1e9) {
+    scaled = v / 1e9;
+    suffix = "G";
+  } else if (mag >= 1e6) {
+    scaled = v / 1e6;
+    suffix = "M";
+  } else if (mag >= 1e3) {
+    scaled = v / 1e3;
+    suffix = "k";
+  }
+  return num(scaled, precision) + suffix;
+}
+
+}  // namespace pr

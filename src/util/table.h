@@ -1,0 +1,49 @@
+// table.h — ASCII table rendering for the figure/table benchmark binaries.
+// Each bench prints the same rows the paper's figures plot, so the output
+// must be easy to eyeball and to diff across runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pr {
+
+/// Column-aligned ASCII table with a title, a header row and data rows.
+/// Numeric formatting is the caller's job (pass pre-formatted strings or
+/// use the `num()` helper below).
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+  void add_row(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+  }
+  /// Insert a horizontal separator after the current last row.
+  void add_separator();
+
+  [[nodiscard]] std::string render() const;
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Fixed-precision numeric formatting ("%.3f"-style without printf).
+[[nodiscard]] std::string num(double v, int precision = 3);
+
+/// Percent formatting: 0.123 -> "12.3%".
+[[nodiscard]] std::string pct(double fraction, int precision = 1);
+
+/// Engineering-style formatting with SI suffix for large magnitudes
+/// (1234567 -> "1.23M"). Used for energy/ops counters.
+[[nodiscard]] std::string si(double v, int precision = 2);
+
+}  // namespace pr

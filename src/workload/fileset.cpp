@@ -1,0 +1,72 @@
+#include "workload/fileset.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace pr {
+
+FileSet::FileSet(std::vector<FileInfo> files) : files_(std::move(files)) {
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].id != static_cast<FileId>(i)) {
+      throw std::invalid_argument(
+          "FileSet: files must be densely indexed by id");
+    }
+  }
+}
+
+const FileInfo& FileSet::by_id(FileId id) const {
+  if (id >= files_.size()) throw std::out_of_range("FileSet::by_id");
+  return files_[id];
+}
+
+double FileSet::total_load() const {
+  double sum = 0.0;
+  for (const auto& f : files_) sum += f.load();
+  return sum;
+}
+
+Bytes FileSet::total_bytes() const {
+  Bytes sum = 0;
+  for (const auto& f : files_) sum += f.size;
+  return sum;
+}
+
+std::vector<FileId> FileSet::ids_by_size_ascending() const {
+  std::vector<FileId> ids(files_.size());
+  std::iota(ids.begin(), ids.end(), FileId{0});
+  std::stable_sort(ids.begin(), ids.end(), [&](FileId a, FileId b) {
+    return files_[a].size < files_[b].size;
+  });
+  return ids;
+}
+
+std::vector<FileId> FileSet::ids_by_rate_descending() const {
+  std::vector<FileId> ids(files_.size());
+  std::iota(ids.begin(), ids.end(), FileId{0});
+  std::stable_sort(ids.begin(), ids.end(), [&](FileId a, FileId b) {
+    return files_[a].access_rate > files_[b].access_rate;
+  });
+  return ids;
+}
+
+FileSet FileSet::from_trace_stats(const TraceStats& stats,
+                                  Bytes default_size) {
+  std::vector<FileInfo> files;
+  files.reserve(stats.access_counts.size());
+  const double duration =
+      stats.duration.value() > 0.0 ? stats.duration.value() : 1.0;
+  for (std::size_t i = 0; i < stats.access_counts.size(); ++i) {
+    FileInfo f;
+    f.id = static_cast<FileId>(i);
+    const double mean_bytes = stats.mean_file_bytes[i];
+    f.size = mean_bytes > 0.0 ? static_cast<Bytes>(mean_bytes) : default_size;
+    if (f.size == 0) f.size = 1;
+    f.access_rate =
+        static_cast<double>(stats.access_counts[i]) / duration;
+    files.push_back(f);
+  }
+  return FileSet(std::move(files));
+}
+
+}  // namespace pr

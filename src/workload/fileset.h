@@ -1,0 +1,62 @@
+// fileset.h — the file universe a policy distributes across the array.
+// Mirrors the paper's model (§4): F = {f_1..f_m}, f_i = (s_i, λ_i) with
+// size s_i and access rate λ_i; the load of a file is h_i = λ_i · s_i
+// (service time proportional to size for whole-file sequential reads).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/request.h"
+#include "trace/trace_stats.h"
+
+namespace pr {
+
+struct FileInfo {
+  FileId id = kInvalidFile;
+  Bytes size = 0;
+  /// Access rate λ (requests/second) — from generator intent or measured.
+  double access_rate = 0.0;
+
+  /// Paper's load metric h_i = λ_i · s_i (rate × size; proportional to the
+  /// bandwidth the file demands).
+  [[nodiscard]] double load() const {
+    return access_rate * static_cast<double>(size);
+  }
+};
+
+class FileSet {
+ public:
+  FileSet() = default;
+  explicit FileSet(std::vector<FileInfo> files);
+
+  [[nodiscard]] std::size_t size() const { return files_.size(); }
+  [[nodiscard]] bool empty() const { return files_.empty(); }
+  [[nodiscard]] const FileInfo& operator[](std::size_t i) const {
+    return files_[i];
+  }
+  [[nodiscard]] const FileInfo& by_id(FileId id) const;
+  [[nodiscard]] const std::vector<FileInfo>& files() const { return files_; }
+
+  /// Total load Σ h_i.
+  [[nodiscard]] double total_load() const;
+  /// Total bytes Σ s_i.
+  [[nodiscard]] Bytes total_bytes() const;
+
+  /// Ids ordered by non-decreasing size (READ's initial-placement order,
+  /// Fig. 6 step 5: popularity assumed inversely correlated with size).
+  [[nodiscard]] std::vector<FileId> ids_by_size_ascending() const;
+  /// Ids ordered by non-increasing access rate (true popularity order).
+  [[nodiscard]] std::vector<FileId> ids_by_rate_descending() const;
+
+  /// Build from measured trace statistics: file sizes are the per-file mean
+  /// transfer sizes, rates are access_count / duration. Files never
+  /// accessed get rate 0 and `default_size`.
+  [[nodiscard]] static FileSet from_trace_stats(const TraceStats& stats,
+                                                Bytes default_size = 4 * kKiB);
+
+ private:
+  std::vector<FileInfo> files_;  // indexed by dense FileId
+};
+
+}  // namespace pr

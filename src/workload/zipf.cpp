@@ -1,0 +1,49 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pr {
+
+double ZipfDistribution::harmonic(std::size_t n, double alpha) {
+  double h = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    h += std::pow(static_cast<double>(i), -alpha);
+  }
+  return h;
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double alpha)
+    : alpha_(alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n == 0");
+  if (alpha < 0.0) throw std::invalid_argument("ZipfDistribution: alpha < 0");
+  cdf_.resize(n);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cum += std::pow(static_cast<double>(i + 1), -alpha);
+    cdf_[i] = cum;
+  }
+  norm_ = cum;
+  for (auto& c : cdf_) c /= norm_;
+  cdf_.back() = 1.0;  // guard against fp residue
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+double ZipfDistribution::pmf(std::size_t i) const {
+  if (i >= cdf_.size()) return 0.0;
+  return std::pow(static_cast<double>(i + 1), -alpha_) / norm_;
+}
+
+double ZipfDistribution::cumulative(std::size_t k) const {
+  if (k == 0) return 0.0;
+  if (k >= cdf_.size()) return 1.0;
+  return cdf_[k - 1];
+}
+
+}  // namespace pr

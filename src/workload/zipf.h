@@ -1,0 +1,43 @@
+// zipf.h — Zipf(α) rank sampling. The paper (§4, citing [6][11][20])
+// models web request popularity as Zipf-like: P(rank i) ∝ 1/i^α with
+// α ∈ [0, 1]. We provide both an exact inverse-CDF sampler (O(log n) per
+// sample via binary search over precomputed cumulative weights — ideal for
+// the trace generator where n ≈ 4k) and the closed-form distribution
+// helpers policies/tests need.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace pr {
+
+class ZipfDistribution {
+ public:
+  /// n ≥ 1 ranks, exponent alpha ≥ 0 (0 = uniform). Throws
+  /// std::invalid_argument for n == 0 or negative alpha.
+  ZipfDistribution(std::size_t n, double alpha);
+
+  /// Sample a rank in [0, n), rank 0 most popular.
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  /// Probability of rank i (0-based).
+  [[nodiscard]] double pmf(std::size_t i) const;
+
+  /// Fraction of probability mass on ranks [0, k).
+  [[nodiscard]] double cumulative(std::size_t k) const;
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+  /// Generalised harmonic number H_{n,alpha} = Σ_{i=1..n} i^-alpha.
+  [[nodiscard]] static double harmonic(std::size_t n, double alpha);
+
+ private:
+  double alpha_;
+  double norm_;  // H_{n,alpha}
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+};
+
+}  // namespace pr

@@ -1,0 +1,141 @@
+// Tests for the Apache Common Log Format reader.
+#include "trace/clf.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pr {
+namespace {
+
+TEST(ClfTimestamp, ParsesCanonicalExample) {
+  std::int64_t t = 0;
+  ASSERT_TRUE(parse_clf_timestamp("10/Oct/2000:13:55:36 -0700", t));
+  // 2000-10-10 20:55:36 UTC == 971211336.
+  EXPECT_EQ(t, 971'211'336);
+}
+
+TEST(ClfTimestamp, HandlesPositiveOffset) {
+  std::int64_t t_utc = 0;
+  std::int64_t t_plus = 0;
+  ASSERT_TRUE(parse_clf_timestamp("01/Jan/1998:12:00:00 +0000", t_utc));
+  ASSERT_TRUE(parse_clf_timestamp("01/Jan/1998:13:30:00 +0130", t_plus));
+  EXPECT_EQ(t_utc, t_plus);  // same UTC instant
+}
+
+TEST(ClfTimestamp, EpochReference) {
+  std::int64_t t = 1;
+  ASSERT_TRUE(parse_clf_timestamp("01/Jan/1970:00:00:00 +0000", t));
+  EXPECT_EQ(t, 0);
+}
+
+TEST(ClfTimestamp, RejectsGarbage) {
+  std::int64_t t = 0;
+  EXPECT_FALSE(parse_clf_timestamp("not a timestamp at all!!", t));
+  EXPECT_FALSE(parse_clf_timestamp("10-Oct-2000:13:55:36 -0700", t));
+  EXPECT_FALSE(parse_clf_timestamp("10/Xxx/2000:13:55:36 -0700", t));
+  EXPECT_FALSE(parse_clf_timestamp("99/Oct/2000:13:55:36 -0700", t));
+  EXPECT_FALSE(parse_clf_timestamp("10/Oct/2000:33:55:36 -0700", t));
+  EXPECT_FALSE(parse_clf_timestamp("10/Oct/2000:13:55:36 x0700", t));
+}
+
+TEST(ClfLine, ParsesCanonicalExample) {
+  ClfRecord r;
+  ASSERT_TRUE(parse_clf_line(
+      R"(127.0.0.1 - frank [10/Oct/2000:13:55:36 -0700] "GET /apache_pb.gif HTTP/1.0" 200 2326)",
+      r));
+  EXPECT_EQ(r.url, "/apache_pb.gif");
+  EXPECT_EQ(r.method, "GET");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.bytes, 2326u);
+  EXPECT_EQ(r.timestamp, 971'211'336);
+}
+
+TEST(ClfLine, ParsesCombinedFormatExtras) {
+  // Combined format appends referer and user-agent; they must be ignored.
+  ClfRecord r;
+  ASSERT_TRUE(parse_clf_line(
+      R"(10.1.2.3 - - [01/Jul/1998:00:00:01 +0200] "GET /img/logo.png HTTP/1.1" 200 512 "http://ref/" "Mozilla/4.0")",
+      r));
+  EXPECT_EQ(r.url, "/img/logo.png");
+  EXPECT_EQ(r.bytes, 512u);
+}
+
+TEST(ClfLine, DashBytesBecomeZero) {
+  ClfRecord r;
+  ASSERT_TRUE(parse_clf_line(
+      R"(h - - [01/Jul/1998:00:00:01 +0000] "GET /x HTTP/1.0" 304 -)", r));
+  EXPECT_EQ(r.bytes, 0u);
+  EXPECT_EQ(r.status, 304);
+}
+
+TEST(ClfLine, RejectsMalformedLines) {
+  ClfRecord r;
+  EXPECT_FALSE(parse_clf_line("", r));
+  EXPECT_FALSE(parse_clf_line("complete garbage", r));
+  EXPECT_FALSE(parse_clf_line(
+      R"(h - - [01/Jul/1998:00:00:01 +0000] "GET /x HTTP/1.0" 9999 10)", r));
+  EXPECT_FALSE(parse_clf_line(
+      R"(h - - [01/Jul/1998:00:00:01 +0000] "NOSPACE" 200 10)", r));
+  EXPECT_FALSE(parse_clf_line(
+      R"(h - - [bad timestamp] "GET /x HTTP/1.0" 200 10)", r));
+}
+
+TEST(ClfStream, CountsParsedAndSkipped) {
+  std::istringstream in(
+      R"(h - - [01/Jul/1998:00:00:01 +0000] "GET /a HTTP/1.0" 200 100
+garbage line
+h - - [01/Jul/1998:00:00:02 +0000] "GET /b HTTP/1.0" 200 200
+
+h - - [01/Jul/1998:00:00:03 +0000] "POST /c HTTP/1.0" 201 50
+)");
+  ClfParseStats stats;
+  const auto records = read_clf_records(in, &stats);
+  EXPECT_EQ(records.size(), 3u);
+  EXPECT_EQ(stats.lines, 4u);  // empty line not counted
+  EXPECT_EQ(stats.parsed, 3u);
+  EXPECT_EQ(stats.skipped, 1u);
+}
+
+TEST(ClfConvert, BuildsDensifiedTrace) {
+  std::vector<ClfRecord> records = {
+      {1'000, "/a", "GET", 200, 100},
+      {1'000, "/b", "GET", 200, 200},
+      {1'001, "/a", "GET", 200, 100},
+      {1'002, "/c", "GET", 404, 300},   // filtered (non-2xx)
+      {1'003, "/d", "POST", 201, 400},  // write
+  };
+  std::vector<std::string> urls;
+  const Trace trace = clf_to_trace(records, {}, &urls);
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_TRUE(trace.is_sorted());
+  EXPECT_EQ(urls, (std::vector<std::string>{"/a", "/b", "/d"}));
+  EXPECT_EQ(trace.requests[0].file, 0u);
+  EXPECT_EQ(trace.requests[1].file, 1u);
+  EXPECT_EQ(trace.requests[2].file, 0u);
+  EXPECT_EQ(trace.requests[3].kind, RequestKind::kWrite);
+  // Rebased to zero and spread within the shared first second.
+  EXPECT_NEAR(trace.requests[0].arrival.value(), 0.25, 1e-9);
+  EXPECT_NEAR(trace.requests[1].arrival.value(), 0.75, 1e-9);
+}
+
+TEST(ClfConvert, KeepErrorsWhenFilterDisabled) {
+  std::vector<ClfRecord> records = {
+      {1'000, "/a", "GET", 200, 100},
+      {1'001, "/missing", "GET", 404, 0},
+  };
+  ClfConvertOptions options;
+  options.successful_only = false;
+  options.default_size = 777;
+  const Trace trace = clf_to_trace(records, options);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.requests[1].size, 777u);  // "-"/0 bytes -> default
+}
+
+TEST(ClfConvert, MissingFileThrows) {
+  EXPECT_THROW((void)read_clf_records_file("/definitely/not/here.log"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pr

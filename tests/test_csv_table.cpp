@@ -1,0 +1,132 @@
+// Tests for util/csv.h and util/table.h.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace pr {
+namespace {
+
+TEST(CsvSplit, PlainFields) {
+  const auto f = split_csv_line("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "b");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(CsvSplit, EmptyFields) {
+  const auto f = split_csv_line("a,,c,");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[3], "");
+}
+
+TEST(CsvSplit, QuotedFieldWithComma) {
+  const auto f = split_csv_line(R"(a,"b,c",d)");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "b,c");
+}
+
+TEST(CsvSplit, DoubledQuoteEscapes) {
+  const auto f = split_csv_line(R"("say ""hi""",x)");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "say \"hi\"");
+}
+
+TEST(CsvSplit, StripsCarriageReturn) {
+  const auto f = split_csv_line("a,b\r");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(CsvWriter, EscapesOnlyWhenNeeded) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(out.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(CsvWriter, VariadicRow) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row(std::string("x"), 42, 2.5);
+  EXPECT_EQ(out.str(), "x,42,2.5\n");
+}
+
+TEST(CsvReader, RoundTripWithHeader) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"name", "value"});
+  w.write_row({"alpha", "1"});
+  w.write_row({"beta", "2"});
+  const auto reader = CsvReader::parse(out.str(), /*has_header=*/true);
+  ASSERT_EQ(reader.header().size(), 2u);
+  EXPECT_EQ(reader.column_index("value"), 1);
+  EXPECT_EQ(reader.column_index("missing"), -1);
+  ASSERT_EQ(reader.rows().size(), 2u);
+  EXPECT_EQ(reader.rows()[1][0], "beta");
+}
+
+TEST(CsvReader, NoHeaderMode) {
+  const auto reader = CsvReader::parse("1,2\n3,4\n", /*has_header=*/false);
+  EXPECT_TRUE(reader.header().empty());
+  ASSERT_EQ(reader.rows().size(), 2u);
+}
+
+TEST(CsvReader, SkipsBlankLines) {
+  const auto reader = CsvReader::parse("h\n\na\n\nb\n", /*has_header=*/true);
+  EXPECT_EQ(reader.rows().size(), 2u);
+}
+
+TEST(CsvReader, MissingFileThrows) {
+  EXPECT_THROW(CsvReader::load("/nonexistent/definitely.csv", true),
+               std::runtime_error);
+}
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t("Demo");
+  t.set_header({"policy", "afr"});
+  t.add_row({"READ", "18.2%"});
+  t.add_separator();
+  t.add_row({"MAID", "27.0%"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("policy"), std::string::npos);
+  EXPECT_NE(s.find("READ"), std::string::npos);
+  EXPECT_NE(s.find("MAID"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 3u);  // separator counts as a row slot
+}
+
+TEST(AsciiTable, AlignsColumns) {
+  AsciiTable t("T");
+  t.set_header({"a", "bbbb"});
+  t.add_row({"xxxxx", "y"});
+  const std::string s = t.render();
+  // Header cell "a" must be padded to the width of "xxxxx".
+  EXPECT_NE(s.find("a     | bbbb"), std::string::npos);
+}
+
+TEST(Format, Num) {
+  EXPECT_EQ(num(3.14159, 2), "3.14");
+  EXPECT_EQ(num(2.0, 0), "2");
+  EXPECT_EQ(num(-1.5, 1), "-1.5");
+}
+
+TEST(Format, Pct) {
+  EXPECT_EQ(pct(0.123, 1), "12.3%");
+  EXPECT_EQ(pct(1.0, 0), "100%");
+}
+
+TEST(Format, Si) {
+  EXPECT_EQ(si(1'234.0, 2), "1.23k");
+  EXPECT_EQ(si(5'000'000.0, 1), "5.0M");
+  EXPECT_EQ(si(7.2e9, 2), "7.20G");
+  EXPECT_EQ(si(12.0, 2), "12.00");
+  EXPECT_EQ(si(-2500.0, 1), "-2.5k");
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,97 @@
+// Deterministic fuzz of the Disk state machine: random interleavings of
+// serves, transitions and day rollovers must preserve the ledger
+// invariants that the energy/telemetry pipeline depends on. Parameterized
+// over seeds so a regression shows up as a specific reproducible seed.
+#include <gtest/gtest.h>
+
+#include "disk/disk.h"
+#include "util/rng.h"
+
+namespace pr {
+namespace {
+
+class DiskFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DiskFuzz, LedgerInvariantsHoldUnderRandomOps) {
+  Rng rng(GetParam());
+  const auto params = two_speed_cheetah();
+  Disk disk(0, params,
+            rng.bernoulli(0.5) ? DiskSpeed::kHigh : DiskSpeed::kLow);
+
+  double t = 0.0;
+  std::uint64_t expected_requests = 0;
+  std::uint64_t expected_internal = 0;
+  std::uint64_t expected_transitions = 0;
+  Bytes expected_bytes = 0;
+
+  for (int op = 0; op < 2'000; ++op) {
+    t += rng.exponential(30.0);  // arrivals spread over ~16 hours
+    const double dice = rng.uniform();
+    if (dice < 0.70) {
+      const Bytes bytes = 1 + rng.uniform_index(4 * kMiB);
+      const bool internal = rng.bernoulli(0.2);
+      const Seconds completion = disk.serve(Seconds{t}, bytes, internal);
+      ASSERT_GE(completion.value(), t);
+      if (internal) {
+        ++expected_internal;
+      } else {
+        ++expected_requests;
+        expected_bytes += bytes;
+      }
+    } else {
+      const DiskSpeed target =
+          rng.bernoulli(0.5) ? DiskSpeed::kHigh : DiskSpeed::kLow;
+      const bool counts = target != disk.speed();
+      disk.transition(Seconds{t}, target);
+      if (counts) ++expected_transitions;
+    }
+    // Ready time never regresses.
+    ASSERT_GE(disk.ready_time().value(), 0.0);
+  }
+
+  const Seconds end = disk.ready_time() + Seconds{100.0};
+  disk.finish(end);
+  const auto& ledger = disk.ledger();
+
+  // 1. Complete occupancy: every instant attributed exactly once.
+  EXPECT_NEAR(ledger.observed().value(), end.value(), 1e-6 * end.value());
+  EXPECT_NEAR(
+      (ledger.time_at_low + ledger.time_at_high + ledger.transition_time)
+          .value(),
+      end.value(), 1e-6 * end.value());
+
+  // 2. Counters match the op log.
+  EXPECT_EQ(ledger.requests, expected_requests);
+  EXPECT_EQ(ledger.internal_ops, expected_internal);
+  EXPECT_EQ(ledger.transitions, expected_transitions);
+  EXPECT_EQ(ledger.bytes_served, expected_bytes);
+
+  // 3. Energy bounds: between all-idle-at-low and all-active-at-high plus
+  // transition lumps.
+  const double horizon = end.value();
+  const double lumps =
+      static_cast<double>(ledger.transitions_up) *
+          params.transition_up_energy.value() +
+      static_cast<double>(ledger.transitions - ledger.transitions_up) *
+          params.transition_down_energy.value();
+  EXPECT_GE(ledger.energy.value(),
+            params.low.idle_power.value() * horizon - 1e-6);
+  EXPECT_LE(ledger.energy.value(),
+            params.high.active_power.value() * horizon + lumps + 1e-6);
+
+  // 4. Utilization is a fraction; temperature within the band envelope.
+  EXPECT_GE(ledger.utilization(), 0.0);
+  EXPECT_LE(ledger.utilization(), 1.0);
+  EXPECT_GE(disk.mean_temperature().value(), 40.0 - 1e-9);
+  EXPECT_LE(disk.mean_temperature().value(), 50.0 + 1e-9);
+
+  // 5. Speed history consistent with the transition count.
+  EXPECT_EQ(disk.speed_history().size(), expected_transitions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiskFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u));
+
+}  // namespace
+}  // namespace pr

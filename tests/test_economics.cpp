@@ -1,0 +1,174 @@
+// Tests for the reliability-economics module (§3.5's "is it worthwhile?"
+// argument) and the MTTDL substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "press/economics.h"
+#include "press/mttdl.h"
+
+namespace pr {
+namespace {
+
+TEST(Economics, ValidatesWindow) {
+  const std::vector<double> afrs{0.05};
+  EXPECT_THROW((void)annual_cost(Joules{1.0}, Seconds{0.0}, afrs),
+               std::invalid_argument);
+}
+
+TEST(Economics, EnergyAnnualisation) {
+  // 3.6 MJ over one day = 1 kWh/day = 365 kWh/yr = $36.50 at $0.10/kWh.
+  const std::vector<double> afrs;
+  const auto cost = annual_cost(Joules{3.6e6}, kSecondsPerDay, afrs);
+  EXPECT_NEAR(cost.energy_dollars, 36.5, 1e-9);
+  EXPECT_DOUBLE_EQ(cost.reliability_dollars(), 0.0);
+}
+
+TEST(Economics, ReliabilityCostsScaleWithAfr) {
+  CostModel model;
+  model.disk_replacement_dollars = 300.0;
+  model.data_loss_dollars_per_failure = 5'000.0;
+  model.data_loss_probability = 0.5;
+  const std::vector<double> afrs{0.10, 0.20};  // 0.3 failures/yr expected
+  const auto cost =
+      annual_cost(Joules{0.0}, kSecondsPerDay, afrs, model);
+  EXPECT_NEAR(cost.expected_failures_per_year, 0.3, 1e-12);
+  EXPECT_NEAR(cost.replacement_dollars, 0.3 * 300.0, 1e-9);
+  EXPECT_NEAR(cost.data_loss_dollars, 0.3 * 0.5 * 5'000.0, 1e-9);
+  EXPECT_NEAR(cost.total_dollars(), 90.0 + 750.0, 1e-9);
+}
+
+TEST(Economics, CompareCostsSplitsComponents) {
+  AnnualCost aggressive;  // saves energy, wrecks reliability
+  aggressive.energy_dollars = 100.0;
+  aggressive.replacement_dollars = 500.0;
+  aggressive.data_loss_dollars = 2'000.0;
+  AnnualCost conservative;
+  conservative.energy_dollars = 180.0;
+  conservative.replacement_dollars = 120.0;
+  conservative.data_loss_dollars = 400.0;
+
+  const auto delta = compare_costs(aggressive, conservative);
+  EXPECT_NEAR(delta.energy_saved, 80.0, 1e-12);
+  EXPECT_NEAR(delta.reliability_added, 1'980.0, 1e-12);
+  EXPECT_NEAR(delta.net_saved(), 80.0 - 1'980.0, 1e-12);
+  EXPECT_FALSE(delta.worthwhile());  // §3.5's verdict, in dollars
+}
+
+TEST(Economics, ModestSavingWithoutReliabilityDamageIsWorthwhile) {
+  AnnualCost candidate;
+  candidate.energy_dollars = 100.0;
+  candidate.replacement_dollars = 100.0;
+  AnnualCost baseline;
+  baseline.energy_dollars = 150.0;
+  baseline.replacement_dollars = 100.0;
+  EXPECT_TRUE(compare_costs(candidate, baseline).worthwhile());
+}
+
+// ------------------------------------------------------------------ MTTDL
+
+TEST(Mttdl, AfrConversion) {
+  EXPECT_NEAR(afr_to_failures_per_hour(0.0876), 1e-5, 1e-12);
+  EXPECT_THROW((void)afr_to_failures_per_hour(-0.1), std::invalid_argument);
+}
+
+TEST(Mttdl, ValidatesInputs) {
+  MttdlInputs in;
+  in.disks = 0;
+  EXPECT_THROW((void)mttdl_hours(RaidLevel::kRaid0, in),
+               std::invalid_argument);
+  in = {};
+  in.disk_afr = 0.0;
+  EXPECT_THROW((void)mttdl_hours(RaidLevel::kRaid0, in),
+               std::invalid_argument);
+  in = {};
+  in.mttr = Seconds{0.0};
+  EXPECT_THROW((void)mttdl_hours(RaidLevel::kRaid0, in),
+               std::invalid_argument);
+  in = {};
+  in.disks = 7;
+  EXPECT_THROW((void)mttdl_hours(RaidLevel::kRaid1, in),
+               std::invalid_argument);
+  in = {};
+  in.disks = 1;
+  EXPECT_THROW((void)mttdl_hours(RaidLevel::kRaid5, in),
+               std::invalid_argument);
+  in = {};
+  in.disks = 2;
+  EXPECT_THROW((void)mttdl_hours(RaidLevel::kRaid6, in),
+               std::invalid_argument);
+}
+
+TEST(Mttdl, Raid0IsSeriesSystem) {
+  MttdlInputs in;
+  in.disk_afr = 0.0876;  // λ = 1e-5 /h
+  in.disks = 10;
+  EXPECT_NEAR(mttdl_hours(RaidLevel::kRaid0, in), 1.0 / (10.0 * 1e-5), 1e-6);
+}
+
+TEST(Mttdl, RedundancyOrdering) {
+  MttdlInputs in;
+  in.disk_afr = 0.04;
+  in.disks = 8;
+  in.mttr = Seconds{24.0 * 3600.0};
+  const double raid0 = mttdl_hours(RaidLevel::kRaid0, in);
+  const double raid5 = mttdl_hours(RaidLevel::kRaid5, in);
+  const double raid1 = mttdl_hours(RaidLevel::kRaid1, in);
+  const double raid6 = mttdl_hours(RaidLevel::kRaid6, in);
+  EXPECT_LT(raid0, raid5);
+  EXPECT_LT(raid5, raid1);  // mirroring beats single parity at equal n
+  EXPECT_LT(raid1, raid6);
+}
+
+TEST(Mttdl, Raid5MatchesClosedForm) {
+  MttdlInputs in;
+  in.disk_afr = 0.0876;                // λ = 1e-5 /h
+  in.disks = 5;
+  in.mttr = Seconds{10.0 * 3600.0};    // μ = 0.1 /h
+  const double lambda = 1e-5;
+  const double mu = 0.1;
+  const double expected =
+      ((2.0 * 5.0 - 1.0) * lambda + mu) / (5.0 * 4.0 * lambda * lambda);
+  EXPECT_NEAR(mttdl_hours(RaidLevel::kRaid5, in), expected, expected * 1e-9);
+}
+
+TEST(Mttdl, WorseDiskAfrWorsensEverything) {
+  MttdlInputs good;
+  good.disk_afr = 0.02;
+  MttdlInputs bad = good;
+  bad.disk_afr = 0.20;
+  for (RaidLevel level : {RaidLevel::kRaid0, RaidLevel::kRaid1,
+                          RaidLevel::kRaid5, RaidLevel::kRaid6}) {
+    EXPECT_GT(mttdl_hours(level, good), mttdl_hours(level, bad));
+    EXPECT_LT(annual_data_loss_probability(level, good),
+              annual_data_loss_probability(level, bad));
+  }
+}
+
+TEST(Mttdl, AnnualLossProbabilityIsAProbability) {
+  MttdlInputs in;
+  in.disk_afr = 0.5;
+  in.disks = 16;
+  for (RaidLevel level : {RaidLevel::kRaid0, RaidLevel::kRaid1,
+                          RaidLevel::kRaid5, RaidLevel::kRaid6}) {
+    const double p = annual_data_loss_probability(level, in);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(Mttdl, LongerRepairHurtsRedundantArrays) {
+  MttdlInputs fast;
+  fast.disk_afr = 0.05;
+  fast.mttr = Seconds{6.0 * 3600.0};
+  MttdlInputs slow = fast;
+  slow.mttr = Seconds{72.0 * 3600.0};
+  EXPECT_GT(mttdl_hours(RaidLevel::kRaid5, fast),
+            mttdl_hours(RaidLevel::kRaid5, slow));
+  // RAID0 has no repair window: MTTR is irrelevant.
+  EXPECT_DOUBLE_EQ(mttdl_hours(RaidLevel::kRaid0, fast),
+                   mttdl_hours(RaidLevel::kRaid0, slow));
+}
+
+}  // namespace
+}  // namespace pr

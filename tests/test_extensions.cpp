@@ -1,0 +1,388 @@
+// Tests for the §6 future-work extensions: RAID-0 striping and hot-file
+// replication on top of READ.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "policy/replication.h"
+#include "policy/static_policy.h"
+#include "policy/striped_read_policy.h"
+#include "policy/striping.h"
+#include "util/rng.h"
+
+namespace pr {
+namespace {
+
+SimConfig config(std::size_t disks) {
+  SimConfig c;
+  c.disk_params = two_speed_cheetah();
+  c.disk_count = disks;
+  return c;
+}
+
+FileSet files_of_sizes(std::initializer_list<Bytes> sizes) {
+  std::vector<FileInfo> files;
+  FileId id = 0;
+  for (Bytes s : sizes) {
+    files.push_back({id++, s, 1.0});
+  }
+  return FileSet(std::move(files));
+}
+
+// ------------------------------------------------------------- striping
+
+TEST(Striping, RejectsZeroStripeUnit) {
+  StripingConfig c;
+  c.stripe_unit = 0;
+  EXPECT_THROW(StripedStaticPolicy{c}, std::invalid_argument);
+}
+
+TEST(Striping, SmallFileIsSingleChunk) {
+  const auto chunks =
+      StripedStaticPolicy::chunks_for(100 * kKiB, 512 * kKiB, 2, 8);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].disk, 2u);
+  EXPECT_EQ(chunks[0].bytes, 100 * kKiB);
+}
+
+TEST(Striping, LargeFileSpreadsAcrossDisks) {
+  // 3 MiB at 512 KiB units = 6 full units over 4 disks starting at 1:
+  // disks 1,2 get 2 units, disks 3,0 get 1 unit.
+  const auto chunks =
+      StripedStaticPolicy::chunks_for(3 * kMiB, 512 * kKiB, 1, 4);
+  ASSERT_EQ(chunks.size(), 4u);
+  Bytes total = 0;
+  for (const auto& c : chunks) total += c.bytes;
+  EXPECT_EQ(total, 3 * kMiB);
+  EXPECT_EQ(chunks[0].disk, 1u);
+  EXPECT_EQ(chunks[0].bytes, 1 * kMiB);
+  EXPECT_EQ(chunks[1].disk, 2u);
+  EXPECT_EQ(chunks[1].bytes, 1 * kMiB);
+  EXPECT_EQ(chunks[2].disk, 3u);
+  EXPECT_EQ(chunks[2].bytes, 512 * kKiB);
+  EXPECT_EQ(chunks[3].disk, 0u);
+  EXPECT_EQ(chunks[3].bytes, 512 * kKiB);
+}
+
+TEST(Striping, RemainderLandsAfterFullUnits) {
+  // 1 MiB + 100 bytes from disk 0 over 8 disks: units on 0,1; tail on 2.
+  const auto chunks =
+      StripedStaticPolicy::chunks_for(2 * 512 * kKiB + 100, 512 * kKiB, 0, 8);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[2].disk, 2u);
+  EXPECT_EQ(chunks[2].bytes, 100u);
+}
+
+TEST(Striping, ChunkBytesAlwaysSumToSize) {
+  for (Bytes size : {1ull, 1000ull, 512ull * kKiB, 3ull * kMiB + 17,
+                     64ull * kMiB}) {
+    for (std::size_t disks : {1u, 2u, 5u, 16u}) {
+      const auto chunks =
+          StripedStaticPolicy::chunks_for(size, 512 * kKiB, 0, disks);
+      Bytes total = 0;
+      for (const auto& c : chunks) {
+        total += c.bytes;
+        EXPECT_LT(c.disk, disks);
+      }
+      EXPECT_EQ(total, size) << size << " over " << disks;
+    }
+  }
+}
+
+TEST(Striping, CutsLargeFileResponseTime) {
+  // The paper's §6 motivation: a 32 MiB "video clip" served whole takes
+  // ~1 s at 31 MiB/s; striped over 8 disks it takes ~1/8 of that.
+  const auto files = files_of_sizes({32 * kMiB});
+  Trace trace;
+  Request r;
+  r.arrival = Seconds{0.0};
+  r.file = 0;
+  r.size = 32 * kMiB;
+  trace.requests.push_back(r);
+
+  StaticPolicy whole;
+  StripedStaticPolicy striped;
+  const auto rt_whole =
+      run_simulation(config(8), files, trace, whole).response_time.mean();
+  const auto rt_striped =
+      run_simulation(config(8), files, trace, striped).response_time.mean();
+  EXPECT_LT(rt_striped, rt_whole / 4.0);
+}
+
+TEST(Striping, NoBenefitForSmallWebFiles) {
+  // Files below one stripe unit: striped layout == single-disk serves.
+  const auto files = files_of_sizes({8 * kKiB, 16 * kKiB, 4 * kKiB});
+  Trace trace;
+  double t = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    Request r;
+    r.arrival = Seconds{t += 1.0};
+    r.file = static_cast<FileId>(i % 3);
+    r.size = files[i % 3].size;
+    trace.requests.push_back(r);
+  }
+  StaticPolicy whole;
+  StripedStaticPolicy striped;
+  const auto rt_whole =
+      run_simulation(config(4), files, trace, whole).response_time.mean();
+  const auto rt_striped =
+      run_simulation(config(4), files, trace, striped).response_time.mean();
+  EXPECT_NEAR(rt_striped, rt_whole, 1e-9);
+}
+
+TEST(Striping, EveryRequestServed) {
+  const auto files = files_of_sizes({2 * kMiB, 700 * kKiB, 10 * kKiB});
+  Trace trace;
+  double t = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    Request r;
+    r.arrival = Seconds{t += 0.5};
+    r.file = static_cast<FileId>(i % 3);
+    r.size = files[i % 3].size;
+    trace.requests.push_back(r);
+  }
+  StripedStaticPolicy striped;
+  const auto result = run_simulation(config(6), files, trace, striped);
+  EXPECT_EQ(result.user_requests, 60u);
+  EXPECT_GT(result.response_time.mean(), 0.0);
+}
+
+// ----------------------------------------------------------- replication
+
+TEST(Replication, ValidatesConfig) {
+  ReplicationConfig bad;
+  bad.replicas = 1;
+  EXPECT_THROW(ReplicatedReadPolicy{bad}, std::invalid_argument);
+  bad = {};
+  bad.top_files = 0;
+  EXPECT_THROW(ReplicatedReadPolicy{bad}, std::invalid_argument);
+}
+
+FileSet skewed_files(std::size_t m) {
+  std::vector<FileInfo> files(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    files[i].id = static_cast<FileId>(i);
+    files[i].size = 1000 * (i + 1);
+    files[i].access_rate = 100.0 / static_cast<double>(i + 1);
+  }
+  return FileSet(std::move(files));
+}
+
+TEST(Replication, CreatesInitialReplicas) {
+  ReplicationConfig rc;
+  rc.top_files = 4;
+  rc.read.theta = 0.5;
+  ReplicatedReadPolicy policy(rc);
+  const auto files = skewed_files(20);
+  Trace trace;
+  Request r;
+  r.arrival = Seconds{0.0};
+  r.file = 0;
+  r.size = files[0].size;
+  trace.requests.push_back(r);
+  const auto result = run_simulation(config(8), files, trace, policy);
+  EXPECT_GT(policy.replicated_files(), 0u);
+  EXPECT_GE(result.counters.at("replication.copy"), 1u);
+}
+
+TEST(Replication, SpreadsHotFileLoadAcrossReplicas) {
+  // Hammer one file; with a replica, two disks should share the serves.
+  ReplicationConfig rc;
+  rc.top_files = 1;
+  rc.read.theta = 0.5;
+  ReplicatedReadPolicy policy(rc);
+  const auto files = skewed_files(8);
+  Trace trace;
+  for (int i = 0; i < 400; ++i) {
+    Request r;
+    // Tight arrivals so the primary is still busy when the next request
+    // lands -> routed to the replica.
+    r.arrival = Seconds{0.001 * i};
+    r.file = 0;
+    r.size = files[0].size;
+    trace.requests.push_back(r);
+  }
+  const auto result = run_simulation(config(8), files, trace, policy);
+  EXPECT_GT(result.counters.at("replication.offloaded_read"), 50u);
+  int disks_serving = 0;
+  for (const auto& l : result.ledgers) {
+    if (l.requests > 0) ++disks_serving;
+  }
+  EXPECT_GE(disks_serving, 2);
+}
+
+TEST(Replication, ImprovesTailLatencyUnderContention) {
+  ReplicationConfig rc;
+  rc.top_files = 8;
+  rc.read.theta = 0.5;
+  const auto files = skewed_files(16);
+  Trace trace;
+  Rng rng(3);
+  double t = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    Request r;
+    t += rng.exponential(0.004);  // hot enough to queue
+    r.arrival = Seconds{t};
+    r.file = static_cast<FileId>(rng.uniform_index(4));  // 4 hot files
+    r.size = files[r.file].size;
+    trace.requests.push_back(r);
+  }
+  ReadPolicy plain({.theta = 0.5});
+  ReplicatedReadPolicy replicated(rc);
+  const auto rt_plain =
+      run_simulation(config(8), files, trace, plain).response_time.mean();
+  const auto rt_replicated =
+      run_simulation(config(8), files, trace, replicated)
+          .response_time.mean();
+  EXPECT_LT(rt_replicated, rt_plain);
+}
+
+TEST(Replication, EpochRebuildTracksPopularity) {
+  ReplicationConfig rc;
+  rc.top_files = 2;
+  rc.read.theta = 0.5;
+  ReplicatedReadPolicy policy(rc);
+  const auto files = skewed_files(10);
+  auto cfg = config(6);
+  cfg.epoch = Seconds{50.0};
+  Trace trace;
+  for (int i = 0; i < 100; ++i) {
+    Request r;
+    r.arrival = Seconds{1.0 * i};
+    r.file = 7;  // cold by rate, hot by observation
+    r.size = files[7].size;
+    trace.requests.push_back(r);
+  }
+  const auto result = run_simulation(cfg, files, trace, policy);
+  // Replica copies were rebuilt at least once after the first epoch.
+  EXPECT_GE(result.counters.at("replication.copy"), 2u);
+  EXPECT_LE(policy.replicated_files(), 2u);
+}
+
+
+// --------------------------------------------------------- striped READ
+
+FileSet media_mix() {
+  // 8 small web files + 2 large media files.
+  std::vector<FileInfo> files;
+  for (FileId f = 0; f < 8; ++f) {
+    files.push_back({f, 16 * kKiB, 10.0});
+  }
+  files.push_back({8, 8 * kMiB, 0.5});
+  files.push_back({9, 24 * kMiB, 0.25});
+  return FileSet(std::move(files));
+}
+
+TEST(StripedRead, ValidatesConfig) {
+  StripedReadConfig bad;
+  bad.stripe_unit = 0;
+  EXPECT_THROW(StripedReadPolicy{bad}, std::invalid_argument);
+}
+
+TEST(StripedRead, ClassifiesFilesByStripeUnit) {
+  StripedReadConfig src;
+  src.read.theta = 0.5;
+  StripedReadPolicy policy(src);
+  const auto files = media_mix();
+  Trace trace;
+  Request r;
+  r.arrival = Seconds{0.0};
+  r.file = 0;
+  r.size = files[0].size;
+  trace.requests.push_back(r);
+  SimConfig cfg;
+  cfg.disk_params = two_speed_cheetah();
+  cfg.disk_count = 8;
+  (void)run_simulation(cfg, files, trace, policy);
+  EXPECT_EQ(policy.striped_file_count(), 2u);
+  EXPECT_FALSE(policy.is_striped_file(0));
+  EXPECT_TRUE(policy.is_striped_file(8));
+  EXPECT_TRUE(policy.is_striped_file(9));
+}
+
+TEST(StripedRead, LargeFilesServedFasterThanPlainRead) {
+  const auto files = media_mix();
+  Trace trace;
+  double t = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    Request r;
+    r.arrival = Seconds{t += 2.0};
+    r.file = static_cast<FileId>(i % 2 == 0 ? 9 : 8);  // media files only
+    r.size = files[r.file].size;
+    trace.requests.push_back(r);
+  }
+  SimConfig cfg;
+  cfg.disk_params = two_speed_cheetah();
+  cfg.disk_count = 8;
+  cfg.epoch = Seconds{1e9};
+
+  ReadConfig rc;
+  rc.theta = 0.5;
+  ReadPolicy plain(rc);
+  StripedReadConfig src;
+  src.read.theta = 0.5;
+  StripedReadPolicy striped(src);
+  const double rt_plain =
+      run_simulation(cfg, files, trace, plain).response_time.mean();
+  const double rt_striped =
+      run_simulation(cfg, files, trace, striped).response_time.mean();
+  EXPECT_LT(rt_striped, rt_plain / 1.5);
+}
+
+TEST(StripedRead, SmallFilesBehaveLikeRead) {
+  const auto files = media_mix();
+  Trace trace;
+  double t = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    Request r;
+    r.arrival = Seconds{t += 0.5};
+    r.file = static_cast<FileId>(i % 8);  // small files only
+    r.size = files[r.file].size;
+    trace.requests.push_back(r);
+  }
+  SimConfig cfg;
+  cfg.disk_params = two_speed_cheetah();
+  cfg.disk_count = 6;
+  cfg.epoch = Seconds{1e9};
+
+  ReadConfig rc;
+  rc.theta = 0.5;
+  ReadPolicy plain(rc);
+  StripedReadConfig src;
+  src.read.theta = 0.5;
+  StripedReadPolicy striped(src);
+  const auto a = run_simulation(cfg, files, trace, plain);
+  const auto b = run_simulation(cfg, files, trace, striped);
+  EXPECT_NEAR(a.response_time.mean(), b.response_time.mean(), 1e-9);
+  EXPECT_EQ(a.total_transitions, b.total_transitions);
+}
+
+TEST(StripedRead, RespectsTransitionCap) {
+  const auto files = media_mix();
+  Trace trace;
+  Rng rng(3);
+  double t = 0.0;
+  for (int i = 0; i < 800; ++i) {
+    Request r;
+    t += rng.exponential(8.0);
+    r.arrival = Seconds{t};
+    r.file = static_cast<FileId>(rng.uniform_index(10));
+    r.size = files[r.file].size;
+    trace.requests.push_back(r);
+  }
+  SimConfig cfg;
+  cfg.disk_params = two_speed_cheetah();
+  cfg.disk_count = 6;
+  cfg.epoch = Seconds{600.0};
+  StripedReadConfig src;
+  src.read.max_transitions_per_day = 12;
+  src.read.idleness_threshold = Seconds{3.0};
+  StripedReadPolicy policy(src);
+  const auto result = run_simulation(cfg, files, trace, policy);
+  for (const auto& l : result.ledgers) {
+    EXPECT_LE(l.max_transitions_in_day, 12u);
+  }
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,147 @@
+// Tests for the seek-curve/geometry model and positional I/O.
+#include "disk/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "policy/static_policy.h"
+#include "sim/array_sim.h"
+
+namespace pr {
+namespace {
+
+TEST(SeekCurve, ValidatesSpec) {
+  const DiskGeometry g{50'000};
+  EXPECT_THROW(SeekCurve(DiskGeometry{2}, Seconds{1e-3}, Seconds{5e-3},
+                         Seconds{10e-3}),
+               std::invalid_argument);
+  EXPECT_THROW(SeekCurve(g, Seconds{0.0}, Seconds{5e-3}, Seconds{10e-3}),
+               std::invalid_argument);
+  EXPECT_THROW(SeekCurve(g, Seconds{5e-3}, Seconds{5e-3}, Seconds{10e-3}),
+               std::invalid_argument);
+  EXPECT_THROW(SeekCurve(g, Seconds{1e-3}, Seconds{10e-3}, Seconds{5e-3}),
+               std::invalid_argument);
+}
+
+TEST(SeekCurve, HitsCalibrationAnchors) {
+  const auto curve = cheetah_seek_curve();
+  EXPECT_DOUBLE_EQ(curve.seek_time(0).value(), 0.0);
+  EXPECT_NEAR(curve.seek_time(1).value(), 0.6e-3, 1e-12);
+  EXPECT_NEAR(curve.seek_time(50'000 / 3).value(), 5.3e-3, 1e-6);
+  EXPECT_NEAR(curve.seek_time(49'999).value(), 10.5e-3, 1e-6);
+}
+
+TEST(SeekCurve, MonotoneNonDecreasing) {
+  const auto curve = cheetah_seek_curve();
+  double prev = 0.0;
+  for (Cylinder d = 0; d < 50'000; d += 250) {
+    const double t = curve.seek_time(d).value();
+    EXPECT_GE(t, prev) << "at distance " << d;
+    prev = t;
+  }
+}
+
+TEST(SeekCurve, ConcaveShortSeeks) {
+  // √-shaped start: doubling a short distance less than doubles the time
+  // beyond the constant settle term.
+  const auto curve = cheetah_seek_curve();
+  const double c = curve.seek_time(1).value();
+  const double t100 = curve.seek_time(101).value() - c;
+  const double t400 = curve.seek_time(401).value() - c;
+  EXPECT_LT(t400, 4.0 * t100);
+}
+
+TEST(Disk, PositionedServeChargesHeadTravel) {
+  auto params = two_speed_cheetah();
+  Disk d(0, params, DiskSpeed::kHigh);
+  d.set_seek_curve(cheetah_seek_curve());
+  ASSERT_TRUE(d.positioned());
+
+  // First request: head at 0, target 0 => no seek at all.
+  const Seconds c1 = d.serve_positioned(Seconds{0.0}, 1 * kMiB, 0);
+  const double no_seek = params.high.avg_rotational_latency().value() +
+                         1.0 / 31.0;  // 1 MiB at 31 MiB/s
+  EXPECT_NEAR(c1.value(), no_seek, 1e-6);
+  EXPECT_EQ(d.head_position(), 0u);
+
+  // Far request pays ~full-stroke instead of the average seek.
+  const Seconds c2 = d.serve_positioned(Seconds{100.0}, 1 * kMiB, 49'999);
+  EXPECT_NEAR(c2.value() - 100.0, no_seek + 10.5e-3, 1e-5);
+  EXPECT_EQ(d.head_position(), 49'999u);
+
+  // Re-read at the same cylinder: zero seek again.
+  const Seconds c3 = d.serve_positioned(Seconds{200.0}, 1 * kMiB, 49'999);
+  EXPECT_NEAR(c3.value() - 200.0, no_seek, 1e-6);
+}
+
+TEST(Disk, PositionedServeFallsBackWithoutCurve) {
+  Disk d(0, two_speed_cheetah(), DiskSpeed::kHigh);
+  EXPECT_FALSE(d.positioned());
+  const Seconds c = d.serve_positioned(Seconds{0.0}, 1 * kMiB, 12'345);
+  const Seconds plain = service_time(two_speed_cheetah().high, 1 * kMiB);
+  EXPECT_NEAR(c.value(), plain.value(), 1e-12);
+}
+
+TEST(Disk, SeekCurveOnlyBeforeStart) {
+  Disk d(0, two_speed_cheetah(), DiskSpeed::kHigh);
+  d.serve(Seconds{0.0}, 100);
+  EXPECT_THROW(d.set_seek_curve(cheetah_seek_curve()), std::logic_error);
+}
+
+TEST(ArraySim, PositionedIoChangesServiceTimes) {
+  std::vector<FileInfo> files(4);
+  for (FileId f = 0; f < 4; ++f) files[f] = {f, 64 * kKiB, 1.0};
+  const FileSet fs{files};
+  Trace trace;
+  double t = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    Request r;
+    r.arrival = Seconds{t += 1.0};
+    r.file = static_cast<FileId>(i % 4);
+    r.size = 64 * kKiB;
+    trace.requests.push_back(r);
+  }
+
+  SimConfig plain;
+  plain.disk_params = two_speed_cheetah();
+  plain.disk_count = 2;
+  SimConfig positioned = plain;
+  positioned.seek_curve = cheetah_seek_curve();
+
+  StaticPolicy p1;
+  StaticPolicy p2;
+  const auto r_plain = run_simulation(plain, fs, trace, p1);
+  const auto r_pos = run_simulation(positioned, fs, trace, p2);
+  EXPECT_EQ(r_pos.user_requests, 40u);
+  // Small files laid out adjacently: head travel is shorter than the
+  // average seek, so positional service is faster here.
+  EXPECT_LT(r_pos.response_time.mean(), r_plain.response_time.mean());
+  EXPECT_GT(r_pos.response_time.mean(), 0.0);
+}
+
+TEST(ArraySim, PositionedIoIsDeterministic) {
+  std::vector<FileInfo> files(8);
+  for (FileId f = 0; f < 8; ++f) files[f] = {f, 256 * kKiB, 1.0};
+  const FileSet fs{files};
+  Trace trace;
+  double t = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    Request r;
+    r.arrival = Seconds{t += 0.3};
+    r.file = static_cast<FileId>((i * 5) % 8);
+    r.size = 256 * kKiB;
+    trace.requests.push_back(r);
+  }
+  SimConfig cfg;
+  cfg.disk_params = two_speed_cheetah();
+  cfg.disk_count = 3;
+  cfg.seek_curve = cheetah_seek_curve();
+  StaticPolicy p1;
+  StaticPolicy p2;
+  const auto a = run_simulation(cfg, fs, trace, p1);
+  const auto b = run_simulation(cfg, fs, trace, p2);
+  EXPECT_DOUBLE_EQ(a.response_time.mean(), b.response_time.mean());
+  EXPECT_DOUBLE_EQ(a.total_energy.value(), b.total_energy.value());
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,134 @@
+// Tests for the Hibernator-style coarse-grained power-management baseline.
+#include "policy/hibernator_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace pr {
+namespace {
+
+FileSet uniform_files(std::size_t m, Bytes size) {
+  std::vector<FileInfo> files(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    files[i].id = static_cast<FileId>(i);
+    files[i].size = size;
+    files[i].access_rate = 1.0;
+  }
+  return FileSet(std::move(files));
+}
+
+SimConfig config(std::size_t disks, double epoch_s) {
+  SimConfig c;
+  c.disk_params = two_speed_cheetah();
+  c.disk_count = disks;
+  c.epoch = Seconds{epoch_s};
+  return c;
+}
+
+TEST(HibernatorPolicy, ValidatesConfig) {
+  HibernatorConfig bad;
+  bad.response_target = Seconds{0.0};
+  EXPECT_THROW(HibernatorPolicy{bad}, std::invalid_argument);
+  bad = {};
+  bad.park_load_fraction = 1.5;
+  EXPECT_THROW(HibernatorPolicy{bad}, std::invalid_argument);
+}
+
+TEST(HibernatorPolicy, ParksColdDisksAtIntervalBoundary) {
+  HibernatorPolicy policy;
+  const auto files = uniform_files(4, 16 * kKiB);
+  // Files 0..3 round-robin over 4 disks; only file 0 (disk 0) is touched.
+  Trace trace;
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    Request r;
+    r.arrival = Seconds{t += 1.0};
+    r.file = 0;
+    r.size = 16 * kKiB;
+    trace.requests.push_back(r);
+  }
+  const auto result = run_simulation(config(4, 60.0), files, trace, policy);
+  // Disks 1-3 were parked at the first boundary and stayed parked (one
+  // transition each); disk 0 stayed high (zero transitions).
+  EXPECT_EQ(result.ledgers[0].transitions, 0u);
+  for (std::size_t d = 1; d < 4; ++d) {
+    EXPECT_EQ(result.ledgers[d].transitions, 1u) << d;
+    EXPECT_GT(result.ledgers[d].time_at_low.value(), 0.0) << d;
+  }
+  EXPECT_LT(result.total_energy.value(),
+            4.0 * 10.2 * result.horizon.value());  // beats all-high idle
+}
+
+TEST(HibernatorPolicy, TransitionsBoundedByIntervals) {
+  // Coarse granularity: each disk changes speed at most once per epoch.
+  HibernatorPolicy policy;
+  const auto files = uniform_files(8, 16 * kKiB);
+  Trace trace;
+  Rng rng(9);
+  double t = 0.0;
+  for (int i = 0; i < 3'000; ++i) {
+    Request r;
+    t += rng.exponential(0.5);
+    r.arrival = Seconds{t};
+    r.file = static_cast<FileId>(rng.uniform_index(8));
+    r.size = 16 * kKiB;
+    trace.requests.push_back(r);
+  }
+  auto cfg = config(4, 120.0);
+  const auto result = run_simulation(cfg, files, trace, policy);
+  const auto epochs = static_cast<std::uint64_t>(
+      result.horizon.value() / cfg.epoch.value()) + 1;
+  for (const auto& l : result.ledgers) {
+    EXPECT_LE(l.transitions, epochs);
+  }
+}
+
+TEST(HibernatorPolicy, SlaViolationForcesAllHigh) {
+  HibernatorConfig hc;
+  hc.response_target = Seconds{1e-6};  // unattainable: every epoch violates
+  HibernatorPolicy policy(hc);
+  const auto files = uniform_files(4, 64 * kKiB);
+  Trace trace;
+  double t = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    Request r;
+    r.arrival = Seconds{t += 0.5};
+    r.file = static_cast<FileId>(i % 4);
+    r.size = 64 * kKiB;
+    trace.requests.push_back(r);
+  }
+  const auto result = run_simulation(config(4, 30.0), files, trace, policy);
+  EXPECT_GT(policy.intervals_with_sla_violation(), 0u);
+  // All disks stayed high the entire run (no parking ever allowed).
+  for (const auto& l : result.ledgers) {
+    EXPECT_EQ(l.transitions, 0u);
+    EXPECT_DOUBLE_EQ(l.time_at_low.value(), 0.0);
+  }
+}
+
+TEST(HibernatorPolicy, MaxTransitionsInDayLedger) {
+  // The new ledger field: each disk's worst calendar day matches the
+  // observed bound (at most one change per epoch boundary).
+  HibernatorPolicy policy;
+  const auto files = uniform_files(4, 16 * kKiB);
+  Trace trace;
+  double t = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    Request r;
+    r.arrival = Seconds{t += 2.0};
+    r.file = 0;
+    r.size = 16 * kKiB;
+    trace.requests.push_back(r);
+  }
+  const auto result = run_simulation(config(4, 50.0), files, trace, policy);
+  for (const auto& l : result.ledgers) {
+    EXPECT_LE(l.max_transitions_in_day, l.transitions);
+    if (l.transitions > 0) {
+      EXPECT_GE(l.max_transitions_in_day, 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pr

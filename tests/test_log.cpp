@@ -1,0 +1,50 @@
+// Tests for util/log.h — level gating and formatting.
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace pr {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+  LogLevel previous_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LogTest, SuppressedMessagesDoNotCrash) {
+  set_log_level(LogLevel::kOff);
+  // The macro's formatting must be skipped entirely; these must be no-ops.
+  PR_LOG(kDebug) << "invisible " << 42;
+  PR_LOG(kError) << "also invisible " << 3.14;
+}
+
+TEST_F(LogTest, EmittingMessagesDoesNotCrash) {
+  testing::internal::CaptureStderr();
+  set_log_level(LogLevel::kDebug);
+  PR_LOG(kInfo) << "hello " << 7;
+  PR_LOG(kWarn) << "warn " << 1.5;
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("hello 7"), std::string::npos);
+  EXPECT_NE(err.find("INFO"), std::string::npos);
+  EXPECT_NE(err.find("WARN"), std::string::npos);
+}
+
+TEST_F(LogTest, BelowThresholdIsSilent) {
+  testing::internal::CaptureStderr();
+  set_log_level(LogLevel::kError);
+  PR_LOG(kInfo) << "should not appear";
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pr

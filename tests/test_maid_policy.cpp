@@ -1,0 +1,181 @@
+// Tests for the MAID baseline: cache-disk behaviour, LRU replacement,
+// miss-path copies and data-disk power management.
+#include "policy/maid_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace pr {
+namespace {
+
+FileSet uniform_files(std::size_t m, Bytes size) {
+  std::vector<FileInfo> files(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    files[i].id = static_cast<FileId>(i);
+    files[i].size = size;
+    files[i].access_rate = 1.0;
+  }
+  return FileSet(std::move(files));
+}
+
+SimConfig config(std::size_t disks) {
+  SimConfig c;
+  c.disk_params = two_speed_cheetah();
+  c.disk_count = disks;
+  return c;
+}
+
+Trace repeat_file(FileId f, Bytes size, int n, double spacing) {
+  Trace t;
+  for (int i = 0; i < n; ++i) {
+    Request r;
+    r.arrival = Seconds{spacing * i};
+    r.file = f;
+    r.size = size;
+    t.requests.push_back(r);
+  }
+  return t;
+}
+
+TEST(MaidPolicy, ValidatesConfig) {
+  MaidConfig bad;
+  bad.idleness_threshold = Seconds{0.0};
+  EXPECT_THROW(MaidPolicy{bad}, std::invalid_argument);
+  bad = {};
+  bad.cache_capacity_fraction = 0.0;
+  EXPECT_THROW(MaidPolicy{bad}, std::invalid_argument);
+  bad = {};
+  bad.cache_capacity_fraction = 1.5;
+  EXPECT_THROW(MaidPolicy{bad}, std::invalid_argument);
+}
+
+TEST(MaidPolicy, DefaultsToQuarterCacheDisks) {
+  MaidPolicy policy;
+  const auto files = uniform_files(4, 1000);
+  auto trace = repeat_file(0, 1000, 1, 1.0);
+  (void)run_simulation(config(8), files, trace, policy);
+  EXPECT_EQ(policy.cache_disk_count(), 2u);
+  EXPECT_TRUE(policy.is_cache_disk(0));
+  EXPECT_TRUE(policy.is_cache_disk(1));
+  EXPECT_FALSE(policy.is_cache_disk(2));
+}
+
+TEST(MaidPolicy, RejectsAllCacheConfiguration) {
+  MaidConfig mc;
+  mc.cache_disks = 4;
+  MaidPolicy policy(mc);
+  const auto files = uniform_files(4, 1000);
+  auto trace = repeat_file(0, 1000, 1, 1.0);
+  EXPECT_THROW((void)run_simulation(config(4), files, trace, policy),
+               std::invalid_argument);
+}
+
+TEST(MaidPolicy, FirstAccessMissesThenHits) {
+  MaidConfig mc;
+  mc.cache_disks = 1;
+  MaidPolicy policy(mc);
+  const auto files = uniform_files(3, 10 * kKiB);
+  const auto trace = repeat_file(0, 10 * kKiB, 5, 1.0);
+  const auto result = run_simulation(config(3), files, trace, policy);
+  EXPECT_EQ(result.counters.at("maid.cache_miss"), 1u);
+  EXPECT_EQ(result.counters.at("maid.cache_hit"), 4u);
+  EXPECT_EQ(result.counters.at("maid.cache_fill"), 1u);
+  EXPECT_TRUE(policy.is_cached(0));
+  // The four hits were served by the cache disk (disk 0).
+  EXPECT_EQ(result.ledgers[0].requests, 4u);
+}
+
+TEST(MaidPolicy, MissCopiesToCacheDisk) {
+  MaidConfig mc;
+  mc.cache_disks = 1;
+  MaidPolicy policy(mc);
+  const auto files = uniform_files(2, 8 * kKiB);
+  const auto trace = repeat_file(1, 8 * kKiB, 1, 1.0);
+  const auto result = run_simulation(config(3), files, trace, policy);
+  // Copy = internal read on the data disk + internal write on cache disk.
+  EXPECT_EQ(result.ledgers[0].internal_ops, 1u);
+  std::uint64_t data_internal = result.ledgers[1].internal_ops +
+                                result.ledgers[2].internal_ops;
+  EXPECT_EQ(data_internal, 1u);
+}
+
+TEST(MaidPolicy, LruEvictionUnderTinyBudget) {
+  // Budget of ~2 files: accessing 3 files evicts the least recent.
+  MaidConfig mc;
+  mc.cache_disks = 1;
+  auto cfg = config(3);
+  cfg.disk_params.capacity = 20 * kKiB;  // 1 cache disk => 20 KiB budget
+  MaidPolicy policy(mc);
+  const auto files = uniform_files(3, 10 * kKiB);
+  Trace trace;
+  double t = 0.0;
+  for (FileId f : {0u, 1u, 2u}) {
+    Request r;
+    r.arrival = Seconds{t += 1.0};
+    r.file = f;
+    r.size = 10 * kKiB;
+    trace.requests.push_back(r);
+  }
+  const auto result = run_simulation(cfg, files, trace, policy);
+  EXPECT_EQ(result.counters.at("maid.cache_evict"), 1u);
+  EXPECT_FALSE(policy.is_cached(0));  // LRU victim
+  EXPECT_TRUE(policy.is_cached(1));
+  EXPECT_TRUE(policy.is_cached(2));
+}
+
+TEST(MaidPolicy, OversizedFileBypassesCache) {
+  MaidConfig mc;
+  mc.cache_disks = 1;
+  auto cfg = config(2);
+  cfg.disk_params.capacity = 4 * kKiB;
+  MaidPolicy policy(mc);
+  const auto files = uniform_files(1, 8 * kKiB);
+  const auto trace = repeat_file(0, 8 * kKiB, 3, 1.0);
+  const auto result = run_simulation(cfg, files, trace, policy);
+  EXPECT_EQ(result.counters.at("maid.cache_miss"), 3u);
+  EXPECT_EQ(result.counters.count("maid.cache_fill"), 0u);
+  EXPECT_FALSE(policy.is_cached(0));
+}
+
+TEST(MaidPolicy, CacheDisksStayHighDataDisksRest) {
+  MaidConfig mc;
+  mc.cache_disks = 1;
+  mc.idleness_threshold = Seconds{5.0};
+  MaidPolicy policy(mc);
+  const auto files = uniform_files(2, 10 * kKiB);
+  // One access wakes data disk; long tail lets it spin back down; late
+  // request keeps the horizon long.
+  Trace trace = repeat_file(0, 10 * kKiB, 1, 1.0);
+  Request late;
+  late.arrival = Seconds{500.0};
+  late.file = 0;
+  late.size = 10 * kKiB;
+  trace.requests.push_back(late);
+  const auto result = run_simulation(config(3), files, trace, policy);
+  // Cache disk: always high, zero transitions.
+  EXPECT_EQ(result.ledgers[0].transitions, 0u);
+  EXPECT_DOUBLE_EQ(result.ledgers[0].time_at_low.value(), 0.0);
+  // Data disks started low and only the miss target spun up.
+  std::uint64_t data_up = result.ledgers[1].transitions_up +
+                          result.ledgers[2].transitions_up;
+  EXPECT_EQ(data_up, 1u);
+}
+
+TEST(MaidPolicy, HitRateGrowsWithLocality) {
+  MaidPolicy policy;
+  const auto files = uniform_files(10, 4 * kKiB);
+  Trace trace;
+  // 200 requests over only 10 files: ≥95% hits after compulsory misses.
+  for (int i = 0; i < 200; ++i) {
+    Request r;
+    r.arrival = Seconds{0.5 * i};
+    r.file = static_cast<FileId>(i % 10);
+    r.size = 4 * kKiB;
+    trace.requests.push_back(r);
+  }
+  const auto result = run_simulation(config(8), files, trace, policy);
+  EXPECT_EQ(result.counters.at("maid.cache_miss"), 10u);
+  EXPECT_EQ(result.counters.at("maid.cache_hit"), 190u);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,134 @@
+// Tests for the Monte-Carlo array-lifetime simulator, including
+// cross-validation against the closed-form MTTDL expressions.
+#include "press/montecarlo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pr {
+namespace {
+
+TEST(MonteCarlo, ValidatesInputs) {
+  const std::vector<double> afrs{0.05, 0.05};
+  MonteCarloConfig cfg;
+  EXPECT_THROW(
+      (void)simulate_array_lifetime(RaidLevel::kRaid5, {}, cfg),
+      std::invalid_argument);
+  const std::vector<double> bad{0.05, 0.0};
+  EXPECT_THROW((void)simulate_array_lifetime(RaidLevel::kRaid5, bad, cfg),
+               std::invalid_argument);
+  cfg.trials = 0;
+  EXPECT_THROW((void)simulate_array_lifetime(RaidLevel::kRaid5, afrs, cfg),
+               std::invalid_argument);
+  cfg = {};
+  cfg.horizon_years = 0.0;
+  EXPECT_THROW((void)simulate_array_lifetime(RaidLevel::kRaid5, afrs, cfg),
+               std::invalid_argument);
+  cfg = {};
+  cfg.mttr = Seconds{0.0};
+  EXPECT_THROW((void)simulate_array_lifetime(RaidLevel::kRaid5, afrs, cfg),
+               std::invalid_argument);
+}
+
+TEST(MonteCarlo, FaultTolerances) {
+  EXPECT_EQ(fault_tolerance(RaidLevel::kRaid0), 0u);
+  EXPECT_EQ(fault_tolerance(RaidLevel::kRaid1), 1u);
+  EXPECT_EQ(fault_tolerance(RaidLevel::kRaid5), 1u);
+  EXPECT_EQ(fault_tolerance(RaidLevel::kRaid6), 2u);
+}
+
+TEST(MonteCarlo, DeterministicForSeed) {
+  const std::vector<double> afrs(8, 0.08);
+  MonteCarloConfig cfg;
+  cfg.trials = 200;
+  const auto a = simulate_array_lifetime(RaidLevel::kRaid5, afrs, cfg);
+  const auto b = simulate_array_lifetime(RaidLevel::kRaid5, afrs, cfg);
+  EXPECT_DOUBLE_EQ(a.loss_probability, b.loss_probability);
+  EXPECT_DOUBLE_EQ(a.mean_failures, b.mean_failures);
+}
+
+TEST(MonteCarlo, Raid0LossMatchesFirstFailure) {
+  // RAID0 loses data at the first failure: over a horizon T with n disks
+  // at rate λ each, P(loss) = 1 − e^(−nλT).
+  const std::vector<double> afrs(4, 0.10);
+  MonteCarloConfig cfg;
+  cfg.horizon_years = 1.0;
+  cfg.trials = 4'000;
+  const auto r = simulate_array_lifetime(RaidLevel::kRaid0, afrs, cfg);
+  const double expected = 1.0 - std::exp(-4.0 * 0.10 * 1.0);
+  EXPECT_NEAR(r.loss_probability, expected, 0.03);
+}
+
+TEST(MonteCarlo, MeanFailuresMatchesAfrSum) {
+  // Failures per trial ≈ Σ AFR × years (repairs are fast; loss resets are
+  // rare at these rates).
+  const std::vector<double> afrs{0.02, 0.04, 0.06, 0.08};
+  MonteCarloConfig cfg;
+  cfg.horizon_years = 5.0;
+  cfg.trials = 2'000;
+  const auto r = simulate_array_lifetime(RaidLevel::kRaid6, afrs, cfg);
+  const double expected = (0.02 + 0.04 + 0.06 + 0.08) * 5.0;
+  EXPECT_NEAR(r.mean_failures, expected, expected * 0.1);
+}
+
+TEST(MonteCarlo, AgreesWithClosedFormRaid5) {
+  // At moderate rates the closed form and the simulation must agree on
+  // the annual loss probability within Monte-Carlo noise.
+  MttdlInputs in;
+  in.disk_afr = 0.30;  // high AFR so losses are observable in few trials
+  in.disks = 8;
+  in.mttr = Seconds{72.0 * 3600.0};
+  const double closed = annual_data_loss_probability(RaidLevel::kRaid5, in);
+
+  const std::vector<double> afrs(in.disks, in.disk_afr);
+  MonteCarloConfig cfg;
+  cfg.horizon_years = 1.0;
+  cfg.trials = 20'000;
+  cfg.mttr = in.mttr;
+  const auto mc = simulate_array_lifetime(RaidLevel::kRaid5, afrs, cfg);
+  EXPECT_NEAR(mc.loss_probability, closed, std::max(0.005, closed * 0.35));
+}
+
+TEST(MonteCarlo, RedundancyOrdering) {
+  const std::vector<double> afrs(8, 0.25);
+  MonteCarloConfig cfg;
+  cfg.horizon_years = 3.0;
+  cfg.trials = 3'000;
+  cfg.mttr = Seconds{72.0 * 3600.0};
+  const auto raid0 = simulate_array_lifetime(RaidLevel::kRaid0, afrs, cfg);
+  const auto raid5 = simulate_array_lifetime(RaidLevel::kRaid5, afrs, cfg);
+  const auto raid6 = simulate_array_lifetime(RaidLevel::kRaid6, afrs, cfg);
+  EXPECT_GT(raid0.loss_probability, raid5.loss_probability);
+  EXPECT_GT(raid5.loss_probability, raid6.loss_probability);
+}
+
+TEST(MonteCarlo, WorseBottleneckDiskRaisesRisk) {
+  // The PRESS use case: identical arrays except one disk's AFR (the
+  // energy policy's victim) — the heterogeneous array must be riskier.
+  std::vector<double> uniform(8, 0.05);
+  std::vector<double> skewed(8, 0.05);
+  skewed[0] = 0.60;
+  MonteCarloConfig cfg;
+  cfg.horizon_years = 3.0;
+  cfg.trials = 6'000;
+  cfg.mttr = Seconds{72.0 * 3600.0};
+  const auto base = simulate_array_lifetime(RaidLevel::kRaid5, uniform, cfg);
+  const auto hot = simulate_array_lifetime(RaidLevel::kRaid5, skewed, cfg);
+  EXPECT_GT(hot.loss_probability, base.loss_probability);
+  EXPECT_GT(hot.mean_failures, base.mean_failures);
+}
+
+TEST(MonteCarlo, FirstLossTimeWithinHorizon) {
+  const std::vector<double> afrs(6, 0.5);
+  MonteCarloConfig cfg;
+  cfg.horizon_years = 2.0;
+  cfg.trials = 1'000;
+  const auto r = simulate_array_lifetime(RaidLevel::kRaid0, afrs, cfg);
+  ASSERT_GT(r.loss_probability, 0.5);
+  EXPECT_GT(r.mean_hours_to_first_loss, 0.0);
+  EXPECT_LT(r.mean_hours_to_first_loss, 2.0 * 8'760.0);
+}
+
+}  // namespace
+}  // namespace pr

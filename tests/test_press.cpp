@@ -1,0 +1,325 @@
+// Tests for the PRESS model (§3): the three ESRRA reliability functions,
+// the Coffin–Manson derivation chain (verified against the paper's printed
+// intermediate constants), and the reliability integrator.
+#include "press/press_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pr {
+namespace {
+
+// ---------------------------------------------------------------- Fig. 2b
+TEST(TemperatureFn, AnchorValues) {
+  EXPECT_DOUBLE_EQ(temperature_afr(Celsius{25.0}), 0.045);
+  EXPECT_DOUBLE_EQ(temperature_afr(Celsius{40.0}), 0.095);
+  EXPECT_DOUBLE_EQ(temperature_afr(Celsius{50.0}), 0.145);
+}
+
+TEST(TemperatureFn, LinearBetweenAnchors) {
+  EXPECT_NEAR(temperature_afr(Celsius{37.5}), (0.055 + 0.095) / 2.0, 1e-12);
+  EXPECT_NEAR(temperature_afr(Celsius{42.5}), (0.095 + 0.120) / 2.0, 1e-12);
+}
+
+TEST(TemperatureFn, ClampsOutsideDomain) {
+  EXPECT_DOUBLE_EQ(temperature_afr(Celsius{10.0}), 0.045);
+  EXPECT_DOUBLE_EQ(temperature_afr(Celsius{80.0}), 0.145);
+}
+
+TEST(TemperatureFn, MonotoneNonDecreasing) {
+  double prev = 0.0;
+  for (double t = 20.0; t <= 55.0; t += 0.25) {
+    const double afr = temperature_afr(Celsius{t});
+    EXPECT_GE(afr, prev) << "at " << t;
+    prev = afr;
+  }
+}
+
+TEST(TemperatureFn, PaperOperatingPointsDiffer) {
+  // §3.5: disks at low speed run at 40 °C, high speed at 50 °C; the gap is
+  // what READ's zoning trades against.
+  EXPECT_GT(temperature_afr(Celsius{50.0}), temperature_afr(Celsius{40.0}));
+}
+
+// ---------------------------------------------------------------- Fig. 3b
+TEST(UtilizationFn, Banding) {
+  EXPECT_EQ(utilization_band(0.30), UtilizationBand::kLow);
+  EXPECT_EQ(utilization_band(0.50), UtilizationBand::kMedium);
+  EXPECT_EQ(utilization_band(0.74), UtilizationBand::kMedium);
+  EXPECT_EQ(utilization_band(0.75), UtilizationBand::kHigh);
+  EXPECT_EQ(utilization_band(1.00), UtilizationBand::kHigh);
+  // Below the 25% floor clamps into the low band.
+  EXPECT_EQ(utilization_band(0.01), UtilizationBand::kLow);
+}
+
+TEST(UtilizationFn, AnchorValues) {
+  EXPECT_DOUBLE_EQ(utilization_afr(0.375), 0.025);
+  EXPECT_DOUBLE_EQ(utilization_afr(0.625), 0.035);
+  EXPECT_DOUBLE_EQ(utilization_afr(0.875), 0.065);
+}
+
+TEST(UtilizationFn, InterpolatesAndClamps) {
+  EXPECT_NEAR(utilization_afr(0.500), 0.030, 1e-12);
+  EXPECT_DOUBLE_EQ(utilization_afr(0.10), 0.025);   // clamped to floor
+  EXPECT_DOUBLE_EQ(utilization_afr(1.00), 0.065);   // flat past midpoint
+}
+
+TEST(UtilizationFn, MonotoneNonDecreasing) {
+  double prev = 0.0;
+  for (double u = 0.0; u <= 1.0; u += 0.01) {
+    const double afr = utilization_afr(u);
+    EXPECT_GE(afr, prev) << "at " << u;
+    prev = afr;
+  }
+}
+
+// ------------------------------------------------------------- Eq. 1 & 2
+TEST(CoffinManson, ArrheniusMatchesPaperG) {
+  // §3.4: G(Tmax) = A·3.2275e-20 at Tmax = 50 °C (Ea = 1.25,
+  // K = 8.617e-5, T = 323.16 K). Our closed-form evaluation should land
+  // within rounding distance of the printed constant.
+  const double g = arrhenius_g(Celsius{50.0});
+  EXPECT_NEAR(g / 3.2275e-20, 1.0, 0.02);
+}
+
+TEST(CoffinManson, ArrheniusDecreasesWithLowerTemperature) {
+  EXPECT_LT(arrhenius_g(Celsius{45.0}), arrhenius_g(Celsius{50.0}));
+}
+
+TEST(CoffinManson, CalibrationReproducesPaperAA0) {
+  // §3.4: A·A0 = 2.564317e26 from Nf = 50,000, f = 25/day, ΔT = 22,
+  // Tmax = 50 °C.
+  const double a_a0 = calibrate_a_a0(50'000.0, 25.0, 22.0, Celsius{50.0});
+  EXPECT_NEAR(a_a0 / 2.564317e26, 1.0, 0.02);
+}
+
+TEST(CoffinManson, RoundTripCalibration) {
+  const double a_a0 = calibrate_a_a0(50'000.0, 25.0, 22.0, Celsius{50.0});
+  const double nf = cycles_to_failure(a_a0, 25.0, 22.0, Celsius{50.0});
+  EXPECT_NEAR(nf, 50'000.0, 1e-6);
+}
+
+TEST(CoffinManson, DerivationMatchesPaperNumbers) {
+  const auto d = derive_speed_transition_damage();
+  // N'f ≈ 118,529 speed transitions to failure (§3.4).
+  EXPECT_NEAR(d.transitions_to_failure / 118'529.0, 1.0, 0.02);
+  // "roughly twice of Nf": a transition does ~half a start/stop's damage.
+  EXPECT_NEAR(d.damage_ratio, 2.37, 0.05);
+  // §3.5 insight: ≈65 transitions/day budget for a 5-year warranty.
+  EXPECT_NEAR(d.daily_limit_5yr, 65.0, 1.0);
+}
+
+TEST(CoffinManson, NistConventionDiffersByFrequencyFactorSquared) {
+  // Under the literal f^(−1/3) the calibrated constant absorbs the
+  // difference; with equal cycling frequencies on both sides of the
+  // derivation the damage *ratio* is identical.
+  const auto paper = derive_speed_transition_damage(
+      FrequencyExponentConvention::kPaper);
+  const auto nist = derive_speed_transition_damage(
+      FrequencyExponentConvention::kNist);
+  EXPECT_NEAR(paper.damage_ratio, nist.damage_ratio, 1e-9);
+  EXPECT_NEAR(nist.a_a0 / paper.a_a0, std::pow(25.0, 2.0 / 3.0), 1e-6);
+}
+
+TEST(CoffinManson, InvalidInputsThrow) {
+  EXPECT_THROW((void)frequency_factor(0.0, FrequencyExponentConvention::kPaper),
+               std::invalid_argument);
+  EXPECT_THROW((void)calibrate_a_a0(-1.0, 25.0, 22.0, Celsius{50.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)calibrate_a_a0(1.0, 25.0, 0.0, Celsius{50.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)cycles_to_failure(0.0, 25.0, 22.0, Celsius{50.0}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- Fig. 4
+TEST(FrequencyFn, Eq3Coefficients) {
+  EXPECT_DOUBLE_EQ(kEq3A, 1.51e-5);
+  EXPECT_DOUBLE_EQ(kEq3B, -1.09e-4);
+  EXPECT_DOUBLE_EQ(kEq3C, 1.39e-4);
+}
+
+TEST(FrequencyFn, Eq3KnownValues) {
+  EXPECT_NEAR(eq3_frequency_afr(0.0), 1.39e-4, 1e-12);
+  EXPECT_NEAR(eq3_frequency_afr(10.0), 1.51e-3 - 1.09e-3 + 1.39e-4, 1e-12);
+  // At the paper's 65/day warranty limit the adder is ≈5.7% AFR.
+  EXPECT_NEAR(eq3_frequency_afr(65.0), 0.05685, 5e-4);
+}
+
+TEST(FrequencyFn, Eq3FlooredAtZeroInDipRegion) {
+  // The printed polynomial dips below zero between its roots (~1.66 and
+  // ~5.56 per day); a failure *rate adder* cannot be negative.
+  EXPECT_DOUBLE_EQ(eq3_frequency_afr(3.0), 0.0);
+  EXPECT_GT(eq3_frequency_afr(6.0), 0.0);
+}
+
+TEST(FrequencyFn, Eq3ClampsToDomainMax) {
+  EXPECT_DOUBLE_EQ(eq3_frequency_afr(1600.0), eq3_frequency_afr(99'999.0));
+}
+
+TEST(FrequencyFn, Eq3RejectsNegative) {
+  EXPECT_THROW((void)eq3_frequency_afr(-1.0), std::invalid_argument);
+}
+
+TEST(FrequencyFn, Eq3MonotoneAboveDip) {
+  double prev = 0.0;
+  for (double f = 6.0; f <= 1600.0; f += 1.0) {
+    const double r = eq3_frequency_afr(f);
+    EXPECT_GE(r, prev) << "at f=" << f;
+    prev = r;
+  }
+}
+
+TEST(FrequencyFn, IdemaAnchors) {
+  // Fig. 4a: 0 at 0; the paper quotes ~0.15 AFR added at a 10/day rate
+  // (≈300-350 per month); our fit passes exactly through (175, 0.06) and
+  // (350, 0.15).
+  EXPECT_DOUBLE_EQ(idema_start_stop_adder(0.0), 0.0);
+  EXPECT_NEAR(idema_start_stop_adder(175.0), 0.06, 1e-12);
+  EXPECT_NEAR(idema_start_stop_adder(350.0), 0.15, 1e-12);
+}
+
+TEST(FrequencyFn, IdemaConvexAndMonotone) {
+  double prev = 0.0;
+  double prev_slope = 0.0;
+  for (double x = 10.0; x <= 1600.0; x += 10.0) {
+    const double v = idema_start_stop_adder(x);
+    EXPECT_GE(v, prev);
+    const double slope = v - prev;
+    EXPECT_GE(slope, prev_slope - 1e-12);  // convex
+    prev = v;
+    prev_slope = slope;
+  }
+}
+
+TEST(FrequencyFn, HalvedIdemaIsHalf) {
+  for (double f : {10.0, 100.0, 350.0}) {
+    EXPECT_NEAR(halved_idema_frequency_afr(f),
+                0.5 * idema_start_stop_adder(f), 1e-12);
+  }
+}
+
+TEST(FrequencyFn, CurveSelector) {
+  EXPECT_DOUBLE_EQ(frequency_afr(50.0, FrequencyCurve::kEq3),
+                   eq3_frequency_afr(50.0));
+  EXPECT_DOUBLE_EQ(frequency_afr(50.0, FrequencyCurve::kHalvedIdema),
+                   halved_idema_frequency_afr(50.0));
+}
+
+// ------------------------------------------------------------------ PRESS
+DiskTelemetry telemetry(double temp_c, double util, double f_per_day) {
+  DiskTelemetry t;
+  t.temperature = Celsius{temp_c};
+  t.utilization = util;
+  t.transitions_per_day = f_per_day;
+  return t;
+}
+
+TEST(PressModel, SumIntegratorAddsFactors) {
+  PressModel press;  // default kSum + Eq3
+  const auto t = telemetry(40.0, 0.5, 0.0);
+  const auto b = press.breakdown(t);
+  EXPECT_DOUBLE_EQ(b.temperature_afr, 0.095);
+  EXPECT_DOUBLE_EQ(b.utilization_afr, 0.030);
+  EXPECT_NEAR(b.frequency_afr, 1.39e-4, 1e-12);
+  EXPECT_NEAR(b.combined_afr,
+              b.temperature_afr + b.utilization_afr + b.frequency_afr,
+              1e-12);
+  EXPECT_DOUBLE_EQ(press.disk_afr(t), b.combined_afr);
+}
+
+TEST(PressModel, MaxIntegrator) {
+  PressModel press({IntegratorStrategy::kMax, FrequencyCurve::kEq3});
+  const auto t = telemetry(50.0, 0.3, 100.0);
+  const auto b = press.breakdown(t);
+  EXPECT_DOUBLE_EQ(b.combined_afr,
+                   std::max({b.temperature_afr, b.utilization_afr,
+                             b.frequency_afr}));
+}
+
+TEST(PressModel, IndependentHazardsIntegrator) {
+  PressModel press(
+      {IntegratorStrategy::kIndependentHazards, FrequencyCurve::kEq3});
+  const auto t = telemetry(40.0, 0.5, 0.0);
+  const auto b = press.breakdown(t);
+  EXPECT_NEAR(b.combined_afr,
+              1.0 - (1.0 - 0.095) * (1.0 - 0.030) * (1.0 - 1.39e-4), 1e-12);
+}
+
+TEST(PressModel, CombinedAfrClampedToOne) {
+  PressModel press;
+  // 500 transitions/day puts Eq. 3 far above 1.
+  EXPECT_DOUBLE_EQ(press.disk_afr(telemetry(50.0, 1.0, 500.0)), 1.0);
+}
+
+TEST(PressModel, ArrayAfrIsWorstDisk) {
+  PressModel press;
+  std::vector<DiskTelemetry> disks = {
+      telemetry(40.0, 0.3, 0.0),
+      telemetry(50.0, 0.9, 30.0),  // worst
+      telemetry(40.0, 0.5, 10.0),
+  };
+  const double worst = press.disk_afr(disks[1]);
+  EXPECT_DOUBLE_EQ(press.array_afr(disks), worst);
+}
+
+TEST(PressModel, EmptyArrayHasZeroAfr) {
+  PressModel press;
+  EXPECT_DOUBLE_EQ(press.array_afr({}), 0.0);
+}
+
+TEST(PressModel, RecommendedTransitionBudgetNear65) {
+  EXPECT_NEAR(PressModel::recommended_max_transitions_per_day(), 65.0, 1.0);
+}
+
+/// §3.5 insight 1: frequency dominates the other two factors over most of
+/// its domain — parameterized check at several operating points.
+class FrequencyDominance : public ::testing::TestWithParam<double> {};
+
+TEST_P(FrequencyDominance, FrequencyTermExceedsOthersAtHighRates) {
+  const double f = GetParam();
+  PressModel press;
+  const auto b = press.breakdown(telemetry(50.0, 1.0, f));
+  EXPECT_GT(b.frequency_afr, b.temperature_afr);
+  EXPECT_GT(b.frequency_afr, b.utilization_afr);
+}
+
+INSTANTIATE_TEST_SUITE_P(HighRates, FrequencyDominance,
+                         ::testing::Values(120.0, 200.0, 400.0, 800.0,
+                                           1600.0));
+
+/// Monotonicity property sweep: AFR must never decrease when any single
+/// ESRRA factor increases (above Eq. 3's dip region).
+class PressMonotonicity
+    : public ::testing::TestWithParam<IntegratorStrategy> {};
+
+TEST_P(PressMonotonicity, MonotoneInEachFactor) {
+  PressModel press({GetParam(), FrequencyCurve::kEq3});
+  double prev = -1.0;
+  for (double temp = 25.0; temp <= 50.0; temp += 1.0) {
+    const double afr = press.disk_afr(telemetry(temp, 0.5, 50.0));
+    EXPECT_GE(afr, prev);
+    prev = afr;
+  }
+  prev = -1.0;
+  for (double util = 0.25; util <= 1.0; util += 0.05) {
+    const double afr = press.disk_afr(telemetry(45.0, util, 50.0));
+    EXPECT_GE(afr, prev);
+    prev = afr;
+  }
+  prev = -1.0;
+  for (double f = 6.0; f <= 1600.0; f += 25.0) {
+    const double afr = press.disk_afr(telemetry(45.0, 0.5, f));
+    EXPECT_GE(afr, prev);
+    prev = afr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIntegrators, PressMonotonicity,
+    ::testing::Values(IntegratorStrategy::kSum, IntegratorStrategy::kMax,
+                      IntegratorStrategy::kIndependentHazards));
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,245 @@
+// Tests for the READ policy (Fig. 6): zoning & placement, epoch
+// re-categorisation + migration, the adaptive idleness threshold, and the
+// hard per-day transition cap S.
+#include "policy/read_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/synthetic.h"
+
+namespace pr {
+namespace {
+
+FileSet skewed_files(std::size_t m) {
+  // File i: size grows with i, rate shrinks — the size/popularity
+  // anti-correlation READ's initial placement assumes.
+  std::vector<FileInfo> files(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    files[i].id = static_cast<FileId>(i);
+    files[i].size = 1000 * (i + 1);
+    files[i].access_rate = 100.0 / static_cast<double>(i + 1);
+  }
+  return FileSet(std::move(files));
+}
+
+SimConfig config(std::size_t disks) {
+  SimConfig c;
+  c.disk_params = two_speed_cheetah();
+  c.disk_count = disks;
+  return c;
+}
+
+TEST(ReadPolicy, ValidatesConfig) {
+  ReadConfig bad;
+  bad.theta = 1.5;
+  EXPECT_THROW(ReadPolicy{bad}, std::invalid_argument);
+  bad = {};
+  bad.max_transitions_per_day = 0;
+  EXPECT_THROW(ReadPolicy{bad}, std::invalid_argument);
+  bad = {};
+  bad.idleness_threshold = Seconds{0.0};
+  EXPECT_THROW(ReadPolicy{bad}, std::invalid_argument);
+}
+
+TEST(ReadPolicy, InitialZoningAndSpeeds) {
+  ReadConfig rc;
+  rc.theta = 0.5;
+  ReadPolicy policy(rc);
+  const auto files = skewed_files(20);
+  Trace trace;  // empty run still initializes placement
+  Request r;
+  r.arrival = Seconds{0.0};
+  r.file = 0;
+  r.size = files[0].size;
+  trace.requests.push_back(r);
+
+  const auto result = run_simulation(config(8), files, trace, policy);
+  const auto& z = policy.zoning();
+  EXPECT_EQ(z.popular_files, 10u);
+  EXPECT_GE(z.hot_disks, 1u);
+  EXPECT_GE(z.cold_disks, 1u);
+  // Hot disks spent the run at 50 °C (high), cold at 40 °C (low).
+  for (std::size_t d = 0; d < 8; ++d) {
+    const bool hot = policy.is_hot_disk(static_cast<DiskId>(d));
+    if (hot) {
+      EXPECT_GT(result.ledgers[d].time_at_high.value(), 0.0) << d;
+      EXPECT_DOUBLE_EQ(result.ledgers[d].time_at_low.value(), 0.0) << d;
+    } else {
+      EXPECT_GT(result.ledgers[d].time_at_low.value(), 0.0) << d;
+      EXPECT_DOUBLE_EQ(result.ledgers[d].time_at_high.value(), 0.0) << d;
+    }
+  }
+}
+
+TEST(ReadPolicy, PopularFilesLandInHotZone) {
+  ReadConfig rc;
+  rc.theta = 0.5;
+  ReadPolicy policy(rc);
+  const auto files = skewed_files(20);
+  Trace trace;
+  Request r;
+  r.arrival = Seconds{0.0};
+  r.file = 0;
+  r.size = files[0].size;
+  trace.requests.push_back(r);
+  (void)run_simulation(config(8), files, trace, policy);
+
+  // Smallest 10 files (ids 0..9 by construction) are the popular set.
+  for (FileId f = 0; f < 10; ++f) EXPECT_TRUE(policy.is_hot_file(f)) << f;
+  for (FileId f = 10; f < 20; ++f) EXPECT_FALSE(policy.is_hot_file(f)) << f;
+}
+
+TEST(ReadPolicy, EpochMigratesReCategorisedFiles) {
+  // Start with the size heuristic, then drive accesses exclusively to a
+  // *large* file: after one epoch it must be re-categorised hot, and a
+  // previously-hot file must go cold.
+  ReadConfig rc;
+  rc.theta = 0.5;
+  ReadPolicy policy(rc);
+  const auto files = skewed_files(10);
+  auto cfg = config(4);
+  cfg.epoch = Seconds{100.0};
+
+  Trace trace;
+  // 50 accesses to file 9 (largest => initially cold) before the epoch...
+  for (int i = 0; i < 50; ++i) {
+    Request r;
+    r.arrival = Seconds{1.0 * i};
+    r.file = 9;
+    r.size = files[9].size;
+    trace.requests.push_back(r);
+  }
+  // ...and one access after it so the epoch boundary fires.
+  Request late;
+  late.arrival = Seconds{150.0};
+  late.file = 9;
+  late.size = files[9].size;
+  trace.requests.push_back(late);
+
+  EXPECT_FALSE([&] {
+    ReadPolicy probe(rc);
+    Trace t0;
+    t0.requests.push_back(trace.requests[0]);
+    (void)run_simulation(cfg, files, t0, probe);
+    return probe.is_hot_file(9);
+  }());
+
+  const auto result = run_simulation(cfg, files, trace, policy);
+  EXPECT_TRUE(policy.is_hot_file(9));
+  EXPECT_GT(result.migrations, 0u);
+}
+
+TEST(ReadPolicy, RouteFollowsPlacement) {
+  ReadConfig rc;
+  rc.theta = 0.5;
+  ReadPolicy policy(rc);
+  const auto files = skewed_files(12);
+  Trace trace;
+  for (FileId f = 0; f < 12; ++f) {
+    Request r;
+    r.arrival = Seconds{static_cast<double>(f)};
+    r.file = f;
+    r.size = files[f].size;
+    trace.requests.push_back(r);
+  }
+  const auto result = run_simulation(config(6), files, trace, policy);
+  // Every request lands somewhere; totals must match.
+  std::uint64_t served = 0;
+  for (const auto& l : result.ledgers) served += l.requests;
+  EXPECT_EQ(served, 12u);
+}
+
+/// §5.2's guarantee, tested as a property over seeds: with S = 40, no disk
+/// ever exceeds 40 transitions in any simulated day.
+class ReadTransitionCap : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReadTransitionCap, NeverExceedsBudget) {
+  SyntheticWorkloadConfig wc;
+  wc.file_count = 300;
+  wc.request_count = 40'000;
+  wc.seed = GetParam();
+  // Sparse-ish arrivals so idle windows actually trigger DPM.
+  wc.mean_interarrival = Seconds{0.4};
+  const auto w = generate_workload(wc);
+
+  ReadConfig rc;
+  rc.max_transitions_per_day = 40;
+  rc.idleness_threshold = Seconds{2.0};
+  ReadPolicy policy(rc);
+  auto cfg = config(6);
+  cfg.epoch = Seconds{600.0};
+  const auto result = run_simulation(cfg, w.files, w.trace, policy);
+
+  const double days =
+      result.horizon.value() / kSecondsPerDay.value();
+  for (const auto& l : result.ledgers) {
+    // Budget applies per day; over the whole horizon the count cannot
+    // exceed S × ceil(days) + 1 (the final spin-up of a pair).
+    EXPECT_LE(l.transitions,
+              40.0 * std::ceil(days) + 1.0)
+        << "seed " << GetParam();
+  }
+  EXPECT_LE(result.max_transitions_per_day, 40.0 / std::min(1.0, days) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReadTransitionCap,
+                         ::testing::Values(1u, 7u, 42u, 1234u));
+
+TEST(ReadPolicy, AdaptiveThresholdDoublesUnderPressure) {
+  // Construct a workload with many 3-second gaps against H = 2 s so the
+  // hot disk spins up/down frequently; after enough transitions the epoch
+  // hook must double H (we observe the effect: transition rate drops and
+  // the cap is never blown).
+  ReadConfig rc;
+  rc.theta = 0.5;
+  rc.max_transitions_per_day = 10;
+  rc.idleness_threshold = Seconds{2.0};
+  ReadPolicy policy(rc);
+
+  const auto files = skewed_files(4);
+  auto cfg = config(2);
+  cfg.epoch = Seconds{50.0};
+
+  Trace trace;
+  for (int i = 0; i < 300; ++i) {
+    Request r;
+    r.arrival = Seconds{3.0 * i};
+    r.file = 0;  // hottest file => hot zone
+    r.size = files[0].size;
+    trace.requests.push_back(r);
+  }
+  const auto result = run_simulation(cfg, files, trace, policy);
+  // 300 gaps of 3 s would mean ~300 spin-down/up pairs unconstrained; the
+  // cap + adaptive H must keep each disk within budget (horizon < 1 day).
+  for (const auto& l : result.ledgers) {
+    EXPECT_LE(l.transitions, 10u);
+  }
+}
+
+TEST(ReadPolicy, ColdZoneNeverTransitions) {
+  ReadConfig rc;
+  rc.theta = 0.5;
+  ReadPolicy policy(rc);
+  const auto files = skewed_files(20);
+  Trace trace;
+  for (int i = 0; i < 200; ++i) {
+    Request r;
+    r.arrival = Seconds{0.5 * i};
+    r.file = static_cast<FileId>(i % 20);
+    r.size = files[i % 20].size;
+    trace.requests.push_back(r);
+  }
+  auto cfg = config(8);
+  cfg.epoch = Seconds{1e9};  // no epochs: membership fixed
+  const auto result = run_simulation(cfg, files, trace, policy);
+  for (DiskId d = 0; d < 8; ++d) {
+    if (!policy.is_hot_disk(d)) {
+      EXPECT_EQ(result.ledgers[d].transitions, 0u) << d;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,92 @@
+// Tests for the JSON report emitter.
+#include "core/report_io.h"
+
+#include <gtest/gtest.h>
+
+#include "policy/read_policy.h"
+#include "workload/synthetic.h"
+
+namespace pr {
+namespace {
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("x\x01y", 3)), "x\\u0001y");
+}
+
+SystemReport sample_report() {
+  SyntheticWorkloadConfig wc;
+  wc.file_count = 100;
+  wc.request_count = 3'000;
+  wc.seed = 3;
+  const auto w = generate_workload(wc);
+  SystemConfig cfg;
+  cfg.sim.disk_count = 4;
+  ReadPolicy policy;
+  return evaluate(cfg, w.files, w.trace, policy);
+}
+
+TEST(ReportJson, ContainsRunLevelFields) {
+  const auto report = sample_report();
+  const std::string json = to_json(report);
+  EXPECT_NE(json.find("\"policy\":\"READ\""), std::string::npos);
+  EXPECT_NE(json.find("\"requests\":3000"), std::string::npos);
+  EXPECT_NE(json.find("\"array_afr\":"), std::string::npos);
+  EXPECT_NE(json.find("\"energy_joules\":"), std::string::npos);
+  EXPECT_NE(json.find("\"disks\":["), std::string::npos);
+  EXPECT_NE(json.find("\"afr\":{"), std::string::npos);
+}
+
+TEST(ReportJson, PerDiskEntriesMatchArraySize) {
+  const auto report = sample_report();
+  const std::string json = to_json(report);
+  std::size_t count = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"temperature_c\":", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(ReportJson, StructurallyBalanced) {
+  // Cheap well-formedness check: balanced braces/brackets and no trailing
+  // comma before a closer.
+  const std::string json = to_json(sample_report());
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  char prev = '\0';
+  for (const char c : json) {
+    if (in_string) {
+      if (c == '"' && prev != '\\') in_string = false;
+    } else {
+      if (c == '"') in_string = true;
+      if (c == '{') ++braces;
+      if (c == '}') --braces;
+      if (c == '[') ++brackets;
+      if (c == ']') --brackets;
+      if ((c == '}' || c == ']') && prev == ',') {
+        FAIL() << "trailing comma before closer";
+      }
+      ASSERT_GE(braces, 0);
+      ASSERT_GE(brackets, 0);
+    }
+    prev = c;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ReportJson, WriteFileFailsOnBadPath) {
+  const auto report = sample_report();
+  EXPECT_THROW(write_json_file(report, "/no/such/dir/report.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,160 @@
+// Tests for util/rng.h: determinism, distribution sanity, helpers.
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace pr {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  // SplitMix64 seeding guarantees a non-degenerate state even for seed 0.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng r(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(r());
+  r.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r(), first[i]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(42);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(42);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexInRange) {
+  Rng r(9);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_LT(r.uniform_index(7), 7u);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng r(9);
+  std::vector<int> counts(5, 0);
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) ++counts[r.uniform_index(5)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.02);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(5);
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(0.0584);
+  EXPECT_NEAR(sum / n, 0.0584, 0.001);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng r(5);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_GE(r.exponential(1.0), 0.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, LognormalIsExpOfNormal) {
+  Rng a(13);
+  Rng b(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.lognormal(2.0, 0.5), std::exp(b.normal(2.0, 0.5)));
+  }
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng r(17);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (r.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(23);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  r.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SplitProducesDecorrelatedStream) {
+  Rng parent(31);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,476 @@
+// Tests for the discrete-event array simulator: event ordering, DPM
+// mechanics, epochs, migrations and ledger consistency.
+#include "sim/array_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "policy/static_policy.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace pr {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue<int> q;
+  q.push(Seconds{3.0}, 3);
+  q.push(Seconds{1.0}, 1);
+  q.push(Seconds{2.0}, 2);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FifoAmongTies) {
+  EventQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push(Seconds{5.0}, i);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(q.pop().payload, i);
+  }
+}
+
+TEST(EventQueue, NextTimePeeks) {
+  EventQueue<int> q;
+  q.push(Seconds{7.0}, 0);
+  q.push(Seconds{4.0}, 1);
+  EXPECT_DOUBLE_EQ(q.next_time().value(), 4.0);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+// ----------------------------------------------------------------- fixtures
+
+FileSet two_files() {
+  std::vector<FileInfo> files(2);
+  files[0] = {0, 1 * kMiB, 1.0};
+  files[1] = {1, 2 * kMiB, 0.5};
+  return FileSet(std::move(files));
+}
+
+SimConfig config(std::size_t disks) {
+  SimConfig c;
+  c.disk_params = two_speed_cheetah();
+  c.disk_count = disks;
+  return c;
+}
+
+Trace trace_of(std::initializer_list<std::pair<double, FileId>> arrivals) {
+  Trace t;
+  for (auto [time, file] : arrivals) {
+    Request r;
+    r.arrival = Seconds{time};
+    r.file = file;
+    r.size = file == 0 ? 1 * kMiB : 2 * kMiB;
+    t.requests.push_back(r);
+  }
+  return t;
+}
+
+/// Minimal configurable policy for exercising the simulator directly.
+class ProbePolicy : public Policy {
+ public:
+  explicit ProbePolicy(DpmConfig dpm, DiskSpeed initial = DiskSpeed::kHigh)
+      : dpm_(dpm), initial_(initial) {}
+
+  std::string name() const override { return "Probe"; }
+
+  void initialize(ArrayContext& ctx) override {
+    for (DiskId d = 0; d < ctx.disk_count(); ++d) {
+      ctx.set_initial_speed(d, initial_);
+      ctx.set_dpm(d, dpm_);
+    }
+    for (FileId f = 0; f < ctx.files().size(); ++f) {
+      ctx.place(f, static_cast<DiskId>(f % ctx.disk_count()));
+    }
+  }
+
+  DiskId route(ArrayContext& ctx, const Request& req) override {
+    return ctx.location(req.file);
+  }
+
+  void on_epoch(ArrayContext& ctx, Seconds now) override {
+    ++epochs_;
+    last_epoch_requests_ = ctx.epoch_requests();
+    (void)now;
+  }
+
+  bool allow_spin_down(ArrayContext& ctx, DiskId d, Seconds now) override {
+    (void)ctx;
+    (void)d;
+    (void)now;
+    ++spin_down_queries_;
+    return allow_spin_down_;
+  }
+
+  int epochs_ = 0;
+  std::uint64_t last_epoch_requests_ = 0;
+  int spin_down_queries_ = 0;
+  bool allow_spin_down_ = true;
+
+ private:
+  DpmConfig dpm_;
+  DiskSpeed initial_;
+};
+
+// -------------------------------------------------------------- basic runs
+
+TEST(ArraySim, StaticPolicyExactResponseTimes) {
+  StaticPolicy policy;
+  const auto files = two_files();
+  // Two far-apart requests on different disks: no queueing, no DPM.
+  const auto trace = trace_of({{0.0, 0}, {100.0, 1}});
+  const auto result = run_simulation(config(2), files, trace, policy);
+
+  const auto& p = two_speed_cheetah();
+  const double svc1 = service_time(p.high, 1 * kMiB).value();
+  const double svc2 = service_time(p.high, 2 * kMiB).value();
+  EXPECT_EQ(result.user_requests, 2u);
+  EXPECT_NEAR(result.response_time.min(), std::min(svc1, svc2), 1e-9);
+  EXPECT_NEAR(result.response_time.max(), std::max(svc1, svc2), 1e-9);
+  EXPECT_NEAR(result.horizon.value(), 100.0 + svc2, 1e-9);
+  EXPECT_EQ(result.total_transitions, 0u);
+}
+
+TEST(ArraySim, EnergyMatchesHandComputation) {
+  StaticPolicy policy;
+  const auto files = two_files();
+  const auto trace = trace_of({{0.0, 0}});
+  const auto result = run_simulation(config(2), files, trace, policy);
+
+  const auto& p = two_speed_cheetah();
+  const auto cost = service_cost(p.high, 1 * kMiB);
+  const double horizon = cost.time.value();
+  // Disk 0: busy the whole horizon. Disk 1: idle at high.
+  const double expected =
+      cost.energy.value() + p.high.idle_power.value() * horizon;
+  EXPECT_NEAR(result.total_energy.value(), expected, 1e-9);
+}
+
+TEST(ArraySim, LedgersCoverHorizonOnEveryDisk) {
+  ProbePolicy policy({.spin_down_when_idle = true,
+                      .idleness_threshold = Seconds{5.0},
+                      .spin_up_to_serve = true});
+  const auto files = two_files();
+  const auto trace = trace_of({{0.0, 0}, {30.0, 1}, {60.0, 0}, {200.0, 1}});
+  const auto result = run_simulation(config(3), files, trace, policy);
+  for (const auto& l : result.ledgers) {
+    EXPECT_NEAR(l.observed().value(), result.horizon.value(), 1e-6);
+  }
+}
+
+TEST(ArraySim, RejectsUnsortedTrace) {
+  StaticPolicy policy;
+  const auto files = two_files();
+  auto trace = trace_of({{5.0, 0}, {1.0, 1}});
+  EXPECT_THROW((void)run_simulation(config(2), files, trace, policy),
+               std::invalid_argument);
+}
+
+TEST(ArraySim, RejectsUnknownFileInTrace) {
+  StaticPolicy policy;
+  const auto files = two_files();
+  Trace trace;
+  Request r;
+  r.arrival = Seconds{0.0};
+  r.file = 17;  // not in the file set
+  r.size = 100;
+  trace.requests.push_back(r);
+  EXPECT_THROW((void)run_simulation(config(2), files, trace, policy),
+               std::invalid_argument);
+}
+
+TEST(ArraySim, RejectsPolicyThatLeavesFilesUnplaced) {
+  class LazyPolicy : public Policy {
+   public:
+    std::string name() const override { return "Lazy"; }
+    void initialize(ArrayContext&) override {}  // places nothing
+    DiskId route(ArrayContext& ctx, const Request& req) override {
+      return ctx.location(req.file);
+    }
+  } policy;
+  const auto files = two_files();
+  const auto trace = trace_of({{0.0, 0}});
+  EXPECT_THROW((void)run_simulation(config(2), files, trace, policy),
+               std::logic_error);
+}
+
+TEST(ArraySim, RejectsRouteToBadDisk) {
+  class BadRouter : public Policy {
+   public:
+    std::string name() const override { return "Bad"; }
+    void initialize(ArrayContext& ctx) override {
+      for (FileId f = 0; f < ctx.files().size(); ++f) ctx.place(f, 0);
+    }
+    DiskId route(ArrayContext&, const Request&) override { return 999; }
+  } policy;
+  const auto files = two_files();
+  const auto trace = trace_of({{0.0, 0}});
+  EXPECT_THROW((void)run_simulation(config(2), files, trace, policy),
+               std::logic_error);
+}
+
+
+TEST(ArraySim, QueueingMatchesMD1Theory) {
+  // Validation against queueing theory: Poisson arrivals at rate lambda to
+  // one disk, deterministic service time S (fixed request size, no DPM)
+  // is an M/D/1 queue; the Pollaczek-Khinchine mean wait is
+  // Wq = rho * S / (2 (1 - rho)). The simulator's mean response time must
+  // converge to S + Wq.
+  const auto p = two_speed_cheetah();
+  const Bytes size = 1 * kMiB;
+  const double service_s = service_time(p.high, size).value();
+  const double rho = 0.6;
+  const double lambda = rho / service_s;
+
+  FileSet files = two_files();
+  Trace trace;
+  Rng rng(99);
+  double t = 0.0;
+  for (int i = 0; i < 200'000; ++i) {
+    t += rng.exponential(1.0 / lambda);
+    Request r;
+    r.arrival = Seconds{t};
+    r.file = 0;  // always the 1 MiB file on disk 0
+    r.size = size;
+    trace.requests.push_back(r);
+  }
+  StaticPolicy policy;
+  const auto result = run_simulation(config(1), files, trace, policy);
+
+  const double wq_theory = rho * service_s / (2.0 * (1.0 - rho));
+  const double rt_theory = service_s + wq_theory;
+  EXPECT_NEAR(result.response_time.mean(), rt_theory, rt_theory * 0.05);
+}
+
+// ---------------------------------------------------------------- DPM
+
+TEST(ArraySim, IdleDiskSpinsDownAfterThreshold) {
+  ProbePolicy policy({.spin_down_when_idle = true,
+                      .idleness_threshold = Seconds{5.0},
+                      .spin_up_to_serve = true});
+  const auto files = two_files();
+  // One early request on disk 0; long gap; horizon extended by late
+  // request on disk 1 so the spin-down of disk 0 is inside the horizon.
+  const auto trace = trace_of({{0.0, 0}, {100.0, 1}});
+  const auto result = run_simulation(config(2), files, trace, policy);
+  // Disk 0 spun down (1 transition), disk 1: initial idle check at 5 s
+  // spun it down too, then spin-up-to-serve at 100 s (2 transitions).
+  EXPECT_EQ(result.ledgers[0].transitions, 1u);
+  EXPECT_EQ(result.ledgers[1].transitions, 2u);
+  EXPECT_EQ(result.ledgers[1].transitions_up, 1u);
+}
+
+TEST(ArraySim, SpinUpDelaysService) {
+  ProbePolicy policy({.spin_down_when_idle = true,
+                      .idleness_threshold = Seconds{5.0},
+                      .spin_up_to_serve = true},
+                     DiskSpeed::kLow);
+  const auto files = two_files();
+  const auto trace = trace_of({{10.0, 0}});
+  const auto result = run_simulation(config(2), files, trace, policy);
+  const auto& p = two_speed_cheetah();
+  const double expected =
+      p.transition_up_time.value() + service_time(p.high, 1 * kMiB).value();
+  EXPECT_NEAR(result.response_time.mean(), expected, 1e-9);
+  EXPECT_EQ(result.ledgers[0].transitions_up, 1u);
+}
+
+TEST(ArraySim, ServeAtLowWhenSpinUpDisabled) {
+  ProbePolicy policy({.spin_down_when_idle = false,
+                      .idleness_threshold = Seconds{5.0},
+                      .spin_up_to_serve = false},
+                     DiskSpeed::kLow);
+  const auto files = two_files();
+  const auto trace = trace_of({{10.0, 0}});
+  const auto result = run_simulation(config(2), files, trace, policy);
+  const auto& p = two_speed_cheetah();
+  EXPECT_NEAR(result.response_time.mean(),
+              service_time(p.low, 1 * kMiB).value(), 1e-9);
+  EXPECT_EQ(result.total_transitions, 0u);
+}
+
+TEST(ArraySim, BusyDiskDoesNotSpinDown) {
+  // Requests every 2 s against a 5 s threshold: never idle long enough.
+  ProbePolicy policy({.spin_down_when_idle = true,
+                      .idleness_threshold = Seconds{5.0},
+                      .spin_up_to_serve = true});
+  const auto files = two_files();
+  Trace trace;
+  for (int i = 0; i < 50; ++i) {
+    Request r;
+    r.arrival = Seconds{2.0 * i};
+    r.file = 0;
+    r.size = 1 * kMiB;
+    trace.requests.push_back(r);
+  }
+  const auto result = run_simulation(config(1), files, trace, policy);
+  EXPECT_EQ(result.ledgers[0].transitions, 0u);
+}
+
+TEST(ArraySim, SpinDownVetoIsHonoured) {
+  ProbePolicy policy({.spin_down_when_idle = true,
+                      .idleness_threshold = Seconds{5.0},
+                      .spin_up_to_serve = true});
+  policy.allow_spin_down_ = false;
+  const auto files = two_files();
+  const auto trace = trace_of({{0.0, 0}, {100.0, 0}});
+  const auto result = run_simulation(config(1), files, trace, policy);
+  EXPECT_EQ(result.total_transitions, 0u);
+  EXPECT_GT(policy.spin_down_queries_, 0);
+}
+
+
+TEST(ArraySim, BacklogPromotionTriggersOnQueueBuildup) {
+  // spin_up_backlog: a low-speed disk serves isolated requests at low
+  // speed, but a request arriving to a backlog beyond the limit promotes
+  // the disk to high speed first.
+  DpmConfig dpm;
+  dpm.spin_down_when_idle = false;
+  dpm.spin_up_to_serve = false;
+  dpm.spin_up_backlog = Seconds{0.1};
+  ProbePolicy policy(dpm, DiskSpeed::kLow);
+  const auto files = two_files();
+  // Three back-to-back requests on disk 0: the first is served at low
+  // speed (~0.14 s for 1 MiB), the second arrives with ~0.14 s backlog
+  // (> 0.1) and promotes the disk.
+  const auto trace = trace_of({{0.0, 0}, {0.001, 0}, {0.002, 0}});
+  const auto result = run_simulation(config(1), files, trace, policy);
+  EXPECT_EQ(result.ledgers[0].transitions_up, 1u);
+  EXPECT_EQ(result.ledgers[0].transitions, 1u);
+}
+
+TEST(ArraySim, BacklogPromotionDisabledByDefault) {
+  DpmConfig dpm;
+  dpm.spin_down_when_idle = false;
+  dpm.spin_up_to_serve = false;
+  ProbePolicy policy(dpm, DiskSpeed::kLow);
+  const auto files = two_files();
+  const auto trace = trace_of({{0.0, 0}, {0.001, 0}, {0.002, 0}});
+  const auto result = run_simulation(config(1), files, trace, policy);
+  EXPECT_EQ(result.total_transitions, 0u);
+  // All served at low speed.
+  EXPECT_DOUBLE_EQ(result.ledgers[0].time_at_high.value(), 0.0);
+}
+
+TEST(ArraySim, BacklogBelowLimitStaysLow) {
+  DpmConfig dpm;
+  dpm.spin_down_when_idle = false;
+  dpm.spin_up_to_serve = false;
+  dpm.spin_up_backlog = Seconds{10.0};  // far above any backlog here
+  ProbePolicy policy(dpm, DiskSpeed::kLow);
+  const auto files = two_files();
+  const auto trace = trace_of({{0.0, 0}, {0.001, 0}, {0.002, 0}});
+  const auto result = run_simulation(config(1), files, trace, policy);
+  EXPECT_EQ(result.total_transitions, 0u);
+}
+
+// ---------------------------------------------------------------- epochs
+
+TEST(ArraySim, EpochsFireAtBoundaries) {
+  auto cfg = config(2);
+  cfg.epoch = Seconds{10.0};
+  ProbePolicy policy({});
+  const auto files = two_files();
+  const auto trace = trace_of({{1.0, 0}, {12.0, 1}, {35.0, 0}});
+  (void)run_simulation(cfg, files, trace, policy);
+  // Boundaries at 10, 20, 30 precede the arrival at 35.
+  EXPECT_EQ(policy.epochs_, 3);
+}
+
+TEST(ArraySim, EpochAccessCountsResetEachEpoch) {
+  auto cfg = config(2);
+  cfg.epoch = Seconds{10.0};
+  ProbePolicy policy({});
+  const auto files = two_files();
+  const auto trace = trace_of({{1.0, 0}, {2.0, 0}, {3.0, 1}, {15.0, 0}, {25.0, 1}});
+  (void)run_simulation(cfg, files, trace, policy);
+  // Epoch at 20 saw exactly the single request at t=15.
+  EXPECT_EQ(policy.last_epoch_requests_, 1u);
+}
+
+// -------------------------------------------------------------- migrations
+
+TEST(ArraySim, MigrationMovesPlacementAndCostsIo) {
+  class MigratingPolicy : public ProbePolicy {
+   public:
+    MigratingPolicy() : ProbePolicy({}) {}
+    void on_epoch(ArrayContext& ctx, Seconds) override {
+      if (!moved_) {
+        ctx.migrate(0, 1);
+        moved_ = true;
+      }
+    }
+    bool moved_ = false;
+  };
+  auto cfg = config(2);
+  cfg.epoch = Seconds{10.0};
+  MigratingPolicy policy;
+  const auto files = two_files();
+  const auto trace = trace_of({{1.0, 0}, {20.0, 0}});
+  const auto result = run_simulation(cfg, files, trace, policy);
+  EXPECT_EQ(result.migrations, 1u);
+  EXPECT_EQ(result.migration_bytes, 1 * kMiB);
+  // After migration the second request is served by disk 1.
+  EXPECT_EQ(result.ledgers[1].requests, 1u);
+  // Migration I/O shows up as internal ops on both disks.
+  EXPECT_EQ(result.ledgers[0].internal_ops, 1u);
+  EXPECT_EQ(result.ledgers[1].internal_ops, 1u);
+}
+
+TEST(ArraySim, BackgroundCopyDoesNotChangePlacement) {
+  class CopyingPolicy : public ProbePolicy {
+   public:
+    CopyingPolicy() : ProbePolicy({}) {}
+    void after_serve(ArrayContext& ctx, const Request& req,
+                     DiskId d) override {
+      if (!copied_) {
+        ctx.background_copy(d, 1, req.size);
+        copied_ = true;
+      }
+    }
+    bool copied_ = false;
+  };
+  CopyingPolicy policy;
+  const auto files = two_files();
+  const auto trace = trace_of({{0.0, 0}, {50.0, 0}});
+  const auto result = run_simulation(config(2), files, trace, policy);
+  EXPECT_EQ(result.migrations, 0u);
+  // Both user requests still served by disk 0 (placement unchanged).
+  EXPECT_EQ(result.ledgers[0].requests, 2u);
+  EXPECT_EQ(result.ledgers[1].internal_ops, 1u);
+}
+
+TEST(ArraySim, CountersSurfaceInResult) {
+  class CountingPolicy : public ProbePolicy {
+   public:
+    CountingPolicy() : ProbePolicy({}) {}
+    void after_serve(ArrayContext& ctx, const Request&, DiskId) override {
+      ctx.bump("probe.touch");
+    }
+  };
+  CountingPolicy policy;
+  const auto files = two_files();
+  const auto trace = trace_of({{0.0, 0}, {1.0, 1}, {2.0, 0}});
+  const auto result = run_simulation(config(2), files, trace, policy);
+  EXPECT_EQ(result.counters.at("probe.touch"), 3u);
+}
+
+TEST(ArraySim, DeterministicAcrossRuns) {
+  const auto files = two_files();
+  const auto trace = trace_of({{0.0, 0}, {3.0, 1}, {50.0, 0}, {90.0, 1}});
+  ProbePolicy p1({.spin_down_when_idle = true,
+                  .idleness_threshold = Seconds{5.0},
+                  .spin_up_to_serve = true});
+  ProbePolicy p2({.spin_down_when_idle = true,
+                  .idleness_threshold = Seconds{5.0},
+                  .spin_up_to_serve = true});
+  const auto a = run_simulation(config(2), files, trace, p1);
+  const auto b = run_simulation(config(2), files, trace, p2);
+  EXPECT_DOUBLE_EQ(a.total_energy.value(), b.total_energy.value());
+  EXPECT_DOUBLE_EQ(a.response_time.mean(), b.response_time.mean());
+  EXPECT_EQ(a.total_transitions, b.total_transitions);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,158 @@
+// Chaos testing of the array simulator: a policy that makes random (but
+// contract-valid) decisions — scattered placement, random DPM knobs,
+// random migrations, copies and transitions at epochs, random routing to
+// replicas it invents on the fly. Whatever a policy does within the API,
+// the simulator's global invariants must survive. Parameterized over
+// seeds for reproducible shrinking.
+#include <gtest/gtest.h>
+
+#include "sim/array_sim.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace pr {
+namespace {
+
+class ChaosPolicy final : public Policy {
+ public:
+  explicit ChaosPolicy(std::uint64_t seed) : rng_(seed) {}
+
+  std::string name() const override { return "Chaos"; }
+
+  void initialize(ArrayContext& ctx) override {
+    for (DiskId d = 0; d < ctx.disk_count(); ++d) {
+      ctx.set_initial_speed(d, rng_.bernoulli(0.5) ? DiskSpeed::kHigh
+                                                   : DiskSpeed::kLow);
+      DpmConfig dpm;
+      dpm.spin_down_when_idle = rng_.bernoulli(0.6);
+      dpm.idleness_threshold = Seconds{rng_.uniform(0.5, 30.0)};
+      dpm.spin_up_to_serve = rng_.bernoulli(0.5);
+      if (rng_.bernoulli(0.3)) {
+        dpm.spin_up_backlog = Seconds{rng_.uniform(0.01, 1.0)};
+      }
+      ctx.set_dpm(d, dpm);
+    }
+    for (FileId f = 0; f < ctx.files().size(); ++f) {
+      ctx.place(f, static_cast<DiskId>(rng_.uniform_index(ctx.disk_count())));
+    }
+  }
+
+  DiskId route(ArrayContext& ctx, const Request& req) override {
+    // Mostly honest routing; occasionally serve from a random disk (a
+    // policy is allowed to: think caches/replicas).
+    if (rng_.bernoulli(0.9)) return ctx.location(req.file);
+    return static_cast<DiskId>(rng_.uniform_index(ctx.disk_count()));
+  }
+
+  void after_serve(ArrayContext& ctx, const Request& req, DiskId d) override {
+    if (rng_.bernoulli(0.02)) {
+      ctx.background_copy(
+          d, static_cast<DiskId>(rng_.uniform_index(ctx.disk_count())),
+          req.size);
+    }
+    if (rng_.bernoulli(0.05)) ctx.bump("chaos.note");
+  }
+
+  void on_epoch(ArrayContext& ctx, Seconds now) override {
+    (void)now;
+    for (int i = 0; i < 5; ++i) {
+      const auto f =
+          static_cast<FileId>(rng_.uniform_index(ctx.files().size()));
+      ctx.migrate(f,
+                  static_cast<DiskId>(rng_.uniform_index(ctx.disk_count())));
+      ++migrations_requested_;
+    }
+    if (rng_.bernoulli(0.5)) {
+      const auto d =
+          static_cast<DiskId>(rng_.uniform_index(ctx.disk_count()));
+      ctx.request_transition(d, rng_.bernoulli(0.5) ? DiskSpeed::kHigh
+                                                    : DiskSpeed::kLow);
+    }
+    if (rng_.bernoulli(0.3)) {
+      const auto d =
+          static_cast<DiskId>(rng_.uniform_index(ctx.disk_count()));
+      ctx.set_idleness_threshold(d, Seconds{rng_.uniform(0.5, 60.0)});
+    }
+  }
+
+  bool allow_spin_down(ArrayContext&, DiskId, Seconds) override {
+    return rng_.bernoulli(0.8);
+  }
+
+  std::uint64_t migrations_requested_ = 0;
+
+ private:
+  Rng rng_;
+};
+
+class SimChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimChaos, InvariantsSurviveArbitraryPolicyBehaviour) {
+  SyntheticWorkloadConfig wc;
+  wc.file_count = 150;
+  wc.request_count = 15'000;
+  wc.mean_interarrival = Seconds{0.05};
+  wc.seed = GetParam() * 977 + 13;
+  wc.burstiness = 0.4;
+  const auto w = generate_workload(wc);
+
+  SimConfig cfg;
+  cfg.disk_params = two_speed_cheetah();
+  cfg.disk_count = 5;
+  cfg.epoch = Seconds{30.0};
+  if (GetParam() % 2 == 0) cfg.seek_curve = cheetah_seek_curve();
+
+  ChaosPolicy policy(GetParam());
+  const auto result = run_simulation(cfg, w.files, w.trace, policy);
+
+  // Every user request served exactly once.
+  EXPECT_EQ(result.user_requests, w.trace.size());
+  std::uint64_t served = 0;
+  for (const auto& l : result.ledgers) served += l.requests;
+  EXPECT_EQ(served, w.trace.size());
+
+  // Every instant of every disk attributed exactly once.
+  for (const auto& l : result.ledgers) {
+    EXPECT_NEAR(l.observed().value(), result.horizon.value(),
+                1e-6 * result.horizon.value());
+    EXPECT_GE(l.utilization(), 0.0);
+    EXPECT_LE(l.utilization(), 1.0);
+    EXPECT_GE(l.max_transitions_in_day, 0u);
+    EXPECT_LE(l.max_transitions_in_day, l.transitions);
+  }
+
+  // Energy within physical bounds.
+  const double horizon = result.horizon.value();
+  const double floor =
+      2.9 * horizon * static_cast<double>(cfg.disk_count);
+  double lumps = 0.0;
+  for (const auto& l : result.ledgers) {
+    lumps += static_cast<double>(l.transitions_up) * 135.0 +
+             static_cast<double>(l.transitions - l.transitions_up) * 13.0;
+  }
+  const double ceiling =
+      13.5 * horizon * static_cast<double>(cfg.disk_count) + lumps;
+  EXPECT_GE(result.total_energy.value(), floor - 1e-6);
+  EXPECT_LE(result.total_energy.value(), ceiling + 1e-6);
+
+  // Response times are positive and finite.
+  EXPECT_GT(result.response_time.min(), 0.0);
+  EXPECT_TRUE(std::isfinite(result.response_time.max()));
+
+  // Migration accounting consistent (some chaos migrations are no-ops
+  // when the random target equals the current disk).
+  EXPECT_LE(result.migrations, policy.migrations_requested_);
+
+  // Telemetry stays inside the model's envelope.
+  for (const auto& t : result.telemetry) {
+    EXPECT_GE(t.temperature.value(), 40.0 - 1e-9);
+    EXPECT_LE(t.temperature.value(), 50.0 + 1e-9);
+    EXPECT_GE(t.transitions_per_day, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimChaos,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,214 @@
+// Tests for util/stats.h: streaming moments, histograms, reservoir
+// quantiles, correlation measures.
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace pr {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(StreamingStats, KnownValues) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  // Population variance is 4; sample variance = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(StreamingStats, MergeMatchesSequential) {
+  StreamingStats all;
+  StreamingStats a;
+  StreamingStats b;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5, 5);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a;
+  a.add(1.0);
+  a.add(3.0);
+  StreamingStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(StreamingStats, NumericallyStableForLargeOffsets) {
+  StreamingStats s;
+  // Naive sum-of-squares accumulators lose all precision here.
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25 * 1000.0 / 999.0, 1e-6);
+}
+
+TEST(StreamingStats, Reset) {
+  StreamingStats s;
+  s.add(10.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, RejectsBadLayout) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(5.5);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(42.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(5), 1u);
+  EXPECT_EQ(h.bin(9), 1u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 12.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 18.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 20.0);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(3);
+  for (int i = 0; i < 100'000; ++i) h.add(rng.uniform());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.95), 0.95, 0.02);
+  EXPECT_NEAR(h.quantile(0.05), 0.05, 0.02);
+}
+
+TEST(Histogram, MergeCompatibleOnly) {
+  Histogram a(0.0, 1.0, 10);
+  Histogram b(0.0, 1.0, 10);
+  Histogram c(0.0, 2.0, 10);
+  a.add(0.5);
+  b.add(0.5);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string text = h.render();
+  EXPECT_NE(text.find("[0, 1)"), std::string::npos);
+  EXPECT_NE(text.find("2"), std::string::npos);
+}
+
+TEST(ReservoirSample, KeepsEverythingUnderCapacity) {
+  ReservoirSample r(100);
+  for (int i = 0; i < 50; ++i) r.add(i);
+  EXPECT_EQ(r.size(), 50u);
+  EXPECT_EQ(r.seen(), 50u);
+  EXPECT_NEAR(r.quantile(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(r.quantile(1.0), 49.0, 1e-12);
+}
+
+TEST(ReservoirSample, BoundedAboveCapacity) {
+  ReservoirSample r(64);
+  for (int i = 0; i < 10'000; ++i) r.add(i);
+  EXPECT_EQ(r.size(), 64u);
+  EXPECT_EQ(r.seen(), 10'000u);
+}
+
+TEST(ReservoirSample, QuantileApproximatesUniform) {
+  ReservoirSample r(2048, /*seed=*/7);
+  Rng rng(7);
+  for (int i = 0; i < 100'000; ++i) r.add(rng.uniform());
+  EXPECT_NEAR(r.quantile(0.5), 0.5, 0.05);
+  EXPECT_NEAR(r.quantile(0.95), 0.95, 0.05);
+}
+
+TEST(ReservoirSample, EmptyQuantileIsZero) {
+  ReservoirSample r(16);
+  EXPECT_DOUBLE_EQ(r.quantile(0.5), 0.0);
+}
+
+TEST(Correlation, PearsonPerfectLine) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+  std::vector<double> neg{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(x, neg), -1.0, 1e-12);
+}
+
+TEST(Correlation, DegenerateInputsGiveZero) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> constant{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, constant), 0.0);
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(pearson_correlation({}, {}), 0.0);
+}
+
+TEST(Correlation, SpearmanMonotoneNonlinear) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{1, 8, 27, 64, 125};  // monotone, nonlinear
+  EXPECT_NEAR(spearman_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(Correlation, SpearmanHandlesTies) {
+  std::vector<double> x{1, 2, 2, 4};
+  std::vector<double> y{1, 3, 3, 4};
+  EXPECT_NEAR(spearman_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(Correlation, SpearmanAntiCorrelated) {
+  std::vector<double> x{1, 2, 3, 4, 5, 6};
+  std::vector<double> y{6, 5, 4, 3, 2, 1};
+  EXPECT_NEAR(spearman_correlation(x, y), -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pr

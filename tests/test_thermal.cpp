@@ -1,0 +1,155 @@
+// Tests for the first-order thermal model (disk/thermal.h) and its
+// integration with disk telemetry.
+#include "disk/thermal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "disk/telemetry.h"
+
+namespace pr {
+namespace {
+
+ThermalParams params(double tau, double initial = -1.0) {
+  ThermalParams p;
+  p.time_constant = Seconds{tau};
+  p.initial = Celsius{initial};
+  return p;
+}
+
+TEST(Thermal, ValidatesInputs) {
+  const std::vector<SpeedSegment> one = {{Seconds{0.0}, Celsius{40.0}}};
+  EXPECT_THROW((void)simulate_thermal({}, Seconds{0.0}, Seconds{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulate_thermal(one, Seconds{1.0}, Seconds{0.0}),
+               std::invalid_argument);
+  const std::vector<SpeedSegment> late = {{Seconds{5.0}, Celsius{40.0}}};
+  EXPECT_THROW((void)simulate_thermal(late, Seconds{0.0}, Seconds{1.0}),
+               std::invalid_argument);
+  const std::vector<SpeedSegment> unsorted = {{Seconds{0.0}, Celsius{40.0}},
+                                              {Seconds{10.0}, Celsius{50.0}},
+                                              {Seconds{5.0}, Celsius{40.0}}};
+  EXPECT_THROW(
+      (void)simulate_thermal(unsorted, Seconds{0.0}, Seconds{20.0}),
+      std::invalid_argument);
+  EXPECT_THROW((void)simulate_thermal(one, Seconds{0.0}, Seconds{1.0},
+                                      params(0.0)),
+               std::invalid_argument);
+}
+
+TEST(Thermal, SteadyStateStaysFlat) {
+  std::vector<SpeedSegment> segs = {{Seconds{0.0}, Celsius{50.0}}};
+  const auto trace =
+      simulate_thermal(segs, Seconds{0.0}, Seconds{10'000.0}, params(900));
+  EXPECT_NEAR(trace.mean.value(), 50.0, 1e-9);
+  EXPECT_NEAR(trace.max.value(), 50.0, 1e-9);
+  EXPECT_NEAR(trace.final.value(), 50.0, 1e-9);
+}
+
+TEST(Thermal, ExponentialApproachFromInitial) {
+  // Start at 40 °C, target 50 °C: after exactly one time constant the gap
+  // closes to 1/e.
+  std::vector<SpeedSegment> segs = {{Seconds{0.0}, Celsius{50.0}}};
+  const auto trace = simulate_thermal(segs, Seconds{0.0}, Seconds{900.0},
+                                      params(900, 40.0));
+  EXPECT_NEAR(trace.final.value(), 50.0 - 10.0 * std::exp(-1.0), 1e-9);
+  // Mean of a rising exponential is below the endpoint.
+  EXPECT_LT(trace.mean.value(), trace.final.value());
+  EXPECT_GT(trace.mean.value(), 40.0);
+  EXPECT_NEAR(trace.max.value(), trace.final.value(), 1e-9);
+}
+
+TEST(Thermal, MeanMatchesClosedForm) {
+  // mean = target + (T0 − target)·τ/Δt·(1 − e^(−Δt/τ))
+  std::vector<SpeedSegment> segs = {{Seconds{0.0}, Celsius{50.0}}};
+  const double tau = 600.0;
+  const double dt = 1'800.0;
+  const auto trace = simulate_thermal(segs, Seconds{0.0}, Seconds{dt},
+                                      params(tau, 40.0));
+  const double expected =
+      50.0 + (40.0 - 50.0) * tau / dt * (1.0 - std::exp(-dt / tau));
+  EXPECT_NEAR(trace.mean.value(), expected, 1e-9);
+}
+
+TEST(Thermal, CoolingSegmentTracksDown) {
+  std::vector<SpeedSegment> segs = {{Seconds{0.0}, Celsius{50.0}},
+                                    {Seconds{3'600.0}, Celsius{40.0}}};
+  const auto trace =
+      simulate_thermal(segs, Seconds{0.0}, Seconds{7'200.0}, params(600));
+  // Max reached is the hot steady state; final is nearly cooled.
+  EXPECT_NEAR(trace.max.value(), 50.0, 1e-6);
+  EXPECT_NEAR(trace.final.value(), 40.0, 0.1);
+  EXPECT_GT(trace.mean.value(), 40.0);
+  EXPECT_LT(trace.mean.value(), 50.0);
+}
+
+TEST(Thermal, FastSwitchingNeverReachesHotSteadyState) {
+  // Alternate 40/50 targets every 60 s with τ = 900 s: the trajectory
+  // hovers near the middle and never approaches 50 °C.
+  std::vector<SpeedSegment> segs;
+  for (int i = 0; i < 100; ++i) {
+    segs.push_back({Seconds{60.0 * i},
+                    Celsius{i % 2 == 0 ? 50.0 : 40.0}});
+  }
+  const auto trace = simulate_thermal(segs, Seconds{0.0}, Seconds{6'000.0},
+                                      params(900, 45.0));
+  EXPECT_LT(trace.max.value(), 47.0);
+  EXPECT_GT(trace.mean.value(), 43.0);
+  EXPECT_LT(trace.mean.value(), 47.0);
+}
+
+TEST(Thermal, ZeroWindowDegenerates) {
+  std::vector<SpeedSegment> segs = {{Seconds{0.0}, Celsius{50.0}}};
+  const auto trace = simulate_thermal(segs, Seconds{0.0}, Seconds{0.0},
+                                      params(900, 42.0));
+  EXPECT_NEAR(trace.mean.value(), 42.0, 1e-9);
+  EXPECT_NEAR(trace.final.value(), 42.0, 1e-9);
+}
+
+TEST(Thermal, SegmentsFromHistory) {
+  const auto p = two_speed_cheetah();
+  std::vector<std::pair<Seconds, DiskSpeed>> transitions = {
+      {Seconds{100.0}, DiskSpeed::kLow},
+      {Seconds{500.0}, DiskSpeed::kHigh},
+  };
+  const auto segs =
+      segments_from_history(p, DiskSpeed::kHigh, transitions);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_DOUBLE_EQ(segs[0].steady_target.value(), 50.0);
+  EXPECT_DOUBLE_EQ(segs[1].steady_target.value(), 40.0);
+  EXPECT_DOUBLE_EQ(segs[1].start.value(), 100.0);
+  EXPECT_DOUBLE_EQ(segs[2].steady_target.value(), 50.0);
+}
+
+TEST(Thermal, TelemetryAttributionUsesLagModel) {
+  Disk d(0, two_speed_cheetah(), DiskSpeed::kHigh);
+  d.transition(Seconds{1'000.0}, DiskSpeed::kLow);
+  d.finish(Seconds{10'000.0});
+
+  const auto plain = extract_telemetry(d);  // time-weighted bands
+  const auto lagged =
+      extract_telemetry(d, TemperatureAttribution::kThermalLag);
+  // Both between the band values; the lag model runs hotter here because
+  // cooling toward 40 °C takes a while after the early transition.
+  EXPECT_GT(lagged.temperature.value(), 40.0);
+  EXPECT_LT(lagged.temperature.value(), 50.0);
+  EXPECT_GT(plain.temperature.value(), 40.0);
+  EXPECT_LT(plain.temperature.value(), 50.0);
+  EXPECT_GT(lagged.temperature.value(), plain.temperature.value());
+}
+
+TEST(Thermal, DiskRecordsSpeedHistory) {
+  Disk d(0, two_speed_cheetah(), DiskSpeed::kHigh);
+  EXPECT_EQ(d.initial_speed(), DiskSpeed::kHigh);
+  EXPECT_TRUE(d.speed_history().empty());
+  d.transition(Seconds{10.0}, DiskSpeed::kLow);
+  d.transition(Seconds{20.0}, DiskSpeed::kHigh);
+  ASSERT_EQ(d.speed_history().size(), 2u);
+  EXPECT_EQ(d.speed_history()[0].second, DiskSpeed::kLow);
+  EXPECT_NEAR(d.speed_history()[0].first.value(), 12.0, 1e-9);  // 2 s down
+  EXPECT_EQ(d.speed_history()[1].second, DiskSpeed::kHigh);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,79 @@
+// Tests for util/units.h: quantity arithmetic, literals, conversions.
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace pr {
+namespace {
+
+TEST(Units, LiteralsProduceSeconds) {
+  EXPECT_DOUBLE_EQ((5_s).value(), 5.0);
+  EXPECT_DOUBLE_EQ((2.5_s).value(), 2.5);
+  EXPECT_DOUBLE_EQ((250_ms).value(), 0.25);
+  EXPECT_DOUBLE_EQ((58.4_ms).value(), 0.0584);
+}
+
+TEST(Units, AdditionAndSubtraction) {
+  const Seconds a{3.0};
+  const Seconds b{1.5};
+  EXPECT_DOUBLE_EQ((a + b).value(), 4.5);
+  EXPECT_DOUBLE_EQ((a - b).value(), 1.5);
+  Seconds c{1.0};
+  c += Seconds{2.0};
+  EXPECT_DOUBLE_EQ(c.value(), 3.0);
+  c -= Seconds{0.5};
+  EXPECT_DOUBLE_EQ(c.value(), 2.5);
+}
+
+TEST(Units, ScalarMultiplicationAndDivision) {
+  const Seconds a{4.0};
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 8.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value(), 8.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value(), 1.0);
+}
+
+TEST(Units, RatioOfLikeQuantitiesIsScalar) {
+  const Seconds a{10.0};
+  const Seconds b{4.0};
+  const double ratio = a / b;
+  EXPECT_DOUBLE_EQ(ratio, 2.5);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Seconds{1.0}, Seconds{2.0});
+  EXPECT_GE(Seconds{2.0}, Seconds{2.0});
+  EXPECT_EQ(Joules{3.0}, Joules{3.0});
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  const Watts p{10.0};
+  const Seconds t{60.0};
+  EXPECT_DOUBLE_EQ((p * t).value(), 600.0);
+  EXPECT_DOUBLE_EQ((t * p).value(), 600.0);
+}
+
+TEST(Units, ByteHelpers) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+  EXPECT_DOUBLE_EQ(to_mib(2 * kMiB), 2.0);
+  EXPECT_DOUBLE_EQ(to_mib(512 * kKiB), 0.5);
+}
+
+TEST(Units, PaperKelvinConversion) {
+  // §3.4 uses 273.16 + °C (and we follow the paper, not the exact 273.15).
+  EXPECT_DOUBLE_EQ(to_kelvin_paper(Celsius{50.0}), 323.16);
+  EXPECT_DOUBLE_EQ(to_kelvin_paper(Celsius{0.0}), 273.16);
+}
+
+TEST(Units, DayAndYearConstants) {
+  EXPECT_DOUBLE_EQ(kSecondsPerDay.value(), 86'400.0);
+  EXPECT_DOUBLE_EQ(kSecondsPerYear.value(), 365.0 * 86'400.0);
+}
+
+TEST(Units, NeverTimeIsLaterThanEverything) {
+  EXPECT_GT(kNeverTime, Seconds{1e18});
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,122 @@
+// Tests for workload/zipf.h, including parameterized sweeps over α — the
+// paper assumes Zipf-like request popularity with α ∈ [0, 1] (§4).
+#include "workload/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace pr {
+namespace {
+
+TEST(Zipf, RejectsBadArguments) {
+  EXPECT_THROW(ZipfDistribution(0, 0.8), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(10, -0.1), std::invalid_argument);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfDistribution z(1000, 0.8);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < z.size(); ++i) sum += z.pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, PmfIsDecreasing) {
+  ZipfDistribution z(100, 0.9);
+  for (std::size_t i = 1; i < z.size(); ++i) {
+    EXPECT_LE(z.pmf(i), z.pmf(i - 1));
+  }
+}
+
+TEST(Zipf, PmfOutOfRangeIsZero) {
+  ZipfDistribution z(10, 0.5);
+  EXPECT_DOUBLE_EQ(z.pmf(10), 0.0);
+  EXPECT_DOUBLE_EQ(z.pmf(9999), 0.0);
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  ZipfDistribution z(8, 0.0);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(z.pmf(i), 1.0 / 8.0, 1e-12);
+  }
+}
+
+TEST(Zipf, CumulativeEndpoints) {
+  ZipfDistribution z(50, 0.7);
+  EXPECT_DOUBLE_EQ(z.cumulative(0), 0.0);
+  EXPECT_DOUBLE_EQ(z.cumulative(50), 1.0);
+  EXPECT_DOUBLE_EQ(z.cumulative(9999), 1.0);
+  EXPECT_NEAR(z.cumulative(1), z.pmf(0), 1e-12);
+}
+
+TEST(Zipf, CumulativeMatchesPmfSum) {
+  ZipfDistribution z(30, 0.85);
+  double running = 0.0;
+  for (std::size_t k = 1; k <= 30; ++k) {
+    running += z.pmf(k - 1);
+    EXPECT_NEAR(z.cumulative(k), running, 1e-9);
+  }
+}
+
+TEST(Zipf, HarmonicKnownValues) {
+  EXPECT_DOUBLE_EQ(ZipfDistribution::harmonic(1, 1.0), 1.0);
+  EXPECT_NEAR(ZipfDistribution::harmonic(4, 1.0),
+              1.0 + 0.5 + 1.0 / 3.0 + 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(ZipfDistribution::harmonic(5, 0.0), 5.0);
+}
+
+TEST(Zipf, SamplesWithinRange) {
+  ZipfDistribution z(37, 0.8);
+  Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_LT(z.sample(rng), 37u);
+  }
+}
+
+TEST(Zipf, SamplingIsDeterministic) {
+  ZipfDistribution z(100, 0.8);
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(z.sample(a), z.sample(b));
+  }
+}
+
+/// Parameterized sweep: empirical frequencies must converge to the pmf for
+/// every exponent the paper's workload model admits.
+class ZipfSamplingFidelity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSamplingFidelity, EmpiricalMatchesPmf) {
+  const double alpha = GetParam();
+  constexpr std::size_t kRanks = 50;
+  constexpr int kSamples = 200'000;
+  ZipfDistribution z(kRanks, alpha);
+  Rng rng(42);
+  std::vector<int> counts(kRanks, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[z.sample(rng)];
+  // Check the head ranks (rare tail ranks have high relative noise).
+  for (std::size_t i = 0; i < 10; ++i) {
+    const double expected = z.pmf(i);
+    const double observed =
+        static_cast<double>(counts[i]) / static_cast<double>(kSamples);
+    EXPECT_NEAR(observed, expected, 5e-3)
+        << "alpha=" << alpha << " rank=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, ZipfSamplingFidelity,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.8, 1.0));
+
+/// The paper's motivating skew property: with α near 1, a small fraction
+/// of ranks captures most of the probability mass.
+TEST(Zipf, HeadCapturesMassAtHighAlpha) {
+  ZipfDistribution z(4079, 1.0);
+  EXPECT_GT(z.cumulative(408), 0.55);  // top 10% of files
+  ZipfDistribution uniform(4079, 0.0);
+  EXPECT_NEAR(uniform.cumulative(408), 0.1, 0.01);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,156 @@
+// Tests for READ's zoning math (Eq. 4 / Eq. 5, Fig. 6 steps 1-3).
+#include "policy/zoning.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace pr {
+namespace {
+
+TEST(Eq4, DeltaMatchesFormula) {
+  EXPECT_DOUBLE_EQ(eq4_delta(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(eq4_delta(0.2), 4.0);
+  EXPECT_NEAR(eq4_delta(0.8), 0.25, 1e-12);
+  EXPECT_THROW((void)eq4_delta(0.0), std::invalid_argument);
+}
+
+TEST(PopularFileCount, MatchesOneMinusThetaTimesM) {
+  EXPECT_EQ(popular_file_count(100, 0.8), 20u);
+  EXPECT_EQ(popular_file_count(100, 0.2), 80u);
+  EXPECT_EQ(popular_file_count(4079, 0.3), 2855u);
+}
+
+TEST(PopularFileCount, ClampsToNonEmptySets) {
+  EXPECT_EQ(popular_file_count(100, 1.0), 1u);       // never zero popular
+  EXPECT_EQ(popular_file_count(100, 1e-9), 99u);     // never zero unpopular
+  EXPECT_EQ(popular_file_count(1, 0.5), 1u);
+  EXPECT_EQ(popular_file_count(0, 0.5), 0u);
+}
+
+TEST(Eq5, GammaMatchesFormula) {
+  // γ = (1−θ)·Lp / (θ·Lu).
+  EXPECT_DOUBLE_EQ(eq5_gamma(0.5, 10.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(eq5_gamma(0.2, 80.0, 20.0), (0.8 * 80.0) / (0.2 * 20.0));
+  EXPECT_THROW((void)eq5_gamma(0.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Eq5, InfiniteGammaWhenNoColdLoad) {
+  EXPECT_TRUE(std::isinf(eq5_gamma(0.5, 10.0, 0.0)));
+}
+
+TEST(ComputeZoning, ValidatesInputs) {
+  EXPECT_THROW((void)compute_zoning({}, 4, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)compute_zoning({1.0}, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)compute_zoning({1.0}, 4, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)compute_zoning({1.0}, 4, 1.5), std::invalid_argument);
+}
+
+TEST(ComputeZoning, BalancedLoadSplitsDisksByGamma) {
+  // 10 files, θ = 0.5 → 5 popular. Popular loads 8 each, unpopular 2
+  // each: Lp = 40, Lu = 10 → γ = (0.5·40)/(0.5·10) = 4 → HD = 4n/5.
+  std::vector<double> loads{8, 8, 8, 8, 8, 2, 2, 2, 2, 2};
+  const auto z = compute_zoning(loads, 10, 0.5);
+  EXPECT_EQ(z.popular_files, 5u);
+  EXPECT_EQ(z.unpopular_files, 5u);
+  EXPECT_NEAR(z.gamma, 4.0, 1e-12);
+  EXPECT_EQ(z.hot_disks, 8u);
+  EXPECT_EQ(z.cold_disks, 2u);
+}
+
+TEST(ComputeZoning, BothZonesAlwaysNonEmpty) {
+  // Extreme skew: nearly all load popular.
+  std::vector<double> loads{1000, 0.0, 0.0, 0.0};
+  const auto z = compute_zoning(loads, 8, 0.9);
+  EXPECT_GE(z.hot_disks, 1u);
+  EXPECT_GE(z.cold_disks, 1u);
+  EXPECT_EQ(z.hot_disks + z.cold_disks, 8u);
+}
+
+TEST(ComputeZoning, InfiniteGammaKeepsOneColdDisk) {
+  std::vector<double> loads{5.0, 5.0, 0.0, 0.0};
+  const auto z = compute_zoning(loads, 6, 0.5);
+  EXPECT_TRUE(std::isinf(z.gamma));
+  EXPECT_EQ(z.hot_disks, 5u);
+  EXPECT_EQ(z.cold_disks, 1u);
+}
+
+TEST(ComputeZoning, SingleDiskIsAllHot) {
+  std::vector<double> loads{3.0, 1.0};
+  const auto z = compute_zoning(loads, 1, 0.5);
+  EXPECT_EQ(z.hot_disks, 1u);
+  EXPECT_EQ(z.cold_disks, 0u);
+}
+
+TEST(ComputeZoning, MoreSkewMeansFewerColdDisksNever) {
+  // Sanity across θ: hot fraction grows as the popular set's load share
+  // grows. Construct Zipf-ish decreasing loads.
+  std::vector<double> loads;
+  for (int i = 1; i <= 100; ++i) loads.push_back(100.0 / i);
+  const auto mild = compute_zoning(loads, 12, 0.9);
+  const auto strong = compute_zoning(loads, 12, 0.3);
+  // θ=0.3 declares 70 files popular, capturing far more load.
+  EXPECT_GE(strong.hot_disks, mild.hot_disks);
+}
+
+TEST(EstimateThetaFromWeights, UniformIsOne) {
+  std::vector<double> w(50, 2.5);
+  EXPECT_NEAR(estimate_theta_from_weights(w), 1.0, 1e-9);
+}
+
+TEST(EstimateThetaFromWeights, SkewGivesSmallTheta) {
+  std::vector<double> w(100, 0.001);
+  w[0] = 1000.0;
+  EXPECT_LT(estimate_theta_from_weights(w), 0.2);
+}
+
+TEST(EstimateThetaFromWeights, IgnoresZeroWeights) {
+  std::vector<double> w(10, 1.0);
+  w.resize(500, 0.0);
+  EXPECT_NEAR(estimate_theta_from_weights(w), 1.0, 1e-9);
+}
+
+TEST(EstimateThetaFromWeights, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(estimate_theta_from_weights({}), 1.0);
+  EXPECT_DOUBLE_EQ(estimate_theta_from_weights({1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(estimate_theta_from_weights({0.0, 0.0}), 1.0);
+}
+
+
+/// Property sweep over (θ, n): structural invariants of the zoning
+/// decision must hold everywhere in the domain.
+class ZoningInvariants
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(ZoningInvariants, HoldAcrossDomain) {
+  const auto [theta, disks] = GetParam();
+  // Zipf-ish decreasing loads over 200 files.
+  std::vector<double> loads;
+  for (int i = 1; i <= 200; ++i) {
+    loads.push_back(1000.0 / std::pow(i, 0.9));
+  }
+  const auto z = compute_zoning(loads, disks, theta);
+  EXPECT_EQ(z.hot_disks + z.cold_disks, disks);
+  if (disks > 1) {
+    EXPECT_GE(z.hot_disks, 1u);
+    EXPECT_GE(z.cold_disks, 1u);
+  }
+  EXPECT_EQ(z.popular_files + z.unpopular_files, loads.size());
+  EXPECT_GE(z.popular_files, 1u);
+  EXPECT_GE(z.unpopular_files, 1u);
+  EXPECT_GT(z.gamma, 0.0);
+  EXPECT_NEAR(z.delta,
+              static_cast<double>(z.popular_files == 1 && theta > 0.99
+                                      ? z.delta  // clamped corner
+                                      : (1.0 - theta) / theta),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThetaByDisks, ZoningInvariants,
+    ::testing::Combine(::testing::Values(0.05, 0.2, 0.5, 0.8, 0.99),
+                       ::testing::Values<std::size_t>(2, 6, 16, 64)));
+
+}  // namespace
+}  // namespace pr
