@@ -11,10 +11,7 @@
 
 #include "bench_common.h"
 #include "core/experiment.h"
-#include "policy/maid_policy.h"
-#include "policy/pdc_policy.h"
-#include "policy/read_policy.h"
-#include "policy/static_policy.h"
+#include "core/registry.h"
 #include "util/table.h"
 
 namespace {
@@ -51,10 +48,10 @@ int main() {
   sweep.disk_counts = {6, 8, 10, 12, 14, 16};
 
   const std::vector<std::pair<std::string, PolicyFactory>> policies = {
-      {"READ", [] { return std::make_unique<ReadPolicy>(); }},
-      {"MAID", [] { return std::make_unique<MaidPolicy>(); }},
-      {"PDC", [] { return std::make_unique<PdcPolicy>(); }},
-      {"Static", [] { return std::make_unique<StaticPolicy>(); }},
+      {"READ", pr::policies::make("read")},
+      {"MAID", pr::policies::make("maid")},
+      {"PDC", pr::policies::make("pdc")},
+      {"Static", pr::policies::make("static")},
   };
   const std::vector<NamedWorkload> workloads = {
       {"light", &light.files, &light.trace},

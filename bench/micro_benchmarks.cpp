@@ -5,6 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include "core/system.h"
+#include "obs/counter_registry.h"
+#include "obs/time_series.h"
 #include "policy/read_policy.h"
 #include "policy/static_policy.h"
 #include "press/press_model.h"
@@ -112,6 +114,51 @@ void BM_ReadPolicySimulation(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_ReadPolicySimulation)->Arg(10'000)->Arg(100'000);
+
+// Same loop as BM_SimulationThroughput with a TimeSeriesRecorder attached;
+// the gap to the detached run is the full observability cost (dispatch +
+// ledger deltas + window bucketing). bench/obs_overhead prints the same
+// comparison as a readable table.
+void BM_SimulationWithTimeSeries(benchmark::State& state) {
+  SyntheticWorkloadConfig cfg;
+  cfg.file_count = 1'000;
+  cfg.request_count = static_cast<std::size_t>(state.range(0));
+  const auto w = generate_workload(cfg);
+  SimConfig sim;
+  sim.disk_params = two_speed_cheetah();
+  sim.disk_count = 8;
+  for (auto _ : state) {
+    StaticPolicy policy;
+    TimeSeriesRecorder recorder{Seconds{60.0}};
+    benchmark::DoNotOptimize(
+        run_simulation(sim, w.files, w.trace, policy, &recorder));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SimulationWithTimeSeries)->Arg(10'000)->Arg(100'000);
+
+void BM_CounterRegistryAdd(benchmark::State& state) {
+  CounterRegistry registry;
+  const auto handle = registry.intern("bench.counter");
+  for (auto _ : state) {
+    registry.add(handle);
+    benchmark::DoNotOptimize(registry);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterRegistryAdd);
+
+void BM_CounterRegistryAddByName(benchmark::State& state) {
+  CounterRegistry registry;
+  registry.add("bench.counter");
+  for (auto _ : state) {
+    registry.add("bench.counter");
+    benchmark::DoNotOptimize(registry);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterRegistryAddByName);
 
 }  // namespace
 

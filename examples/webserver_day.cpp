@@ -5,15 +5,18 @@
 // temperature, utilization or transition frequency — drives it).
 //
 //   $ ./webserver_day [--quick]
+//
+// Set PR_TRACE_JSONL=<prefix> to also stream each policy's control-plane
+// event log (speed transitions, epochs, migrations) to
+// <prefix>.<policy>.jsonl via the observability layer (docs/OBSERVABILITY.md).
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <string>
 
-#include "core/system.h"
-#include "policy/maid_policy.h"
-#include "policy/pdc_policy.h"
-#include "policy/read_policy.h"
-#include "policy/static_policy.h"
+#include "core/session.h"
+#include "obs/jsonl_writer.h"
 #include "util/table.h"
 #include "workload/synthetic.h"
 
@@ -35,19 +38,31 @@ int main(int argc, char** argv) {
   config.sim.disk_count = 8;
   config.sim.epoch = Seconds{3600.0};
 
-  std::vector<std::unique_ptr<Policy>> policies;
-  policies.push_back(std::make_unique<ReadPolicy>());
-  policies.push_back(std::make_unique<MaidPolicy>());
-  policies.push_back(std::make_unique<PdcPolicy>());
-  policies.push_back(std::make_unique<StaticPolicy>());
-
   AsciiTable overview("One day, four energy-saving schemes (8 disks)");
   overview.set_header({"policy", "mean RT", "p99 RT", "energy", "array AFR",
                        "transitions", "migrations"});
 
-  for (const auto& policy : policies) {
-    const auto report =
-        evaluate(config, workload.files, workload.trace, *policy);
+  for (const std::string& name : {std::string("read"), std::string("maid"),
+                                  std::string("pdc"), std::string("static")}) {
+    // The registry-based session API: name the policy, attach observers.
+    // PR_TRACE_JSONL=<path-prefix> streams the control-plane event log
+    // (speed transitions, epochs, migrations) per policy for inspection.
+    SimulationSession session(config);
+    session.with_workload(workload).with_policy(name);
+    std::unique_ptr<JsonlTraceWriter> jsonl;
+    if (const char* prefix = std::getenv("PR_TRACE_JSONL")) {
+      JsonlOptions options;
+      options.requests = false;  // control-plane only; keep files small
+      try {
+        jsonl = std::make_unique<JsonlTraceWriter>(
+            std::string(prefix) + "." + name + ".jsonl", options);
+      } catch (const std::runtime_error& e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+      }
+      session.with_observer(*jsonl);
+    }
+    const auto report = session.run();
     overview.add_row(
         {report.sim.policy_name,
          num(report.sim.mean_response_time_s() * 1e3, 2) + " ms",

@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "util/thread_pool.h"
@@ -57,7 +58,12 @@ std::vector<SweepCell> run_sweep(
 }
 
 double improvement(double ours, double baseline) {
-  if (baseline == 0.0) return 0.0;
+  // Degenerate inputs (zero baseline, NaN/inf from an empty or failed
+  // cell) would yield NaN/±inf here and poison every downstream average;
+  // report "no improvement" for them instead.
+  if (!std::isfinite(ours) || !std::isfinite(baseline) || baseline == 0.0) {
+    return 0.0;
+  }
   return (baseline - ours) / baseline;
 }
 

@@ -1,0 +1,95 @@
+#include "core/registry.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <memory>
+#include <stdexcept>
+
+#include "policy/drpm_policy.h"
+#include "policy/hibernator_policy.h"
+#include "policy/maid_policy.h"
+#include "policy/pdc_policy.h"
+#include "policy/read_policy.h"
+#include "policy/replication.h"
+#include "policy/static_policy.h"
+#include "policy/striped_read_policy.h"
+#include "policy/striping.h"
+
+namespace pr::policies {
+
+namespace {
+
+struct Entry {
+  const char* name;
+  std::unique_ptr<Policy> (*build)();
+};
+
+// Sorted by name (names() relies on it). Every policy is registered with
+// its paper-default configuration; variants that differ only in tuning get
+// their own name (drpm-aggressive).
+constexpr auto kEntries = std::to_array<Entry>({
+    {"drpm", [] { return std::unique_ptr<Policy>(new DrpmPolicy()); }},
+    {"drpm-aggressive",
+     [] {
+       DrpmConfig config;
+       config.aggressive = true;
+       return std::unique_ptr<Policy>(new DrpmPolicy(config));
+     }},
+    {"hibernator",
+     [] { return std::unique_ptr<Policy>(new HibernatorPolicy()); }},
+    {"maid", [] { return std::unique_ptr<Policy>(new MaidPolicy()); }},
+    {"pdc", [] { return std::unique_ptr<Policy>(new PdcPolicy()); }},
+    {"read", [] { return std::unique_ptr<Policy>(new ReadPolicy()); }},
+    {"replicated-read",
+     [] { return std::unique_ptr<Policy>(new ReplicatedReadPolicy()); }},
+    {"static", [] { return std::unique_ptr<Policy>(new StaticPolicy()); }},
+    {"striped-read",
+     [] { return std::unique_ptr<Policy>(new StripedReadPolicy()); }},
+    {"striped-static",
+     [] { return std::unique_ptr<Policy>(new StripedStaticPolicy()); }},
+});
+
+std::string canonical(std::string_view name) {
+  std::string out(name);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+const Entry* find(std::string_view name) {
+  const std::string key = canonical(name);
+  for (const Entry& e : kEntries) {
+    if (key == e.name) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+PolicyFactory make(std::string_view name) {
+  const Entry* entry = find(name);
+  if (entry == nullptr) {
+    std::string message = "pr::policies::make: unknown policy '";
+    message += name;
+    message += "'; registered:";
+    for (const Entry& e : kEntries) {
+      message += ' ';
+      message += e.name;
+    }
+    throw std::invalid_argument(message);
+  }
+  return PolicyFactory{entry->build};
+}
+
+bool contains(std::string_view name) { return find(name) != nullptr; }
+
+std::vector<std::string> names() {
+  std::vector<std::string> out;
+  out.reserve(kEntries.size());
+  for (const Entry& e : kEntries) out.emplace_back(e.name);
+  return out;
+}
+
+}  // namespace pr::policies

@@ -1,0 +1,27 @@
+// registry.h — name-based construction of every policy the library ships.
+// Before this registry, each bench/example re-declared the same factory
+// lambdas; now `pr::policies::make("read")` is the single spelling, and
+// `names()` lets tools (CLIs, sweep drivers, dashboards) enumerate what is
+// available without recompiling.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace pr::policies {
+
+/// Factory for the policy registered under `name` (canonical names are
+/// lowercase; lookup is case-insensitive). Throws std::invalid_argument
+/// for unknown names, listing the valid ones.
+[[nodiscard]] PolicyFactory make(std::string_view name);
+
+/// True when `name` is registered (case-insensitive).
+[[nodiscard]] bool contains(std::string_view name);
+
+/// Canonical registered names, sorted.
+[[nodiscard]] std::vector<std::string> names();
+
+}  // namespace pr::policies

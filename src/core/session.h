@@ -1,0 +1,70 @@
+// session.h — the library's front door. A SimulationSession gathers
+// everything one run needs — config, workload, policy, observers — with a
+// fluent builder, then runs the simulation and scores it with PRESS:
+//
+//   pr::TimeSeriesRecorder timeline{pr::Seconds{60.0}};
+//   auto report = pr::SimulationSession(config)
+//                     .with_workload(workload)
+//                     .with_policy("read")
+//                     .with_observer(timeline)
+//                     .run();
+//
+// The bare evaluate() overload in core/system.h remains as a thin wrapper
+// for observer-less one-shot runs.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/experiment.h"
+#include "core/system.h"
+#include "obs/observer.h"
+#include "workload/synthetic.h"
+
+namespace pr {
+
+class SimulationSession {
+ public:
+  explicit SimulationSession(SystemConfig config = {});
+
+  /// Point the session at a workload. The files/trace must outlive run().
+  SimulationSession& with_workload(const FileSet& files, const Trace& trace);
+  SimulationSession& with_workload(const SyntheticWorkload& workload);
+
+  /// Choose the policy by registry name (see core/registry.h; throws
+  /// std::invalid_argument for unknown names)...
+  SimulationSession& with_policy(std::string_view name);
+  /// ...or hand over a constructed instance (owned)...
+  SimulationSession& with_policy(std::unique_ptr<Policy> policy);
+  /// ...or borrow one the caller keeps alive (lets tests inspect policy
+  /// state after the run).
+  SimulationSession& with_policy(Policy& policy);
+
+  /// Attach an observer (repeatable; callbacks fan out in attachment
+  /// order). The observer must outlive run().
+  SimulationSession& with_observer(SimObserver& observer);
+
+  // Conveniences for the two most-tweaked knobs.
+  SimulationSession& with_disks(std::size_t count);
+  SimulationSession& with_epoch(Seconds epoch);
+
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+  [[nodiscard]] SystemConfig& config() { return config_; }
+
+  /// Run the simulation and score it with PRESS. Throws std::logic_error
+  /// when no workload or policy was configured. May be called repeatedly;
+  /// each call builds a fresh policy instance when the policy was given by
+  /// name, and reuses the same instance otherwise.
+  [[nodiscard]] SystemReport run();
+
+ private:
+  SystemConfig config_;
+  const FileSet* files_ = nullptr;
+  const Trace* trace_ = nullptr;
+  PolicyFactory factory_;                   // name-based (fresh per run)
+  std::unique_ptr<Policy> owned_policy_;    // adopted instance
+  Policy* borrowed_policy_ = nullptr;       // caller-owned instance
+  ObserverList observers_;
+};
+
+}  // namespace pr

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/session.h"
 #include "util/table.h"
 
 namespace pr {
@@ -24,8 +25,10 @@ SystemReport score(const PressModel& press, SimResult sim) {
 
 SystemReport evaluate(const SystemConfig& config, const FileSet& files,
                       const Trace& trace, Policy& policy) {
-  SimResult sim = run_simulation(config.sim, files, trace, policy);
-  return score(PressModel{config.press}, std::move(sim));
+  return SimulationSession(config)
+      .with_workload(files, trace)
+      .with_policy(policy)
+      .run();
 }
 
 std::string SystemReport::summary() const {

@@ -41,7 +41,9 @@ struct SystemReport {
   [[nodiscard]] std::string summary() const;
 };
 
-/// Run the simulation and score it with PRESS.
+/// Run the simulation and score it with PRESS. Thin wrapper over
+/// SimulationSession (core/session.h), which is the richer front door —
+/// registry-named policies, attached observers, fluent config.
 [[nodiscard]] SystemReport evaluate(const SystemConfig& config,
                                     const FileSet& files, const Trace& trace,
                                     Policy& policy);

@@ -1,0 +1,28 @@
+#include "obs/counter_registry.h"
+
+namespace pr {
+
+CounterRegistry::Handle CounterRegistry::intern(std::string_view name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const Handle handle = values_.size();
+  values_.push_back(0);
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), handle);
+  return handle;
+}
+
+std::uint64_t CounterRegistry::value(std::string_view name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? 0 : values_[it->second];
+}
+
+std::map<std::string, std::uint64_t> CounterRegistry::snapshot() const {
+  std::map<std::string, std::uint64_t> out;
+  for (Handle h = 0; h < values_.size(); ++h) {
+    out.emplace(names_[h], values_[h]);
+  }
+  return out;
+}
+
+}  // namespace pr

@@ -1,0 +1,58 @@
+// counter_registry.h — named monotonic counters with interned handles.
+// The simulator's hot paths bump counters through pre-interned handles
+// (one vector add, no string hashing per event); policies keep the
+// string-keyed convenience API. A sorted snapshot feeds
+// SimResult::counters and thereby SystemReport / report_io.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pr {
+
+class CounterRegistry {
+ public:
+  /// Stable dense index of a counter within this registry.
+  using Handle = std::size_t;
+
+  CounterRegistry() = default;
+
+  /// Find-or-create the counter named `name` (created at zero). Handles
+  /// stay valid for the registry's lifetime.
+  Handle intern(std::string_view name);
+
+  /// O(1) bump through a pre-interned handle.
+  void add(Handle handle, std::uint64_t by = 1) { values_[handle] += by; }
+
+  /// Convenience bump by name (interns on first use).
+  void add(std::string_view name, std::uint64_t by = 1) {
+    values_[intern(name)] += by;
+  }
+
+  [[nodiscard]] std::uint64_t value(Handle handle) const {
+    return values_.at(handle);
+  }
+  /// Current value by name; 0 for a counter never interned.
+  [[nodiscard]] std::uint64_t value(std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return index_.find(name) != index_.end();
+  }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] const std::string& name(Handle handle) const {
+    return names_.at(handle);
+  }
+
+  /// Name-sorted copy of every counter (zero-valued ones included, so a
+  /// registered-but-never-hit counter is still visible in reports).
+  [[nodiscard]] std::map<std::string, std::uint64_t> snapshot() const;
+
+ private:
+  std::vector<std::uint64_t> values_;
+  std::vector<std::string> names_;
+  std::map<std::string, Handle, std::less<>> index_;
+};
+
+}  // namespace pr

@@ -1,0 +1,89 @@
+#include "obs/jsonl_writer.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace pr {
+
+JsonlTraceWriter::JsonlTraceWriter(std::ostream& out, JsonlOptions options)
+    : out_(&out), options_(options) {
+  out_->precision(17);
+}
+
+JsonlTraceWriter::JsonlTraceWriter(const std::string& path,
+                                   JsonlOptions options)
+    : owned_(path, std::ios::binary), out_(&owned_), options_(options) {
+  if (!owned_) {
+    throw std::runtime_error("JsonlTraceWriter: cannot open " + path);
+  }
+  out_->precision(17);
+}
+
+std::ostream& JsonlTraceWriter::line() {
+  ++lines_;
+  return *out_;
+}
+
+void JsonlTraceWriter::on_run_start(const RunStartEvent& event) {
+  auto& out = line();
+  out << R"({"ev":"run_start","disks":)" << event.disk_count << R"(,"files":)"
+      << event.file_count << R"(,"epoch_s":)" << event.epoch.value()
+      << R"(,"initial_speeds":[)";
+  for (std::size_t d = 0; d < event.initial_speeds.size(); ++d) {
+    if (d > 0) out << ',';
+    out << '"' << to_string(event.initial_speeds[d]) << '"';
+  }
+  out << "]}\n";
+}
+
+void JsonlTraceWriter::on_request_complete(const RequestCompleteEvent& event) {
+  if (!options_.requests) return;
+  line() << R"({"ev":"request","t":)" << event.arrival.value()
+         << R"(,"completion":)" << event.completion.value() << R"(,"file":)"
+         << event.file << R"(,"disk":)" << event.disk << R"(,"bytes":)"
+         << event.bytes << R"(,"rt_s":)" << event.response_time().value()
+         << R"(,"backlog_s":)" << event.backlog.value() << R"(,"service_s":)"
+         << event.service_time.value() << R"(,"energy_j":)"
+         << event.energy.value() << R"(,"chunks":)" << event.stripe_chunks
+         << "}\n";
+}
+
+void JsonlTraceWriter::on_speed_transition(const SpeedTransitionEvent& event) {
+  if (!options_.transitions) return;
+  line() << R"({"ev":"transition","t":)" << event.time.value()
+         << R"(,"finish":)" << event.finish.value() << R"(,"disk":)"
+         << event.disk << R"(,"from":")" << to_string(event.from)
+         << R"(","to":")" << to_string(event.to) << R"(","cause":")"
+         << to_string(event.cause) << "\"}\n";
+}
+
+void JsonlTraceWriter::on_disk_state_change(const DiskStateChangeEvent& event) {
+  if (!options_.state_changes) return;
+  line() << R"({"ev":"disk_state","t":)" << event.time.value()
+         << R"(,"disk":)" << event.disk << R"(,"from":")"
+         << to_string(event.from) << R"(","to":")" << to_string(event.to)
+         << "\"}\n";
+}
+
+void JsonlTraceWriter::on_epoch_end(const EpochEndEvent& event) {
+  if (!options_.epochs) return;
+  line() << R"({"ev":"epoch_end","t":)" << event.time.value()
+         << R"(,"index":)" << event.index << R"(,"requests":)"
+         << event.requests << "}\n";
+}
+
+void JsonlTraceWriter::on_migration(const MigrationEvent& event) {
+  if (!options_.migrations) return;
+  line() << R"({"ev":"migration","t":)" << event.time.value() << R"(,"file":)"
+         << event.file << R"(,"from":)" << event.from << R"(,"to":)"
+         << event.to << R"(,"bytes":)" << event.bytes << "}\n";
+}
+
+void JsonlTraceWriter::on_run_end(const RunEndEvent& event) {
+  line() << R"({"ev":"run_end","horizon_s":)" << event.horizon.value()
+         << R"(,"requests":)" << event.user_requests << R"(,"energy_j":)"
+         << event.total_energy.value() << "}\n";
+  out_->flush();
+}
+
+}  // namespace pr

@@ -1,0 +1,55 @@
+// jsonl_writer.h — streams simulation events to a JSON Lines file/stream,
+// one self-describing object per line, in emission order. Because the
+// simulator's event order is deterministic, two same-seed runs produce
+// byte-identical output (numbers are printed at full precision with a
+// fixed format; no wall-clock or locale state leaks in) — verified by
+// tests/test_observer.cpp.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+
+#include "obs/observer.h"
+
+namespace pr {
+
+/// Which event kinds are written (all by default). Request lines dominate
+/// file size on big traces; disable them to keep only the control-plane
+/// events (transitions, epochs, migrations).
+struct JsonlOptions {
+  bool requests = true;
+  bool transitions = true;
+  bool state_changes = true;
+  bool epochs = true;
+  bool migrations = true;
+};
+
+class JsonlTraceWriter final : public SimObserver {
+ public:
+  /// Write to a caller-owned stream (kept open; flushed at run end).
+  explicit JsonlTraceWriter(std::ostream& out, JsonlOptions options = {});
+  /// Open `path` for writing (throws std::runtime_error on failure).
+  explicit JsonlTraceWriter(const std::string& path, JsonlOptions options = {});
+
+  void on_run_start(const RunStartEvent& event) override;
+  void on_request_complete(const RequestCompleteEvent& event) override;
+  void on_speed_transition(const SpeedTransitionEvent& event) override;
+  void on_disk_state_change(const DiskStateChangeEvent& event) override;
+  void on_epoch_end(const EpochEndEvent& event) override;
+  void on_migration(const MigrationEvent& event) override;
+  void on_run_end(const RunEndEvent& event) override;
+
+  [[nodiscard]] std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  std::ostream& line();
+
+  std::ofstream owned_;
+  std::ostream* out_;
+  JsonlOptions options_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace pr

@@ -1,0 +1,207 @@
+// observer.h — the simulator's instrumentation spine. Every interesting
+// moment in a run (a request completing, a disk changing speed, an epoch
+// boundary, a file migration) is announced to an optional SimObserver;
+// when none is attached the simulator pays a single null-pointer test per
+// emission point (verified by bench/obs_overhead).
+//
+// Ordering contract (all events carry the simulated time they occurred):
+//   * Events are emitted in non-decreasing time order, matching the
+//     simulator's deterministic event order — same seed, same stream.
+//   * Within one instant: epoch-boundary work precedes arrivals at that
+//     instant, so any migrations fired by Policy::on_epoch come first,
+//     then the EpochEndEvent that closes the epoch, then request events.
+//   * For one request: spin-up transition/state-change events precede its
+//     RequestCompleteEvent; Policy::after_serve side effects (cache fills,
+//     copies) come after it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/disk.h"
+#include "trace/request.h"
+#include "util/units.h"
+
+namespace pr {
+
+/// Why a speed transition was initiated.
+enum class TransitionCause : std::uint8_t {
+  /// DPM idleness-threshold spin-down (Fig. 6's "conserve energy when
+  /// idle for H seconds").
+  kDpmIdle = 0,
+  /// Promotion of a low-speed disk to serve arriving I/O (spin-up-to-serve
+  /// or DRPM-style backlog promotion).
+  kSpinUpToServe = 1,
+  /// Explicit Policy request_transition() (zone reconfiguration).
+  kPolicy = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(TransitionCause c) {
+  switch (c) {
+    case TransitionCause::kDpmIdle: return "dpm_idle";
+    case TransitionCause::kSpinUpToServe: return "spin_up_to_serve";
+    case TransitionCause::kPolicy: return "policy";
+  }
+  return "?";
+}
+
+/// Coarse per-disk power state derived from the commanded speed. Distinct
+/// from SpeedTransitionEvent so downstream consumers that only care about
+/// state occupancy (reliability interval analyses) need not model the
+/// mechanics.
+enum class DiskPowerState : std::uint8_t { kLowPower = 0, kActive = 1 };
+
+[[nodiscard]] constexpr const char* to_string(DiskPowerState s) {
+  return s == DiskPowerState::kLowPower ? "low_power" : "active";
+}
+
+[[nodiscard]] constexpr DiskPowerState power_state(DiskSpeed s) {
+  return s == DiskSpeed::kHigh ? DiskPowerState::kActive
+                               : DiskPowerState::kLowPower;
+}
+
+/// Fired once, after Policy::initialize() placed every file and chose the
+/// per-disk starting speeds, before the first arrival is replayed.
+struct RunStartEvent {
+  std::size_t disk_count = 0;
+  std::size_t file_count = 0;
+  Seconds epoch{};
+  /// Speed each disk starts the run in (index = disk id).
+  std::vector<DiskSpeed> initial_speeds;
+};
+
+/// Fired once per served user request, after its completion time is known
+/// and before Policy::after_serve runs.
+struct RequestCompleteEvent {
+  Seconds arrival{};
+  Seconds completion{};
+  FileId file = kInvalidFile;
+  /// Primary serving disk (first chunk's disk for striped requests).
+  DiskId disk = 0;
+  Bytes bytes = 0;
+  /// Seconds of already-queued work at the serving disk(s) on arrival —
+  /// the simulator's queue-depth proxy (FCFS backlog, max across chunks).
+  Seconds backlog{};
+  /// Busy-time the request added across its serving disk(s).
+  Seconds service_time{};
+  /// Disk-ledger energy delta across the operation. Includes the idle
+  /// energy lazily accounted since each disk's previous activity, so the
+  /// sum over all events plus the final-idle tail equals total energy.
+  Joules energy{};
+  /// Number of per-disk chunks (1 unless the policy stripes).
+  std::uint32_t stripe_chunks = 1;
+
+  [[nodiscard]] Seconds response_time() const { return completion - arrival; }
+};
+
+/// Fired whenever a disk actually changes commanded speed (no-op
+/// transitions to the current speed are not reported).
+struct SpeedTransitionEvent {
+  /// When the transition was requested (it begins after queued work).
+  Seconds time{};
+  /// When the disk is back in service at the new speed.
+  Seconds finish{};
+  DiskId disk = 0;
+  DiskSpeed from = DiskSpeed::kHigh;
+  DiskSpeed to = DiskSpeed::kHigh;
+  TransitionCause cause = TransitionCause::kPolicy;
+};
+
+/// Fired alongside SpeedTransitionEvent with the derived power state.
+struct DiskStateChangeEvent {
+  Seconds time{};
+  DiskId disk = 0;
+  DiskPowerState from = DiskPowerState::kActive;
+  DiskPowerState to = DiskPowerState::kActive;
+};
+
+/// Fired at each epoch boundary, after Policy::on_epoch ran and before the
+/// per-epoch access counts reset.
+struct EpochEndEvent {
+  Seconds time{};
+  /// 0-based epoch number (epoch k covers (k·P, (k+1)·P]).
+  std::uint64_t index = 0;
+  /// User requests that arrived within the closing epoch.
+  std::uint64_t requests = 0;
+};
+
+/// Fired for every ArrayContext::migrate that moved a file.
+struct MigrationEvent {
+  Seconds time{};
+  FileId file = kInvalidFile;
+  DiskId from = 0;
+  DiskId to = 0;
+  Bytes bytes = 0;
+};
+
+/// Fired once after the trailing events drained and every ledger closed.
+struct RunEndEvent {
+  Seconds horizon{};
+  std::uint64_t user_requests = 0;
+  Joules total_energy{};
+};
+
+/// Hook interface. All callbacks default to no-ops so observers override
+/// only what they consume. Observers must not mutate simulation state —
+/// the hooks are read-only by contract (they receive value snapshots).
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  virtual void on_run_start(const RunStartEvent& event) { (void)event; }
+  virtual void on_request_complete(const RequestCompleteEvent& event) {
+    (void)event;
+  }
+  virtual void on_speed_transition(const SpeedTransitionEvent& event) {
+    (void)event;
+  }
+  virtual void on_disk_state_change(const DiskStateChangeEvent& event) {
+    (void)event;
+  }
+  virtual void on_epoch_end(const EpochEndEvent& event) { (void)event; }
+  virtual void on_migration(const MigrationEvent& event) { (void)event; }
+  virtual void on_run_end(const RunEndEvent& event) { (void)event; }
+};
+
+/// Fan-out to several observers in registration order (SimulationSession
+/// uses this when more than one observer is attached).
+class ObserverList final : public SimObserver {
+ public:
+  ObserverList() = default;
+
+  void add(SimObserver& observer) { observers_.push_back(&observer); }
+  [[nodiscard]] bool empty() const { return observers_.empty(); }
+  [[nodiscard]] std::size_t size() const { return observers_.size(); }
+  /// The attached observer when exactly one is present (lets callers skip
+  /// the fan-out indirection), nullptr otherwise.
+  [[nodiscard]] SimObserver* sole() const {
+    return observers_.size() == 1 ? observers_.front() : nullptr;
+  }
+
+  void on_run_start(const RunStartEvent& event) override {
+    for (auto* o : observers_) o->on_run_start(event);
+  }
+  void on_request_complete(const RequestCompleteEvent& event) override {
+    for (auto* o : observers_) o->on_request_complete(event);
+  }
+  void on_speed_transition(const SpeedTransitionEvent& event) override {
+    for (auto* o : observers_) o->on_speed_transition(event);
+  }
+  void on_disk_state_change(const DiskStateChangeEvent& event) override {
+    for (auto* o : observers_) o->on_disk_state_change(event);
+  }
+  void on_epoch_end(const EpochEndEvent& event) override {
+    for (auto* o : observers_) o->on_epoch_end(event);
+  }
+  void on_migration(const MigrationEvent& event) override {
+    for (auto* o : observers_) o->on_migration(event);
+  }
+  void on_run_end(const RunEndEvent& event) override {
+    for (auto* o : observers_) o->on_run_end(event);
+  }
+
+ private:
+  std::vector<SimObserver*> observers_;
+};
+
+}  // namespace pr

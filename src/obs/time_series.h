@@ -1,0 +1,107 @@
+// time_series.h — windowed per-disk telemetry. Aggregate end-of-run
+// numbers hide every time-resolved behaviour the policies exhibit (READ's
+// adaptive-H doubling, PDC migration churn, MAID cache-disk thrashing);
+// this observer buckets activity into fixed windows (default 60 s) so
+// those phenomena become visible and plottable.
+//
+// Attribution semantics (documented, deliberately simple):
+//   * Request/migration quantities land in the window of the event time
+//     (the arrival instant), even when service spills past the boundary.
+//   * `energy` is the disk-ledger energy delta across each operation —
+//     busy energy plus the idle energy lazily accounted since the disk's
+//     previous activity — so the per-window series sums to the run total
+//     minus only the post-final-activity idle tail.
+//   * `time_at_high` integrates the commanded speed signal exactly across
+//     window boundaries (from DiskStateChangeEvents).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/observer.h"
+
+namespace pr {
+
+/// Accumulators for one disk within one window.
+struct WindowSample {
+  std::uint64_t requests = 0;
+  Bytes bytes = 0;
+  /// Busy time the window's requests added on this disk.
+  Seconds busy{0.0};
+  /// Ledger energy delta attributed at event times (see header comment).
+  Joules energy{0.0};
+  /// Worst FCFS backlog observed at an arrival in this window (queue-depth
+  /// proxy, seconds of queued work).
+  Seconds max_backlog{0.0};
+  std::uint64_t transitions_up = 0;
+  std::uint64_t transitions_down = 0;
+  /// Seconds of this window the disk's commanded speed was high.
+  Seconds time_at_high{0.0};
+  std::uint64_t migrations_in = 0;
+  std::uint64_t migrations_out = 0;
+
+  /// Approximate utilization: busy seconds attributed here over the
+  /// window length (can exceed 1 when long services pile into the
+  /// arrival window).
+  [[nodiscard]] double utilization(Seconds window) const {
+    return window.value() > 0.0 ? busy / window : 0.0;
+  }
+  /// Fraction of the window spent at high speed — the "temperature band"
+  /// signal (§3.2: operating temperature follows speed).
+  [[nodiscard]] double high_speed_fraction(Seconds window) const {
+    return window.value() > 0.0 ? time_at_high / window : 0.0;
+  }
+};
+
+class TimeSeriesRecorder final : public SimObserver {
+ public:
+  /// `window` must be positive (throws std::invalid_argument otherwise).
+  explicit TimeSeriesRecorder(Seconds window = Seconds{60.0});
+
+  void on_run_start(const RunStartEvent& event) override;
+  void on_request_complete(const RequestCompleteEvent& event) override;
+  void on_speed_transition(const SpeedTransitionEvent& event) override;
+  void on_epoch_end(const EpochEndEvent& event) override;
+  void on_migration(const MigrationEvent& event) override;
+  void on_run_end(const RunEndEvent& event) override;
+
+  [[nodiscard]] Seconds window_length() const { return window_; }
+  [[nodiscard]] std::size_t disk_count() const { return disk_count_; }
+  /// Number of materialized windows (last event / horizon rounded up).
+  [[nodiscard]] std::size_t window_count() const { return windows_.size(); }
+  /// Start time of window `w`.
+  [[nodiscard]] Seconds window_start(std::size_t w) const {
+    return Seconds{static_cast<double>(w) * window_.value()};
+  }
+  [[nodiscard]] const WindowSample& at(std::size_t w, DiskId disk) const;
+  /// Sum of a window's samples across all disks.
+  [[nodiscard]] WindowSample array_total(std::size_t w) const;
+
+  /// Epoch boundaries seen, as (time, user requests in the epoch).
+  [[nodiscard]] const std::vector<std::pair<Seconds, std::uint64_t>>&
+  epoch_marks() const {
+    return epoch_marks_;
+  }
+
+  /// Long-form CSV (one row per window × disk) with a header row.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  WindowSample& sample(std::size_t w, DiskId disk);
+  [[nodiscard]] std::size_t window_of(Seconds t) const;
+  /// Extend the windows_ vector so `w` is addressable.
+  void ensure_window(std::size_t w);
+  /// Integrate the commanded-speed signal of `disk` up to `t`.
+  void account_speed_until(DiskId disk, Seconds t);
+
+  Seconds window_{60.0};
+  std::size_t disk_count_ = 0;
+  /// windows_[w][disk]
+  std::vector<std::vector<WindowSample>> windows_;
+  std::vector<DiskSpeed> current_speed_;
+  std::vector<Seconds> speed_since_;
+  std::vector<std::pair<Seconds, std::uint64_t>> epoch_marks_;
+};
+
+}  // namespace pr

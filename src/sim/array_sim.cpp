@@ -66,6 +66,9 @@ void ArrayContext::migrate(FileId f, DiskId to) {
   assign_cylinders(f, to);
   ++migrations_;
   migration_bytes_ += bytes;
+  if (observer_ != nullptr) {
+    observer_->on_migration(MigrationEvent{now_, f, from, to, bytes});
+  }
 }
 
 void ArrayContext::background_copy(DiskId from, DiskId to, Bytes bytes) {
@@ -87,7 +90,23 @@ Seconds ArrayContext::request_transition(DiskId d, DiskSpeed target) {
   if (d >= disks_.size()) {
     throw std::invalid_argument("ArrayContext::request_transition: bad disk");
   }
-  return disks_[d].transition(now_, target);
+  const DiskSpeed from = disks_[d].speed();
+  const Seconds finish = disks_[d].transition(now_, target);
+  if (from != target) {
+    counters_.add("sim.policy_transitions");
+    emit_transition(d, from, target, now_, finish, TransitionCause::kPolicy);
+  }
+  return finish;
+}
+
+void ArrayContext::emit_transition(DiskId d, DiskSpeed from, DiskSpeed to,
+                                   Seconds at, Seconds finish,
+                                   TransitionCause cause) {
+  if (observer_ == nullptr || from == to) return;
+  observer_->on_speed_transition(
+      SpeedTransitionEvent{at, finish, d, from, to, cause});
+  observer_->on_disk_state_change(
+      DiskStateChangeEvent{at, d, power_state(from), power_state(to)});
 }
 
 void ArrayContext::set_dpm(DiskId d, const DpmConfig& config) {
@@ -105,7 +124,7 @@ void ArrayContext::set_idleness_threshold(DiskId d, Seconds h) {
 }
 
 void ArrayContext::bump(const std::string& counter, std::uint64_t by) {
-  counters_[counter] += by;
+  counters_.add(counter, by);
 }
 
 void ArrayContext::schedule_idle_check(DiskId d, Seconds completion) {
@@ -120,18 +139,29 @@ void ArrayContext::schedule_idle_check(DiskId d, Seconds completion) {
 class ArraySimulator {
  public:
   ArraySimulator(const SimConfig& config, const FileSet& files,
-                 const Trace& trace, Policy& policy)
+                 const Trace& trace, Policy& policy, SimObserver* observer)
       : config_(config), files_(files), trace_(trace), policy_(policy),
-        ctx_(config, files) {}
+        ctx_(config, files),
+        h_epochs_(ctx_.counters_.intern("sim.epochs")),
+        h_idle_checks_(ctx_.counters_.intern("sim.idle_checks")),
+        h_idle_stale_(ctx_.counters_.intern("sim.idle_checks_stale")),
+        h_idle_deferred_(ctx_.counters_.intern("sim.idle_checks_deferred")),
+        h_spin_downs_(ctx_.counters_.intern("sim.spin_downs")),
+        h_spin_vetoed_(ctx_.counters_.intern("sim.spin_downs_vetoed")),
+        h_spin_ups_(ctx_.counters_.intern("sim.spin_ups_to_serve")) {
+    ctx_.observer_ = observer;
+  }
 
   SimResult run() {
     validate_inputs();
     policy_.initialize(ctx_);
     validate_placement();
+    emit_run_start();
     arm_initial_idle_checks();
 
     next_epoch_ = ctx_.config_->epoch;
     Seconds horizon{0.0};
+    SimObserver* const obs = ctx_.observer_;
 
     for (const Request& req : trace_.requests) {
       drain_until(req.arrival);
@@ -143,8 +173,11 @@ class ArraySimulator {
       ++ctx_.epoch_counts_[req.file];
       ++ctx_.epoch_requests_;
 
+      if (obs != nullptr) pending_ = RequestCompleteEvent{};
+
       Seconds completion{0.0};
       DiskId primary = kInvalidDisk;
+      std::uint32_t chunk_count = 1;
       if (policy_.striped()) {
         const auto chunks = policy_.stripe(ctx_, req);
         if (chunks.empty()) {
@@ -157,6 +190,7 @@ class ArraySimulator {
           completion = std::max(completion, done);
         }
         primary = chunks.front().disk;
+        chunk_count = static_cast<std::uint32_t>(chunks.size());
       } else {
         primary = policy_.route(ctx_, req);
         completion = serve_on(primary, req.arrival, req.size, req.file);
@@ -167,6 +201,16 @@ class ArraySimulator {
       result_.response_time.add(rt);
       result_.response_time_sample.add(rt);
       ++result_.user_requests;
+
+      if (obs != nullptr) {
+        pending_.arrival = req.arrival;
+        pending_.completion = completion;
+        pending_.file = req.file;
+        pending_.disk = primary;
+        pending_.bytes = req.size;
+        pending_.stripe_chunks = chunk_count;
+        obs->on_request_complete(pending_);
+      }
 
       // after_serve may add background I/O (MAID cache fills); the idle
       // checks are armed afterwards so they see the final generation and
@@ -198,6 +242,18 @@ class ArraySimulator {
       throw std::logic_error("policy routed to nonexistent disk");
     }
     Disk& disk = ctx_.disks_[d];
+    SimObserver* const obs = ctx_.observer_;
+    // Ledger snapshots so the request event carries exact per-operation
+    // deltas (busy time, energy including spin-up + lazily accounted
+    // idle). Only taken when an observer is attached.
+    Seconds busy_before{0.0};
+    Joules energy_before{0.0};
+    if (obs != nullptr) {
+      busy_before = disk.ledger().busy_time;
+      energy_before = disk.ledger().energy;
+      const Seconds queued = disk.ready_time() - arrival;
+      if (queued > pending_.backlog) pending_.backlog = queued;
+    }
     if (disk.speed() == DiskSpeed::kLow) {
       const bool promote_always = ctx_.dpm_[d].spin_up_to_serve;
       const Seconds backlog_limit = ctx_.dpm_[d].spin_up_backlog;
@@ -205,13 +261,20 @@ class ArraySimulator {
           backlog_limit < kNeverTime &&
           disk.ready_time() - arrival > backlog_limit;
       if (promote_always || promote_on_load) {
-        disk.transition(arrival, DiskSpeed::kHigh);
+        const Seconds finish = disk.transition(arrival, DiskSpeed::kHigh);
+        ctx_.counters_.add(h_spin_ups_);
+        ctx_.emit_transition(d, DiskSpeed::kLow, DiskSpeed::kHigh, arrival,
+                             finish, TransitionCause::kSpinUpToServe);
       }
     }
     const Seconds completion =
         ctx_.positioned_io()
             ? disk.serve_positioned(arrival, bytes, ctx_.cylinder_of(file))
             : disk.serve(arrival, bytes);
+    if (obs != nullptr) {
+      pending_.service_time += disk.ledger().busy_time - busy_before;
+      pending_.energy += disk.ledger().energy - energy_before;
+    }
     touched_.push_back(d);
     return completion;
   }
@@ -256,7 +319,11 @@ class ArraySimulator {
 
   void handle_idle_check(Seconds at, const ArrayContext::IdleCheck& check) {
     Disk& disk = ctx_.disks_[check.disk];
-    if (disk.activity_generation() != check.generation) return;  // stale
+    ctx_.counters_.add(h_idle_checks_);
+    if (disk.activity_generation() != check.generation) {
+      ctx_.counters_.add(h_idle_stale_);
+      return;  // stale
+    }
     if (!ctx_.dpm_[check.disk].spin_down_when_idle) return;
     if (disk.speed() != DiskSpeed::kHigh) return;
     // The threshold may have grown since this check was scheduled (READ's
@@ -270,22 +337,48 @@ class ArraySimulator {
     const Seconds deadline =
         idle_since + ctx_.dpm_[check.disk].idleness_threshold;
     if (deadline > at) {
+      ctx_.counters_.add(h_idle_deferred_);
       ctx_.idle_events_.push(
           deadline, ArrayContext::IdleCheck{check.disk, check.generation});
       return;
     }
-    if (!policy_.allow_spin_down(ctx_, check.disk, at)) return;
-    disk.transition(at, DiskSpeed::kLow);
+    if (!policy_.allow_spin_down(ctx_, check.disk, at)) {
+      ctx_.counters_.add(h_spin_vetoed_);
+      return;
+    }
+    const Seconds finish = disk.transition(at, DiskSpeed::kLow);
+    ctx_.counters_.add(h_spin_downs_);
+    ctx_.emit_transition(check.disk, DiskSpeed::kHigh, DiskSpeed::kLow, at,
+                         finish, TransitionCause::kDpmIdle);
   }
 
   void fire_epochs_until(Seconds t) {
     while (next_epoch_ <= t) {
       ctx_.now_ = next_epoch_;
       policy_.on_epoch(ctx_, next_epoch_);
+      ctx_.counters_.add(h_epochs_);
+      if (ctx_.observer_ != nullptr) {
+        // After the policy's boundary work (so its migrations precede the
+        // epoch-close event) and before the counts reset.
+        ctx_.observer_->on_epoch_end(
+            EpochEndEvent{next_epoch_, epoch_index_, ctx_.epoch_requests_});
+      }
+      ++epoch_index_;
       std::fill(ctx_.epoch_counts_.begin(), ctx_.epoch_counts_.end(), 0);
       ctx_.epoch_requests_ = 0;
       next_epoch_ += ctx_.config_->epoch;
     }
+  }
+
+  void emit_run_start() {
+    if (ctx_.observer_ == nullptr) return;
+    RunStartEvent event;
+    event.disk_count = ctx_.disks_.size();
+    event.file_count = files_.size();
+    event.epoch = config_.epoch;
+    event.initial_speeds.reserve(ctx_.disks_.size());
+    for (const Disk& d : ctx_.disks_) event.initial_speeds.push_back(d.speed());
+    ctx_.observer_->on_run_start(event);
   }
 
   void finalize(Seconds horizon) {
@@ -305,7 +398,12 @@ class ArraySimulator {
     }
     result_.migrations = ctx_.migrations_;
     result_.migration_bytes = ctx_.migration_bytes_;
-    result_.counters = ctx_.counters_;
+    result_.counters = ctx_.counters_.snapshot();
+    if (ctx_.observer_ != nullptr) {
+      ctx_.observer_->on_run_end(RunEndEvent{
+          horizon, static_cast<std::uint64_t>(result_.user_requests),
+          result_.total_energy});
+    }
   }
 
   const SimConfig& config_;
@@ -314,17 +412,37 @@ class ArraySimulator {
   Policy& policy_;
   ArrayContext ctx_;
   Seconds next_epoch_{0.0};
+  std::uint64_t epoch_index_ = 0;
   SimResult result_;
   /// Disks served during the current request (usually one; several for
   /// striped requests), pending idle-check arming.
   std::vector<DiskId> touched_;
+  /// Accumulator for the in-flight request's observer event (backlog,
+  /// service-time and energy deltas across its chunks); only maintained
+  /// while an observer is attached.
+  RequestCompleteEvent pending_;
+
+  // Interned core-counter handles (hot-path bumps are one vector add).
+  CounterRegistry::Handle h_epochs_;
+  CounterRegistry::Handle h_idle_checks_;
+  CounterRegistry::Handle h_idle_stale_;
+  CounterRegistry::Handle h_idle_deferred_;
+  CounterRegistry::Handle h_spin_downs_;
+  CounterRegistry::Handle h_spin_vetoed_;
+  CounterRegistry::Handle h_spin_ups_;
 };
 
 SimResult run_simulation(const SimConfig& config, const FileSet& files,
-                         const Trace& trace, Policy& policy) {
+                         const Trace& trace, Policy& policy,
+                         SimObserver* observer) {
   validate(config.disk_params);
-  ArraySimulator sim(config, files, trace, policy);
+  ArraySimulator sim(config, files, trace, policy, observer);
   return sim.run();
+}
+
+SimResult run_simulation(const SimConfig& config, const FileSet& files,
+                         const Trace& trace, Policy& policy) {
+  return run_simulation(config, files, trace, policy, nullptr);
 }
 
 }  // namespace pr

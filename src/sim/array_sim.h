@@ -21,6 +21,8 @@
 
 #include "disk/disk.h"
 #include "disk/telemetry.h"
+#include "obs/counter_registry.h"
+#include "obs/observer.h"
 #include "sim/dpm.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
@@ -105,6 +107,9 @@ class ArrayContext {
   // --- diagnostics ------------------------------------------------------
   /// Bump a policy-defined counter (reported in SimResult::counters).
   void bump(const std::string& counter, std::uint64_t by = 1);
+  /// The run's counter registry — policies with hot counters can intern a
+  /// handle once in initialize() and bump through it.
+  [[nodiscard]] CounterRegistry& counters() { return counters_; }
 
  private:
   friend class ArraySimulator;
@@ -118,6 +123,10 @@ class ArrayContext {
   /// Allocate a contiguous cylinder range for `f` on disk `d` and record
   /// its start cylinder (positional mode only).
   void assign_cylinders(FileId f, DiskId d);
+  /// Announce an actual speed change (and the derived power-state change)
+  /// to the attached observer; no-op when detached or from == to.
+  void emit_transition(DiskId d, DiskSpeed from, DiskSpeed to, Seconds at,
+                       Seconds finish, TransitionCause cause);
 
   const SimConfig* config_;
   const FileSet* files_;
@@ -132,7 +141,10 @@ class ArrayContext {
   EventQueue<IdleCheck> idle_events_;
   std::uint64_t migrations_ = 0;
   Bytes migration_bytes_ = 0;
-  std::map<std::string, std::uint64_t> counters_;
+  CounterRegistry counters_;
+  /// Attached observer (nullptr = detached; every emission point guards on
+  /// this, which is the whole zero-cost story).
+  SimObserver* observer_ = nullptr;
 };
 
 /// One piece of a striped request: `bytes` served by `disk`.
@@ -196,6 +208,15 @@ class Policy {
 /// The trace must be sorted by arrival; every file referenced must be in
 /// `files`. Throws std::invalid_argument / std::logic_error on contract
 /// violations (unsorted trace, unplaced file, bad route target).
+///
+/// `observer` (optional) receives the hook stream described in
+/// obs/observer.h; pass nullptr for the zero-overhead fast path. Use
+/// ObserverList to attach several observers, or the SimulationSession
+/// builder (core/session.h) for the high-level API.
+[[nodiscard]] SimResult run_simulation(const SimConfig& config,
+                                       const FileSet& files,
+                                       const Trace& trace, Policy& policy,
+                                       SimObserver* observer);
 [[nodiscard]] SimResult run_simulation(const SimConfig& config,
                                        const FileSet& files,
                                        const Trace& trace, Policy& policy);

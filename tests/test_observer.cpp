@@ -1,0 +1,485 @@
+// Tests for the observability layer: SimObserver dispatch and ordering,
+// CounterRegistry semantics, TimeSeriesRecorder bucketing, and the
+// determinism contract of JsonlTraceWriter.
+#include "obs/observer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "obs/counter_registry.h"
+#include "obs/jsonl_writer.h"
+#include "obs/time_series.h"
+#include "policy/static_policy.h"
+#include "sim/array_sim.h"
+#include "workload/synthetic.h"
+
+namespace pr {
+namespace {
+
+// ----------------------------------------------------------------- fixtures
+
+FileSet two_files() {
+  std::vector<FileInfo> files(2);
+  files[0] = {0, 1 * kMiB, 1.0};
+  files[1] = {1, 2 * kMiB, 0.5};
+  return FileSet(std::move(files));
+}
+
+SimConfig config(std::size_t disks) {
+  SimConfig c;
+  c.disk_params = two_speed_cheetah();
+  c.disk_count = disks;
+  return c;
+}
+
+Trace trace_of(std::initializer_list<std::pair<double, FileId>> arrivals) {
+  Trace t;
+  for (auto [time, file] : arrivals) {
+    Request r;
+    r.arrival = Seconds{time};
+    r.file = file;
+    r.size = file == 0 ? 1 * kMiB : 2 * kMiB;
+    t.requests.push_back(r);
+  }
+  return t;
+}
+
+/// Places file f on disk f % n, applies one DpmConfig everywhere.
+class ProbePolicy : public Policy {
+ public:
+  explicit ProbePolicy(DpmConfig dpm) : dpm_(dpm) {}
+
+  std::string name() const override { return "Probe"; }
+
+  void initialize(ArrayContext& ctx) override {
+    for (DiskId d = 0; d < ctx.disk_count(); ++d) ctx.set_dpm(d, dpm_);
+    for (FileId f = 0; f < ctx.files().size(); ++f) {
+      ctx.place(f, static_cast<DiskId>(f % ctx.disk_count()));
+    }
+  }
+
+  DiskId route(ArrayContext& ctx, const Request& req) override {
+    return ctx.location(req.file);
+  }
+
+ private:
+  DpmConfig dpm_;
+};
+
+/// Records every callback as a compact tag, in dispatch order.
+class RecordingObserver : public SimObserver {
+ public:
+  void on_run_start(const RunStartEvent& e) override {
+    tags.push_back("run_start");
+    run_start = e;
+  }
+  void on_request_complete(const RequestCompleteEvent& e) override {
+    tags.push_back("request@" + std::to_string(e.arrival.value()));
+    requests.push_back(e);
+  }
+  void on_speed_transition(const SpeedTransitionEvent& e) override {
+    tags.push_back(std::string("transition:") +
+                   (e.to == DiskSpeed::kHigh ? "up" : "down"));
+    transitions.push_back(e);
+  }
+  void on_disk_state_change(const DiskStateChangeEvent& e) override {
+    tags.push_back(std::string("state:") + to_string(e.to));
+    states.push_back(e);
+  }
+  void on_epoch_end(const EpochEndEvent& e) override {
+    tags.push_back("epoch@" + std::to_string(e.time.value()));
+    epochs.push_back(e);
+  }
+  void on_migration(const MigrationEvent& e) override {
+    tags.push_back("migration");
+    migrations.push_back(e);
+  }
+  void on_run_end(const RunEndEvent& e) override {
+    tags.push_back("run_end");
+    run_end = e;
+  }
+
+  std::vector<std::string> tags;
+  RunStartEvent run_start;
+  RunEndEvent run_end;
+  std::vector<RequestCompleteEvent> requests;
+  std::vector<SpeedTransitionEvent> transitions;
+  std::vector<DiskStateChangeEvent> states;
+  std::vector<EpochEndEvent> epochs;
+  std::vector<MigrationEvent> migrations;
+};
+
+std::size_t index_of(const std::vector<std::string>& tags,
+                     const std::string& tag) {
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    if (tags[i] == tag) return i;
+  }
+  ADD_FAILURE() << "tag not dispatched: " << tag;
+  return tags.size();
+}
+
+// --------------------------------------------------------- dispatch & order
+
+TEST(Observer, HookOrderWithinOneRun) {
+  DpmConfig dpm;
+  dpm.spin_down_when_idle = true;
+  dpm.idleness_threshold = Seconds{5.0};
+  dpm.spin_up_to_serve = true;
+  ProbePolicy policy(dpm);
+  const auto files = two_files();
+  const auto trace = trace_of({{0.0, 0}, {100.0, 0}});
+  auto cfg = config(1);
+  cfg.epoch = Seconds{50.0};
+
+  RecordingObserver obs;
+  const auto result = run_simulation(cfg, files, trace, policy, &obs);
+
+  ASSERT_FALSE(obs.tags.empty());
+  EXPECT_EQ(obs.tags.front(), "run_start");
+  EXPECT_EQ(obs.tags.back(), "run_end");
+  EXPECT_EQ(obs.run_start.disk_count, 1u);
+  EXPECT_EQ(obs.run_start.file_count, 2u);
+  ASSERT_EQ(obs.run_start.initial_speeds.size(), 1u);
+  EXPECT_EQ(obs.run_start.initial_speeds[0], DiskSpeed::kHigh);
+
+  // The disk idles after the first request, spins down at ~completion+5s,
+  // then spins back up to serve the arrival at t=100.
+  ASSERT_EQ(obs.transitions.size(), 2u);
+  EXPECT_EQ(obs.transitions[0].to, DiskSpeed::kLow);
+  EXPECT_EQ(obs.transitions[0].cause, TransitionCause::kDpmIdle);
+  EXPECT_EQ(obs.transitions[1].to, DiskSpeed::kHigh);
+  EXPECT_EQ(obs.transitions[1].cause, TransitionCause::kSpinUpToServe);
+  EXPECT_DOUBLE_EQ(obs.transitions[1].time.value(), 100.0);
+  EXPECT_GT(obs.transitions[1].finish.value(), 100.0);
+
+  // Every speed transition is immediately followed by its state change.
+  EXPECT_EQ(index_of(obs.tags, "transition:down") + 1,
+            index_of(obs.tags, "state:low_power"));
+  EXPECT_EQ(index_of(obs.tags, "transition:up") + 1,
+            index_of(obs.tags, "state:active"));
+
+  // Within the t=100 instant: epoch boundary (t=100 <= arrival) fires
+  // before the spin-up, which precedes the request completion.
+  const auto epoch100 = index_of(obs.tags, "epoch@100.000000");
+  const auto up = index_of(obs.tags, "transition:up");
+  const auto request100 = index_of(obs.tags, "request@100.000000");
+  EXPECT_LT(index_of(obs.tags, "epoch@50.000000"), epoch100);
+  EXPECT_LT(epoch100, up);
+  EXPECT_LT(up, request100);
+
+  // Spin-down happened between the two requests.
+  const auto down = index_of(obs.tags, "transition:down");
+  EXPECT_LT(index_of(obs.tags, "request@0.000000"), down);
+  EXPECT_LT(down, index_of(obs.tags, "epoch@50.000000"));
+
+  ASSERT_EQ(obs.epochs.size(), 2u);
+  EXPECT_EQ(obs.epochs[0].index, 0u);
+  EXPECT_EQ(obs.epochs[0].requests, 1u);  // only the t=0 arrival
+  EXPECT_EQ(obs.epochs[1].index, 1u);
+  EXPECT_EQ(obs.epochs[1].requests, 0u);
+
+  ASSERT_EQ(obs.requests.size(), 2u);
+  EXPECT_EQ(obs.requests[0].file, 0u);
+  EXPECT_EQ(obs.requests[0].disk, 0u);
+  EXPECT_EQ(obs.requests[0].bytes, 1 * kMiB);
+  EXPECT_GT(obs.requests[0].service_time.value(), 0.0);
+  EXPECT_GT(obs.requests[0].energy.value(), 0.0);
+  EXPECT_DOUBLE_EQ(obs.requests[0].response_time().value(),
+                   obs.requests[0].completion.value() -
+                       obs.requests[0].arrival.value());
+
+  EXPECT_DOUBLE_EQ(obs.run_end.horizon.value(), result.horizon.value());
+  EXPECT_EQ(obs.run_end.user_requests, 2u);
+  EXPECT_DOUBLE_EQ(obs.run_end.total_energy.value(),
+                   result.total_energy.value());
+}
+
+TEST(Observer, ObserverIsReadOnly_ResultsIdenticalWithAndWithout) {
+  auto wc = worldcup98_light_config(11);
+  wc.file_count = 200;
+  wc.request_count = 5'000;
+  const auto w = generate_workload(wc);
+  auto cfg = config(4);
+  cfg.epoch = Seconds{600.0};
+
+  ProbePolicy bare{DpmConfig{}};
+  const auto without = run_simulation(cfg, w.files, w.trace, bare);
+
+  ProbePolicy observed{DpmConfig{}};
+  RecordingObserver obs;
+  TimeSeriesRecorder recorder{Seconds{60.0}};
+  ObserverList list;
+  list.add(obs);
+  list.add(recorder);
+  const auto with = run_simulation(cfg, w.files, w.trace, observed, &list);
+
+  EXPECT_DOUBLE_EQ(without.mean_response_time_s(),
+                   with.mean_response_time_s());
+  EXPECT_DOUBLE_EQ(without.energy_joules(), with.energy_joules());
+  EXPECT_EQ(without.total_transitions, with.total_transitions);
+  EXPECT_EQ(without.migrations, with.migrations);
+  EXPECT_EQ(without.counters, with.counters);
+  EXPECT_EQ(obs.requests.size(), with.user_requests);
+}
+
+TEST(Observer, MigrationEventsMirrorContextMigrations) {
+  // PDC migrates files at epoch boundaries; count via observer.
+  auto wc = worldcup98_light_config(3);
+  wc.file_count = 100;
+  wc.request_count = 3'000;
+  const auto w = generate_workload(wc);
+
+  SystemConfig cfg;
+  cfg.sim.disk_count = 4;
+  cfg.sim.epoch = Seconds{200.0};
+
+  RecordingObserver obs;
+  const auto report = SimulationSession(cfg)
+                          .with_workload(w)
+                          .with_policy("pdc")
+                          .with_observer(obs)
+                          .run();
+  EXPECT_EQ(obs.migrations.size(), report.sim.migrations);
+  for (const auto& m : obs.migrations) {
+    EXPECT_NE(m.from, m.to);
+    EXPECT_GT(m.bytes, 0u);
+  }
+}
+
+TEST(Observer, CoreCountersExposedInResult) {
+  DpmConfig dpm;
+  dpm.spin_down_when_idle = true;
+  dpm.idleness_threshold = Seconds{5.0};
+  dpm.spin_up_to_serve = true;
+  ProbePolicy policy(dpm);
+  const auto files = two_files();
+  const auto trace = trace_of({{0.0, 0}, {100.0, 0}});
+  auto cfg = config(1);
+  cfg.epoch = Seconds{50.0};
+
+  const auto result = run_simulation(cfg, files, trace, policy);
+  EXPECT_EQ(result.counters.at("sim.epochs"), 2u);
+  EXPECT_EQ(result.counters.at("sim.spin_downs"), 1u);
+  EXPECT_EQ(result.counters.at("sim.spin_ups_to_serve"), 1u);
+  EXPECT_GE(result.counters.at("sim.idle_checks"), 1u);
+}
+
+// ---------------------------------------------------------- CounterRegistry
+
+TEST(CounterRegistry, InternAddSnapshot) {
+  CounterRegistry reg;
+  const auto h = reg.intern("a.first");
+  EXPECT_EQ(reg.intern("a.first"), h);  // idempotent
+  reg.add(h, 2);
+  reg.add("b.second");
+  reg.add("a.first");  // by-name hits the same counter
+  EXPECT_EQ(reg.value("a.first"), 3u);
+  EXPECT_EQ(reg.value("b.second"), 1u);
+  EXPECT_EQ(reg.value("missing"), 0u);
+  EXPECT_TRUE(reg.contains("a.first"));
+  EXPECT_FALSE(reg.contains("missing"));
+  EXPECT_EQ(reg.name(h), "a.first");
+
+  const auto zero = reg.intern("c.zero");
+  (void)zero;
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap.at("a.first"), 3u);
+  EXPECT_EQ(snap.at("b.second"), 1u);
+  EXPECT_EQ(snap.at("c.zero"), 0u);  // registered-but-zero is visible
+}
+
+// -------------------------------------------------------- TimeSeriesRecorder
+
+TEST(TimeSeriesRecorder, RejectsNonPositiveWindow) {
+  EXPECT_THROW(TimeSeriesRecorder{Seconds{0.0}}, std::invalid_argument);
+  EXPECT_THROW(TimeSeriesRecorder{Seconds{-1.0}}, std::invalid_argument);
+}
+
+TEST(TimeSeriesRecorder, BucketsRequestsIntoWindows) {
+  ProbePolicy policy{DpmConfig{}};
+  const auto files = two_files();
+  const auto trace = trace_of({{10.0, 0}, {70.0, 0}, {75.0, 1}});
+  auto cfg = config(2);
+
+  TimeSeriesRecorder rec{Seconds{60.0}};
+  const auto result = run_simulation(cfg, files, trace, policy, &rec);
+
+  EXPECT_EQ(rec.disk_count(), 2u);
+  ASSERT_GE(rec.window_count(), 2u);
+  EXPECT_EQ(rec.at(0, 0).requests, 1u);   // t=10 on disk 0
+  EXPECT_EQ(rec.at(1, 0).requests, 1u);   // t=70 on disk 0
+  EXPECT_EQ(rec.at(1, 1).requests, 1u);   // t=75 on disk 1
+  EXPECT_EQ(rec.at(0, 1).requests, 0u);
+  EXPECT_EQ(rec.at(0, 0).bytes, 1 * kMiB);
+
+  // Totals across windows match the run.
+  std::uint64_t requests = 0;
+  double busy = 0.0;
+  for (std::size_t w = 0; w < rec.window_count(); ++w) {
+    const auto total = rec.array_total(w);
+    requests += total.requests;
+    busy += total.busy.value();
+  }
+  EXPECT_EQ(requests, result.user_requests);
+  double ledger_busy = 0.0;
+  for (const auto& l : result.ledgers) ledger_busy += l.busy_time.value();
+  EXPECT_NEAR(busy, ledger_busy, 1e-9);
+
+  // Disks stay at high speed the whole run: the integrated high-speed time
+  // per disk spans the horizon.
+  double high_disk0 = 0.0;
+  for (std::size_t w = 0; w < rec.window_count(); ++w) {
+    high_disk0 += rec.at(w, 0).time_at_high.value();
+    EXPECT_GE(rec.at(w, 0).high_speed_fraction(rec.window_length()), 0.0);
+  }
+  EXPECT_NEAR(high_disk0, result.horizon.value(), 1e-9);
+}
+
+TEST(TimeSeriesRecorder, TracksSpeedBandAcrossTransitions) {
+  DpmConfig dpm;
+  dpm.spin_down_when_idle = true;
+  dpm.idleness_threshold = Seconds{5.0};
+  dpm.spin_up_to_serve = true;
+  ProbePolicy policy(dpm);
+  const auto files = two_files();
+  const auto trace = trace_of({{0.0, 0}, {200.0, 0}});
+  auto cfg = config(1);
+
+  TimeSeriesRecorder rec{Seconds{60.0}};
+  const auto result = run_simulation(cfg, files, trace, policy, &rec);
+  ASSERT_EQ(result.total_transitions, 2u);
+
+  // One spin-down in window 0, one spin-up in window 3 (t=200).
+  EXPECT_EQ(rec.at(0, 0).transitions_down, 1u);
+  EXPECT_EQ(rec.at(3, 0).transitions_up, 1u);
+
+  // The middle windows are fully at low speed.
+  EXPECT_NEAR(rec.at(1, 0).time_at_high.value(), 0.0, 1e-9);
+  EXPECT_NEAR(rec.at(2, 0).time_at_high.value(), 0.0, 1e-9);
+  // Window 0 is split: high until the spin-down begins.
+  const double w0_high = rec.at(0, 0).time_at_high.value();
+  EXPECT_GT(w0_high, 0.0);
+  EXPECT_LT(w0_high, 60.0);
+
+  // Total high time across windows equals horizon minus the low-speed span
+  // (commanded-speed signal; the transition itself counts toward the
+  // target speed's span).
+  double high = 0.0;
+  for (std::size_t w = 0; w < rec.window_count(); ++w) {
+    high += rec.at(w, 0).time_at_high.value();
+  }
+  EXPECT_GT(high, 0.0);
+  EXPECT_LT(high, result.horizon.value());
+}
+
+TEST(TimeSeriesRecorder, CsvHasHeaderAndOneRowPerWindowDisk) {
+  ProbePolicy policy{DpmConfig{}};
+  const auto files = two_files();
+  const auto trace = trace_of({{10.0, 0}, {130.0, 1}});
+  auto cfg = config(2);
+
+  TimeSeriesRecorder rec{Seconds{60.0}};
+  (void)run_simulation(cfg, files, trace, policy, &rec);
+
+  std::ostringstream out;
+  rec.write_csv(out);
+  const std::string csv = out.str();
+  std::size_t lines = 0;
+  for (const char c : csv) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 1 + rec.window_count() * rec.disk_count());
+  EXPECT_NE(csv.find("window,start_s,disk,requests"), std::string::npos);
+}
+
+// ---------------------------------------------------------- JsonlTraceWriter
+
+TEST(JsonlTraceWriter, SameSeedRunsAreByteIdentical) {
+  auto wc = worldcup98_light_config(7);
+  wc.file_count = 200;
+  wc.request_count = 5'000;
+
+  const auto run_once = [&wc] {
+    const auto w = generate_workload(wc);
+    SystemConfig cfg;
+    cfg.sim.disk_count = 4;
+    cfg.sim.epoch = Seconds{600.0};
+    std::ostringstream out;
+    JsonlTraceWriter writer(out);
+    const auto report = SimulationSession(cfg)
+                            .with_workload(w)
+                            .with_policy("read")
+                            .with_observer(writer)
+                            .run();
+    (void)report;
+    std::string text = out.str();
+    EXPECT_GT(writer.lines_written(), 0u);
+    EXPECT_EQ(writer.lines_written(),
+              static_cast<std::uint64_t>(
+                  std::count(text.begin(), text.end(), '\n')));
+    return text;
+  };
+
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(JsonlTraceWriter, EventFilterSuppressesRequestLines) {
+  ProbePolicy policy{DpmConfig{}};
+  const auto files = two_files();
+  const auto trace = trace_of({{0.0, 0}, {1.0, 1}});
+  auto cfg = config(2);
+
+  JsonlOptions options;
+  options.requests = false;
+  std::ostringstream out;
+  JsonlTraceWriter writer(out, options);
+  (void)run_simulation(cfg, files, trace, policy, &writer);
+  EXPECT_EQ(out.str().find("\"ev\":\"request\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"ev\":\"run_start\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"ev\":\"run_end\""), std::string::npos);
+}
+
+TEST(JsonlTraceWriter, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(JsonlTraceWriter("/nonexistent-dir/trace.jsonl"),
+               std::runtime_error);
+}
+
+// --------------------------------------------------------------- ObserverList
+
+TEST(ObserverList, FansOutInAttachmentOrder) {
+  class Tagger : public SimObserver {
+   public:
+    Tagger(std::vector<int>& log, int id) : log_(&log), id_(id) {}
+    void on_epoch_end(const EpochEndEvent&) override {
+      log_->push_back(id_);
+    }
+
+   private:
+    std::vector<int>* log_;
+    int id_;
+  };
+
+  std::vector<int> log;
+  Tagger a(log, 1);
+  Tagger b(log, 2);
+  ObserverList list;
+  EXPECT_TRUE(list.empty());
+  list.add(a);
+  EXPECT_EQ(list.sole(), &a);
+  list.add(b);
+  EXPECT_EQ(list.sole(), nullptr);
+  list.on_epoch_end(EpochEndEvent{});
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], 1);
+  EXPECT_EQ(log[1], 2);
+}
+
+}  // namespace
+}  // namespace pr
