@@ -11,6 +11,7 @@
 #include "policy/static_policy.h"
 #include "press/press_model.h"
 #include "sim/event_queue.h"
+#include "sim/idle_timer.h"
 #include "workload/synthetic.h"
 #include "workload/zipf.h"
 
@@ -31,6 +32,30 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
 }
 BENCHMARK(BM_EventQueuePushPop)->Arg(1'000)->Arg(100'000);
+
+// The DPM scheduling pattern: every serve re-arms the disk's single idle
+// deadline. The queue-based alternative pushes a fresh event per serve and
+// later pops the stale ones; the heap replaces in place, so n re-arms keep
+// the structure at |disks| entries instead of n.
+void BM_IdleTimerRearm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint32_t kDisks = 8;
+  Rng rng(1);
+  for (auto _ : state) {
+    IdleTimerHeap h;
+    h.resize(kDisks);
+    std::uint64_t seq = 0;
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      t += rng.uniform();
+      h.arm(static_cast<std::uint32_t>(rng() % kDisks), Seconds{t + 10.0},
+            seq++);
+    }
+    while (!h.empty()) benchmark::DoNotOptimize(h.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_IdleTimerRearm)->Arg(1'000)->Arg(100'000);
 
 void BM_ZipfSample(benchmark::State& state) {
   ZipfDistribution zipf(static_cast<std::size_t>(state.range(0)), 0.8);

@@ -20,6 +20,7 @@
 #include "bench_common.h"
 #include "obs/jsonl_writer.h"
 #include "obs/time_series.h"
+#include "policy/read_policy.h"
 #include "policy/static_policy.h"
 #include "sim/array_sim.h"
 #include "util/table.h"
@@ -43,6 +44,33 @@ class CountingObserver final : public SimObserver {
   void on_epoch_end(const EpochEndEvent&) override { ++events; }
   std::uint64_t events = 0;
 };
+
+/// One full run under READ (DPM enabled, so the idle-check machinery is
+/// actually exercised), for counter inspection and timing. StaticPolicy
+/// disables spin-downs entirely, which would leave the churn counters at
+/// zero regardless of the scheduling backend.
+SimResult run_read(const SimConfig& sim, const SyntheticWorkload& w) {
+  ReadPolicy policy;
+  return run_simulation(sim, w.files, w.trace, policy, nullptr);
+}
+
+/// Best-of-`reps` wall time of a READ run, in seconds.
+double time_read_run(const SimConfig& sim, const SyntheticWorkload& w,
+                     int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    ReadPolicy policy;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = run_simulation(sim, w.files, w.trace, policy, nullptr);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (result.user_requests != w.trace.requests.size()) {
+      std::cerr << "unexpected request count\n";
+      std::exit(1);
+    }
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
 
 /// Best-of-`reps` wall time of one simulation run, in seconds.
 double time_run(const SimConfig& sim, const SyntheticWorkload& w,
@@ -84,6 +112,12 @@ int main() {
 
   const double detached = time_run(sim, w, nullptr, reps);
 
+  // Same detached loop on the EventQueue fallback scheduler — the delta is
+  // what the per-disk timer heap buys on idle-check churn.
+  SimConfig sim_queue = sim;
+  sim_queue.idle_scheduler = IdleScheduler::kEventQueue;
+  const double detached_queue = time_run(sim_queue, w, nullptr, reps);
+
   CountingObserver counting;
   const double with_counting = time_run(sim, w, &counting, reps);
 
@@ -107,6 +141,7 @@ int main() {
                    pct(t / detached - 1.0, 1)});
   };
   row("detached (no observer)", detached);
+  row("detached (event-queue fallback)", detached_queue);
   row("counting observer", with_counting);
   row("timeseries (60 s windows)", with_timeseries);
   row("jsonl (discarded stream)", with_jsonl);
@@ -116,11 +151,53 @@ int main() {
   csv.row(std::string("configuration"), std::string("seconds"),
           std::string("vs_detached"));
   csv.row(std::string("detached"), detached, 0.0);
+  csv.row(std::string("detached_event_queue"), detached_queue,
+          detached_queue / detached - 1.0);
   csv.row(std::string("counting"), with_counting,
           with_counting / detached - 1.0);
   csv.row(std::string("timeseries"), with_timeseries,
           with_timeseries / detached - 1.0);
   csv.row(std::string("jsonl"), with_jsonl, with_jsonl / detached - 1.0);
+
+  // Idle-scheduling comparison under READ, where DPM is live and every
+  // serve (re-)arms a deadline. Timings plus the churn counters the
+  // snapshot script records next to them.
+  {
+    const double read_timer = time_read_run(sim, w, reps);
+    const double read_queue = time_read_run(sim_queue, w, reps);
+    const SimResult timer_result = run_read(sim, w);
+    const SimResult queue_result = run_read(sim_queue, w);
+
+    AsciiTable sched("Idle scheduling under READ (DPM live), same workload");
+    sched.set_header({"backend", "time (ms)", "ns/request", "idle checks",
+                      "stale"});
+    const auto srow = [&](const char* label, double t, const SimResult& r) {
+      sched.add_row({label, num(t * 1e3, 2), num(t * per_req, 1),
+                     std::to_string(r.counters.at("sim.idle_checks")),
+                     std::to_string(r.counters.at("sim.idle_checks_stale"))});
+    };
+    std::cout << "\n";
+    srow("timer heap (default)", read_timer, timer_result);
+    srow("event queue (fallback)", read_queue, queue_result);
+    sched.print(std::cout);
+
+    bench::CsvSink churn("obs_overhead_counters");
+    churn.row(std::string("counter"), std::string("timer_heap"),
+              std::string("event_queue"));
+    for (const char* key :
+         {"sim.idle_checks", "sim.idle_checks_stale",
+          "sim.idle_checks_deferred", "sim.spin_downs",
+          "sim.spin_ups_to_serve", "sim.epochs"}) {
+      const auto pick = [&](const SimResult& r) -> std::uint64_t {
+        const auto it = r.counters.find(key);
+        return it == r.counters.end() ? 0 : it->second;
+      };
+      churn.row(std::string(key), pick(timer_result), pick(queue_result));
+    }
+    churn.row(std::string("read_run_ns"),
+              static_cast<std::uint64_t>(read_timer * 1e9),
+              static_cast<std::uint64_t>(read_queue * 1e9));
+  }
 
   std::cout << "\nThe detached configuration is the acceptance gate: every "
                "emission site collapses to one pointer test, so it must sit "

@@ -17,6 +17,10 @@ MaidPolicy::MaidPolicy(MaidConfig config) : config_(config) {
 }
 
 void MaidPolicy::initialize(ArrayContext& ctx) {
+  h_hit_ = ctx.counters().intern("maid.cache_hit");
+  h_miss_ = ctx.counters().intern("maid.cache_miss");
+  h_fill_ = ctx.counters().intern("maid.cache_fill");
+  h_evict_ = ctx.counters().intern("maid.cache_evict");
   const std::size_t n = ctx.disk_count();
   cache_disks_ = config_.cache_disks != 0 ? config_.cache_disks
                                           : std::max<std::size_t>(1, n / 4);
@@ -57,11 +61,11 @@ DiskId MaidPolicy::route(ArrayContext& ctx, const Request& req) {
   if (it != cache_index_.end()) {
     // Hit: refresh LRU position, serve from the caching disk.
     lru_.splice(lru_.begin(), lru_, it->second);
-    ctx.bump("maid.cache_hit");
+    ctx.bump(h_hit_);
     last_was_hit_ = true;
     return it->second->disk;
   }
-  ctx.bump("maid.cache_miss");
+  ctx.bump(h_miss_);
   last_was_hit_ = false;
   return ctx.location(req.file);
 }
@@ -82,7 +86,7 @@ void MaidPolicy::admit(ArrayContext& ctx, FileId file, Bytes bytes,
       static_cast<DiskId>(next_cache_disk_ % cache_disks_);
   ++next_cache_disk_;
   ctx.background_copy(home, target, bytes);
-  ctx.bump("maid.cache_fill");
+  ctx.bump(h_fill_);
 
   lru_.push_front(CacheEntry{file, target, bytes});
   cache_index_[file] = lru_.begin();
@@ -97,7 +101,7 @@ void MaidPolicy::evict_lru(ArrayContext& ctx) {
   lru_.pop_back();
   cache_index_.erase(victim.file);
   cache_used_ -= victim.bytes;
-  ctx.bump("maid.cache_evict");
+  ctx.bump(h_evict_);
 }
 
 }  // namespace pr

@@ -71,6 +71,13 @@ class MaidPolicy final : public Policy {
   std::unordered_map<FileId, std::list<CacheEntry>::iterator> cache_index_;
 
   bool last_was_hit_ = false;
+
+  // Counter handles interned in initialize(); route()/after_serve() run
+  // once per request, so they must not pay a string-keyed map lookup.
+  CounterRegistry::Handle h_hit_ = 0;
+  CounterRegistry::Handle h_miss_ = 0;
+  CounterRegistry::Handle h_fill_ = 0;
+  CounterRegistry::Handle h_evict_ = 0;
 };
 
 }  // namespace pr

@@ -1,7 +1,6 @@
 #include "policy/pdc_policy.h"
 
 #include <algorithm>
-#include <numeric>
 #include <stdexcept>
 
 #include "disk/service_model.h"
@@ -56,12 +55,40 @@ void PdcPolicy::on_epoch(ArrayContext& ctx, Seconds now) {
   epoch_migrations_ = 0;
   if (ctx.epoch_requests() == 0) return;
 
+  // Only the popular head — the ranked prefix covering
+  // `concentration_fraction` of this epoch's accesses — ever migrates, so
+  // a full sort over every file is wasted work. Gather the active files,
+  // grow a selection prefix (nth_element, O(active) per round) until it
+  // covers the head target, and sort just that prefix. The (count desc,
+  // FileId asc) comparator matches the former stable_sort's total order,
+  // so the migration sequence is byte-identical.
   const auto& counts = ctx.epoch_access_counts();
-  std::vector<FileId> order(counts.size());
-  std::iota(order.begin(), order.end(), FileId{0});
-  std::stable_sort(order.begin(), order.end(), [&](FileId a, FileId b) {
-    return counts[a] > counts[b];
-  });
+  const auto by_rank = [&](FileId a, FileId b) {
+    if (counts[a] != counts[b]) return counts[a] > counts[b];
+    return a < b;
+  };
+  auto& order = rank_scratch_;
+  order.clear();
+  for (FileId f = 0; f < counts.size(); ++f) {
+    if (counts[f] > 0) order.push_back(f);
+  }
+
+  const double head_target = config_.concentration_fraction *
+                             static_cast<double>(ctx.epoch_requests());
+  std::size_t head = std::min<std::size_t>(order.size(), 64);
+  for (;;) {
+    if (head < order.size()) {
+      std::nth_element(order.begin(), order.begin() + head, order.end(),
+                       by_rank);
+    }
+    double selected = 0.0;
+    for (std::size_t i = 0; i < head; ++i) {
+      selected += static_cast<double>(counts[order[i]]);
+    }
+    if (selected >= head_target || head == order.size()) break;
+    head = std::min(order.size(), head * 2);
+  }
+  std::sort(order.begin(), order.begin() + head, by_rank);
 
   // Greedy concentration of the popular head only: fill disk 0 with the
   // most popular files up to the load budget, then disk 1, ... Filling
@@ -71,14 +98,12 @@ void PdcPolicy::on_epoch(ArrayContext& ctx, Seconds now) {
   // PDC migrates *popular* data to a subset of the disks so "the
   // remaining disks can be sent to low-power mode"; the remaining disks
   // still hold, and occasionally serve, the tail.)
-  const double head_target = config_.concentration_fraction *
-                             static_cast<double>(ctx.epoch_requests());
   DiskId target = 0;
   double filled = 0.0;
   double covered = 0.0;
   const auto last = static_cast<DiskId>(ctx.disk_count() - 1);
-  for (FileId f : order) {
-    if (counts[f] == 0) break;       // order is sorted: only zeros remain
+  for (std::size_t i = 0; i < head; ++i) {
+    const FileId f = order[i];
     if (covered >= head_target) break;  // popular head fully placed
     covered += static_cast<double>(counts[f]);
     const double contribution = load_fraction(

@@ -60,6 +60,8 @@ class PdcPolicy final : public Policy {
 
   PdcConfig config_;
   std::uint64_t epoch_migrations_ = 0;
+  /// Epoch-ranking scratch (active file ids), reused across epochs.
+  std::vector<FileId> rank_scratch_;
 };
 
 }  // namespace pr

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 
 #include "trace/trace_stats.h"
@@ -98,33 +99,57 @@ void ReadPolicy::on_epoch(ArrayContext& ctx, Seconds now) {
   const auto& counts = ctx.epoch_access_counts();
 
   if (ctx.epoch_requests() > 0) {
-    // Lines 10-11: re-rank by observed accesses, re-estimate θ.
-    std::vector<FileId> order(counts.size());
-    std::iota(order.begin(), order.end(), FileId{0});
-    std::stable_sort(order.begin(), order.end(), [&](FileId a, FileId b) {
-      return counts[a] > counts[b];
-    });
-
-    std::vector<std::uint64_t> sorted_counts;
-    sorted_counts.reserve(counts.size());
-    for (FileId f : order) sorted_counts.push_back(counts[f]);
-    const double theta = estimate_theta(sorted_counts, config_.theta_b);
+    // Lines 10-11: re-rank by observed accesses, re-estimate θ. θ only
+    // needs the counts multiset, so it is fed a view over the raw epoch
+    // counters — no sorted copy is materialized.
+    const double theta =
+        estimate_theta(std::span<const std::uint64_t>(counts),
+                       config_.theta_b);
     const std::size_t popular = popular_file_count(counts.size(), theta);
 
+    // Only the popular/unpopular boundary matters, so instead of a full
+    // stable_sort over every file: an O(m) nth_element around the cutoff,
+    // then a bounded sort of the popular prefix. The tail needs ordering
+    // only among files currently in the hot zone (the demotion
+    // candidates). The (count desc, FileId asc) comparator reproduces the
+    // former stable_sort's total order exactly, so the migration set, the
+    // round-robin targets and the observer event order are unchanged.
+    const auto by_rank = [&](FileId a, FileId b) {
+      if (counts[a] != counts[b]) return counts[a] > counts[b];
+      return a < b;
+    };
+    auto& order = rank_scratch_;
+    order.resize(counts.size());
+    std::iota(order.begin(), order.end(), FileId{0});
+    const std::size_t cut = std::min(popular, order.size());
+    if (cut < order.size()) {
+      std::nth_element(order.begin(), order.begin() + cut, order.end(),
+                       by_rank);
+    }
+    std::sort(order.begin(), order.begin() + cut, by_rank);
+
     // Lines 12-19: migrate files whose category changed. Targets follow
-    // the zone round-robin cursors.
-    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    // the zone round-robin cursors; promotions (rank order over the
+    // popular prefix) precede demotions (rank order over the hot tail),
+    // exactly as the single full-order sweep did.
+    for (std::size_t rank = 0; rank < cut; ++rank) {
       const FileId f = order[rank];
-      const bool now_popular = rank < popular;
-      if (now_popular && !hot_file_[f]) {
+      if (!hot_file_[f]) {
         ctx.migrate(f, next_hot_disk());
         hot_file_[f] = 1;
         ++epoch_migrations_;
-      } else if (!now_popular && hot_file_[f]) {
-        ctx.migrate(f, next_cold_disk());
-        hot_file_[f] = 0;
-        ++epoch_migrations_;
       }
+    }
+    auto& demote = demote_scratch_;
+    demote.clear();
+    for (std::size_t rank = cut; rank < order.size(); ++rank) {
+      if (hot_file_[order[rank]]) demote.push_back(order[rank]);
+    }
+    std::sort(demote.begin(), demote.end(), by_rank);
+    for (const FileId f : demote) {
+      ctx.migrate(f, next_cold_disk());
+      hot_file_[f] = 0;
+      ++epoch_migrations_;
     }
   }
 

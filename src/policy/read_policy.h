@@ -75,6 +75,10 @@ class ReadPolicy final : public Policy {
   std::size_t hot_cursor_ = 0;
   std::size_t cold_cursor_ = 0;
   std::uint64_t epoch_migrations_ = 0;
+  // Epoch-ranking scratch, reused across epochs so the per-boundary work
+  // allocates nothing in steady state.
+  std::vector<FileId> rank_scratch_;
+  std::vector<FileId> demote_scratch_;
 };
 
 }  // namespace pr

@@ -56,7 +56,7 @@ void ReplicatedReadPolicy::build_replicas(
         // New copy: background read on the primary + write on the target.
         ctx.background_copy(ctx.location(f), target,
                             ctx.files().by_id(f).size);
-        ctx.bump("replication.copy");
+        ctx.bump(h_copy_);
       }
     }
     next.emplace(f, targets);
@@ -66,14 +66,23 @@ void ReplicatedReadPolicy::build_replicas(
 
 void ReplicatedReadPolicy::initialize(ArrayContext& ctx) {
   base_.initialize(ctx);
-  // Initial replica set from the file set's intended rates.
+  h_copy_ = ctx.counters().intern("replication.copy");
+  h_offloaded_ = ctx.counters().intern("replication.offloaded_read");
+  // Initial replica set from the file set's intended rates. Only the
+  // top_files prefix matters; the (rate desc, id asc) comparator matches
+  // what stable_sort over an iota produced, so partial_sort yields the
+  // identical prefix.
   std::vector<FileId> ids(ctx.files().size());
   std::iota(ids.begin(), ids.end(), FileId{0});
-  std::stable_sort(ids.begin(), ids.end(), [&](FileId a, FileId b) {
-    return ctx.files().by_id(a).access_rate >
-           ctx.files().by_id(b).access_rate;
-  });
-  ids.resize(std::min<std::size_t>(config_.top_files, ids.size()));
+  const std::size_t top = std::min<std::size_t>(config_.top_files, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + top, ids.end(),
+                    [&](FileId a, FileId b) {
+                      const double ra = ctx.files().by_id(a).access_rate;
+                      const double rb = ctx.files().by_id(b).access_rate;
+                      if (ra != rb) return ra > rb;
+                      return a < b;
+                    });
+  ids.resize(top);
   build_replicas(ctx, ids);
 }
 
@@ -91,7 +100,7 @@ DiskId ReplicatedReadPolicy::route(ArrayContext& ctx, const Request& req) {
       best_ready = ready;
     }
   }
-  if (best != primary) ctx.bump("replication.offloaded_read");
+  if (best != primary) ctx.bump(h_offloaded_);
   return best;
 }
 
@@ -106,11 +115,17 @@ void ReplicatedReadPolicy::on_epoch(ArrayContext& ctx, Seconds now) {
   const auto& counts = ctx.epoch_access_counts();
   base_.on_epoch(ctx, now);
   if (ctx.epoch_requests() == 0) return;
+  // Bounded selection of the top_files prefix, same order as the former
+  // full stable_sort (count desc, id asc).
   std::vector<FileId> ids(counts.size());
   std::iota(ids.begin(), ids.end(), FileId{0});
-  std::stable_sort(ids.begin(), ids.end(),
-                   [&](FileId a, FileId b) { return counts[a] > counts[b]; });
-  ids.resize(std::min<std::size_t>(config_.top_files, ids.size()));
+  const std::size_t top = std::min<std::size_t>(config_.top_files, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + top, ids.end(),
+                    [&](FileId a, FileId b) {
+                      if (counts[a] != counts[b]) return counts[a] > counts[b];
+                      return a < b;
+                    });
+  ids.resize(top);
   build_replicas(ctx, ids);
 }
 

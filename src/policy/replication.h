@@ -52,6 +52,9 @@ class ReplicatedReadPolicy final : public Policy {
   ReadPolicy base_;
   /// file -> extra replica locations (primary lives in the placement map).
   std::unordered_map<FileId, std::vector<DiskId>> replicas_;
+  // Counter handles interned in initialize() (route() runs per request).
+  CounterRegistry::Handle h_copy_ = 0;
+  CounterRegistry::Handle h_offloaded_ = 0;
 };
 
 }  // namespace pr

@@ -12,6 +12,9 @@ ArrayContext::ArrayContext(const SimConfig& config, const FileSet& files)
   if (config.disk_count == 0) {
     throw std::invalid_argument("ArrayContext: disk_count == 0");
   }
+  use_timer_ = config.idle_scheduler == IdleScheduler::kTimerHeap;
+  if (use_timer_) idle_timer_.resize(config.disk_count);
+  h_policy_transitions_ = counters_.intern("sim.policy_transitions");
   disks_.reserve(config.disk_count);
   for (std::size_t i = 0; i < config.disk_count; ++i) {
     disks_.emplace_back(static_cast<DiskId>(i), config.disk_params,
@@ -62,6 +65,8 @@ void ArrayContext::migrate(FileId f, DiskId to) {
   const Bytes bytes = files_->by_id(f).size;
   disks_[from].serve(now_, bytes, /*internal=*/true);
   disks_[to].serve(now_, bytes, /*internal=*/true);
+  cancel_idle_check(from);
+  cancel_idle_check(to);
   placement_[f] = to;
   assign_cylinders(f, to);
   ++migrations_;
@@ -77,6 +82,8 @@ void ArrayContext::background_copy(DiskId from, DiskId to, Bytes bytes) {
   }
   disks_[from].serve(now_, bytes, /*internal=*/true);
   if (from != to) disks_[to].serve(now_, bytes, /*internal=*/true);
+  cancel_idle_check(from);
+  if (from != to) cancel_idle_check(to);
 }
 
 void ArrayContext::set_initial_speed(DiskId d, DiskSpeed speed) {
@@ -93,7 +100,7 @@ Seconds ArrayContext::request_transition(DiskId d, DiskSpeed target) {
   const DiskSpeed from = disks_[d].speed();
   const Seconds finish = disks_[d].transition(now_, target);
   if (from != target) {
-    counters_.add("sim.policy_transitions");
+    counters_.add(h_policy_transitions_);
     emit_transition(d, from, target, now_, finish, TransitionCause::kPolicy);
   }
   return finish;
@@ -123,14 +130,24 @@ void ArrayContext::set_idleness_threshold(DiskId d, Seconds h) {
   dpm_[d].idleness_threshold = h;
 }
 
-void ArrayContext::bump(const std::string& counter, std::uint64_t by) {
+void ArrayContext::bump(std::string_view counter, std::uint64_t by) {
   counters_.add(counter, by);
 }
 
 void ArrayContext::schedule_idle_check(DiskId d, Seconds completion) {
   if (!dpm_[d].spin_down_when_idle) return;
-  idle_events_.push(completion + dpm_[d].idleness_threshold,
-                    IdleCheck{d, disks_[d].activity_generation()});
+  const Seconds deadline = completion + dpm_[d].idleness_threshold;
+  if (use_timer_) {
+    idle_timer_.arm(d, deadline, idle_seq_++);
+  } else {
+    idle_events_.push(deadline, IdleCheck{d, disks_[d].activity_generation()});
+  }
+}
+
+void ArrayContext::cancel_idle_check(DiskId d) {
+  if (use_timer_) idle_timer_.disarm(d);
+  // Queue mode needs nothing: the serve that preceded every cancellation
+  // bumped the disk's activity generation, so the pending event is stale.
 }
 
 /// Internal driver; separated from the public function so the context can
@@ -307,49 +324,73 @@ class ArraySimulator {
   }
 
   /// Process deferred events with time <= t (and epoch boundaries that
-  /// precede them), in order.
+  /// precede them), in order. Two backends behind one drain interface:
+  /// the per-disk timer heap (default; every popped deadline is live) and
+  /// the event-queue fallback (pops are filtered by generation staleness).
+  /// Stale queue events have no side effects beyond churn counters —
+  /// fire_epochs_until is monotone in the popped time — so both backends
+  /// interleave epochs, spin-downs and observer emissions identically.
   void drain_until(Seconds t) {
-    while (!ctx_.idle_events_.empty() && ctx_.idle_events_.next_time() <= t) {
-      auto event = ctx_.idle_events_.pop();
-      fire_epochs_until(event.time);
-      ctx_.now_ = event.time;
-      handle_idle_check(event.time, event.payload);
+    if (ctx_.use_timer_) {
+      auto& timer = ctx_.idle_timer_;
+      while (!timer.empty() && timer.next_time() <= t) {
+        const auto deadline = timer.pop();
+        fire_epochs_until(deadline.time);
+        ctx_.now_ = deadline.time;
+        handle_idle_check(deadline.time, deadline.disk);
+      }
+    } else {
+      while (!ctx_.idle_events_.empty() &&
+             ctx_.idle_events_.next_time() <= t) {
+        const auto event = ctx_.idle_events_.pop();
+        fire_epochs_until(event.time);
+        ctx_.now_ = event.time;
+        ctx_.counters_.add(h_idle_checks_);
+        if (ctx_.disks_[event.payload.disk].activity_generation() !=
+            event.payload.generation) {
+          ctx_.counters_.add(h_idle_stale_);
+          continue;  // invalidated by a later service
+        }
+        handle_idle_check(event.time, event.payload.disk);
+      }
     }
   }
 
-  void handle_idle_check(Seconds at, const ArrayContext::IdleCheck& check) {
-    Disk& disk = ctx_.disks_[check.disk];
-    ctx_.counters_.add(h_idle_checks_);
-    if (disk.activity_generation() != check.generation) {
-      ctx_.counters_.add(h_idle_stale_);
-      return;  // stale
-    }
-    if (!ctx_.dpm_[check.disk].spin_down_when_idle) return;
+  /// A live idle check for disk `d` fired at `at`: spin down if the disk
+  /// has genuinely been idle past its (current) threshold.
+  void handle_idle_check(Seconds at, DiskId d) {
+    Disk& disk = ctx_.disks_[d];
+    if (ctx_.use_timer_) ctx_.counters_.add(h_idle_checks_);
+    if (!ctx_.dpm_[d].spin_down_when_idle) return;
     if (disk.speed() != DiskSpeed::kHigh) return;
     // The threshold may have grown since this check was scheduled (READ's
     // adaptive doubling), or the disk may still be working off queued
     // I/O: honour the *current* deadline. The strict `>` comparison on the
-    // deadline (not on the elapsed idle time) guarantees any re-pushed
+    // deadline (not on the elapsed idle time) guarantees any re-armed
     // event lies strictly in the future — comparing elapsed-vs-H instead
-    // can re-push an event at its own timestamp when floating-point
+    // can re-arm an event at its own timestamp when floating-point
     // rounding makes (at − idle_since) dip just below H, which livelocks.
     const Seconds idle_since = disk.ready_time();
-    const Seconds deadline =
-        idle_since + ctx_.dpm_[check.disk].idleness_threshold;
+    const Seconds deadline = idle_since + ctx_.dpm_[d].idleness_threshold;
     if (deadline > at) {
       ctx_.counters_.add(h_idle_deferred_);
-      ctx_.idle_events_.push(
-          deadline, ArrayContext::IdleCheck{check.disk, check.generation});
+      if (ctx_.use_timer_) {
+        ctx_.idle_timer_.arm(d, deadline, ctx_.idle_seq_++);
+      } else {
+        ctx_.idle_events_.push(
+            deadline,
+            ArrayContext::IdleCheck{d, ctx_.disks_[d].activity_generation()});
+      }
       return;
     }
-    if (!policy_.allow_spin_down(ctx_, check.disk, at)) {
+    if (!policy_.allow_spin_down(ctx_, d, at)) {
       ctx_.counters_.add(h_spin_vetoed_);
       return;
     }
     const Seconds finish = disk.transition(at, DiskSpeed::kLow);
     ctx_.counters_.add(h_spin_downs_);
-    ctx_.emit_transition(check.disk, DiskSpeed::kHigh, DiskSpeed::kLow, at,
-                         finish, TransitionCause::kDpmIdle);
+    ctx_.emit_transition(d, DiskSpeed::kHigh, DiskSpeed::kLow, at, finish,
+                         TransitionCause::kDpmIdle);
   }
 
   void fire_epochs_until(Seconds t) {

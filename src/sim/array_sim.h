@@ -25,6 +25,7 @@
 #include "obs/observer.h"
 #include "sim/dpm.h"
 #include "sim/event_queue.h"
+#include "sim/idle_timer.h"
 #include "sim/metrics.h"
 #include "trace/request.h"
 #include "workload/fileset.h"
@@ -32,6 +33,18 @@
 namespace pr {
 
 constexpr DiskId kInvalidDisk = ~DiskId{0};
+
+/// Backend for DPM idle-check scheduling. Both produce byte-identical
+/// ledgers, transition streams and JSONL traces on same-seed runs (a
+/// golden test enforces this); they differ only in internal churn:
+///   kTimerHeap  — one armed deadline per disk in an indexed min-heap,
+///                 re-armed in place on every service. Heap traffic scales
+///                 with actual spin-down decisions; sim.idle_checks_stale
+///                 is structurally 0. The default.
+///   kEventQueue — the PR-1 push-per-service path (one queue entry per
+///                 touched disk per request, invalidated by a generation
+///                 check). Kept as the deterministic fallback/reference.
+enum class IdleScheduler : std::uint8_t { kTimerHeap, kEventQueue };
 
 struct SimConfig {
   TwoSpeedDiskParams disk_params;
@@ -49,6 +62,8 @@ struct SimConfig {
   /// pays the real head-travel seek from this curve instead of the
   /// average seek (background migration I/O keeps average-cost seeks).
   std::optional<SeekCurve> seek_curve;
+  /// DPM idle-check scheduling backend (see IdleScheduler).
+  IdleScheduler idle_scheduler = IdleScheduler::kTimerHeap;
 };
 
 class Policy;
@@ -106,8 +121,15 @@ class ArrayContext {
 
   // --- diagnostics ------------------------------------------------------
   /// Bump a policy-defined counter (reported in SimResult::counters).
-  void bump(const std::string& counter, std::uint64_t by = 1);
-  /// The run's counter registry — policies with hot counters can intern a
+  /// Interns the name on first use — fine for cold paths; per-request
+  /// counters should use the handle overload below.
+  void bump(std::string_view counter, std::uint64_t by = 1);
+  /// Hot-path bump through a handle pre-interned in initialize() (one
+  /// vector add, no string hashing).
+  void bump(CounterRegistry::Handle counter, std::uint64_t by = 1) {
+    counters_.add(counter, by);
+  }
+  /// The run's counter registry — policies with hot counters intern a
   /// handle once in initialize() and bump through it.
   [[nodiscard]] CounterRegistry& counters() { return counters_; }
 
@@ -119,7 +141,16 @@ class ArrayContext {
     std::uint64_t generation = 0;
   };
 
+  /// (Re-)arm the idle-check deadline for `d` at completion + H. Timer
+  /// mode re-arms the per-disk slot in place; queue mode pushes a new
+  /// event stamped with the disk's activity generation.
   void schedule_idle_check(DiskId d, Seconds completion);
+  /// Drop any pending idle check for `d`. Timer mode disarms the slot;
+  /// queue mode is a no-op (the bumped activity generation already marks
+  /// the pending event stale). Called for disks receiving background I/O
+  /// (migrations, cache fills) that does not go through the per-request
+  /// re-arm.
+  void cancel_idle_check(DiskId d);
   /// Allocate a contiguous cylinder range for `f` on disk `d` and record
   /// its start cylinder (positional mode only).
   void assign_cylinders(FileId f, DiskId d);
@@ -138,10 +169,22 @@ class ArrayContext {
   std::vector<std::uint64_t> epoch_counts_;
   std::uint64_t epoch_requests_ = 0;
   Seconds now_{0.0};
+  /// Fallback scheduler (IdleScheduler::kEventQueue): push-per-service
+  /// events invalidated by generation staleness.
   EventQueue<IdleCheck> idle_events_;
+  /// Default scheduler (IdleScheduler::kTimerHeap): one armed deadline
+  /// per disk, re-armed in place.
+  IdleTimerHeap idle_timer_;
+  /// Arm-order counter for the timer heap's FIFO tie-breaking; advances
+  /// exactly when the queue path's push sequence would, so simultaneous
+  /// deadlines fire in the same cross-disk order in both modes.
+  std::uint64_t idle_seq_ = 0;
+  bool use_timer_ = true;
   std::uint64_t migrations_ = 0;
   Bytes migration_bytes_ = 0;
   CounterRegistry counters_;
+  /// Pre-interned handle for request_transition's hot-path bump.
+  CounterRegistry::Handle h_policy_transitions_ = 0;
   /// Attached observer (nullptr = detached; every emission point guards on
   /// this, which is the whole zero-cost story).
   SimObserver* observer_ = nullptr;

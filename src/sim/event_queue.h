@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "util/units.h"
@@ -31,9 +32,13 @@ class EventQueue {
   /// Earliest event time (undefined when empty — check empty() first).
   [[nodiscard]] Seconds next_time() const { return heap_.top().time; }
 
-  /// Remove and return the earliest event.
+  /// Remove and return the earliest event. The payload is moved out, not
+  /// copied: top() is const-qualified only to protect the heap invariant,
+  /// and the element is destroyed by the immediately following pop(), so
+  /// casting away const to move from it is safe (the moved-from husk never
+  /// participates in another comparison).
   Event pop() {
-    Event e = heap_.top();
+    Event e = std::move(const_cast<Event&>(heap_.top()));
     heap_.pop();
     return e;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <span>
 
 namespace pr {
 
@@ -21,7 +22,7 @@ double accesses_captured(double files_fraction, double theta) {
   return std::pow(files_fraction, theta);
 }
 
-double estimate_theta(const std::vector<std::uint64_t>& counts,
+double estimate_theta(std::span<const std::uint64_t> counts,
                       double files_fraction) {
   const std::uint64_t total =
       std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
@@ -34,19 +35,29 @@ double estimate_theta(const std::vector<std::uint64_t>& counts,
   }
   if (total == 0 || active.size() < 2) return 1.0;
 
-  std::sort(active.begin(), active.end(), std::greater<>());
   auto top_n = static_cast<std::size_t>(
       std::ceil(files_fraction * static_cast<double>(active.size())));
   top_n = std::clamp<std::size_t>(top_n, 1, active.size() - 1);
 
-  std::uint64_t top_accesses = 0;
-  for (std::size_t i = 0; i < top_n; ++i) top_accesses += active[i];
+  // Only the sum of the top_n largest counts matters, and that sum is
+  // invariant under how nth_element arranges ties — O(n) selection
+  // replaces the former full descending sort.
+  std::nth_element(active.begin(), active.begin() + top_n, active.end(),
+                   std::greater<>());
+  const std::uint64_t top_accesses = std::accumulate(
+      active.begin(), active.begin() + top_n, std::uint64_t{0});
 
   const double a =
       static_cast<double>(top_accesses) / static_cast<double>(total);
   const double b =
       static_cast<double>(top_n) / static_cast<double>(active.size());
   return theta_from_skew(a, b);
+}
+
+double estimate_theta(const std::vector<std::uint64_t>& counts,
+                      double files_fraction) {
+  return estimate_theta(std::span<const std::uint64_t>(counts),
+                        files_fraction);
 }
 
 TraceStats compute_trace_stats(const Trace& trace,

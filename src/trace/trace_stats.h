@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "trace/request.h"
@@ -60,8 +61,13 @@ struct TraceStatsOptions {
 /// of files under skew θ (the Lee et al. cumulative law x^θ).
 [[nodiscard]] double accesses_captured(double files_fraction, double theta);
 
-/// θ estimated from raw access counts (need not be normalised); returns
-/// 1.0 (uniform) for degenerate inputs.
+/// θ estimated from raw access counts (need not be normalised, ordered or
+/// zero-free — only the multiset of positive counts matters); returns 1.0
+/// (uniform) for degenerate inputs. The span overload lets hot callers
+/// (epoch re-ranking) pass a view over live counters without materializing
+/// a copy; selection is O(n) via nth_element, not a full sort.
+[[nodiscard]] double estimate_theta(std::span<const std::uint64_t> counts,
+                                    double files_fraction = 0.2);
 [[nodiscard]] double estimate_theta(const std::vector<std::uint64_t>& counts,
                                     double files_fraction = 0.2);
 

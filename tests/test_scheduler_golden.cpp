@@ -1,0 +1,171 @@
+// Golden equivalence test for the idle-check scheduling backends.
+//
+// The per-disk timer heap (IdleScheduler::kTimerHeap) must be an exact
+// drop-in for the push-per-service EventQueue drain
+// (IdleScheduler::kEventQueue): same-seed runs must produce byte-identical
+// results — ledgers, response-time statistics, energy, transition counts,
+// migration totals and the full JSONL event stream. The only permitted
+// difference is the `sim.idle_checks*` churn family: the timer path never
+// wakes up for superseded deadlines, so its check count is lower and its
+// stale count is exactly zero.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/jsonl_writer.h"
+#include "policy/maid_policy.h"
+#include "policy/pdc_policy.h"
+#include "policy/read_policy.h"
+#include "sim/array_sim.h"
+#include "workload/synthetic.h"
+
+namespace pr {
+namespace {
+
+struct GoldenRun {
+  SimResult result;
+  std::string jsonl;
+};
+
+/// Policies are stateful, so every run gets a fresh instance.
+enum class Which { kRead, kMaid, kPdc };
+
+GoldenRun run(Which which, const SyntheticWorkload& w, IdleScheduler sched) {
+  SimConfig sc;
+  sc.disk_params = two_speed_cheetah();
+  sc.disk_count = 8;
+  sc.epoch = Seconds{600.0};
+  sc.idle_scheduler = sched;
+  std::ostringstream out;
+  JsonlTraceWriter writer(out);
+  GoldenRun g;
+  switch (which) {
+    case Which::kRead: {
+      ReadPolicy p;
+      g.result = run_simulation(sc, w.files, w.trace, p, &writer);
+      break;
+    }
+    case Which::kMaid: {
+      MaidPolicy p;
+      g.result = run_simulation(sc, w.files, w.trace, p, &writer);
+      break;
+    }
+    case Which::kPdc: {
+      PdcPolicy p;
+      g.result = run_simulation(sc, w.files, w.trace, p, &writer);
+      break;
+    }
+  }
+  g.jsonl = out.str();
+  return g;
+}
+
+/// Counters minus the scheduling-churn family the two backends are allowed
+/// to disagree on.
+std::map<std::string, std::uint64_t> comparable_counters(
+    const std::map<std::string, std::uint64_t>& counters) {
+  std::map<std::string, std::uint64_t> kept;
+  for (const auto& [name, value] : counters) {
+    if (name.rfind("sim.idle_checks", 0) == 0) continue;
+    kept.emplace(name, value);
+  }
+  return kept;
+}
+
+void expect_identical(const GoldenRun& timer, const GoldenRun& queue) {
+  const SimResult& a = timer.result;
+  const SimResult& b = queue.result;
+  // Scalars. Exact double equality is intentional: the backends must take
+  // bit-identical floating-point paths, not merely agree approximately.
+  EXPECT_EQ(a.user_requests, b.user_requests);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.migration_bytes, b.migration_bytes);
+  EXPECT_EQ(a.total_transitions, b.total_transitions);
+  EXPECT_EQ(a.max_transitions_per_day, b.max_transitions_per_day);
+  EXPECT_EQ(a.total_energy.value(), b.total_energy.value());
+  EXPECT_EQ(a.horizon.value(), b.horizon.value());
+  // Response-time statistics.
+  EXPECT_EQ(a.response_time.count(), b.response_time.count());
+  EXPECT_EQ(a.response_time.mean(), b.response_time.mean());
+  EXPECT_EQ(a.response_time.min(), b.response_time.min());
+  EXPECT_EQ(a.response_time.max(), b.response_time.max());
+  EXPECT_EQ(a.response_time.sum(), b.response_time.sum());
+  // Per-disk ledgers, field by field.
+  ASSERT_EQ(a.ledgers.size(), b.ledgers.size());
+  for (std::size_t d = 0; d < a.ledgers.size(); ++d) {
+    const DiskLedger& la = a.ledgers[d];
+    const DiskLedger& lb = b.ledgers[d];
+    EXPECT_EQ(la.busy_time.value(), lb.busy_time.value()) << "disk " << d;
+    EXPECT_EQ(la.idle_time.value(), lb.idle_time.value()) << "disk " << d;
+    EXPECT_EQ(la.transition_time.value(), lb.transition_time.value())
+        << "disk " << d;
+    EXPECT_EQ(la.time_at_low.value(), lb.time_at_low.value()) << "disk " << d;
+    EXPECT_EQ(la.time_at_high.value(), lb.time_at_high.value())
+        << "disk " << d;
+    EXPECT_EQ(la.energy.value(), lb.energy.value()) << "disk " << d;
+    EXPECT_EQ(la.transitions, lb.transitions) << "disk " << d;
+    EXPECT_EQ(la.transitions_up, lb.transitions_up) << "disk " << d;
+    EXPECT_EQ(la.max_transitions_in_day, lb.max_transitions_in_day)
+        << "disk " << d;
+    EXPECT_EQ(la.requests, lb.requests) << "disk " << d;
+    EXPECT_EQ(la.bytes_served, lb.bytes_served) << "disk " << d;
+    EXPECT_EQ(la.internal_ops, lb.internal_ops) << "disk " << d;
+    EXPECT_EQ(la.internal_bytes, lb.internal_bytes) << "disk " << d;
+  }
+  // All policy counters and all sim counters outside the churn family.
+  EXPECT_EQ(comparable_counters(a.counters), comparable_counters(b.counters));
+  // The full observer event stream, byte for byte.
+  EXPECT_EQ(timer.jsonl, queue.jsonl);
+  // The timer path never pops a superseded deadline.
+  EXPECT_EQ(a.counters.at("sim.idle_checks_stale"), 0u);
+  // And it does strictly less wakeup work than the queue path whenever the
+  // queue path saw any stale event at all.
+  if (b.counters.at("sim.idle_checks_stale") > 0) {
+    EXPECT_LT(a.counters.at("sim.idle_checks"),
+              b.counters.at("sim.idle_checks"));
+  }
+}
+
+SyntheticWorkload golden_workload() {
+  SyntheticWorkloadConfig wc;
+  wc.file_count = 400;
+  wc.request_count = 8000;
+  // Sparse enough that disks go idle and spin-downs actually fire, over
+  // several epochs of the 600 s epoch length used by run().
+  wc.mean_interarrival = Seconds{0.35};
+  wc.seed = 20260805;
+  return generate_workload(wc);
+}
+
+TEST(SchedulerGolden, ReadPolicyByteIdentical) {
+  const auto w = golden_workload();
+  const auto timer = run(Which::kRead, w, IdleScheduler::kTimerHeap);
+  const auto queue = run(Which::kRead, w, IdleScheduler::kEventQueue);
+  // The workload must actually exercise the machinery under test.
+  EXPECT_GT(queue.result.counters.at("sim.spin_downs"), 0u);
+  EXPECT_GT(queue.result.migrations, 0u);
+  expect_identical(timer, queue);
+}
+
+TEST(SchedulerGolden, MaidPolicyByteIdentical) {
+  const auto w = golden_workload();
+  const auto timer = run(Which::kMaid, w, IdleScheduler::kTimerHeap);
+  const auto queue = run(Which::kMaid, w, IdleScheduler::kEventQueue);
+  EXPECT_GT(queue.result.counters.at("sim.spin_downs"), 0u);
+  EXPECT_GT(queue.result.counters.at("maid.cache_hit"), 0u);
+  expect_identical(timer, queue);
+}
+
+TEST(SchedulerGolden, PdcPolicyByteIdentical) {
+  const auto w = golden_workload();
+  const auto timer = run(Which::kPdc, w, IdleScheduler::kTimerHeap);
+  const auto queue = run(Which::kPdc, w, IdleScheduler::kEventQueue);
+  EXPECT_GT(queue.result.counters.at("sim.spin_downs"), 0u);
+  EXPECT_GT(queue.result.migrations, 0u);
+  expect_identical(timer, queue);
+}
+
+}  // namespace
+}  // namespace pr

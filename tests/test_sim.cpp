@@ -4,8 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "policy/static_policy.h"
 #include "sim/event_queue.h"
+#include "sim/idle_timer.h"
 #include "util/rng.h"
 
 namespace pr {
@@ -37,6 +42,170 @@ TEST(EventQueue, NextTimePeeks) {
   q.push(Seconds{4.0}, 1);
   EXPECT_DOUBLE_EQ(q.next_time().value(), 4.0);
   EXPECT_EQ(q.size(), 2u);
+}
+
+/// Payload that counts copies vs. moves, so the test can assert pop()
+/// moves the payload out instead of copying it.
+struct MoveProbe {
+  int tag = 0;
+  int copies = 0;
+  int moves = 0;
+  MoveProbe() = default;
+  explicit MoveProbe(int t) : tag(t) {}
+  MoveProbe(const MoveProbe& o)
+      : tag(o.tag), copies(o.copies + 1), moves(o.moves) {}
+  MoveProbe(MoveProbe&& o) noexcept
+      : tag(o.tag), copies(o.copies), moves(o.moves + 1) {}
+  MoveProbe& operator=(const MoveProbe& o) {
+    tag = o.tag;
+    copies = o.copies + 1;
+    moves = o.moves;
+    return *this;
+  }
+  MoveProbe& operator=(MoveProbe&& o) noexcept {
+    tag = o.tag;
+    copies = o.copies;
+    moves = o.moves + 1;
+    return *this;
+  }
+};
+
+TEST(EventQueue, PopMovesPayloadAndKeepsFifoTies) {
+  EventQueue<MoveProbe> q;
+  // Ties at t=2 interleaved with an earlier event: FIFO order among the
+  // ties must survive the move-out pop.
+  q.push(Seconds{2.0}, MoveProbe{10});
+  q.push(Seconds{2.0}, MoveProbe{11});
+  q.push(Seconds{1.0}, MoveProbe{0});
+  q.push(Seconds{2.0}, MoveProbe{12});
+
+  auto first = q.pop();
+  EXPECT_EQ(first.payload.tag, 0);
+  // Payloads reach the caller without a single copy: one move into the
+  // heap's storage on push, moves during heap sifting, and one move out
+  // on pop — never a copy.
+  EXPECT_EQ(first.payload.copies, 0);
+  EXPECT_GE(first.payload.moves, 1);
+
+  EXPECT_EQ(q.pop().payload.tag, 10);
+  EXPECT_EQ(q.pop().payload.tag, 11);
+  auto last = q.pop();
+  EXPECT_EQ(last.payload.tag, 12);
+  EXPECT_EQ(last.payload.copies, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+// --------------------------------------------------------------- IdleTimerHeap
+
+TEST(IdleTimerHeap, PopsInDeadlineOrder) {
+  IdleTimerHeap h;
+  h.resize(4);
+  EXPECT_TRUE(h.empty());
+  h.arm(2, Seconds{3.0}, 0);
+  h.arm(0, Seconds{1.0}, 1);
+  h.arm(3, Seconds{2.0}, 2);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_DOUBLE_EQ(h.next_time().value(), 1.0);
+  EXPECT_EQ(h.pop().disk, 0u);
+  EXPECT_EQ(h.pop().disk, 3u);
+  EXPECT_EQ(h.pop().disk, 2u);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IdleTimerHeap, ArmSequenceBreaksTies) {
+  // Equal deadlines pop in arm order — the same FIFO discipline the
+  // EventQueue's (time, seq) key provides.
+  IdleTimerHeap h;
+  h.resize(4);
+  h.arm(3, Seconds{5.0}, 0);
+  h.arm(1, Seconds{5.0}, 1);
+  h.arm(2, Seconds{5.0}, 2);
+  EXPECT_EQ(h.pop().disk, 3u);
+  EXPECT_EQ(h.pop().disk, 1u);
+  EXPECT_EQ(h.pop().disk, 2u);
+}
+
+TEST(IdleTimerHeap, RearmReplacesInPlace) {
+  IdleTimerHeap h;
+  h.resize(3);
+  h.arm(0, Seconds{10.0}, 0);
+  h.arm(1, Seconds{4.0}, 1);
+  // Re-arm disk 0 to an earlier deadline: exactly one entry survives.
+  h.arm(0, Seconds{1.0}, 2);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.pop().disk, 0u);
+  // Re-arm to a later deadline too.
+  h.arm(1, Seconds{9.0}, 3);
+  h.arm(2, Seconds{6.0}, 4);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.pop().disk, 2u);
+  const auto last = h.pop();
+  EXPECT_EQ(last.disk, 1u);
+  EXPECT_DOUBLE_EQ(last.time.value(), 9.0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IdleTimerHeap, DisarmRemovesAndIsIdempotent) {
+  IdleTimerHeap h;
+  h.resize(4);
+  h.arm(0, Seconds{1.0}, 0);
+  h.arm(1, Seconds{2.0}, 1);
+  h.arm(2, Seconds{3.0}, 2);
+  h.disarm(1);
+  h.disarm(1);  // no-op on an unarmed disk
+  h.disarm(3);  // never armed
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_TRUE(h.armed(0));
+  EXPECT_FALSE(h.armed(1));
+  EXPECT_EQ(h.pop().disk, 0u);
+  EXPECT_EQ(h.pop().disk, 2u);
+}
+
+TEST(IdleTimerHeap, StressMatchesEventQueueOrder) {
+  // Randomized arm/re-arm/disarm sequence: the surviving deadlines must
+  // drain in the same order as an EventQueue holding only the latest
+  // event per disk (the equivalence the timer scheduler relies on).
+  constexpr std::size_t kDisks = 16;
+  IdleTimerHeap h;
+  h.resize(kDisks);
+  std::vector<std::pair<double, std::uint64_t>> latest(
+      kDisks, {0.0, 0});  // (deadline, seq) of surviving arm, seq 0 = unarmed
+  Rng rng(2024);
+  std::uint64_t seq = 1;
+  for (int i = 0; i < 2000; ++i) {
+    const auto d = static_cast<std::uint32_t>(rng() % kDisks);
+    if (rng() % 8 == 0) {
+      h.disarm(d);
+      latest[d] = {0.0, 0};
+    } else {
+      // Coarse times force ties across disks.
+      const double t = static_cast<double>(rng() % 64);
+      h.arm(d, Seconds{t}, seq);
+      latest[d] = {t, seq};
+      ++seq;
+    }
+  }
+  EventQueue<std::uint32_t> reference;
+  // Push surviving arms in seq order so the queue's internal sequence
+  // numbers replicate the arm sequence's tie-breaking.
+  std::vector<std::size_t> by_seq;
+  for (std::size_t d = 0; d < kDisks; ++d) {
+    if (latest[d].second != 0) by_seq.push_back(d);
+  }
+  std::sort(by_seq.begin(), by_seq.end(), [&](std::size_t a, std::size_t b) {
+    return latest[a].second < latest[b].second;
+  });
+  for (std::size_t d : by_seq) {
+    reference.push(Seconds{latest[d].first}, static_cast<std::uint32_t>(d));
+  }
+  EXPECT_EQ(h.size(), reference.size());
+  while (!reference.empty()) {
+    const auto want = reference.pop();
+    const auto got = h.pop();
+    EXPECT_EQ(got.disk, want.payload);
+    EXPECT_DOUBLE_EQ(got.time.value(), want.time.value());
+  }
+  EXPECT_TRUE(h.empty());
 }
 
 // ----------------------------------------------------------------- fixtures

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 #include <sstream>
 
 #include "trace/csv_trace.h"
@@ -209,9 +210,15 @@ TEST(EstimateTheta, IgnoresNeverAccessedFiles) {
 }
 
 TEST(EstimateTheta, DegenerateInputs) {
-  EXPECT_DOUBLE_EQ(estimate_theta({}), 1.0);
+  EXPECT_DOUBLE_EQ(estimate_theta(std::span<const std::uint64_t>{}), 1.0);
   EXPECT_DOUBLE_EQ(estimate_theta({5}), 1.0);
   EXPECT_DOUBLE_EQ(estimate_theta({0, 0, 0}), 1.0);
+}
+
+TEST(EstimateTheta, SpanAndVectorOverloadsAgree) {
+  std::vector<std::uint64_t> counts{40, 20, 10, 5, 5, 2, 1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(estimate_theta(std::span<const std::uint64_t>(counts)),
+                   estimate_theta(counts));
 }
 
 TEST(TraceStats, ComputesCoreNumbers) {
