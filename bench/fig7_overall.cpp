@@ -5,13 +5,17 @@
 // response time — plus the headline improvement percentages §5.2/§6
 // report. A Static (no energy saving) reference column is included.
 //
+// The grid itself is a declarative ScenarioSpec run through the scenario
+// engine (src/exp/) — scenarios/fig7_overall.ini is the config-file
+// equivalent of what this bench builds in code.
+//
 // PR_BENCH_QUICK=1 shrinks the trace ~20× for smoke runs.
 #include <iostream>
 #include <map>
 
 #include "bench_common.h"
 #include "core/experiment.h"
-#include "core/registry.h"
+#include "exp/scenario_engine.h"
 #include "util/table.h"
 
 namespace {
@@ -30,45 +34,47 @@ struct Key {
 int main() {
   const bool quick = bench::quick_mode();
 
-  auto light_cfg = worldcup98_light_config(42);
-  auto heavy_cfg = worldcup98_heavy_config(42);
+  ScenarioSpec spec;
+  spec.name = "fig7_overall";
+  spec.seeds = {42};
+  spec.disks = {6, 8, 10, 12, 14, 16};
+  spec.epochs = {3600.0};
+
+  ScenarioWorkload light;
+  light.name = "light";
+  light.preset = "wc98-light";
+  ScenarioWorkload heavy;
+  heavy.name = "heavy";
+  heavy.preset = "wc98-heavy";
   if (quick) {
-    light_cfg.file_count = heavy_cfg.file_count = 1000;
-    light_cfg.request_count = heavy_cfg.request_count = 80'000;
+    light.files = heavy.files = 1000;
+    light.requests = heavy.requests = 80'000;
   }
-  std::cout << "generating workloads (" << light_cfg.request_count
-            << " requests, " << light_cfg.file_count << " files"
+  spec.workloads = {light, heavy};
+
+  spec.policies = {{"read", "READ", {}},
+                   {"maid", "MAID", {}},
+                   {"pdc", "PDC", {}},
+                   {"static", "Static", {}}};
+
+  const auto base_cfg = preset_workload_config("wc98-light", 42);
+  std::cout << "generating workloads ("
+            << (quick ? 80'000 : base_cfg.request_count) << " requests, "
+            << (quick ? 1000 : base_cfg.file_count) << " files"
             << (quick ? ", QUICK mode" : "") << ")...\n";
-  const auto light = generate_workload(light_cfg);
-  const auto heavy = generate_workload(heavy_cfg);
-
-  SweepConfig sweep;
-  sweep.base.sim.disk_count = 8;  // overridden per cell
-  sweep.base.sim.epoch = Seconds{3600.0};
-  sweep.disk_counts = {6, 8, 10, 12, 14, 16};
-
-  const std::vector<std::pair<std::string, PolicyFactory>> policies = {
-      {"READ", pr::policies::make("read")},
-      {"MAID", pr::policies::make("maid")},
-      {"PDC", pr::policies::make("pdc")},
-      {"Static", pr::policies::make("static")},
-  };
-  const std::vector<NamedWorkload> workloads = {
-      {"light", &light.files, &light.trace},
-      {"heavy", &heavy.files, &heavy.trace},
-  };
-
-  std::cout << "running " << policies.size() * workloads.size() *
-                   sweep.disk_counts.size()
+  std::cout << "running "
+            << spec.policies.size() * spec.workloads.size() *
+                   spec.disks.size()
             << " simulations...\n\n";
-  const auto cells = run_sweep(sweep, policies, workloads);
+  const auto result = run_scenario(spec);
+  const auto& cells = result.cells;
 
-  std::map<Key, const SweepCell*> by_key;
+  std::map<Key, const ScenarioCell*> by_key;
   for (const auto& c : cells) {
-    by_key[{c.policy, c.workload, c.disk_count}] = &c;
+    by_key[{c.policy, c.workload, c.disks}] = &c;
   }
   auto cell = [&](const std::string& p, const std::string& w,
-                  std::size_t n) -> const SweepCell& {
+                  std::size_t n) -> const ScenarioCell& {
     return *by_key.at({p, w, n});
   };
 
@@ -79,7 +85,7 @@ int main() {
           std::string("transitions"), std::string("max_trans_per_day"),
           std::string("migrations"));
   for (const auto& c : cells) {
-    csv.row(c.workload, c.policy, c.disk_count, c.report.array_afr,
+    csv.row(c.workload, c.policy, c.disks, c.report.array_afr,
             c.report.sim.energy_joules(),
             c.report.sim.mean_response_time_s() * 1e3,
             c.report.sim.total_transitions,
@@ -95,7 +101,7 @@ int main() {
                    ") — disk array reliability: PRESS AFR of the least "
                    "reliable disk (lower is better)");
       t.set_header({"disks", "READ", "MAID", "PDC", "Static (ref)"});
-      for (std::size_t n : sweep.disk_counts) {
+      for (std::size_t n : spec.disks) {
         std::vector<std::string> row{std::to_string(n)};
         for (const auto& p : panel_policies) {
           row.push_back(pct(cell(p, workload, n).report.array_afr, 2));
@@ -110,7 +116,7 @@ int main() {
       AsciiTable t("Figure 7b (" + workload +
                    ") — energy consumption (kJ, lower is better)");
       t.set_header({"disks", "READ", "MAID", "PDC", "Static (ref)"});
-      for (std::size_t n : sweep.disk_counts) {
+      for (std::size_t n : spec.disks) {
         std::vector<std::string> row{std::to_string(n)};
         for (const auto& p : panel_policies) {
           row.push_back(
@@ -126,7 +132,7 @@ int main() {
       AsciiTable t("Figure 7c (" + workload +
                    ") — mean response time (ms, lower is better)");
       t.set_header({"disks", "READ", "MAID", "PDC", "Static (ref)"});
-      for (std::size_t n : sweep.disk_counts) {
+      for (std::size_t n : spec.disks) {
         std::vector<std::string> row{std::to_string(n)};
         for (const auto& p : panel_policies) {
           row.push_back(num(
@@ -146,7 +152,7 @@ int main() {
     double afr_max = 0.0;
     double energy_sum = 0.0;
     double rt_better = 0.0;
-    for (std::size_t n : sweep.disk_counts) {
+    for (std::size_t n : spec.disks) {
       const auto& read = cell("READ", workload, n).report;
       const auto& other = cell(base, workload, n).report;
       const double afr_improvement =
@@ -158,7 +164,7 @@ int main() {
       if (read.sim.mean_response_time_s() < other.sim.mean_response_time_s())
         rt_better += 1.0;
     }
-    const double k = static_cast<double>(sweep.disk_counts.size());
+    const double k = static_cast<double>(spec.disks.size());
     return std::tuple{afr_sum / k, afr_max, energy_sum / k, rt_better / k};
   };
 

@@ -3,23 +3,43 @@
 // comparison across independent workload seeds and reports the mean ±
 // stddev of READ's reliability/energy improvements over each baseline.
 // Every individual run is bit-deterministic; the spread across seeds is
-// pure workload sampling noise.
+// pure workload sampling noise. The seed axis rides the scenario engine
+// (scenarios/robustness_seeds.ini is the config-file equivalent).
 #include <iostream>
-#include <memory>
+#include <map>
 
 #include "bench_common.h"
 #include "core/experiment.h"
-#include "core/system.h"
-#include "policy/maid_policy.h"
-#include "policy/pdc_policy.h"
-#include "policy/read_policy.h"
+#include "exp/scenario_engine.h"
 #include "util/stats.h"
 #include "util/table.h"
-#include "workload/synthetic.h"
 
 int main() {
   using namespace pr;
   const std::vector<std::uint64_t> seeds = {42, 7, 1234, 2026, 99991};
+
+  ScenarioSpec spec;
+  spec.name = "robustness_seeds";
+  spec.seeds = seeds;
+  spec.disks = {8};
+  spec.epochs = {3600.0};
+  ScenarioWorkload light;
+  light.name = "light";
+  light.preset = "wc98-light";
+  if (bench::quick_mode()) {
+    light.files = 1000;
+    light.requests = 80'000;
+  }
+  spec.workloads = {light};
+  spec.policies = {{"read", "READ", {}},
+                   {"maid", "MAID", {}},
+                   {"pdc", "PDC", {}}};
+
+  const auto result = run_scenario(spec);
+  std::map<std::pair<std::string, std::uint64_t>, const ScenarioCell*> by_key;
+  for (const auto& c : result.cells) {
+    by_key[{c.policy, c.seed}] = &c;
+  }
 
   bench::CsvSink csv("robustness_seeds");
   csv.row(std::string("seed"), std::string("read_afr"),
@@ -41,22 +61,9 @@ int main() {
                     "rel. gain vs MAID", "rel. gain vs PDC"});
 
   for (const std::uint64_t seed : seeds) {
-    auto wc = worldcup98_light_config(seed);
-    if (bench::quick_mode()) {
-      wc.file_count = 1000;
-      wc.request_count = 80'000;
-    }
-    const auto w = generate_workload(wc);
-    SystemConfig cfg;
-    cfg.sim.disk_count = 8;
-    cfg.sim.epoch = Seconds{3600.0};
-
-    ReadPolicy read;
-    MaidPolicy maid;
-    PdcPolicy pdc;
-    const auto r_read = evaluate(cfg, w.files, w.trace, read);
-    const auto r_maid = evaluate(cfg, w.files, w.trace, maid);
-    const auto r_pdc = evaluate(cfg, w.files, w.trace, pdc);
+    const auto& r_read = by_key.at({"READ", seed})->report;
+    const auto& r_maid = by_key.at({"MAID", seed})->report;
+    const auto& r_pdc = by_key.at({"PDC", seed})->report;
 
     const double gain_maid =
         improvement(r_read.array_afr, r_maid.array_afr);

@@ -1,24 +1,40 @@
 // sensitivity_epoch — READ's epoch length P (Fig. 6 input the paper never
 // fixes): short epochs track popularity closely but churn migrations;
 // long epochs are cheap but stale. Reported for READ and PDC (both are
-// epoch-driven; MAID is not).
+// epoch-driven; MAID is not). The epoch axis rides the scenario engine
+// (scenarios/sensitivity_epoch.ini is the config-file equivalent).
 #include <iostream>
+#include <map>
 
 #include "bench_common.h"
-#include "core/system.h"
-#include "policy/pdc_policy.h"
-#include "policy/read_policy.h"
+#include "exp/scenario_engine.h"
 #include "util/table.h"
-#include "workload/synthetic.h"
 
 int main() {
   using namespace pr;
-  auto wc = worldcup98_light_config(42);
+  const std::vector<double> epochs = {900.0, 1800.0, 3600.0, 7200.0,
+                                      14400.0};
+
+  ScenarioSpec spec;
+  spec.name = "sensitivity_epoch";
+  spec.seeds = {42};
+  spec.disks = {8};
+  spec.epochs = epochs;
+  ScenarioWorkload light;
+  light.name = "light";
+  light.preset = "wc98-light";
   if (bench::quick_mode()) {
-    wc.file_count = 1000;
-    wc.request_count = 80'000;
+    light.files = 1000;
+    light.requests = 80'000;
   }
-  const auto w = generate_workload(wc);
+  spec.workloads = {light};
+  spec.policies = {{"read", "READ", {}}, {"pdc", "PDC", {}}};
+
+  const auto result = run_scenario(spec);
+  std::map<std::pair<std::string, double>, const ScenarioCell*> by_key;
+  for (const auto& c : result.cells) {
+    by_key[{c.policy, c.epoch_s}] = &c;
+  }
 
   bench::CsvSink csv("sensitivity_epoch");
   csv.row(std::string("policy"), std::string("epoch_s"),
@@ -31,18 +47,9 @@ int main() {
   table.set_header({"policy", "epoch", "array AFR", "energy (kJ)",
                     "mean RT (ms)", "migrations", "migrated (MB)"});
 
-  for (double epoch_s : {900.0, 1800.0, 3600.0, 7200.0, 14400.0}) {
-    for (const bool is_read : {true, false}) {
-      SystemConfig cfg;
-      cfg.sim.disk_count = 8;
-      cfg.sim.epoch = Seconds{epoch_s};
-      std::unique_ptr<Policy> policy;
-      if (is_read) {
-        policy = std::make_unique<ReadPolicy>();
-      } else {
-        policy = std::make_unique<PdcPolicy>();
-      }
-      const auto report = evaluate(cfg, w.files, w.trace, *policy);
+  for (const double epoch_s : epochs) {
+    for (const char* label : {"READ", "PDC"}) {
+      const auto& report = by_key.at({label, epoch_s})->report;
       table.add_row(
           {report.sim.policy_name, num(epoch_s / 60.0, 0) + " min",
            pct(report.array_afr, 2),

@@ -1,47 +1,47 @@
 // run_experiment — command-line driver exposing the library without
-// writing code: pick a policy and knobs, run one simulation, print the
-// full report (optionally the per-disk breakdown).
+// writing code. Two modes:
 //
-//   $ ./run_experiment --policy read --disks 8 --load 1.0 --cap 40
-//   $ ./run_experiment --policy maid --disks 12 --cache-disks 3
-//   $ ./run_experiment --policy pdc --epoch 1800 --detail
-//   $ ./run_experiment --policy read --trace mytrace.csv
+//   Single run (legacy flags): pick a policy and knobs, run one
+//   simulation, print the full report (optionally per-disk breakdown).
 //
-// Flags (all optional):
-//   --policy read|maid|pdc|static|raid0|read-repl|read-raid0|drpm|hibernator
-//   --disks N            array size                  (default 8)
-//   --load X             arrival-rate multiplier     (default 1.0)
-//   --requests N         synthetic request count     (default 1480081)
-//   --files N            synthetic file count        (default 4079)
-//   --epoch SECONDS      epoch length P              (default 3600)
-//   --cap S              READ transition budget      (default 40)
-//   --threshold SECONDS  initial idleness threshold
-//   --cache-disks N      MAID cache disk count       (default n/4)
-//   --seed N             workload seed               (default 42)
-//   --trace FILE         CSV trace instead of synthetic workload
-//   --positioned         enable seek-curve positional I/O
-//   --detail             per-disk ESRRA/PRESS table
-#include <cstring>
+//     $ ./run_experiment --policy read --disks 8 --load 1.0 --cap 40
+//     $ ./run_experiment --policy maid --disks 12 --cache-disks 3
+//     $ ./run_experiment --policy striped-read --param stripe_unit=1048576
+//     $ ./run_experiment --policy read --trace mytrace.csv
+//
+//   Scenario sweep: run a declarative grid from a config file
+//   (grammar: EXPERIMENTS.md "Scenario files"; examples: scenarios/).
+//
+//     $ ./run_experiment --config scenarios/fig7_overall.ini
+//     $ ./run_experiment --config scenarios/smoke.ini --csv out.csv
+//
+// All policy construction flows through pr::policies — `--policy` accepts
+// any registry name (or alias), `--param key=value` reaches any registered
+// knob, and `--help` prints the live registry. Numeric flags are parsed
+// strictly: trailing garbage ("--disks 8x") and negative values are
+// errors naming the flag, not silent truncation.
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <system_error>
 
+#include "core/registry.h"
+#include "disk/geometry.h"
 #include "core/system.h"
-#include "policy/drpm_policy.h"
-#include "policy/hibernator_policy.h"
-#include "policy/maid_policy.h"
-#include "policy/pdc_policy.h"
-#include "policy/read_policy.h"
-#include "policy/replication.h"
-#include "policy/static_policy.h"
-#include "policy/striped_read_policy.h"
-#include "policy/striping.h"
+#include "exp/scenario.h"
+#include "exp/scenario_engine.h"
+#include "exp/scenario_report.h"
 #include "trace/csv_trace.h"
+#include "trace/trace_stats.h"
+#include "util/parse.h"
 #include "util/table.h"
 #include "workload/synthetic.h"
 
 namespace {
+
+using namespace pr;
 
 struct Options {
   std::string policy = "read";
@@ -50,14 +50,67 @@ struct Options {
   std::size_t requests = 1'480'081;
   std::size_t files = 4'079;
   double epoch_s = 3600.0;
-  std::uint64_t cap = 40;
-  std::optional<double> threshold_s;
-  std::size_t cache_disks = 0;
+  // Policy knobs: only explicitly-set flags reach the ParamMap, so
+  // registry defaults stay in charge otherwise.
+  std::optional<std::string> cap;
+  std::optional<std::string> threshold;
+  std::optional<std::string> cache_disks;
+  ParamMap params;  // --param key=value, forwarded verbatim
   std::uint64_t seed = 42;
   std::string trace_file;
   bool positioned = false;
   bool detail = false;
+  // Scenario mode.
+  std::string config_file;
+  std::optional<unsigned> threads;
+  std::string csv_path;
+  std::string json_path;
 };
+
+void print_help() {
+  std::cout <<
+      "usage: run_experiment [flags]\n"
+      "\n"
+      "single run:\n"
+      "  --policy NAME        energy-management policy      (default read)\n"
+      "  --disks N            array size                    (default 8)\n"
+      "  --load X             arrival-rate multiplier       (default 1.0)\n"
+      "  --requests N         synthetic request count       (default 1480081)\n"
+      "  --files N            synthetic file count          (default 4079)\n"
+      "  --epoch SECONDS      epoch length P                (default 3600)\n"
+      "  --cap S              READ transition budget\n"
+      "  --threshold SECONDS  initial idleness threshold\n"
+      "  --cache-disks N      MAID cache disk count\n"
+      "  --param KEY=VALUE    any registry knob (repeatable)\n"
+      "  --seed N             workload seed                 (default 42)\n"
+      "  --trace FILE         CSV trace instead of synthetic workload\n"
+      "  --positioned         enable seek-curve positional I/O\n"
+      "  --detail             per-disk ESRRA/PRESS table\n"
+      "\n"
+      "scenario sweep:\n"
+      "  --config FILE        run a declarative scenario (see scenarios/)\n"
+      "  --threads N          sweep worker threads (0 = hardware)\n"
+      "  --csv FILE           cell CSV (default results/<scenario>.csv)\n"
+      "  --json FILE          cell JSON (off by default)\n"
+      "\n"
+      "policies (pr::policies registry):\n";
+  for (const std::string& name : pr::policies::names()) {
+    std::string params_line;
+    for (const auto& info : pr::policies::param_info(name)) {
+      params_line += params_line.empty() ? "" : ", ";
+      params_line += info.name;
+    }
+    std::cout << "  " << name;
+    for (std::size_t pad = name.size(); pad < 18; ++pad) std::cout << ' ';
+    std::cout << (params_line.empty() ? "(no knobs)" : "knobs: " + params_line)
+              << "\n";
+  }
+  std::cout << "aliases:";
+  for (const auto& [alias, target] : pr::policies::aliases()) {
+    std::cout << " " << alias << "=" << target;
+  }
+  std::cout << "\n";
+}
 
 bool parse(int argc, char** argv, Options& opt) {
   for (int i = 1; i < argc; ++i) {
@@ -67,124 +120,165 @@ bool parse(int argc, char** argv, Options& opt) {
       return argv[++i];
     };
     if (flag == "--policy") opt.policy = next();
-    else if (flag == "--disks") opt.disks = std::stoul(next());
-    else if (flag == "--load") opt.load = std::stod(next());
-    else if (flag == "--requests") opt.requests = std::stoul(next());
-    else if (flag == "--files") opt.files = std::stoul(next());
-    else if (flag == "--epoch") opt.epoch_s = std::stod(next());
-    else if (flag == "--cap") opt.cap = std::stoull(next());
-    else if (flag == "--threshold") opt.threshold_s = std::stod(next());
-    else if (flag == "--cache-disks") opt.cache_disks = std::stoul(next());
-    else if (flag == "--seed") opt.seed = std::stoull(next());
+    else if (flag == "--disks") opt.disks = parse_size(next(), flag);
+    else if (flag == "--load") opt.load = parse_double(next(), flag);
+    else if (flag == "--requests") opt.requests = parse_size(next(), flag);
+    else if (flag == "--files") opt.files = parse_size(next(), flag);
+    else if (flag == "--epoch") opt.epoch_s = parse_double(next(), flag);
+    else if (flag == "--cap") {
+      opt.cap = next();
+      (void)parse_u64(*opt.cap, flag);
+    } else if (flag == "--threshold") {
+      opt.threshold = next();
+      (void)parse_double(*opt.threshold, flag);
+    } else if (flag == "--cache-disks") {
+      opt.cache_disks = next();
+      (void)parse_size(*opt.cache_disks, flag);
+    } else if (flag == "--param") {
+      const std::string kv = next();
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw std::runtime_error("--param expects KEY=VALUE, got '" + kv + "'");
+      }
+      opt.params.set(kv.substr(0, eq), kv.substr(eq + 1));
+    }
+    else if (flag == "--seed") opt.seed = parse_u64(next(), flag);
     else if (flag == "--trace") opt.trace_file = next();
     else if (flag == "--positioned") opt.positioned = true;
     else if (flag == "--detail") opt.detail = true;
+    else if (flag == "--config") opt.config_file = next();
+    else if (flag == "--threads")
+      opt.threads = static_cast<unsigned>(parse_u64(next(), flag));
+    else if (flag == "--csv") opt.csv_path = next();
+    else if (flag == "--json") opt.json_path = next();
     else if (flag == "--help" || flag == "-h") return false;
-    else throw std::runtime_error("unknown flag " + flag);
+    else throw std::runtime_error("unknown flag " + flag + " (see --help)");
   }
+  if (opt.disks == 0) throw std::runtime_error("--disks must be > 0");
+  if (!(opt.load > 0.0)) throw std::runtime_error("--load must be > 0");
+  if (!(opt.epoch_s > 0.0)) throw std::runtime_error("--epoch must be > 0");
   return true;
 }
 
-std::unique_ptr<pr::Policy> make_policy(const Options& opt) {
-  using namespace pr;
-  if (opt.policy == "read") {
-    ReadConfig rc;
-    rc.max_transitions_per_day = opt.cap;
-    if (opt.threshold_s) rc.idleness_threshold = Seconds{*opt.threshold_s};
-    return std::make_unique<ReadPolicy>(rc);
-  }
-  if (opt.policy == "read-repl") {
-    ReplicationConfig rc;
-    rc.read.max_transitions_per_day = opt.cap;
-    if (opt.threshold_s) {
-      rc.read.idleness_threshold = Seconds{*opt.threshold_s};
+/// Fold the convenience flags into the ParamMap, keeping only knobs the
+/// chosen policy actually declares (the legacy CLI silently ignored e.g.
+/// --cap under MAID; we keep that behaviour but say so).
+ParamMap policy_params(const Options& opt) {
+  ParamMap params = opt.params;
+  auto add = [&](const char* key, const std::optional<std::string>& value) {
+    if (value && !params.contains(key)) params.set(key, *value);
+  };
+  add("cap", opt.cap);
+  add("threshold", opt.threshold);
+  add("cache_disks", opt.cache_disks);
+
+  const std::vector<std::string> known =
+      pr::policies::param_names(opt.policy);
+  ParamMap filtered;
+  for (const std::string& key : params.keys()) {
+    bool supported = false;
+    for (const std::string& k : known) supported = supported || k == key;
+    if (supported) {
+      filtered.set(key, params.raw(key));
+    } else {
+      std::cerr << "note: policy '" << opt.policy << "' has no knob '" << key
+                << "'; ignored\n";
     }
-    return std::make_unique<ReplicatedReadPolicy>(rc);
   }
-  if (opt.policy == "maid") {
-    MaidConfig mc;
-    mc.cache_disks = opt.cache_disks;
-    if (opt.threshold_s) mc.idleness_threshold = Seconds{*opt.threshold_s};
-    return std::make_unique<MaidPolicy>(mc);
+  return filtered;
+}
+
+int run_single(const Options& opt) {
+  FileSet files;
+  Trace trace;
+  if (!opt.trace_file.empty()) {
+    trace = read_csv_trace_file(opt.trace_file);
+    files = FileSet::from_trace_stats(compute_trace_stats(trace));
+    std::cout << "loaded " << trace.size() << " requests over "
+              << files.size() << " files from " << opt.trace_file << "\n";
+  } else {
+    auto wc = worldcup98_light_config(opt.seed);
+    wc.load_factor = opt.load;
+    wc.file_count = opt.files;
+    wc.request_count = opt.requests;
+    auto workload = generate_workload(wc);
+    files = std::move(workload.files);
+    trace = std::move(workload.trace);
+    std::cout << "synthesised " << trace.size() << " requests over "
+              << files.size() << " files (load x" << opt.load << ")\n";
   }
-  if (opt.policy == "pdc") {
-    PdcConfig pc;
-    if (opt.threshold_s) pc.idleness_threshold = Seconds{*opt.threshold_s};
-    return std::make_unique<PdcPolicy>(pc);
-  }
-  if (opt.policy == "static") return std::make_unique<StaticPolicy>();
-  if (opt.policy == "raid0") return std::make_unique<StripedStaticPolicy>();
-  if (opt.policy == "read-raid0") {
-    StripedReadConfig src;
-    src.read.max_transitions_per_day = opt.cap;
-    if (opt.threshold_s) {
-      src.read.idleness_threshold = Seconds{*opt.threshold_s};
+
+  SystemConfig config;
+  config.sim.disk_count = opt.disks;
+  config.sim.epoch = Seconds{opt.epoch_s};
+  if (opt.positioned) config.sim.seek_curve = cheetah_seek_curve();
+
+  auto policy = pr::policies::make(opt.policy, policy_params(opt))();
+  const SystemReport report = evaluate(config, files, trace, *policy);
+  std::cout << "\n" << report.summary();
+
+  if (opt.detail) {
+    AsciiTable detail("per-disk ESRRA / PRESS breakdown");
+    detail.set_header({"disk", "temp", "util", "trans/day", "AFR"});
+    for (std::size_t d = 0; d < report.sim.telemetry.size(); ++d) {
+      const auto& t = report.sim.telemetry[d];
+      detail.add_row({std::to_string(d),
+                      num(t.temperature.value(), 1) + "C",
+                      pct(t.utilization, 1), num(t.transitions_per_day, 1),
+                      pct(report.disk_press[d].combined_afr, 2)});
     }
-    return std::make_unique<StripedReadPolicy>(src);
+    detail.print(std::cout);
   }
-  if (opt.policy == "drpm") {
-    DrpmConfig dc;
-    if (opt.threshold_s) dc.idleness_threshold = Seconds{*opt.threshold_s};
-    return std::make_unique<DrpmPolicy>(dc);
+  return 0;
+}
+
+int run_config(const Options& opt) {
+  ScenarioSpec spec = load_scenario_file(opt.config_file);
+  if (opt.threads) spec.threads = *opt.threads;
+
+  std::cout << "scenario '" << spec.name << "' from " << opt.config_file
+            << "\n";
+  const ScenarioResult result = run_scenario(spec);
+  std::cout << "ran " << result.cells.size() << " cells\n\n";
+
+  AsciiTable table("scenario '" + result.scenario + "' — per-cell summary");
+  table.set_header({"policy", "workload", "load", "seed", "epoch", "disks",
+                    "array AFR", "energy (kJ)", "mean RT (ms)"});
+  for (const ScenarioCell& c : result.cells) {
+    table.add_row({c.policy, c.workload, num(c.load, 2),
+                   std::to_string(c.seed), num(c.epoch_s, 0),
+                   std::to_string(c.disks), pct(c.report.array_afr, 2),
+                   num(c.report.sim.energy_joules() / 1e3, 1),
+                   num(c.report.sim.mean_response_time_s() * 1e3, 2)});
   }
-  if (opt.policy == "hibernator") {
-    return std::make_unique<HibernatorPolicy>();
+  table.print(std::cout);
+
+  std::string csv_path = opt.csv_path;
+  if (csv_path.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);  // best effort
+    csv_path = "results/" + result.scenario + ".csv";
   }
-  throw std::runtime_error("unknown policy '" + opt.policy + "'");
+  write_scenario_csv_file(result, csv_path);
+  std::cout << "\nwrote " << csv_path;
+  if (!opt.json_path.empty()) {
+    write_scenario_json_file(result, opt.json_path, /*include_reports=*/true);
+    std::cout << " and " << opt.json_path;
+  }
+  std::cout << "\n";
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace pr;
   Options opt;
   try {
     if (!parse(argc, argv, opt)) {
-      std::cout << "usage: see header comment of run_experiment.cpp\n";
+      print_help();
       return 0;
     }
-
-    FileSet files;
-    Trace trace;
-    if (!opt.trace_file.empty()) {
-      trace = read_csv_trace_file(opt.trace_file);
-      files = FileSet::from_trace_stats(compute_trace_stats(trace));
-      std::cout << "loaded " << trace.size() << " requests over "
-                << files.size() << " files from " << opt.trace_file << "\n";
-    } else {
-      auto wc = worldcup98_light_config(opt.seed);
-      wc.load_factor = opt.load;
-      wc.file_count = opt.files;
-      wc.request_count = opt.requests;
-      auto workload = generate_workload(wc);
-      files = std::move(workload.files);
-      trace = std::move(workload.trace);
-      std::cout << "synthesised " << trace.size() << " requests over "
-                << files.size() << " files (load x" << opt.load << ")\n";
-    }
-
-    SystemConfig config;
-    config.sim.disk_count = opt.disks;
-    config.sim.epoch = Seconds{opt.epoch_s};
-    if (opt.positioned) config.sim.seek_curve = cheetah_seek_curve();
-
-    auto policy = make_policy(opt);
-    const SystemReport report = evaluate(config, files, trace, *policy);
-    std::cout << "\n" << report.summary();
-
-    if (opt.detail) {
-      AsciiTable detail("per-disk ESRRA / PRESS breakdown");
-      detail.set_header({"disk", "temp", "util", "trans/day", "AFR"});
-      for (std::size_t d = 0; d < report.sim.telemetry.size(); ++d) {
-        const auto& t = report.sim.telemetry[d];
-        detail.add_row({std::to_string(d),
-                        num(t.temperature.value(), 1) + "C",
-                        pct(t.utilization, 1), num(t.transitions_per_day, 1),
-                        pct(report.disk_press[d].combined_afr, 2)});
-      }
-      detail.print(std::cout);
-    }
-    return 0;
+    return opt.config_file.empty() ? run_single(opt) : run_config(opt);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -4,6 +4,7 @@
 #include <array>
 #include <cctype>
 #include <memory>
+#include <span>
 #include <stdexcept>
 
 #include "policy/drpm_policy.h"
@@ -20,41 +21,190 @@ namespace pr::policies {
 
 namespace {
 
+struct ParamSpec {
+  const char* name;
+  const char* default_value;
+  const char* description;
+};
+
+// READ's knobs appear standalone and embedded (replicated/striped READ
+// wrap a full ReadConfig), so they are shared.
+constexpr std::array<ParamSpec, 5> kReadParams = {{
+    {"theta", "0", "Zipf skew θ; 0 = estimate from the file set"},
+    {"cap", "40", "daily speed-transition budget S per disk"},
+    {"threshold", "10", "initial idleness threshold H (seconds)"},
+    {"theta_b", "0.2", "fraction-of-files point where θ is measured"},
+    {"adaptive_threshold", "true",
+     "double H once half the daily budget is spent (Fig. 6 l.20-24)"},
+}};
+
+constexpr std::array<ParamSpec, 2> kDrpmParams = {{
+    {"threshold", "15", "idle time before dropping to low speed (seconds)"},
+    {"promotion_backlog", "0.05",
+     "backlog (seconds) promoting a low-speed disk back to high"},
+}};
+
+constexpr std::array<ParamSpec, 2> kHibernatorParams = {{
+    {"response_target", "0.02",
+     "mean-response-time SLA (seconds); exceeding forces all-high"},
+    {"park_load_fraction", "0.5",
+     "park a disk at low speed below this fraction of a fair load share"},
+}};
+
+constexpr std::array<ParamSpec, 3> kMaidParams = {{
+    {"cache_disks", "0", "cache disk count; 0 = max(1, disks/4)"},
+    {"threshold", "15", "data-disk idleness threshold (seconds)"},
+    {"cache_capacity_fraction", "1",
+     "cache byte budget as a fraction of the cache disks' capacity"},
+}};
+
+constexpr std::array<ParamSpec, 3> kPdcParams = {{
+    {"threshold", "60", "idleness threshold (seconds)"},
+    {"load_budget", "0.7",
+     "per-disk load budget as a fraction of one disk's epoch capacity"},
+    {"concentration_fraction", "0.8",
+     "cumulative access fraction defining the migrated popular head"},
+}};
+
+constexpr std::array<ParamSpec, 7> kReplicatedReadParams = {{
+    {"replicas", "2", "copies per replicated file, including the primary"},
+    {"top_files", "64", "how many of the hottest files get replicas"},
+    kReadParams[0],
+    kReadParams[1],
+    kReadParams[2],
+    kReadParams[3],
+    kReadParams[4],
+}};
+
+constexpr std::array<ParamSpec, 6> kStripedReadParams = {{
+    {"stripe_unit", "524288",
+     "files larger than this many bytes are striped over the hot zone"},
+    kReadParams[0],
+    kReadParams[1],
+    kReadParams[2],
+    kReadParams[3],
+    kReadParams[4],
+}};
+
+constexpr std::array<ParamSpec, 1> kStripingParams = {{
+    {"stripe_unit", "524288", "RAID-0 stripe unit in bytes"},
+}};
+
+ReadConfig read_config_from(const ParamMap& p) {
+  ReadConfig c;
+  c.theta = p.get_double("theta", c.theta);
+  c.max_transitions_per_day = p.get_u64("cap", c.max_transitions_per_day);
+  c.idleness_threshold =
+      Seconds{p.get_double("threshold", c.idleness_threshold.value())};
+  c.theta_b = p.get_double("theta_b", c.theta_b);
+  c.adaptive_threshold = p.get_bool("adaptive_threshold", c.adaptive_threshold);
+  return c;
+}
+
+DrpmConfig drpm_config_from(const ParamMap& p, bool aggressive) {
+  DrpmConfig c;
+  c.aggressive = aggressive;
+  c.idleness_threshold =
+      Seconds{p.get_double("threshold", c.idleness_threshold.value())};
+  c.promotion_backlog =
+      Seconds{p.get_double("promotion_backlog", c.promotion_backlog.value())};
+  return c;
+}
+
 struct Entry {
   const char* name;
-  std::unique_ptr<Policy> (*build)();
+  std::span<const ParamSpec> params;
+  std::unique_ptr<Policy> (*build)(const ParamMap&);
 };
 
 // Sorted by name (names() relies on it). Every policy is registered with
 // its paper-default configuration; variants that differ only in tuning get
-// their own name (drpm-aggressive).
-constexpr auto kEntries = std::to_array<Entry>({
-    {"drpm", [] { return std::unique_ptr<Policy>(new DrpmPolicy()); }},
-    {"drpm-aggressive",
-     [] {
-       DrpmConfig config;
-       config.aggressive = true;
-       return std::unique_ptr<Policy>(new DrpmPolicy(config));
+// their own name (drpm-aggressive). Absent ParamMap keys keep defaults, so
+// make(name) == make(name, {}).
+const std::array<Entry, 10> kEntries = {{
+    {"drpm", kDrpmParams,
+     [](const ParamMap& p) {
+       return std::unique_ptr<Policy>(new DrpmPolicy(drpm_config_from(p, false)));
      }},
-    {"hibernator",
-     [] { return std::unique_ptr<Policy>(new HibernatorPolicy()); }},
-    {"maid", [] { return std::unique_ptr<Policy>(new MaidPolicy()); }},
-    {"pdc", [] { return std::unique_ptr<Policy>(new PdcPolicy()); }},
-    {"read", [] { return std::unique_ptr<Policy>(new ReadPolicy()); }},
-    {"replicated-read",
-     [] { return std::unique_ptr<Policy>(new ReplicatedReadPolicy()); }},
-    {"static", [] { return std::unique_ptr<Policy>(new StaticPolicy()); }},
-    {"striped-read",
-     [] { return std::unique_ptr<Policy>(new StripedReadPolicy()); }},
-    {"striped-static",
-     [] { return std::unique_ptr<Policy>(new StripedStaticPolicy()); }},
-});
+    {"drpm-aggressive", kDrpmParams,
+     [](const ParamMap& p) {
+       return std::unique_ptr<Policy>(new DrpmPolicy(drpm_config_from(p, true)));
+     }},
+    {"hibernator", kHibernatorParams,
+     [](const ParamMap& p) {
+       HibernatorConfig c;
+       c.response_target =
+           Seconds{p.get_double("response_target", c.response_target.value())};
+       c.park_load_fraction =
+           p.get_double("park_load_fraction", c.park_load_fraction);
+       return std::unique_ptr<Policy>(new HibernatorPolicy(c));
+     }},
+    {"maid", kMaidParams,
+     [](const ParamMap& p) {
+       MaidConfig c;
+       c.cache_disks = p.get_size("cache_disks", c.cache_disks);
+       c.idleness_threshold =
+           Seconds{p.get_double("threshold", c.idleness_threshold.value())};
+       c.cache_capacity_fraction =
+           p.get_double("cache_capacity_fraction", c.cache_capacity_fraction);
+       return std::unique_ptr<Policy>(new MaidPolicy(c));
+     }},
+    {"pdc", kPdcParams,
+     [](const ParamMap& p) {
+       PdcConfig c;
+       c.idleness_threshold =
+           Seconds{p.get_double("threshold", c.idleness_threshold.value())};
+       c.load_budget = p.get_double("load_budget", c.load_budget);
+       c.concentration_fraction =
+           p.get_double("concentration_fraction", c.concentration_fraction);
+       return std::unique_ptr<Policy>(new PdcPolicy(c));
+     }},
+    {"read", kReadParams,
+     [](const ParamMap& p) {
+       return std::unique_ptr<Policy>(new ReadPolicy(read_config_from(p)));
+     }},
+    {"replicated-read", kReplicatedReadParams,
+     [](const ParamMap& p) {
+       ReplicationConfig c;
+       c.replicas = p.get_size("replicas", c.replicas);
+       c.top_files = p.get_size("top_files", c.top_files);
+       c.read = read_config_from(p);
+       return std::unique_ptr<Policy>(new ReplicatedReadPolicy(c));
+     }},
+    {"static", {},
+     [](const ParamMap&) {
+       return std::unique_ptr<Policy>(new StaticPolicy());
+     }},
+    {"striped-read", kStripedReadParams,
+     [](const ParamMap& p) {
+       StripedReadConfig c;
+       c.stripe_unit = p.get_u64("stripe_unit", c.stripe_unit);
+       c.read = read_config_from(p);
+       return std::unique_ptr<Policy>(new StripedReadPolicy(c));
+     }},
+    {"striped-static", kStripingParams,
+     [](const ParamMap& p) {
+       StripingConfig c;
+       c.stripe_unit = p.get_u64("stripe_unit", c.stripe_unit);
+       return std::unique_ptr<Policy>(new StripedStaticPolicy(c));
+     }},
+}};
+
+// Historical CLI spellings (run_experiment pre-dated the registry).
+constexpr std::array<std::pair<const char*, const char*>, 3> kAliases = {{
+    {"raid0", "striped-static"},
+    {"read-raid0", "striped-read"},
+    {"read-repl", "replicated-read"},
+}};
 
 std::string canonical(std::string_view name) {
   std::string out(name);
   std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
     return static_cast<char>(std::tolower(c));
   });
+  for (const auto& [alias, target] : kAliases) {
+    if (out == alias) return target;
+  }
   return out;
 }
 
@@ -66,12 +216,12 @@ const Entry* find(std::string_view name) {
   return nullptr;
 }
 
-}  // namespace
-
-PolicyFactory make(std::string_view name) {
+const Entry& find_or_throw(std::string_view name, std::string_view who) {
   const Entry* entry = find(name);
   if (entry == nullptr) {
-    std::string message = "pr::policies::make: unknown policy '";
+    std::string message = "pr::policies::";
+    message += who;
+    message += ": unknown policy '";
     message += name;
     message += "'; registered:";
     for (const Entry& e : kEntries) {
@@ -80,7 +230,44 @@ PolicyFactory make(std::string_view name) {
     }
     throw std::invalid_argument(message);
   }
-  return PolicyFactory{entry->build};
+  return *entry;
+}
+
+void validate_keys(const Entry& entry, const ParamMap& params) {
+  for (const std::string& key : params.keys()) {
+    const bool known =
+        std::any_of(entry.params.begin(), entry.params.end(),
+                    [&](const ParamSpec& s) { return key == s.name; });
+    if (known) continue;
+    std::string message = "pr::policies::make: policy '";
+    message += entry.name;
+    message += "' has no parameter '";
+    message += key;
+    message += "'; ";
+    if (entry.params.empty()) {
+      message += "it takes no parameters";
+    } else {
+      message += "valid:";
+      for (const ParamSpec& s : entry.params) {
+        message += ' ';
+        message += s.name;
+      }
+    }
+    throw std::invalid_argument(message);
+  }
+}
+
+}  // namespace
+
+PolicyFactory make(std::string_view name) { return make(name, ParamMap{}); }
+
+PolicyFactory make(std::string_view name, ParamMap params) {
+  const Entry& entry = find_or_throw(name, "make");
+  validate_keys(entry, params);
+  // Parse the values once up front so a malformed value fails at make()
+  // time (where the caller's context is) rather than mid-sweep.
+  (void)entry.build(params);
+  return [&entry, params = std::move(params)] { return entry.build(params); };
 }
 
 bool contains(std::string_view name) { return find(name) != nullptr; }
@@ -89,6 +276,31 @@ std::vector<std::string> names() {
   std::vector<std::string> out;
   out.reserve(kEntries.size());
   for (const Entry& e : kEntries) out.emplace_back(e.name);
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> aliases() {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(kAliases.size());
+  for (const auto& [alias, target] : kAliases) out.emplace_back(alias, target);
+  return out;
+}
+
+std::vector<ParamInfo> param_info(std::string_view name) {
+  const Entry& entry = find_or_throw(name, "param_info");
+  std::vector<ParamInfo> out;
+  out.reserve(entry.params.size());
+  for (const ParamSpec& s : entry.params) {
+    out.push_back({s.name, s.default_value, s.description});
+  }
+  return out;
+}
+
+std::vector<std::string> param_names(std::string_view name) {
+  const Entry& entry = find_or_throw(name, "param_names");
+  std::vector<std::string> out;
+  out.reserve(entry.params.size());
+  for (const ParamSpec& s : entry.params) out.emplace_back(s.name);
   return out;
 }
 

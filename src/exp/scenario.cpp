@@ -1,0 +1,325 @@
+#include "exp/scenario.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/registry.h"
+#include "util/parse.h"
+
+namespace pr {
+
+namespace {
+
+[[noreturn]] void fail_at(std::string_view source, std::size_t line,
+                          const std::string& message) {
+  std::ostringstream out;
+  out << source << ":" << line << ": " << message;
+  throw std::invalid_argument(out.str());
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Strip comments: a whole-line '#'/';' or one introduced by whitespace
+/// ("disks = 8   # six to sixteen").
+std::string_view strip_comment(std::string_view s) {
+  if (!s.empty() && (s.front() == '#' || s.front() == ';')) return {};
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if ((s[i] == '#' || s[i] == ';') &&
+        (s[i - 1] == ' ' || s[i - 1] == '\t')) {
+      return s.substr(0, i);
+    }
+  }
+  return s;
+}
+
+std::vector<std::string> split_list(std::string_view value) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    std::size_t comma = value.find(',', start);
+    if (comma == std::string_view::npos) comma = value.size();
+    const std::string_view item = trim(value.substr(start, comma - start));
+    out.emplace_back(item);
+    start = comma + 1;
+  }
+  return out;
+}
+
+struct LineContext {
+  std::string_view source;
+  std::size_t line = 0;
+};
+
+std::vector<double> parse_double_list(std::string_view value,
+                                      std::string_view key,
+                                      const LineContext& at) {
+  std::vector<double> out;
+  for (const std::string& item : split_list(value)) {
+    if (item.empty()) fail_at(at.source, at.line, "empty item in list");
+    out.push_back(parse_double(item, key));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> parse_u64_list(std::string_view value,
+                                          std::string_view key,
+                                          const LineContext& at) {
+  std::vector<std::uint64_t> out;
+  for (const std::string& item : split_list(value)) {
+    if (item.empty()) fail_at(at.source, at.line, "empty item in list");
+    out.push_back(parse_u64(item, key));
+  }
+  return out;
+}
+
+std::vector<std::size_t> parse_size_list(std::string_view value,
+                                         std::string_view key,
+                                         const LineContext& at) {
+  std::vector<std::size_t> out;
+  for (const std::string& item : split_list(value)) {
+    if (item.empty()) fail_at(at.source, at.line, "empty item in list");
+    out.push_back(parse_size(item, key));
+  }
+  return out;
+}
+
+enum class Section { kNone, kScenario, kSystem, kWorkload, kPolicy };
+
+}  // namespace
+
+ScenarioSpec parse_scenario(std::string_view text, std::string_view source) {
+  ScenarioSpec spec;
+  Section section = Section::kNone;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    ++line_no;
+    const LineContext at{source, line_no};
+    std::string_view line = trim(strip_comment(trim(text.substr(pos, eol - pos))));
+    pos = eol + 1;
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') fail_at(source, line_no, "unterminated section header");
+      const std::string_view header = trim(line.substr(1, line.size() - 2));
+      const std::size_t space = header.find_first_of(" \t");
+      const std::string_view kind =
+          space == std::string_view::npos ? header : header.substr(0, space);
+      const std::string_view arg =
+          space == std::string_view::npos ? std::string_view{}
+                                          : trim(header.substr(space + 1));
+      if (kind == "scenario") {
+        if (!arg.empty()) fail_at(source, line_no, "[scenario] takes no name");
+        section = Section::kScenario;
+      } else if (kind == "system") {
+        if (!arg.empty()) fail_at(source, line_no, "[system] takes no name");
+        section = Section::kSystem;
+      } else if (kind == "workload") {
+        ScenarioWorkload w;
+        if (!arg.empty()) w.name = std::string(arg);
+        spec.workloads.push_back(std::move(w));
+        section = Section::kWorkload;
+      } else if (kind == "policy") {
+        if (arg.empty()) {
+          fail_at(source, line_no, "[policy] needs a registry name, e.g. [policy read]");
+        }
+        ScenarioPolicy p;
+        p.name = std::string(arg);
+        p.label = p.name;
+        spec.policies.push_back(std::move(p));
+        section = Section::kPolicy;
+      } else {
+        fail_at(source, line_no,
+                "unknown section [" + std::string(kind) +
+                    "]; expected scenario, system, workload or policy");
+      }
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      fail_at(source, line_no, "expected 'key = value'");
+    }
+    const std::string key{trim(line.substr(0, eq))};
+    const std::string value{trim(line.substr(eq + 1))};
+    if (key.empty()) fail_at(source, line_no, "empty key");
+    if (value.empty()) fail_at(source, line_no, "empty value for '" + key + "'");
+
+    try {
+      switch (section) {
+      case Section::kNone:
+        fail_at(source, line_no, "'" + key + "' before any [section]");
+      case Section::kScenario:
+        if (key == "name") {
+          spec.name = value;
+        } else if (key == "threads") {
+          spec.threads = static_cast<unsigned>(parse_u64(value, key));
+        } else if (key == "seeds" || key == "seed") {
+          spec.seeds = parse_u64_list(value, key, at);
+        } else {
+          fail_at(source, line_no,
+                  "unknown key '" + key + "' in [scenario]; valid: name, threads, seeds");
+        }
+        break;
+      case Section::kSystem:
+        if (key == "disks") {
+          spec.disks = parse_size_list(value, key, at);
+        } else if (key == "epoch") {
+          spec.epochs = parse_double_list(value, key, at);
+        } else if (key == "positioned") {
+          spec.positioned = parse_bool(value, key);
+        } else {
+          fail_at(source, line_no,
+                  "unknown key '" + key + "' in [system]; valid: disks, epoch, positioned");
+        }
+        break;
+      case Section::kWorkload: {
+        ScenarioWorkload& w = spec.workloads.back();
+        if (key == "kind") {
+          w.kind = value;
+        } else if (key == "preset") {
+          w.preset = value;
+        } else if (key == "path" || key == "trace") {
+          w.path = value;
+        } else if (key == "files") {
+          w.files = parse_size(value, key);
+        } else if (key == "requests") {
+          w.requests = parse_size(value, key);
+        } else if (key == "zipf_alpha") {
+          w.zipf_alpha = parse_double(value, key);
+        } else if (key == "burstiness") {
+          w.burstiness = parse_double(value, key);
+        } else if (key == "diurnal_depth") {
+          w.diurnal_depth = parse_double(value, key);
+        } else if (key == "load") {
+          w.loads = parse_double_list(value, key, at);
+        } else {
+          fail_at(source, line_no,
+                  "unknown key '" + key +
+                      "' in [workload]; valid: kind, preset, path, files, "
+                      "requests, zipf_alpha, burstiness, diurnal_depth, load");
+        }
+        break;
+      }
+      case Section::kPolicy: {
+        ScenarioPolicy& p = spec.policies.back();
+        if (key == "label") {
+          p.label = value;
+        } else {
+          // Every other key is a policy knob; the registry validates the
+          // key set (and parses values) in validate_scenario below.
+          p.params.set(key, value);
+        }
+        break;
+      }
+      }
+    } catch (const std::invalid_argument& e) {
+      // Add "<source>:<line>" context to bare value-parse errors
+      // (util/parse.h); fail_at messages already carry it.
+      std::string prefix(source);
+      prefix += ':';
+      if (std::string_view(e.what()).rfind(prefix, 0) == 0) throw;
+      fail_at(source, line_no, e.what());
+    }
+  }
+  try {
+    validate_scenario(spec);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string(source) + ": " + e.what());
+  }
+  return spec;
+}
+
+ScenarioSpec load_scenario_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("load_scenario_file: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_scenario(buffer.str(), path);
+}
+
+void validate_scenario(const ScenarioSpec& spec) {
+  if (spec.policies.empty()) {
+    throw std::invalid_argument("scenario '" + spec.name + "': no [policy] sections");
+  }
+  if (spec.seeds.empty()) {
+    throw std::invalid_argument("scenario '" + spec.name + "': empty seeds axis");
+  }
+  if (spec.disks.empty()) {
+    throw std::invalid_argument("scenario '" + spec.name + "': empty disks axis");
+  }
+  if (spec.epochs.empty()) {
+    throw std::invalid_argument("scenario '" + spec.name + "': empty epoch axis");
+  }
+  for (const std::size_t n : spec.disks) {
+    if (n == 0) {
+      throw std::invalid_argument("scenario '" + spec.name + "': disks must be > 0");
+    }
+  }
+  for (const double e : spec.epochs) {
+    if (!(e > 0.0)) {
+      throw std::invalid_argument("scenario '" + spec.name + "': epoch must be > 0");
+    }
+  }
+  for (const ScenarioPolicy& p : spec.policies) {
+    // Throws with the registry's own message for unknown names/keys and
+    // malformed values.
+    (void)policies::make(p.name, p.params);
+  }
+  for (const ScenarioWorkload& w : spec.workloads) {
+    if (w.kind == "synthetic") {
+      (void)preset_workload_config(w.preset, 0);
+    } else if (w.kind == "trace") {
+      if (w.path.empty()) {
+        throw std::invalid_argument("workload '" + w.name +
+                                    "': kind = trace needs path = <file.csv>");
+      }
+    } else {
+      throw std::invalid_argument("workload '" + w.name + "': unknown kind '" +
+                                  w.kind + "'; valid: synthetic, trace");
+    }
+    for (const double l : w.loads) {
+      if (!(l > 0.0)) {
+        throw std::invalid_argument("workload '" + w.name + "': load must be > 0");
+      }
+    }
+  }
+}
+
+std::vector<std::string> workload_presets() {
+  return {"wc98-light", "wc98-heavy", "proxy", "ftp", "email"};
+}
+
+SyntheticWorkloadConfig preset_workload_config(std::string_view preset,
+                                               std::uint64_t seed) {
+  if (preset == "wc98-light") return worldcup98_light_config(seed);
+  if (preset == "wc98-heavy") return worldcup98_heavy_config(seed);
+  if (preset == "proxy") return proxy_server_config(seed);
+  if (preset == "ftp") return ftp_mirror_config(seed);
+  if (preset == "email") return email_server_config(seed);
+  std::string message = "unknown workload preset '";
+  message += preset;
+  message += "'; valid:";
+  for (const std::string& name : workload_presets()) {
+    message += ' ';
+    message += name;
+  }
+  throw std::invalid_argument(message);
+}
+
+}  // namespace pr

@@ -1,0 +1,110 @@
+// scenario.h — declarative experiment scenarios: what the paper's Fig. 7
+// grid looks like as *data*. A ScenarioSpec names the sweep axes (disks,
+// epoch, workload load, seeds), the workloads (synthetic presets with
+// overrides, or a CSV trace) and the policies (registry names plus
+// per-policy ParamMap knobs); the engine (scenario_engine.h) expands it
+// into cells and fans them across the thread pool.
+//
+// Specs can be built in code (the migrated benches do) or parsed from a
+// small INI-lite text format (`run_experiment --config scenarios/x.ini`;
+// grammar documented in EXPERIMENTS.md "Scenario files"):
+//
+//   [scenario]
+//   name = fig7_overall
+//   threads = 0                 # 0 = hardware concurrency
+//   seeds = 42                  # comma list = sweep axis
+//
+//   [system]
+//   disks = 6,8,10,12,14,16     # comma list = sweep axis
+//   epoch = 3600                # seconds; comma list = sweep axis
+//   positioned = false          # seek-curve positional I/O
+//
+//   [workload light]            # repeatable; name defaults to "default"
+//   kind = synthetic            # or "trace" (+ path = file.csv)
+//   preset = wc98-light         # wc98-light|wc98-heavy|proxy|ftp|email
+//   requests = 80000            # overrides of the preset
+//   files = 1000
+//   load = 1.0                  # comma list = sweep axis
+//
+//   [policy read]               # repeatable; registry names or aliases
+//   label = READ                # display label (default: name as written)
+//   cap = 40                    # any knob from policies::param_names()
+//
+// Comments start with '#' or ';' (whole line, or after whitespace).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/param_map.h"
+#include "workload/synthetic.h"
+
+namespace pr {
+
+struct ScenarioWorkload {
+  std::string name = "default";
+  /// "synthetic" (preset + overrides) or "trace" (CSV file at `path`).
+  std::string kind = "synthetic";
+  /// Synthetic preset: wc98-light | wc98-heavy | proxy | ftp | email.
+  std::string preset = "wc98-light";
+  std::string path;  // kind == "trace"
+  // Preset overrides (absent = preset default).
+  std::optional<std::size_t> files;
+  std::optional<std::size_t> requests;
+  std::optional<double> zipf_alpha;
+  std::optional<double> burstiness;
+  std::optional<double> diurnal_depth;
+  /// Arrival-rate multipliers; a sweep axis. Empty = preset default.
+  std::vector<double> loads;
+};
+
+struct ScenarioPolicy {
+  std::string name;   ///< registry name (aliases accepted)
+  std::string label;  ///< display label; empty = `name` as written
+  ParamMap params;    ///< knobs; validated against policies::param_names()
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  /// Worker threads for the sweep (0 = hardware concurrency). Never
+  /// affects results — cell ordering is deterministic by construction.
+  unsigned threads = 0;
+  /// Workload seeds; a sweep axis (trace workloads ignore it).
+  std::vector<std::uint64_t> seeds = {42};
+  /// Array sizes; a sweep axis.
+  std::vector<std::size_t> disks = {8};
+  /// Epoch lengths P in seconds; a sweep axis.
+  std::vector<double> epochs = {3600.0};
+  /// Seek-curve positional I/O for every cell.
+  bool positioned = false;
+  std::vector<ScenarioWorkload> workloads;
+  std::vector<ScenarioPolicy> policies;
+};
+
+/// Parse the INI-lite text above. Throws std::invalid_argument with
+/// "<source>:<line>: ..." context for malformed input, unknown
+/// sections/keys, unknown policies or presets.
+[[nodiscard]] ScenarioSpec parse_scenario(std::string_view text,
+                                          std::string_view source = "scenario");
+
+/// Load and parse a scenario file (source = path in error messages).
+[[nodiscard]] ScenarioSpec load_scenario_file(const std::string& path);
+
+/// Cross-field validation (non-empty policies/axes, registry names,
+/// presets, positive values). parse_scenario runs this; code-built specs
+/// get it from the engine.
+void validate_scenario(const ScenarioSpec& spec);
+
+/// Known synthetic preset names (wc98-light, wc98-heavy, proxy, ftp,
+/// email).
+[[nodiscard]] std::vector<std::string> workload_presets();
+
+/// Resolve a preset name to its SyntheticWorkloadConfig at `seed`.
+/// Throws std::invalid_argument for unknown presets, listing valid ones.
+[[nodiscard]] SyntheticWorkloadConfig preset_workload_config(
+    std::string_view preset, std::uint64_t seed);
+
+}  // namespace pr

@@ -1,0 +1,151 @@
+#include "exp/scenario_engine.h"
+
+#include <utility>
+
+#include "core/registry.h"
+#include "disk/geometry.h"
+#include "trace/csv_trace.h"
+#include "trace/trace_stats.h"
+#include "util/thread_pool.h"
+
+namespace pr {
+
+namespace {
+
+/// One generated (workload, load, seed) variant, shared by every
+/// policy/epoch/disks cell that references it.
+struct WorkloadVariant {
+  std::size_t workload_idx = 0;
+  double load = 1.0;
+  std::uint64_t seed = 0;
+  FileSet files;
+  Trace trace;
+};
+
+struct VariantKey {
+  std::size_t workload_idx;
+  double load;       // 0 = preset default (resolved during generation)
+  bool has_load;
+  std::uint64_t seed;
+};
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  validate_scenario(spec);
+
+  // Default workload when the spec names none: the paper's light day.
+  std::vector<ScenarioWorkload> workloads = spec.workloads;
+  if (workloads.empty()) workloads.push_back(ScenarioWorkload{});
+
+  // ---- expand the (workload, load, seed) axis -----------------------
+  std::vector<VariantKey> variant_keys;
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    const ScenarioWorkload& w = workloads[wi];
+    if (w.kind == "trace") {
+      // A fixed trace has no load/seed degrees of freedom.
+      variant_keys.push_back({wi, 1.0, false, 0});
+      continue;
+    }
+    if (w.loads.empty()) {
+      for (const std::uint64_t seed : spec.seeds) {
+        variant_keys.push_back({wi, 0.0, false, seed});
+      }
+    } else {
+      for (const double load : w.loads) {
+        for (const std::uint64_t seed : spec.seeds) {
+          variant_keys.push_back({wi, load, true, seed});
+        }
+      }
+    }
+  }
+
+  ThreadPool pool(spec.threads);
+
+  // ---- generate every variant (indexed writes keep this deterministic
+  // regardless of completion order) -----------------------------------
+  std::vector<WorkloadVariant> variants(variant_keys.size());
+  pool.parallel_for(variant_keys.size(), [&](std::size_t i) {
+    const VariantKey& key = variant_keys[i];
+    const ScenarioWorkload& w = workloads[key.workload_idx];
+    WorkloadVariant v;
+    v.workload_idx = key.workload_idx;
+    v.seed = key.seed;
+    if (w.kind == "trace") {
+      v.trace = read_csv_trace_file(w.path);
+      v.files = FileSet::from_trace_stats(compute_trace_stats(v.trace));
+      v.load = 1.0;
+    } else {
+      SyntheticWorkloadConfig config = preset_workload_config(w.preset, key.seed);
+      if (w.files) config.file_count = *w.files;
+      if (w.requests) config.request_count = *w.requests;
+      if (w.zipf_alpha) config.zipf_alpha = *w.zipf_alpha;
+      if (w.burstiness) config.burstiness = *w.burstiness;
+      if (w.diurnal_depth) config.diurnal_depth = *w.diurnal_depth;
+      if (key.has_load) config.load_factor = key.load;
+      v.load = config.load_factor;
+      auto workload = generate_workload(config);
+      v.files = std::move(workload.files);
+      v.trace = std::move(workload.trace);
+    }
+    variants[i] = std::move(v);
+  });
+
+  // ---- resolve policy factories once (validates names + params before
+  // any simulation time is spent) --------------------------------------
+  std::vector<PolicyFactory> factories;
+  factories.reserve(spec.policies.size());
+  for (const ScenarioPolicy& p : spec.policies) {
+    factories.push_back(policies::make(p.name, p.params));
+  }
+
+  // ---- enumerate cells in spec order: policy-major, then workload/
+  // load/seed (variant order), then epoch, then disks ------------------
+  struct CellSpec {
+    std::size_t policy_idx;
+    std::size_t variant_idx;
+    double epoch_s;
+    std::size_t disks;
+  };
+  std::vector<CellSpec> cell_specs;
+  cell_specs.reserve(spec.policies.size() * variants.size() *
+                     spec.epochs.size() * spec.disks.size());
+  for (std::size_t pi = 0; pi < spec.policies.size(); ++pi) {
+    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+      for (const double epoch_s : spec.epochs) {
+        for (const std::size_t disks : spec.disks) {
+          cell_specs.push_back({pi, vi, epoch_s, disks});
+        }
+      }
+    }
+  }
+
+  ScenarioResult result;
+  result.scenario = spec.name;
+  result.cells.resize(cell_specs.size());
+  pool.parallel_for(cell_specs.size(), [&](std::size_t i) {
+    const CellSpec& cs = cell_specs[i];
+    const WorkloadVariant& variant = variants[cs.variant_idx];
+    const ScenarioPolicy& policy_spec = spec.policies[cs.policy_idx];
+
+    SystemConfig config;
+    config.sim.disk_count = cs.disks;
+    config.sim.epoch = Seconds{cs.epoch_s};
+    if (spec.positioned) config.sim.seek_curve = cheetah_seek_curve();
+
+    auto policy = factories[cs.policy_idx]();
+    ScenarioCell cell;
+    cell.policy =
+        policy_spec.label.empty() ? policy_spec.name : policy_spec.label;
+    cell.workload = workloads[variant.workload_idx].name;
+    cell.load = variant.load;
+    cell.seed = variant.seed;
+    cell.epoch_s = cs.epoch_s;
+    cell.disks = cs.disks;
+    cell.report = evaluate(config, variant.files, variant.trace, *policy);
+    result.cells[i] = std::move(cell);
+  });
+  return result;
+}
+
+}  // namespace pr

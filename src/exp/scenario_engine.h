@@ -1,0 +1,45 @@
+// scenario_engine.h — expands a ScenarioSpec into concrete cells
+// (policy × workload × load × seed × epoch × disks) and fans them across
+// the thread pool. This generalizes core/experiment.h's run_sweep (fixed
+// policy × workload × disks grid) into arbitrary declarative axes: each
+// (workload, load, seed) variant is generated once and shared by every
+// policy/epoch/disk cell, and results come back in *spec order* —
+// policy-major, then workload, load, seed, epoch, disks — regardless of
+// thread count, so serialized output is byte-identical for threads = 1
+// and threads = N.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "exp/scenario.h"
+
+namespace pr {
+
+/// One completed grid point. The axis fields echo the spec values that
+/// produced the cell (trace workloads report load = 1 and seed = 0: the
+/// axes do not apply to a fixed trace).
+struct ScenarioCell {
+  std::string policy;    ///< policy display label
+  std::string workload;  ///< workload name
+  double load = 1.0;
+  std::uint64_t seed = 0;
+  double epoch_s = 0.0;
+  std::size_t disks = 0;
+  SystemReport report;
+};
+
+struct ScenarioResult {
+  std::string scenario;
+  std::vector<ScenarioCell> cells;  ///< spec order (policy-major)
+};
+
+/// Validate `spec`, generate its workload variants, run every cell through
+/// the ThreadPool and return deterministically ordered results. Throws
+/// std::invalid_argument for spec problems and propagates workload/trace
+/// I/O errors.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+}  // namespace pr

@@ -1,0 +1,109 @@
+#include "exp/scenario_report.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/report_io.h"
+#include "util/csv.h"
+
+namespace pr {
+
+namespace {
+
+/// Full-precision decimal text (CsvWriter's default ostream formatting
+/// rounds to 6 significant digits; metric comparisons need all of them).
+std::string full(double v) {
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+std::string scenario_csv_header() {
+  return "scenario,policy,workload,load,seed,epoch_s,disks,array_afr,"
+         "energy_j,mean_rt_ms,p95_rt_ms,total_transitions,"
+         "max_transitions_per_day,migrations,migration_mb";
+}
+
+void write_scenario_csv(const ScenarioResult& result, std::ostream& out) {
+  out << scenario_csv_header() << "\n";
+  CsvWriter writer(out);
+  for (const ScenarioCell& c : result.cells) {
+    const SimResult& sim = c.report.sim;
+    writer.row(result.scenario, c.policy, c.workload, full(c.load), c.seed,
+               full(c.epoch_s), c.disks, full(c.report.array_afr),
+               full(sim.energy_joules()),
+               full(sim.mean_response_time_s() * 1e3),
+               full(sim.response_time_sample.quantile(0.95) * 1e3),
+               sim.total_transitions, full(sim.max_transitions_per_day),
+               sim.migrations,
+               full(static_cast<double>(sim.migration_bytes) / 1e6));
+  }
+}
+
+void write_scenario_csv_file(const ScenarioResult& result,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("write_scenario_csv_file: cannot open " + path);
+  }
+  write_scenario_csv(result, out);
+  if (!out) {
+    throw std::runtime_error("write_scenario_csv_file: write failed " + path);
+  }
+}
+
+void write_scenario_json(const ScenarioResult& result, std::ostream& out,
+                         bool include_reports) {
+  out.precision(17);
+  out << "{\"scenario\":\"" << json_escape(result.scenario)
+      << "\",\"cells\":[";
+  bool first = true;
+  for (const ScenarioCell& c : result.cells) {
+    if (!first) out << ",";
+    first = false;
+    const SimResult& sim = c.report.sim;
+    out << "{\"policy\":\"" << json_escape(c.policy) << "\",\"workload\":\""
+        << json_escape(c.workload) << "\",\"load\":" << c.load
+        << ",\"seed\":" << c.seed << ",\"epoch_s\":" << c.epoch_s
+        << ",\"disks\":" << c.disks
+        << ",\"array_afr\":" << c.report.array_afr
+        << ",\"energy_joules\":" << sim.energy_joules()
+        << ",\"mean_response_time_s\":" << sim.mean_response_time_s()
+        << ",\"total_transitions\":" << sim.total_transitions
+        << ",\"max_transitions_per_day\":" << sim.max_transitions_per_day
+        << ",\"migrations\":" << sim.migrations;
+    if (include_reports) {
+      // pr::to_json emits a complete JSON object (plus a trailing
+      // newline, stripped here) — splice it in verbatim.
+      std::string report = pr::to_json(c.report);
+      while (!report.empty() && report.back() == '\n') report.pop_back();
+      out << ",\"report\":" << report;
+    }
+    out << "}";
+  }
+  out << "]}\n";
+}
+
+void write_scenario_json_file(const ScenarioResult& result,
+                              const std::string& path, bool include_reports) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("write_scenario_json_file: cannot open " + path);
+  }
+  write_scenario_json(result, out, include_reports);
+  if (!out) {
+    throw std::runtime_error("write_scenario_json_file: write failed " + path);
+  }
+}
+
+std::string to_json(const ScenarioResult& result, bool include_reports) {
+  std::ostringstream out;
+  write_scenario_json(result, out, include_reports);
+  return out.str();
+}
+
+}  // namespace pr

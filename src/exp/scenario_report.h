@@ -1,0 +1,34 @@
+// scenario_report.h — machine-readable export of scenario sweeps, the
+// grid-level sibling of core/report_io.h: one CSV row / JSON object per
+// cell, in the engine's deterministic cell order, so identical scenarios
+// serialize byte-identically regardless of thread count.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "exp/scenario_engine.h"
+
+namespace pr {
+
+/// The fixed CSV column schema (also asserted by the scenario-smoke CI
+/// job): axes first, then the headline metrics.
+[[nodiscard]] std::string scenario_csv_header();
+
+/// One row per cell, schema above, full double precision.
+void write_scenario_csv(const ScenarioResult& result, std::ostream& out);
+void write_scenario_csv_file(const ScenarioResult& result,
+                             const std::string& path);
+
+/// JSON object {scenario, cells: [...]}; with `include_reports` each cell
+/// embeds the full per-disk SystemReport (core/report_io.h), otherwise
+/// just the headline metrics.
+void write_scenario_json(const ScenarioResult& result, std::ostream& out,
+                         bool include_reports = false);
+void write_scenario_json_file(const ScenarioResult& result,
+                              const std::string& path,
+                              bool include_reports = false);
+[[nodiscard]] std::string to_json(const ScenarioResult& result,
+                                  bool include_reports = false);
+
+}  // namespace pr

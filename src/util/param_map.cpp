@@ -1,0 +1,79 @@
+#include "util/param_map.h"
+
+#include <stdexcept>
+
+#include "util/parse.h"
+
+namespace pr {
+
+ParamMap::ParamMap(
+    std::initializer_list<std::pair<std::string, std::string>> kvs) {
+  for (const auto& [key, value] : kvs) set(key, value);
+}
+
+ParamMap& ParamMap::set(std::string key, std::string value) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  entries_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+bool ParamMap::contains(std::string_view key) const {
+  return find(key) != nullptr;
+}
+
+std::vector<std::string> ParamMap::keys() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, v] : entries_) out.push_back(k);
+  return out;
+}
+
+const std::string& ParamMap::raw(std::string_view key) const {
+  const std::string* value = find(key);
+  if (value == nullptr) {
+    throw std::out_of_range("ParamMap: no key '" + std::string(key) + "'");
+  }
+  return *value;
+}
+
+std::uint64_t ParamMap::get_u64(std::string_view key,
+                                std::uint64_t fallback) const {
+  const std::string* value = find(key);
+  return value ? parse_u64(*value, key) : fallback;
+}
+
+std::size_t ParamMap::get_size(std::string_view key,
+                               std::size_t fallback) const {
+  const std::string* value = find(key);
+  return value ? parse_size(*value, key) : fallback;
+}
+
+double ParamMap::get_double(std::string_view key, double fallback) const {
+  const std::string* value = find(key);
+  return value ? parse_double(*value, key) : fallback;
+}
+
+bool ParamMap::get_bool(std::string_view key, bool fallback) const {
+  const std::string* value = find(key);
+  return value ? parse_bool(*value, key) : fallback;
+}
+
+std::string ParamMap::get_string(std::string_view key,
+                                 std::string_view fallback) const {
+  const std::string* value = find(key);
+  return value ? *value : std::string(fallback);
+}
+
+const std::string* ParamMap::find(std::string_view key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace pr

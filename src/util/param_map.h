@@ -1,0 +1,57 @@
+// param_map.h — a small ordered string→string bag with strictly-typed
+// getters, the currency of parameterized policy construction
+// (pr::policies::make(name, params)) and of scenario files. Values stay
+// text until a getter asks for a type; parsing is full-token strict
+// (util/parse.h) and errors name the offending key, so a scenario file's
+// `cap = 40x` fails loudly instead of truncating.
+//
+// Keys are unique; insertion order is preserved (error messages and
+// serialized forms stay stable). The expected scale is a handful of knobs
+// per policy, so storage is a flat vector with linear lookup.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pr {
+
+class ParamMap {
+ public:
+  ParamMap() = default;
+  ParamMap(std::initializer_list<std::pair<std::string, std::string>> kvs);
+
+  /// Insert or overwrite. Returns *this so calls chain.
+  ParamMap& set(std::string key, std::string value);
+
+  [[nodiscard]] bool contains(std::string_view key) const;
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Keys in insertion order.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Raw textual value; throws std::out_of_range when absent.
+  [[nodiscard]] const std::string& raw(std::string_view key) const;
+
+  // Typed getters: return `fallback` when the key is absent; throw
+  // std::invalid_argument (naming the key) when the value is malformed.
+  [[nodiscard]] std::uint64_t get_u64(std::string_view key,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] std::size_t get_size(std::string_view key,
+                                     std::size_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string_view fallback) const;
+
+ private:
+  [[nodiscard]] const std::string* find(std::string_view key) const;
+
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace pr

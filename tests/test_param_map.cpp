@@ -1,0 +1,64 @@
+// ParamMap (util/param_map.h): the typed knob bag behind
+// pr::policies::make(name, params) and scenario files.
+#include "util/param_map.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pr {
+namespace {
+
+TEST(ParamMap, SetContainsKeys) {
+  ParamMap p;
+  EXPECT_TRUE(p.empty());
+  p.set("cap", "40").set("threshold", "10");
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p.contains("cap"));
+  EXPECT_FALSE(p.contains("nope"));
+  EXPECT_EQ(p.keys(), (std::vector<std::string>{"cap", "threshold"}));
+}
+
+TEST(ParamMap, SetOverwritesInPlace) {
+  ParamMap p{{"a", "1"}, {"b", "2"}};
+  p.set("a", "3");
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.raw("a"), "3");
+  EXPECT_EQ(p.keys(), (std::vector<std::string>{"a", "b"}));  // order kept
+}
+
+TEST(ParamMap, TypedGettersUseFallbackWhenAbsent) {
+  const ParamMap p;
+  EXPECT_EQ(p.get_u64("cap", 40), 40u);
+  EXPECT_EQ(p.get_size("n", 8), 8u);
+  EXPECT_DOUBLE_EQ(p.get_double("threshold", 10.0), 10.0);
+  EXPECT_TRUE(p.get_bool("adaptive", true));
+  EXPECT_EQ(p.get_string("name", "x"), "x");
+}
+
+TEST(ParamMap, TypedGettersParsePresent) {
+  const ParamMap p{
+      {"cap", "55"}, {"threshold", "2.5"}, {"adaptive", "false"}};
+  EXPECT_EQ(p.get_u64("cap", 40), 55u);
+  EXPECT_DOUBLE_EQ(p.get_double("threshold", 10.0), 2.5);
+  EXPECT_FALSE(p.get_bool("adaptive", true));
+}
+
+TEST(ParamMap, MalformedValueThrowsNamingKey) {
+  const ParamMap p{{"cap", "40x"}};
+  try {
+    (void)p.get_u64("cap", 0);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cap"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("40x"), std::string::npos);
+  }
+}
+
+TEST(ParamMap, RawThrowsWhenAbsent) {
+  const ParamMap p;
+  EXPECT_THROW((void)p.raw("missing"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,128 @@
+// Parameterized registry construction (core/registry.h): every policy is
+// reachable by name with a ParamMap of knobs — the plugin surface scenario
+// files and the CLI build on.
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace pr {
+namespace {
+
+TEST(RegistryParams, EveryNameConstructsWithEmptyParamMap) {
+  for (const std::string& name : policies::names()) {
+    PolicyFactory factory;
+    ASSERT_NO_THROW(factory = policies::make(name, ParamMap{})) << name;
+    auto a = factory();
+    auto b = factory();
+    ASSERT_NE(a, nullptr) << name;
+    ASSERT_NE(b, nullptr) << name;
+    EXPECT_NE(a.get(), b.get()) << name << ": factory must build fresh "
+                                            "instances (policies are stateful)";
+    EXPECT_FALSE(a->name().empty()) << name;
+  }
+}
+
+TEST(RegistryParams, UnknownKeyRejectedListingValidOnes) {
+  try {
+    (void)policies::make("read", ParamMap{{"bogus", "1"}});
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
+    // The message must list the valid knobs so the user can self-correct.
+    EXPECT_NE(msg.find("cap"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("threshold"), std::string::npos) << msg;
+  }
+}
+
+TEST(RegistryParams, KnobLessPolicyRejectsAnyKey) {
+  EXPECT_TRUE(policies::param_names("static").empty());
+  try {
+    (void)policies::make("static", ParamMap{{"cap", "40"}});
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("no parameters"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RegistryParams, EveryDocumentedKnobRoundTripsItsDefault) {
+  for (const std::string& name : policies::names()) {
+    // Each knob individually, fed its own documented default...
+    for (const policies::ParamInfo& info : policies::param_info(name)) {
+      ParamMap one;
+      one.set(info.name, info.default_value);
+      PolicyFactory factory;
+      ASSERT_NO_THROW(factory = policies::make(name, std::move(one)))
+          << name << "." << info.name << " = " << info.default_value;
+      EXPECT_NE(factory(), nullptr);
+    }
+    // ...and all of them at once.
+    ParamMap all;
+    for (const policies::ParamInfo& info : policies::param_info(name)) {
+      all.set(info.name, info.default_value);
+    }
+    EXPECT_NO_THROW((void)policies::make(name, std::move(all))()) << name;
+  }
+}
+
+TEST(RegistryParams, MalformedValueFailsAtMakeTime) {
+  // make() validates eagerly — a bad value must not survive until the
+  // factory runs inside a sweep worker.
+  try {
+    (void)policies::make("read", ParamMap{{"cap", "40x"}});
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cap"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RegistryParams, AliasesResolveToCanonicalKnobs) {
+  auto alias_list = policies::aliases();
+  EXPECT_FALSE(alias_list.empty());
+  for (const auto& [alias, canonical] : alias_list) {
+    EXPECT_TRUE(policies::contains(alias)) << alias;
+    EXPECT_TRUE(policies::contains(canonical)) << canonical;
+    EXPECT_EQ(policies::param_names(alias), policies::param_names(canonical))
+        << alias << " -> " << canonical;
+    EXPECT_NO_THROW((void)policies::make(alias, ParamMap{})()) << alias;
+  }
+}
+
+TEST(RegistryParams, LookupIsCaseInsensitive) {
+  EXPECT_TRUE(policies::contains("READ"));
+  EXPECT_TRUE(policies::contains("Read"));
+  EXPECT_NO_THROW((void)policies::make("MAID", ParamMap{})());
+}
+
+TEST(RegistryParams, UnknownNameThrowsListingRegistered) {
+  try {
+    (void)policies::make("no-such-policy", ParamMap{});
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no-such-policy"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("read"), std::string::npos) << msg;
+  }
+  EXPECT_THROW((void)policies::param_info("no-such-policy"),
+               std::invalid_argument);
+}
+
+TEST(RegistryParams, ParamNamesMatchParamInfo) {
+  for (const std::string& name : policies::names()) {
+    const auto infos = policies::param_info(name);
+    const auto names_only = policies::param_names(name);
+    ASSERT_EQ(infos.size(), names_only.size()) << name;
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+      EXPECT_EQ(infos[i].name, names_only[i]) << name;
+      EXPECT_FALSE(infos[i].description.empty()) << name << "." << infos[i].name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pr
