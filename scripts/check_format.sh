@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# check_format.sh — advisory clang-format check (never mutates files).
+#
+# Lists every tracked C++ source whose formatting differs from
+# .clang-format and exits 1 if any do. Intentionally NOT wired into CI:
+# the tree predates the config, so enforcement would force a noisy
+# whole-tree reformat commit. Run it on the files you touch.
+#
+# Usage: scripts/check_format.sh [path...]   (defaults to src tests tools)
+set -u
+
+FORMAT_BIN="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$FORMAT_BIN" >/dev/null 2>&1; then
+  echo "check_format.sh: $FORMAT_BIN not found; skipping (install clang-format or set CLANG_FORMAT)" >&2
+  exit 0
+fi
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT" || exit 2
+
+PATHS="${*:-src tests tools}"
+STATUS=0
+COUNT=0
+# shellcheck disable=SC2086
+for f in $(find $PATHS -type f \( -name '*.h' -o -name '*.hpp' -o -name '*.cc' -o -name '*.cpp' -o -name '*.cxx' \) | sort); do
+  COUNT=$((COUNT + 1))
+  if ! "$FORMAT_BIN" --style=file --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "needs-format: $f"
+    STATUS=1
+  fi
+done
+
+if [ "$STATUS" -eq 0 ]; then
+  echo "check_format.sh: $COUNT files clean"
+else
+  echo "check_format.sh: run '$FORMAT_BIN -i <file>' on the files above" >&2
+fi
+exit "$STATUS"

@@ -2,7 +2,10 @@
 
 #include <fstream>
 #include <iomanip>
+#include <locale>
 #include <sstream>
+
+#include "util/fmt.h"
 
 namespace pr {
 
@@ -19,6 +22,7 @@ std::string json_escape(std::string_view text) {
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           std::ostringstream hex;
+          hex.imbue(std::locale::classic());
           hex << "\\u" << std::hex << std::setw(4) << std::setfill('0')
               << static_cast<int>(static_cast<unsigned char>(c));
           out += hex.str();
@@ -34,8 +38,12 @@ namespace {
 
 class JsonWriter {
  public:
+  // Floating values go through util/fmt.h (std::to_chars, precision 17):
+  // same bytes as the precision(17) ostream formatting this replaced, but
+  // immune to whatever global locale the host process installed. The
+  // classic locale keeps the integer fields free of grouping separators.
   explicit JsonWriter(std::ostream& out) : out_(out) {
-    out_.precision(17);
+    out_.imbue(std::locale::classic());
   }
 
   void key(const std::string& name) {
@@ -43,7 +51,7 @@ class JsonWriter {
     out_ << '"' << json_escape(name) << "\":";
     pending_comma_ = false;
   }
-  void value(double v) { scalar() << v; }
+  void value(double v) { scalar() << format_double(v, 17); }
   void value(std::uint64_t v) { scalar() << v; }
   void value(const std::string& v) {
     scalar() << '"' << json_escape(v) << '"';

@@ -4,7 +4,28 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contracts.h"
+
 namespace pr {
+
+namespace {
+
+bool approx_eq(double a, double b, double rel_tol) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= rel_tol * scale;
+}
+
+}  // namespace
+
+bool Disk::ledger_conserves(double rel_tol) const {
+  const double observed = ledger_.observed().value();
+  const double at_speeds =
+      (ledger_.time_at_low + ledger_.time_at_high).value();
+  const double busy_idle = (ledger_.busy_time + ledger_.idle_time).value();
+  return approx_eq(observed, accounted_until_.value(), rel_tol) &&
+         approx_eq(at_speeds, busy_idle, rel_tol) &&
+         !(ledger_.energy < Joules{0.0});
+}
 
 Disk::Disk(DiskId id, const TwoSpeedDiskParams& params, DiskSpeed initial)
     : id_(id), params_(params), speed_(initial), initial_speed_(initial) {
@@ -20,6 +41,8 @@ void Disk::add_time_at_speed(DiskSpeed s, Seconds dt) {
 }
 
 void Disk::account_idle_until(Seconds t) {
+  PR_PRECONDITION(!(t < Seconds{0.0}),
+                  "Disk: cannot account time before the simulation start");
   if (t <= accounted_until_) return;
   const Seconds dt = t - accounted_until_;
   ledger_.idle_time += dt;
@@ -80,6 +103,8 @@ Seconds Disk::serve_impl(Seconds arrival, Bytes bytes, bool internal,
 
   ready_time_ = start + cost.time;
   accounted_until_ = ready_time_;
+  PR_INVARIANT(!(ready_time_ < start),
+               "Disk::serve: ready time moved backwards");
   return ready_time_;
 }
 
@@ -96,8 +121,15 @@ void Disk::note_transition_start(Seconds at) {
 }
 
 Seconds Disk::transition(Seconds at, DiskSpeed target) {
+  PR_PRECONDITION(!(at < Seconds{0.0}),
+                  "Disk::transition: negative transition time");
   const Seconds start = std::max(at, ready_time_);
   if (target == speed_) return start;
+  // 2-speed legality: each recorded transition changes the speed, so the
+  // history must strictly alternate low/high.
+  PR_INVARIANT(speed_history_.empty() ||
+                   speed_history_.back().second != target,
+               "Disk::transition: speed history stopped alternating");
   account_idle_until(start);
 
   const bool up = target == DiskSpeed::kHigh;
@@ -119,7 +151,11 @@ Seconds Disk::transition(Seconds at, DiskSpeed target) {
   return ready_time_;
 }
 
-void Disk::finish(Seconds end) { account_idle_until(end); }
+void Disk::finish(Seconds end) {
+  account_idle_until(end);
+  PR_INVARIANT(ledger_conserves(),
+               "Disk::finish: ledger does not conserve time/energy");
+}
 
 void Disk::set_initial_speed(DiskSpeed speed) {
   if (accounted_until_ > Seconds{0.0} || ready_time_ > Seconds{0.0} ||

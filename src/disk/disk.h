@@ -120,6 +120,17 @@ class Disk {
     return activity_generation_;
   }
 
+  /// Instant up to which every moment of simulated time has been
+  /// attributed to the ledger. Exposed for the PR_INVARIANT conservation
+  /// checks at epoch boundaries (every ledger bucket must sum back to
+  /// exactly this much time).
+  [[nodiscard]] Seconds accounted_until() const { return accounted_until_; }
+
+  /// True when the ledger conserves time: busy + idle + transition equals
+  /// the accounted horizon, and the per-speed split equals busy + idle,
+  /// within floating-point accumulation error of `rel_tol`.
+  [[nodiscard]] bool ledger_conserves(double rel_tol = 1e-9) const;
+
   /// Speed transitions begun in the current sim-day (`now` determines the
   /// day). READ's adaptive threshold (Fig. 6 lines 20-24) consults this.
   [[nodiscard]] std::uint64_t transitions_today(Seconds now) const;

@@ -6,6 +6,7 @@
 #include "disk/geometry.h"
 #include "trace/csv_trace.h"
 #include "trace/trace_stats.h"
+#include "util/contracts.h"
 #include "util/thread_pool.h"
 
 namespace pr {
@@ -145,6 +146,14 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     cell.report = evaluate(config, variant.files, variant.trace, *policy);
     result.cells[i] = std::move(cell);
   });
+#if PR_CONTRACTS_ENABLED
+  // Every cell slot must have been filled by exactly the worker that owns
+  // its index — an empty policy label means a task died without writing.
+  for (const ScenarioCell& c : result.cells) {
+    PR_INVARIANT(!c.policy.empty(),
+                 "run_scenario: cell left unfilled by its worker");
+  }
+#endif
   return result;
 }
 

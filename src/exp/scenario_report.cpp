@@ -1,24 +1,23 @@
 #include "exp/scenario_report.h"
 
 #include <fstream>
+#include <locale>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/report_io.h"
 #include "util/csv.h"
+#include "util/fmt.h"
 
 namespace pr {
 
 namespace {
 
-/// Full-precision decimal text (CsvWriter's default ostream formatting
-/// rounds to 6 significant digits; metric comparisons need all of them).
-std::string full(double v) {
-  std::ostringstream out;
-  out.precision(17);
-  out << v;
-  return out.str();
-}
+/// Full-precision decimal text (CsvWriter's default formatting rounds to
+/// 6 significant digits; metric comparisons need all of them). Routed
+/// through the locale-independent util formatter so a host application's
+/// global locale can never change the CSV bytes.
+std::string full(double v) { return format_double(v, 17); }
 
 }  // namespace
 
@@ -58,7 +57,9 @@ void write_scenario_csv_file(const ScenarioResult& result,
 
 void write_scenario_json(const ScenarioResult& result, std::ostream& out,
                          bool include_reports) {
-  out.precision(17);
+  // Floats are pre-formatted by full(); the classic locale keeps the
+  // integer fields free of grouping separators under any global locale.
+  out.imbue(std::locale::classic());
   out << "{\"scenario\":\"" << json_escape(result.scenario)
       << "\",\"cells\":[";
   bool first = true;
@@ -67,14 +68,14 @@ void write_scenario_json(const ScenarioResult& result, std::ostream& out,
     first = false;
     const SimResult& sim = c.report.sim;
     out << "{\"policy\":\"" << json_escape(c.policy) << "\",\"workload\":\""
-        << json_escape(c.workload) << "\",\"load\":" << c.load
-        << ",\"seed\":" << c.seed << ",\"epoch_s\":" << c.epoch_s
+        << json_escape(c.workload) << "\",\"load\":" << full(c.load)
+        << ",\"seed\":" << c.seed << ",\"epoch_s\":" << full(c.epoch_s)
         << ",\"disks\":" << c.disks
-        << ",\"array_afr\":" << c.report.array_afr
-        << ",\"energy_joules\":" << sim.energy_joules()
-        << ",\"mean_response_time_s\":" << sim.mean_response_time_s()
+        << ",\"array_afr\":" << full(c.report.array_afr)
+        << ",\"energy_joules\":" << full(sim.energy_joules())
+        << ",\"mean_response_time_s\":" << full(sim.mean_response_time_s())
         << ",\"total_transitions\":" << sim.total_transitions
-        << ",\"max_transitions_per_day\":" << sim.max_transitions_per_day
+        << ",\"max_transitions_per_day\":" << full(sim.max_transitions_per_day)
         << ",\"migrations\":" << sim.migrations;
     if (include_reports) {
       // pr::to_json emits a complete JSON object (plus a trailing

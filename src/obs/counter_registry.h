@@ -11,6 +11,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/contracts.h"
+
 namespace pr {
 
 class CounterRegistry {
@@ -25,7 +27,11 @@ class CounterRegistry {
   Handle intern(std::string_view name);
 
   /// O(1) bump through a pre-interned handle.
-  void add(Handle handle, std::uint64_t by = 1) { values_[handle] += by; }
+  void add(Handle handle, std::uint64_t by = 1) {
+    PR_PRECONDITION(handle < values_.size(),
+                    "CounterRegistry::add: handle was never interned here");
+    values_[handle] += by;
+  }
 
   /// Convenience bump by name (interns on first use).
   void add(std::string_view name, std::uint64_t by = 1) {
@@ -33,6 +39,8 @@ class CounterRegistry {
   }
 
   [[nodiscard]] std::uint64_t value(Handle handle) const {
+    PR_PRECONDITION(handle < values_.size(),
+                    "CounterRegistry::value: handle was never interned here");
     return values_.at(handle);
   }
   /// Current value by name; 0 for a counter never interned.
@@ -42,6 +50,8 @@ class CounterRegistry {
   }
   [[nodiscard]] std::size_t size() const { return values_.size(); }
   [[nodiscard]] const std::string& name(Handle handle) const {
+    PR_PRECONDITION(handle < names_.size(),
+                    "CounterRegistry::name: handle was never interned here");
     return names_.at(handle);
   }
 

@@ -1,13 +1,16 @@
 #include "obs/jsonl_writer.h"
 
+#include <locale>
 #include <ostream>
 #include <stdexcept>
+
+#include "util/fmt.h"
 
 namespace pr {
 
 JsonlTraceWriter::JsonlTraceWriter(std::ostream& out, JsonlOptions options)
     : out_(&out), options_(options) {
-  out_->precision(17);
+  imbue_classic();
 }
 
 JsonlTraceWriter::JsonlTraceWriter(const std::string& path,
@@ -16,7 +19,14 @@ JsonlTraceWriter::JsonlTraceWriter(const std::string& path,
   if (!owned_) {
     throw std::runtime_error("JsonlTraceWriter: cannot open " + path);
   }
-  out_->precision(17);
+  imbue_classic();
+}
+
+void JsonlTraceWriter::imbue_classic() {
+  // Byte determinism: floats are formatted via util/fmt.h below, and the
+  // classic locale keeps integer output free of grouping separators no
+  // matter what std::locale::global(...) the host installed.
+  out_->imbue(std::locale::classic());
 }
 
 std::ostream& JsonlTraceWriter::line() {
@@ -27,7 +37,7 @@ std::ostream& JsonlTraceWriter::line() {
 void JsonlTraceWriter::on_run_start(const RunStartEvent& event) {
   auto& out = line();
   out << R"({"ev":"run_start","disks":)" << event.disk_count << R"(,"files":)"
-      << event.file_count << R"(,"epoch_s":)" << event.epoch.value()
+      << event.file_count << R"(,"epoch_s":)" << format_double(event.epoch.value(), 17)
       << R"(,"initial_speeds":[)";
   for (std::size_t d = 0; d < event.initial_speeds.size(); ++d) {
     if (d > 0) out << ',';
@@ -38,20 +48,20 @@ void JsonlTraceWriter::on_run_start(const RunStartEvent& event) {
 
 void JsonlTraceWriter::on_request_complete(const RequestCompleteEvent& event) {
   if (!options_.requests) return;
-  line() << R"({"ev":"request","t":)" << event.arrival.value()
-         << R"(,"completion":)" << event.completion.value() << R"(,"file":)"
+  line() << R"({"ev":"request","t":)" << format_double(event.arrival.value(), 17)
+         << R"(,"completion":)" << format_double(event.completion.value(), 17) << R"(,"file":)"
          << event.file << R"(,"disk":)" << event.disk << R"(,"bytes":)"
-         << event.bytes << R"(,"rt_s":)" << event.response_time().value()
-         << R"(,"backlog_s":)" << event.backlog.value() << R"(,"service_s":)"
-         << event.service_time.value() << R"(,"energy_j":)"
-         << event.energy.value() << R"(,"chunks":)" << event.stripe_chunks
+         << event.bytes << R"(,"rt_s":)" << format_double(event.response_time().value(), 17)
+         << R"(,"backlog_s":)" << format_double(event.backlog.value(), 17) << R"(,"service_s":)"
+         << format_double(event.service_time.value(), 17) << R"(,"energy_j":)"
+         << format_double(event.energy.value(), 17) << R"(,"chunks":)" << event.stripe_chunks
          << "}\n";
 }
 
 void JsonlTraceWriter::on_speed_transition(const SpeedTransitionEvent& event) {
   if (!options_.transitions) return;
-  line() << R"({"ev":"transition","t":)" << event.time.value()
-         << R"(,"finish":)" << event.finish.value() << R"(,"disk":)"
+  line() << R"({"ev":"transition","t":)" << format_double(event.time.value(), 17)
+         << R"(,"finish":)" << format_double(event.finish.value(), 17) << R"(,"disk":)"
          << event.disk << R"(,"from":")" << to_string(event.from)
          << R"(","to":")" << to_string(event.to) << R"(","cause":")"
          << to_string(event.cause) << "\"}\n";
@@ -59,7 +69,7 @@ void JsonlTraceWriter::on_speed_transition(const SpeedTransitionEvent& event) {
 
 void JsonlTraceWriter::on_disk_state_change(const DiskStateChangeEvent& event) {
   if (!options_.state_changes) return;
-  line() << R"({"ev":"disk_state","t":)" << event.time.value()
+  line() << R"({"ev":"disk_state","t":)" << format_double(event.time.value(), 17)
          << R"(,"disk":)" << event.disk << R"(,"from":")"
          << to_string(event.from) << R"(","to":")" << to_string(event.to)
          << "\"}\n";
@@ -67,22 +77,22 @@ void JsonlTraceWriter::on_disk_state_change(const DiskStateChangeEvent& event) {
 
 void JsonlTraceWriter::on_epoch_end(const EpochEndEvent& event) {
   if (!options_.epochs) return;
-  line() << R"({"ev":"epoch_end","t":)" << event.time.value()
+  line() << R"({"ev":"epoch_end","t":)" << format_double(event.time.value(), 17)
          << R"(,"index":)" << event.index << R"(,"requests":)"
          << event.requests << "}\n";
 }
 
 void JsonlTraceWriter::on_migration(const MigrationEvent& event) {
   if (!options_.migrations) return;
-  line() << R"({"ev":"migration","t":)" << event.time.value() << R"(,"file":)"
+  line() << R"({"ev":"migration","t":)" << format_double(event.time.value(), 17) << R"(,"file":)"
          << event.file << R"(,"from":)" << event.from << R"(,"to":)"
          << event.to << R"(,"bytes":)" << event.bytes << "}\n";
 }
 
 void JsonlTraceWriter::on_run_end(const RunEndEvent& event) {
-  line() << R"({"ev":"run_end","horizon_s":)" << event.horizon.value()
+  line() << R"({"ev":"run_end","horizon_s":)" << format_double(event.horizon.value(), 17)
          << R"(,"requests":)" << event.user_requests << R"(,"energy_j":)"
-         << event.total_energy.value() << "}\n";
+         << format_double(event.total_energy.value(), 17) << "}\n";
   out_->flush();
 }
 

@@ -45,6 +45,9 @@ class JsonlTraceWriter final : public SimObserver {
 
  private:
   std::ostream& line();
+  /// Pin the classic "C" locale so host-installed global locales cannot
+  /// add grouping separators to the integer fields.
+  void imbue_classic();
 
   std::ofstream owned_;
   std::ostream* out_;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <locale>
 #include <ostream>
 #include <stdexcept>
+
+#include "util/fmt.h"
 
 namespace pr {
 
@@ -120,19 +123,22 @@ void TimeSeriesRecorder::write_csv(std::ostream& out) const {
   out << "window,start_s,disk,requests,bytes,busy_s,utilization,energy_j,"
          "max_backlog_s,transitions_up,transitions_down,high_speed_fraction,"
          "migrations_in,migrations_out\n";
-  const auto previous = out.precision(17);
+  // Floats go through the locale-independent formatter; the classic
+  // locale keeps the integer fields free of grouping separators.
+  out.imbue(std::locale::classic());
+  const auto full = [](double v) { return format_double(v, 17); };
   for (std::size_t w = 0; w < windows_.size(); ++w) {
     for (DiskId d = 0; d < windows_[w].size(); ++d) {
       const WindowSample& s = windows_[w][d];
-      out << w << ',' << window_start(w).value() << ',' << d << ','
-          << s.requests << ',' << s.bytes << ',' << s.busy.value() << ','
-          << s.utilization(window_) << ',' << s.energy.value() << ','
-          << s.max_backlog.value() << ',' << s.transitions_up << ','
-          << s.transitions_down << ',' << s.high_speed_fraction(window_)
-          << ',' << s.migrations_in << ',' << s.migrations_out << '\n';
+      out << w << ',' << full(window_start(w).value()) << ',' << d << ','
+          << s.requests << ',' << s.bytes << ',' << full(s.busy.value())
+          << ',' << full(s.utilization(window_)) << ','
+          << full(s.energy.value()) << ',' << full(s.max_backlog.value())
+          << ',' << s.transitions_up << ',' << s.transitions_down << ','
+          << full(s.high_speed_fraction(window_)) << ',' << s.migrations_in
+          << ',' << s.migrations_out << '\n';
     }
   }
-  out.precision(previous);
 }
 
 }  // namespace pr

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/contracts.h"
 #include "util/log.h"
 
 namespace pr {
@@ -335,6 +336,8 @@ class ArraySimulator {
       auto& timer = ctx_.idle_timer_;
       while (!timer.empty() && timer.next_time() <= t) {
         const auto deadline = timer.pop();
+        PR_INVARIANT(!(deadline.time < ctx_.now_),
+                     "drain_until: idle deadline fired in the past");
         fire_epochs_until(deadline.time);
         ctx_.now_ = deadline.time;
         handle_idle_check(deadline.time, deadline.disk);
@@ -343,6 +346,8 @@ class ArraySimulator {
       while (!ctx_.idle_events_.empty() &&
              ctx_.idle_events_.next_time() <= t) {
         const auto event = ctx_.idle_events_.pop();
+        PR_INVARIANT(!(event.time < ctx_.now_),
+                     "drain_until: idle event fired in the past");
         fire_epochs_until(event.time);
         ctx_.now_ = event.time;
         ctx_.counters_.add(h_idle_checks_);
@@ -398,6 +403,16 @@ class ArraySimulator {
       ctx_.now_ = next_epoch_;
       policy_.on_epoch(ctx_, next_epoch_);
       ctx_.counters_.add(h_epochs_);
+#if PR_CONTRACTS_ENABLED
+      // Epoch boundaries are the quiescent points where every disk's
+      // ledger must conserve: each accounted instant lands in exactly one
+      // bucket and energy never goes negative (this is what makes the
+      // reported energy/AFR trustworthy between goldens).
+      for (const Disk& disk : ctx_.disks_) {
+        PR_INVARIANT(disk.ledger_conserves(),
+                     "epoch boundary: disk ledger does not conserve");
+      }
+#endif
       if (ctx_.observer_ != nullptr) {
         // After the policy's boundary work (so its migrations precede the
         // epoch-close event) and before the counts reset.

@@ -5,10 +5,12 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <queue>
 #include <utility>
 #include <vector>
 
+#include "util/contracts.h"
 #include "util/units.h"
 
 namespace pr {
@@ -23,6 +25,9 @@ class EventQueue {
   };
 
   void push(Seconds time, Payload payload) {
+    PR_PRECONDITION(!(time < last_popped_time()),
+                    "EventQueue::push: scheduling before an already-popped "
+                    "instant breaks drain monotonicity");
     heap_.push(Event{time, next_seq_++, std::move(payload)});
   }
 
@@ -30,7 +35,10 @@ class EventQueue {
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Earliest event time (undefined when empty — check empty() first).
-  [[nodiscard]] Seconds next_time() const { return heap_.top().time; }
+  [[nodiscard]] Seconds next_time() const {
+    PR_PRECONDITION(!empty(), "EventQueue::next_time: queue is empty");
+    return heap_.top().time;
+  }
 
   /// Remove and return the earliest event. The payload is moved out, not
   /// copied: top() is const-qualified only to protect the heap invariant,
@@ -38,12 +46,28 @@ class EventQueue {
   /// casting away const to move from it is safe (the moved-from husk never
   /// participates in another comparison).
   Event pop() {
+    PR_PRECONDITION(!empty(), "EventQueue::pop: queue is empty");
     Event e = std::move(const_cast<Event&>(heap_.top()));
     heap_.pop();
+    PR_INVARIANT(!(e.time < last_popped_time()),
+                 "EventQueue::pop: event time went backwards");
+#if PR_CONTRACTS_ENABLED
+    last_popped_ = e.time;
+#endif
     return e;
   }
 
  private:
+  /// Time of the most recent pop; -inf before the first one. Tracked only
+  /// while contracts are compiled in (Release layout is unchanged).
+  [[nodiscard]] Seconds last_popped_time() const {
+#if PR_CONTRACTS_ENABLED
+    return last_popped_;
+#else
+    return Seconds{-std::numeric_limits<double>::infinity()};
+#endif
+  }
+
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return b.time < a.time;
@@ -53,6 +77,9 @@ class EventQueue {
 
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::uint64_t next_seq_ = 0;
+#if PR_CONTRACTS_ENABLED
+  Seconds last_popped_{-std::numeric_limits<double>::infinity()};
+#endif
 };
 
 }  // namespace pr

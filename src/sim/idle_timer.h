@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/contracts.h"
 #include "util/units.h"
 
 namespace pr {
@@ -42,16 +43,23 @@ class IdleTimerHeap {
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
   [[nodiscard]] bool armed(std::uint32_t disk) const {
+    PR_PRECONDITION(disk < pos_.size(),
+                    "IdleTimerHeap::armed: disk id out of range");
     return pos_[disk] != kUnarmed;
   }
 
   /// Earliest armed deadline (undefined when empty — check empty() first).
-  [[nodiscard]] Seconds next_time() const { return time_[heap_.front()]; }
+  [[nodiscard]] Seconds next_time() const {
+    PR_PRECONDITION(!empty(), "IdleTimerHeap::next_time: no timer armed");
+    return time_[heap_.front()];
+  }
 
   /// Arm (or re-arm in place) the timer for `disk`. `seq` must come from a
   /// monotonically increasing counter; it breaks ties among equal
   /// deadlines FIFO, matching EventQueue's push-order semantics.
   void arm(std::uint32_t disk, Seconds deadline, std::uint64_t seq) {
+    PR_PRECONDITION(disk < pos_.size(),
+                    "IdleTimerHeap::arm: disk id out of range");
     time_[disk] = deadline;
     seq_[disk] = seq;
     if (pos_[disk] == kUnarmed) {
@@ -69,6 +77,8 @@ class IdleTimerHeap {
 
   /// Cancel the pending deadline for `disk` (no-op when not armed).
   void disarm(std::uint32_t disk) {
+    PR_PRECONDITION(disk < pos_.size(),
+                    "IdleTimerHeap::disarm: disk id out of range");
     const std::size_t i = pos_[disk];
     if (i == kUnarmed) return;
     pos_[disk] = kUnarmed;
@@ -83,6 +93,7 @@ class IdleTimerHeap {
 
   /// Remove and return the earliest deadline.
   Deadline pop() {
+    PR_PRECONDITION(!empty(), "IdleTimerHeap::pop: no timer armed");
     const std::uint32_t disk = heap_.front();
     const Deadline out{disk, time_[disk]};
     pos_[disk] = kUnarmed;

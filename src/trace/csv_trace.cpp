@@ -1,10 +1,12 @@
 #include "trace/csv_trace.h"
 
 #include <fstream>
+#include <locale>
 #include <sstream>
 #include <stdexcept>
 
 #include "util/csv.h"
+#include "util/fmt.h"
 
 namespace pr {
 
@@ -14,10 +16,14 @@ constexpr const char* kHeader = "time_s,file_id,bytes,op";
 
 void write_csv_trace(const Trace& trace, std::ostream& out) {
   out << kHeader << "\n";
-  out.precision(9);
+  // Arrivals go through the locale-independent formatter (precision 9
+  // matches the stream precision this replaced); the classic locale keeps
+  // file ids and sizes free of grouping separators.
+  out.imbue(std::locale::classic());
   for (const auto& r : trace.requests) {
-    out << r.arrival.value() << ',' << r.file << ',' << r.size << ','
-        << (r.kind == RequestKind::kRead ? 'R' : 'W') << '\n';
+    out << format_double(r.arrival.value(), 9) << ',' << r.file << ','
+        << r.size << ',' << (r.kind == RequestKind::kRead ? 'R' : 'W')
+        << '\n';
   }
 }
 
@@ -50,7 +56,7 @@ Trace read_csv_trace(std::istream& in) {
     }
     Request r;
     try {
-      r.arrival = Seconds{std::stod(fields[0])};
+      r.arrival = Seconds{parse_double(fields[0])};
       r.file = static_cast<FileId>(std::stoul(fields[1]));
       r.size = static_cast<Bytes>(std::stoull(fields[2]));
     } catch (const std::exception&) {

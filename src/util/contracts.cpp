@@ -1,0 +1,16 @@
+#include "util/contracts.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pr::detail {
+
+void contract_fail(const char* kind, const char* expr, const char* msg,
+                   const char* file, int line) noexcept {
+  std::fprintf(stderr, "%s:%d: %s failed: %s — %s\n", file, line, kind, expr,
+               msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace pr::detail

@@ -1,0 +1,47 @@
+// contracts.h — PR_ASSERT / PR_PRECONDITION / PR_INVARIANT.
+//
+// Machine-checked statements of the invariants the golden tests only probe
+// end-to-end: event-time monotonicity, legal 2-speed state transitions,
+// energy-ledger conservation, counter-handle validity. Checks are active
+// whenever NDEBUG is not defined (Debug and the sanitizer CI builds) or
+// when PR_CONTRACTS_FORCE is defined explicitly; in Release they compile
+// to `((void)0)` and the condition expression is NOT evaluated, so hot
+// paths pay nothing.
+//
+// A failed contract prints `file:line: <kind> failed: <expr> — <msg>` to
+// stderr and aborts, which is what tests/test_contracts.cpp death-tests
+// against. Contracts are for programming errors (caller broke the API,
+// internal state corrupted); recoverable input problems keep throwing
+// std::invalid_argument / std::runtime_error as before.
+#pragma once
+
+#if !defined(NDEBUG) || defined(PR_CONTRACTS_FORCE)
+#define PR_CONTRACTS_ENABLED 1
+#else
+#define PR_CONTRACTS_ENABLED 0
+#endif
+
+namespace pr::detail {
+
+/// Report a contract violation and abort. Never returns.
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* msg, const char* file,
+                                int line) noexcept;
+
+}  // namespace pr::detail
+
+#if PR_CONTRACTS_ENABLED
+#define PR_CONTRACT_CHECK_(kind, cond, msg)                            \
+  (static_cast<bool>(cond)                                             \
+       ? static_cast<void>(0)                                          \
+       : ::pr::detail::contract_fail(kind, #cond, msg, __FILE__, __LINE__))
+#else
+#define PR_CONTRACT_CHECK_(kind, cond, msg) static_cast<void>(0)
+#endif
+
+/// General internal-consistency assertion.
+#define PR_ASSERT(cond, msg) PR_CONTRACT_CHECK_("assertion", cond, msg)
+/// Caller-facing API requirement (argument/state legality on entry).
+#define PR_PRECONDITION(cond, msg) PR_CONTRACT_CHECK_("precondition", cond, msg)
+/// Structural invariant that must hold at a quiescent point.
+#define PR_INVARIANT(cond, msg) PR_CONTRACT_CHECK_("invariant", cond, msg)

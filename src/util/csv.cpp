@@ -1,9 +1,12 @@
 #include "util/csv.h"
 
 #include <fstream>
+#include <locale>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/fmt.h"
 
 namespace pr {
 
@@ -67,8 +70,19 @@ void CsvWriter::write_row(const std::vector<std::string>& fields) {
 template <typename T>
 std::string CsvWriter::format_field(const T& v) {
   std::ostringstream os;
+  // Classic locale: a host application's global locale must never add
+  // grouping separators (or anything else) to CSV cells.
+  os.imbue(std::locale::classic());
   os << v;
   return os.str();
+}
+
+/// Doubles take the locale-independent util/fmt.h path; precision 6
+/// matches the default ostream formatting this specialization replaced,
+/// so existing figure CSVs keep their exact bytes.
+template <>
+std::string CsvWriter::format_field<double>(const double& v) {
+  return format_double(v, 6);
 }
 
 // Explicit instantiations for the types benches actually use keeps the
@@ -78,7 +92,6 @@ template std::string CsvWriter::format_field<unsigned>(const unsigned&);
 template std::string CsvWriter::format_field<long>(const long&);
 template std::string CsvWriter::format_field<unsigned long>(
     const unsigned long&);
-template std::string CsvWriter::format_field<double>(const double&);
 template std::string CsvWriter::format_field<std::string>(const std::string&);
 
 CsvReader CsvReader::parse(std::string_view text, bool has_header) {

@@ -38,6 +38,11 @@ class CsvWriter {
   std::ostream& out_;
 };
 
+/// Doubles are formatted locale-independently (util/fmt.h); declared here
+/// so every translation unit sees the specialization before use.
+template <>
+std::string CsvWriter::format_field<double>(const double& v);
+
 /// Whole-file reader (traces are at most a few hundred MB; figure CSVs are
 /// tiny). Returns rows of fields; skips fully empty lines.
 class CsvReader {

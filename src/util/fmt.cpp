@@ -1,0 +1,38 @@
+#include "util/fmt.h"
+
+#include <charconv>
+#include <stdexcept>
+#include <system_error>
+
+#include "util/contracts.h"
+
+namespace pr {
+
+void append_double(std::string& out, double v, int precision) {
+  PR_PRECONDITION(precision > 0, "format_double: precision must be positive");
+  // 17 significant digits + sign + decimal point + "e+308" exponent fits
+  // comfortably; 64 leaves slack for any sane precision.
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v,
+                                 std::chars_format::general, precision);
+  PR_ASSERT(res.ec == std::errc{}, "format_double: to_chars overflow");
+  out.append(buf, res.ptr);
+}
+
+std::string format_double(double v, int precision) {
+  std::string out;
+  append_double(out, v, precision);
+  return out;
+}
+
+double parse_double(std::string_view text) {
+  double v = 0.0;
+  const auto res = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (res.ec != std::errc{} || res.ptr != text.data() + text.size()) {
+    throw std::invalid_argument("parse_double: bad float '" +
+                                std::string(text) + "'");
+  }
+  return v;
+}
+
+}  // namespace pr

@@ -1,0 +1,31 @@
+// fmt.h — locale-independent numeric text via std::to_chars.
+//
+// Every byte-deterministic emitter (CSV, JSONL, report JSON) must produce
+// the same output no matter what std::locale::global(...) an embedding
+// application installed. iostream `<<` on floating values consults the
+// stream's imbued locale (a German global locale turns 0.5 into "0,5" and
+// corrupts every CSV), so output paths route through these helpers
+// instead. std::to_chars with an explicit precision is specified to match
+// printf("%.{precision}g") in the "C" locale — byte-identical to what the
+// default-locale ostream code it replaces produced.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace pr {
+
+/// `%.{precision}g`-style text for `v` in the C locale. precision 17
+/// round-trips every finite double; 6 matches the default ostream
+/// formatting the figure benches historically emitted.
+[[nodiscard]] std::string format_double(double v, int precision = 17);
+
+/// Append form of format_double for string-building emitters.
+void append_double(std::string& out, double v, int precision = 17);
+
+/// Locale-independent counterpart of std::stod (which honours the global C
+/// locale's decimal point). The whole of `text` must parse; throws
+/// std::invalid_argument otherwise.
+[[nodiscard]] double parse_double(std::string_view text);
+
+}  // namespace pr

@@ -1,0 +1,20 @@
+// Fixture: every banned ambient-entropy source, one per line, plus
+// comment/string decoys that must NOT fire. Linted under a virtual
+// src/sim/ path (scoped: 5 findings) and a virtual src/trace/ path
+// (unscoped: clean).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned seed_from_ambient() {
+  std::srand(42);                                  // line 11: srand
+  unsigned s = static_cast<unsigned>(std::rand()); // line 12: rand
+  s ^= std::random_device{}();                     // line 13: random_device
+  s ^= static_cast<unsigned>(std::time(nullptr));  // line 14: time
+  auto now = std::chrono::system_clock::now();     // line 15: system_clock
+  // decoy comment: rand() and time(nullptr) here must not fire
+  const char* label = "std::random_device in a string must not fire";
+  (void)now;
+  return s + (label != nullptr);
+}

@@ -1,0 +1,19 @@
+// Fixture: every locale-float hazard, one per line (the imbue line
+// carries two: the non-classic imbue and the std::locale construction).
+// Linted under a virtual src/obs/ path (scoped: 7 findings) and a virtual
+// src/util/ path (util owns formatting: clean).
+#include <cstdio>
+#include <iomanip>
+#include <locale>
+#include <ostream>
+#include <string>
+
+void emit(std::ostream& out, double v, const std::string& cell) {
+  out.precision(12);                  // line 12: precision()
+  out << std::setprecision(12) << v;  // line 13: setprecision
+  out << std::fixed << v;             // line 14: manipulator
+  std::printf("%8.3f\n", v);          // line 15: printf float conversion
+  double parsed = std::stod(cell);    // line 16: stod
+  out.imbue(std::locale(""));         // line 17: imbue + locale construction
+  (void)parsed;
+}

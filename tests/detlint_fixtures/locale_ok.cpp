@@ -1,0 +1,13 @@
+// Fixture: sanctioned formatting patterns that must stay clean even in a
+// scoped (non-util) path.
+#include <cstdio>
+#include <locale>
+#include <ostream>
+
+#include "util/fmt.h"
+
+void emit(std::ostream& out, double v, int n) {
+  out.imbue(std::locale::classic());  // classic imbue is the fix, not a bug
+  out << pr::format_double(v);        // sanctioned float path
+  std::printf("%d rows\n", n);        // integer printf: clean
+}

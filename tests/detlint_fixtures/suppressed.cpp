@@ -1,0 +1,13 @@
+// Fixture: suppression semantics. detlint:allow(<rule>) covers its own
+// line and the next; an allow for a different rule does not apply.
+#include <cstdlib>
+
+// detlint:allow(banned-entropy)
+int jitter1() { return std::rand(); }  // line 6: suppressed from line 5
+
+int jitter2() { return std::rand(); }  // detlint:allow(banned-entropy)
+
+int jitter3() { return std::rand(); }  // detlint:allow(locale-float) — wrong rule, still fires
+
+// detlint:allow(*)
+int jitter4() { return std::rand(); }  // line 13: wildcard suppression

@@ -1,0 +1,16 @@
+// Fixture: unordered iteration in an output-adjacent file (includes
+// util/csv.h). Lint fixtures are never compiled — only scanned.
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/csv.h"
+
+void emit(pr::CsvWriter& w) {
+  std::unordered_map<int, double> energy_by_disk;
+  std::unordered_set<int> spun_down;
+  for (const auto& [disk, joules] : energy_by_disk) {  // line 11: finding
+    w.row(disk, joules);
+  }
+  auto it = spun_down.begin();  // line 14: finding
+  (void)it;
+}

@@ -1,0 +1,17 @@
+// Fixture: unordered iteration is fine when the file cannot emit report
+// output (no output-adjacent include), and ordered-map iteration is fine
+// anywhere.
+#include <map>
+#include <unordered_map>
+
+int total(const std::unordered_map<int, int>& counts) {
+  int sum = 0;
+  for (const auto& [k, v] : counts) sum += v;  // no output include: clean
+  return sum;
+}
+
+int ordered(const std::map<int, int>& sorted) {
+  int sum = 0;
+  for (const auto& [k, v] : sorted) sum += v;  // ordered: clean
+  return sum;
+}

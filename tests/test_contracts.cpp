@@ -1,0 +1,113 @@
+// test_contracts.cpp — the contract layer (util/contracts.h).
+//
+// With contracts compiled in (Debug, or -DPR_CONTRACTS_FORCE) every
+// PR_ASSERT/PR_PRECONDITION/PR_INVARIANT violation must abort with a
+// `file:line: <kind> failed` diagnostic — pinned here with death tests
+// per instrumented subsystem. In Release the macros compile to nothing
+// and must not even evaluate their condition; the non-evaluation test
+// runs in that configuration instead.
+#include <gtest/gtest.h>
+
+#include "disk/disk.h"
+#include "disk/disk_params.h"
+#include "obs/counter_registry.h"
+#include "sim/event_queue.h"
+#include "sim/idle_timer.h"
+#include "util/contracts.h"
+#include "util/fmt.h"
+#include "util/units.h"
+
+namespace {
+
+using pr::CounterRegistry;
+using pr::Disk;
+using pr::DiskSpeed;
+using pr::EventQueue;
+using pr::IdleTimerHeap;
+using pr::Seconds;
+
+#if PR_CONTRACTS_ENABLED
+
+TEST(ContractsDeath, FormatDoubleRejectsNonPositivePrecision) {
+  EXPECT_DEATH(pr::format_double(1.0, 0),
+               "precondition failed.*precision must be positive");
+}
+
+TEST(ContractsDeath, EventQueuePushBeforeLastPop) {
+  EventQueue<int> q;
+  q.push(Seconds{10.0}, 1);
+  (void)q.pop();
+  EXPECT_DEATH(q.push(Seconds{5.0}, 2),
+               "precondition failed.*scheduling before an already-popped");
+}
+
+TEST(ContractsDeath, EventQueueEmptyAccess) {
+  EventQueue<int> q;
+  EXPECT_DEATH((void)q.next_time(), "EventQueue::next_time: queue is empty");
+  EXPECT_DEATH((void)q.pop(), "EventQueue::pop: queue is empty");
+}
+
+TEST(ContractsDeath, IdleTimerHeapDiskOutOfRange) {
+  IdleTimerHeap heap;
+  heap.resize(4);
+  EXPECT_DEATH((void)heap.armed(4), "IdleTimerHeap::armed: disk id out of range");
+  EXPECT_DEATH(heap.arm(7, Seconds{1.0}, 0),
+               "IdleTimerHeap::arm: disk id out of range");
+  EXPECT_DEATH(heap.disarm(4), "IdleTimerHeap::disarm: disk id out of range");
+}
+
+TEST(ContractsDeath, IdleTimerHeapEmptyAccess) {
+  IdleTimerHeap heap;
+  heap.resize(2);
+  EXPECT_DEATH((void)heap.next_time(),
+               "IdleTimerHeap::next_time: no timer armed");
+  EXPECT_DEATH((void)heap.pop(), "IdleTimerHeap::pop: no timer armed");
+}
+
+TEST(ContractsDeath, CounterRegistryForeignHandle) {
+  CounterRegistry reg;
+  const CounterRegistry::Handle h = reg.intern("requests");
+  reg.add(h);  // valid handle is fine
+  EXPECT_DEATH(reg.add(h + 1), "CounterRegistry::add: handle was never interned");
+  EXPECT_DEATH((void)reg.value(h + 1),
+               "CounterRegistry::value: handle was never interned");
+  EXPECT_DEATH((void)reg.name(h + 1),
+               "CounterRegistry::name: handle was never interned");
+}
+
+TEST(ContractsDeath, DiskRejectsNegativeTime) {
+  Disk disk(0, pr::two_speed_cheetah(), DiskSpeed::kHigh);
+  EXPECT_DEATH(disk.transition(Seconds{-1.0}, DiskSpeed::kLow),
+               "precondition failed.*negative transition time");
+}
+
+TEST(ContractsDeath, DiagnosticCarriesFileLineAndKind) {
+  // The message format is file:line: <kind> failed: <expr> — <msg>; the
+  // death-test regex pins the pieces CI readers grep for.
+  EventQueue<int> q;
+  EXPECT_DEATH((void)q.pop(), "event_queue\\.h:[0-9]+: precondition failed");
+}
+
+#else  // !PR_CONTRACTS_ENABLED
+
+TEST(ContractsDisabled, ConditionIsNotEvaluated) {
+  // In Release the macro must compile the condition out entirely — a
+  // side-effecting condition must not run.
+  int evaluations = 0;
+  PR_ASSERT(++evaluations > 0, "must not evaluate");
+  PR_PRECONDITION(++evaluations > 0, "must not evaluate");
+  PR_INVARIANT(++evaluations > 0, "must not evaluate");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ContractsDisabled, ViolationsAreSilentNoOps) {
+  EventQueue<int> q;
+  q.push(Seconds{10.0}, 1);
+  (void)q.pop();
+  q.push(Seconds{5.0}, 2);  // would abort under contracts; legal here
+  EXPECT_EQ(q.size(), 1u);
+}
+
+#endif  // PR_CONTRACTS_ENABLED
+
+}  // namespace

@@ -1,0 +1,160 @@
+// test_detlint.cpp — pins every detlint rule against on-disk fixtures.
+//
+// Fixtures live in tests/detlint_fixtures/ (path injected via the
+// DETLINT_FIXTURE_DIR compile definition) and are linted through
+// lint_source() under *virtual* paths, because two of the three rules are
+// path-scoped: banned-entropy fires only under src/sim|policy|exp and
+// locale-float everywhere except util/.
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "detlint.h"
+
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(DETLINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<int> lines_of(const std::vector<detlint::Finding>& findings,
+                          const std::string& rule) {
+  std::vector<int> lines;
+  for (const auto& f : findings) {
+    if (f.rule == rule) lines.push_back(f.line);
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------- scrub
+
+TEST(DetlintScrub, BlanksCommentsAndStringsPreservingLines) {
+  const auto s = detlint::scrub(
+      "int a; // trailing rand()\n"
+      "const char* s = \"std::random_device\";\n"
+      "/* block\n   spanning */ int b;\n");
+  EXPECT_EQ(std::count(s.code.begin(), s.code.end(), '\n'), 4);
+  EXPECT_EQ(s.code.find("rand"), std::string::npos);
+  EXPECT_EQ(s.code.find("random_device"), std::string::npos);
+  EXPECT_NE(s.code.find("int a;"), std::string::npos);
+  EXPECT_NE(s.code.find("int b;"), std::string::npos);
+}
+
+TEST(DetlintScrub, BlanksRawStringsAndEscapes) {
+  const auto s = detlint::scrub(
+      "auto re = R\"(rand\\()\";\n"
+      "char quote = '\\\"'; int after = 1;\n");
+  EXPECT_EQ(s.code.find("rand"), std::string::npos);
+  EXPECT_NE(s.code.find("int after = 1;"), std::string::npos);
+}
+
+TEST(DetlintScrub, CollectsAllowMarkersPerLine) {
+  const auto s = detlint::scrub(
+      "// detlint:allow(banned-entropy, locale-float)\n"
+      "int x;\n"
+      "int y;  // detlint:allow(unordered-iteration)\n");
+  ASSERT_EQ(s.allows.count(1), 1u);
+  EXPECT_EQ(s.allows.at(1),
+            (std::vector<std::string>{"banned-entropy", "locale-float"}));
+  ASSERT_EQ(s.allows.count(3), 1u);
+  EXPECT_EQ(s.allows.at(3),
+            (std::vector<std::string>{"unordered-iteration"}));
+}
+
+// ---------------------------------------------------- unordered-iteration
+
+TEST(DetlintRules, UnorderedIterationInOutputAdjacentFile) {
+  const auto findings = detlint::lint_source(
+      "src/obs/unordered_bad.cpp", read_fixture("unordered_bad.cpp"));
+  EXPECT_EQ(lines_of(findings, "unordered-iteration"),
+            (std::vector<int>{11, 14}));
+  for (const auto& f : findings) {
+    EXPECT_FALSE(f.hint.empty());
+  }
+}
+
+TEST(DetlintRules, UnorderedIterationCleanCases) {
+  const auto findings = detlint::lint_source(
+      "src/obs/unordered_ok.cpp", read_fixture("unordered_ok.cpp"));
+  EXPECT_TRUE(findings.empty())
+      << "first: " << (findings.empty() ? "" : findings[0].message);
+}
+
+// --------------------------------------------------------- banned-entropy
+
+TEST(DetlintRules, BannedEntropyFiresInsideSimScope) {
+  const auto findings = detlint::lint_source("src/sim/entropy.cpp",
+                                             read_fixture("entropy.cpp"));
+  EXPECT_EQ(lines_of(findings, "banned-entropy"),
+            (std::vector<int>{11, 12, 13, 14, 15}));
+}
+
+TEST(DetlintRules, BannedEntropySilentOutsideScope) {
+  const auto findings = detlint::lint_source("src/trace/entropy.cpp",
+                                             read_fixture("entropy.cpp"));
+  EXPECT_TRUE(findings.empty());
+}
+
+// ----------------------------------------------------------- locale-float
+
+TEST(DetlintRules, LocaleFloatFiresOutsideUtil) {
+  const auto findings = detlint::lint_source(
+      "src/obs/locale_bad.cpp", read_fixture("locale_bad.cpp"));
+  // Line 17 carries two findings: non-classic imbue + locale construction.
+  EXPECT_EQ(lines_of(findings, "locale-float"),
+            (std::vector<int>{12, 13, 14, 15, 16, 17, 17}));
+}
+
+TEST(DetlintRules, LocaleFloatSilentInUtil) {
+  const auto findings = detlint::lint_source(
+      "src/util/locale_bad.cpp", read_fixture("locale_bad.cpp"));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(DetlintRules, SanctionedPatternsStayClean) {
+  const auto findings = detlint::lint_source("src/obs/locale_ok.cpp",
+                                             read_fixture("locale_ok.cpp"));
+  EXPECT_TRUE(findings.empty())
+      << "first: " << (findings.empty() ? "" : findings[0].message);
+}
+
+// ------------------------------------------------------------ suppression
+
+TEST(DetlintSuppression, AllowCoversOwnAndNextLineOnly) {
+  const auto findings = detlint::lint_source("src/sim/suppressed.cpp",
+                                             read_fixture("suppressed.cpp"));
+  // jitter1 (prev-line allow), jitter2 (same-line allow) and jitter4
+  // (wildcard) are suppressed; jitter3's allow names the wrong rule.
+  EXPECT_EQ(lines_of(findings, "banned-entropy"), (std::vector<int>{10}));
+}
+
+// ------------------------------------------------------------------ misc
+
+TEST(DetlintCatalogue, ThreeRulesRegistered) {
+  const auto& rules = detlint::rules();
+  ASSERT_EQ(rules.size(), 3u);
+  EXPECT_EQ(rules[0].id, "unordered-iteration");
+  EXPECT_EQ(rules[1].id, "banned-entropy");
+  EXPECT_EQ(rules[2].id, "locale-float");
+}
+
+TEST(DetlintCollect, ExpandsDirectoriesSorted) {
+  const auto sources =
+      detlint::collect_sources({std::string(DETLINT_FIXTURE_DIR)});
+  ASSERT_GE(sources.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(sources.begin(), sources.end()));
+  for (const auto& s : sources) {
+    EXPECT_NE(s.find("detlint_fixtures"), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,475 @@
+#include "detlint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+
+namespace detlint {
+
+namespace {
+
+// ---------------------------------------------------------------- rules
+
+constexpr std::string_view kUnorderedIteration = "unordered-iteration";
+constexpr std::string_view kBannedEntropy = "banned-entropy";
+constexpr std::string_view kLocaleFloat = "locale-float";
+
+constexpr std::string_view kUnorderedHint =
+    "iterate a sorted view instead (std::map, or sort the keys into a "
+    "vector) so emitted order cannot depend on hash salt or libstdc++ "
+    "version";
+constexpr std::string_view kEntropyHint =
+    "derive randomness from the run's seed (util/rng.h) and time from the "
+    "simulation clock; ambient entropy makes runs irreproducible";
+constexpr std::string_view kLocaleHint =
+    "format through pr::format_double (util/fmt.h) or imbue "
+    "std::locale::classic(); default-locale formatting changes bytes when "
+    "the host installs a global locale";
+
+// ---------------------------------------------------------- path scoping
+
+std::string normalized(const std::string& path) {
+  std::string out = path;
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+bool in_dir(const std::string& path, std::string_view dir) {
+  std::string inner;
+  inner.reserve(dir.size() + 2);
+  inner.push_back('/');
+  inner.append(dir);
+  inner.push_back('/');
+  return path.find(inner) != std::string::npos ||
+         path.compare(0, inner.size() - 1, inner, 1, inner.size() - 1) == 0;
+}
+
+/// banned-entropy scope: the deterministic simulation core.
+bool entropy_scoped(const std::string& path) {
+  return in_dir(path, "sim") || in_dir(path, "policy") || in_dir(path, "exp");
+}
+
+/// locale-float scope: everywhere except util/ (which owns the sanctioned
+/// locale-independent formatting helpers).
+bool locale_scoped(const std::string& path) { return !in_dir(path, "util"); }
+
+// -------------------------------------------------------------- scrubber
+
+/// Extract rule ids from a comment body containing `detlint:allow(...)`.
+std::vector<std::string> parse_allows(std::string_view comment) {
+  std::vector<std::string> out;
+  const std::string_view marker = "detlint:allow(";
+  std::size_t at = comment.find(marker);
+  while (at != std::string_view::npos) {
+    const std::size_t open = at + marker.size();
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string_view::npos) break;
+    std::string id;
+    for (std::size_t i = open; i <= close; ++i) {
+      const char c = i < close ? comment[i] : ',';
+      if (c == ',' || c == ' ') {
+        if (!id.empty()) out.push_back(id);
+        id.clear();
+      } else {
+        id.push_back(c);
+      }
+    }
+    at = comment.find(marker, close);
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {kUnorderedIteration,
+       "iteration over std::unordered_map/_set in a file that emits "
+       "report/CSV/JSONL output"},
+      {kBannedEntropy,
+       "ambient entropy (rand, srand, std::random_device, time(), "
+       "std::chrono::system_clock) inside src/sim, src/policy or src/exp"},
+      {kLocaleFloat,
+       "locale-sensitive float formatting/parsing outside util/ (stream "
+       "precision manipulators, printf float conversions, stod/strtod, "
+       "locale installs)"},
+  };
+  return kRules;
+}
+
+Scrubbed scrub(std::string_view source) {
+  Scrubbed out;
+  out.code.reserve(source.size());
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  int line = 1;
+  int comment_line = 1;       // line a comment started on
+  std::string comment_text;   // accumulated comment body
+  std::string raw_delim;      // raw string closing delimiter: )delim"
+
+  auto flush_comment = [&] {
+    for (const std::string& rule : parse_allows(comment_text)) {
+      out.allows[comment_line].push_back(rule);
+    }
+    comment_text.clear();
+  };
+
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          comment_line = line;
+          out.code += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          comment_line = line;
+          out.code += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   source[i - 1])) &&
+                               source[i - 1] != '_'))) {
+          // Raw string literal: R"delim( ... )delim"
+          std::size_t open = i + 2;
+          std::string delim;
+          while (open < source.size() && source[open] != '(') {
+            delim.push_back(source[open++]);
+          }
+          raw_delim = ")" + delim + "\"";
+          state = State::kRaw;
+          out.code += "  ";
+          for (std::size_t k = i + 2; k <= open && k < source.size(); ++k) {
+            out.code += ' ';
+          }
+          i = open;  // consumed through '('
+        } else if (c == '"') {
+          state = State::kString;
+          out.code += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out.code += ' ';
+        } else {
+          out.code += c;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          flush_comment();
+          state = State::kCode;
+          out.code += '\n';
+        } else {
+          comment_text += c;
+          out.code += ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          flush_comment();
+          state = State::kCode;
+          out.code += "  ";
+          ++i;
+        } else {
+          comment_text += c;
+          out.code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out.code += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out.code += ' ';
+        } else {
+          out.code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out.code += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out.code += ' ';
+        } else {
+          out.code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kRaw:
+        if (source.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) out.code += ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          out.code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+    if (c == '\n') ++line;
+  }
+  if (state == State::kLine || state == State::kBlock) flush_comment();
+  return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------- lint helpers
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    lines.emplace_back(text.substr(start, end - start));
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return lines;
+}
+
+/// Does the raw source include any header that can emit report output?
+bool output_adjacent(const std::vector<std::string>& raw_lines) {
+  static const std::regex include_re(
+      R"(^\s*#\s*include\s*[<"]([^">]+)[">])");
+  static const std::string_view signals[] = {
+      "csv.h",     "jsonl_writer.h", "report_io.h", "scenario_report.h",
+      "ostream",   "fstream",        "sstream",     "iostream",
+      "cstdio",    "stdio.h",
+  };
+  for (const std::string& line : raw_lines) {
+    std::smatch m;
+    if (!std::regex_search(line, m, include_re)) continue;
+    const std::string header = m[1].str();
+    for (const std::string_view s : signals) {
+      if (header.find(s) != std::string::npos) return true;
+    }
+  }
+  return false;
+}
+
+/// Names declared (anywhere in the scrubbed text) with an unordered
+/// container type. Lexical: find `unordered_map<`/`unordered_set<`, walk
+/// to the matching `>`, take the next identifier.
+std::vector<std::string> unordered_names(std::string_view code) {
+  std::vector<std::string> names;
+  for (const std::string_view kind : {"unordered_map", "unordered_set"}) {
+    std::size_t at = code.find(kind);
+    while (at != std::string_view::npos) {
+      std::size_t i = at + kind.size();
+      while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i]))) ++i;
+      if (i < code.size() && code[i] == '<') {
+        int depth = 0;
+        for (; i < code.size(); ++i) {
+          if (code[i] == '<') ++depth;
+          if (code[i] == '>' && --depth == 0) break;
+        }
+        ++i;  // past the closing '>'
+        while (i < code.size() &&
+               (std::isspace(static_cast<unsigned char>(code[i])) ||
+                code[i] == '&' || code[i] == '*')) {
+          ++i;
+        }
+        std::string name;
+        while (i < code.size() &&
+               (std::isalnum(static_cast<unsigned char>(code[i])) ||
+                code[i] == '_')) {
+          name.push_back(code[i++]);
+        }
+        if (!name.empty()) names.push_back(name);
+      }
+      at = code.find(kind, at + kind.size());
+    }
+  }
+  return names;
+}
+
+struct Pattern {
+  std::regex re;
+  std::string message;
+};
+
+const std::vector<Pattern>& entropy_patterns() {
+  static const std::vector<Pattern> kPatterns = [] {
+    std::vector<Pattern> p;
+    p.push_back({std::regex(R"((^|[^\w])rand\s*\()"),
+                 "call to rand() — nondeterministic across runs"});
+    p.push_back({std::regex(R"(\bsrand\s*\()"),
+                 "call to srand() — global RNG state poisons determinism"});
+    p.push_back({std::regex(R"(\brandom_device\b)"),
+                 "std::random_device draws ambient entropy"});
+    p.push_back({std::regex(R"((^|[^\w.>])time\s*\()"),
+                 "call to time() — wall clock leaks into the simulation"});
+    p.push_back({std::regex(R"(\bsystem_clock\b)"),
+                 "std::chrono::system_clock reads the wall clock"});
+    return p;
+  }();
+  return kPatterns;
+}
+
+const std::vector<Pattern>& locale_patterns() {
+  static const std::vector<Pattern> kPatterns = [] {
+    std::vector<Pattern> p;
+    p.push_back({std::regex(R"(\bsetlocale\s*\()"),
+                 "setlocale() changes process-wide number formatting"});
+    p.push_back({std::regex(R"(std::locale\s*[({])"),
+                 "std::locale construction — named locales change float "
+                 "formatting"});
+    p.push_back({std::regex(R"(\.\s*precision\s*\()"),
+                 "stream precision() implies locale-sensitive float "
+                 "formatting"});
+    p.push_back({std::regex(R"(\bsetprecision\s*\()"),
+                 "std::setprecision implies locale-sensitive float "
+                 "formatting"});
+    p.push_back({std::regex(R"(std::(fixed|scientific|hexfloat|defaultfloat)\b)"),
+                 "float-format manipulator writes through the stream's "
+                 "locale"});
+    p.push_back({std::regex(R"(\b(stod|stof|strtod|strtof)\s*\()"),
+                 "locale-sensitive float parsing (stod/strtod family)"});
+    return p;
+  }();
+  return kPatterns;
+}
+
+bool suppressed(const Scrubbed& scrubbed, int line, std::string_view rule) {
+  for (const int l : {line, line - 1}) {
+    const auto it = scrubbed.allows.find(l);
+    if (it == scrubbed.allows.end()) continue;
+    for (const std::string& allowed : it->second) {
+      if (allowed == rule || allowed == "*") return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 std::string_view source) {
+  const std::string norm = normalized(path);
+  const Scrubbed scrubbed = scrub(source);
+  const std::vector<std::string> raw_lines = split_lines(source);
+  const std::vector<std::string> code_lines = split_lines(scrubbed.code);
+
+  std::vector<Finding> findings;
+  const auto report = [&](int line, std::string_view rule,
+                          std::string message, std::string_view hint) {
+    if (suppressed(scrubbed, line, rule)) return;
+    findings.push_back(Finding{path, line, std::string(rule),
+                               std::move(message), std::string(hint)});
+  };
+
+  // ---- unordered-iteration -------------------------------------------
+  if (output_adjacent(raw_lines)) {
+    const std::vector<std::string> names = unordered_names(scrubbed.code);
+    for (const std::string& name : names) {
+      const std::regex range_for(R"(for\s*\([^;)]*:\s*)" + name + R"(\s*\))");
+      const std::regex begin_call("\\b" + name + R"(\s*\.\s*c?begin\s*\()");
+      for (std::size_t l = 0; l < code_lines.size(); ++l) {
+        if (std::regex_search(code_lines[l], range_for) ||
+            std::regex_search(code_lines[l], begin_call)) {
+          report(static_cast<int>(l + 1), kUnorderedIteration,
+                 "iteration over unordered container '" + name +
+                     "' in an output-adjacent file — hash order is not "
+                     "deterministic",
+                 kUnorderedHint);
+        }
+      }
+    }
+  }
+
+  // ---- banned-entropy -------------------------------------------------
+  if (entropy_scoped(norm)) {
+    for (std::size_t l = 0; l < code_lines.size(); ++l) {
+      for (const Pattern& p : entropy_patterns()) {
+        if (std::regex_search(code_lines[l], p.re)) {
+          report(static_cast<int>(l + 1), kBannedEntropy, p.message,
+                 kEntropyHint);
+        }
+      }
+    }
+  }
+
+  // ---- locale-float ---------------------------------------------------
+  if (locale_scoped(norm)) {
+    static const std::regex printf_re(
+        R"(\b(printf|fprintf|sprintf|snprintf|vsnprintf)\s*\()");
+    static const std::regex float_conv_re(R"(%[-+ #0-9.*']*l?[aefgAEFG])");
+    for (std::size_t l = 0; l < code_lines.size(); ++l) {
+      const std::string& code_line = code_lines[l];
+      for (const Pattern& p : locale_patterns()) {
+        if (!std::regex_search(code_line, p.re)) continue;
+        // imbue()/construction of the classic locale is the sanctioned
+        // determinism *fix*, not a hazard.
+        if (code_line.find("locale::classic") != std::string::npos) continue;
+        report(static_cast<int>(l + 1), kLocaleFloat, p.message, kLocaleHint);
+      }
+      if (std::regex_search(code_line, printf_re) &&
+          l < raw_lines.size() &&
+          std::regex_search(raw_lines[l], float_conv_re)) {
+        report(static_cast<int>(l + 1), kLocaleFloat,
+               "printf-family float conversion formats through the C "
+               "locale of the moment",
+               kLocaleHint);
+      }
+      static const std::regex imbue_re(R"(\.\s*imbue\s*\()");
+      if (std::regex_search(code_line, imbue_re) &&
+          code_line.find("locale::classic") == std::string::npos) {
+        report(static_cast<int>(l + 1), kLocaleFloat,
+               "imbue() with a non-classic locale changes emitted bytes",
+               kLocaleHint);
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<Finding> lint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("detlint: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint_source(path, buffer.str());
+}
+
+std::vector<std::string> collect_sources(
+    const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  static const std::string_view exts[] = {".h", ".hpp", ".cc", ".cpp",
+                                          ".cxx"};
+  const auto is_source = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return std::find(std::begin(exts), std::end(exts), ext) != std::end(exts);
+  };
+  std::vector<std::string> out;
+  for (const std::string& path : paths) {
+    if (fs::is_directory(path)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file() && is_source(entry.path())) {
+          out.push_back(entry.path().generic_string());
+        }
+      }
+    } else {
+      out.push_back(path);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace detlint

@@ -1,0 +1,79 @@
+// detlint.h — determinism lint for the PRESS/READ source tree.
+//
+// The repo's headline guarantee is byte-identical output across scheduler
+// backends and thread counts; the golden tests check it end-to-end, this
+// linter guards the code patterns that break it at the source level:
+//
+//   unordered-iteration  iteration over std::unordered_map/_set in a file
+//                        that also emits report/CSV/JSONL output (hash
+//                        iteration order is libstdc++-version- and
+//                        salt-dependent, so emitted order is not stable)
+//   banned-entropy       rand()/srand()/std::random_device/time()/
+//                        std::chrono::system_clock inside src/sim, policy
+//                        or exp (all randomness must flow from the run's
+//                        seed; all time from the simulation clock)
+//   locale-float         locale-sensitive float formatting/parsing
+//                        outside util/ (stream precision manipulators,
+//                        printf %f/%g/%e, stod/strtod, locale installs) —
+//                        util/fmt.h is the sanctioned formatting path
+//
+// detlint is a lexical analyzer, not a compiler front end: it scrubs
+// comments and string literals (so neither can produce false positives),
+// then pattern-matches the remaining token text line by line. That keeps
+// it dependency-free and fast enough to run on every CI push; the gtest
+// suite (tests/test_detlint.cpp) pins each rule's positive and negative
+// fixtures.
+//
+// A finding on line N is suppressed by `// detlint:allow(<rule>)` on line
+// N or on line N-1. `--fix-hints` adds a remediation hint per finding.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace detlint {
+
+struct Finding {
+  std::string path;
+  int line = 0;       // 1-based
+  std::string rule;   // rule id, e.g. "banned-entropy"
+  std::string message;
+  std::string hint;   // remediation suggestion (shown with --fix-hints)
+};
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+/// The rule catalogue, in reporting order.
+const std::vector<RuleInfo>& rules();
+
+/// Comment/literal scrub of `source`: every comment and string/char
+/// literal byte is replaced with a space (newlines kept, so line numbers
+/// survive), and `detlint:allow(...)` markers are collected per line.
+struct Scrubbed {
+  std::string code;
+  /// line (1-based) -> rule ids allowed on that line and the next.
+  std::unordered_map<int, std::vector<std::string>> allows;
+};
+Scrubbed scrub(std::string_view source);
+
+/// Lint one in-memory source. `path` is used both for reporting and for
+/// the path-scoped rules (banned-entropy applies under src/sim|policy|exp,
+/// locale-float everywhere but util/), which is what lets the test suite
+/// lint fixture files under virtual src/ paths.
+std::vector<Finding> lint_source(const std::string& path,
+                                 std::string_view source);
+
+/// Load and lint a file. Throws std::runtime_error if unreadable.
+std::vector<Finding> lint_file(const std::string& path);
+
+/// Expand files/directories into a sorted list of C++ sources
+/// (.h/.hpp/.cc/.cpp/.cxx); order is lexicographic so runs are stable.
+std::vector<std::string> collect_sources(const std::vector<std::string>& paths);
+
+}  // namespace detlint

@@ -1,0 +1,82 @@
+// detlint CLI — determinism lint over the PRESS/READ sources.
+//
+// Usage: detlint [--fix-hints] [--list-rules] <path>...
+//
+// Paths may be files or directories (directories are scanned recursively
+// for .h/.hpp/.cc/.cpp/.cxx). Exit status: 0 clean, 1 findings, 2 usage
+// or I/O error. Output is `path:line: [rule] message`, sorted, so CI logs
+// are stable across runs.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "detlint.h"
+
+namespace {
+
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: detlint [--fix-hints] [--list-rules] <path>...\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fix_hints = false;
+  bool list_rules = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fix-hints") {
+      fix_hints = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "detlint: unknown option '%s'\n", arg.c_str());
+      print_usage();
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const detlint::RuleInfo& rule : detlint::rules()) {
+      std::printf("%-20s %s\n", std::string(rule.id).c_str(),
+                  std::string(rule.summary).c_str());
+    }
+    if (paths.empty()) return 0;
+  }
+
+  if (paths.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  int total = 0;
+  int files = 0;
+  try {
+    for (const std::string& path : detlint::collect_sources(paths)) {
+      ++files;
+      for (const detlint::Finding& f : detlint::lint_file(path)) {
+        ++total;
+        std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line,
+                    f.rule.c_str(), f.message.c_str());
+        if (fix_hints && !f.hint.empty()) {
+          std::printf("    hint: %s\n", f.hint.c_str());
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  std::fprintf(stderr, "detlint: %d finding%s in %d file%s\n", total,
+               total == 1 ? "" : "s", files, files == 1 ? "" : "s");
+  return total == 0 ? 0 : 1;
+}
