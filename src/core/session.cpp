@@ -51,6 +51,11 @@ SimulationSession& SimulationSession::with_observer(SimObserver& observer) {
   return *this;
 }
 
+SimulationSession& SimulationSession::with_faults(const FaultPlan& plan) {
+  faults_ = &plan;
+  return *this;
+}
+
 SimulationSession& SimulationSession::with_disks(std::size_t count) {
   config_.sim.disk_count = count;
   return *this;
@@ -83,8 +88,8 @@ SystemReport SimulationSession::run() {
                               : (observers_.sole() != nullptr
                                      ? observers_.sole()
                                      : static_cast<SimObserver*>(&observers_));
-  SimResult sim =
-      run_simulation(config_.sim, *files_, *trace_, *policy, observer);
+  SimResult sim = run_simulation(config_.sim, *files_, *trace_, *policy,
+                                 observer, faults_);
   return score(PressModel{config_.press}, std::move(sim));
 }
 

@@ -18,6 +18,7 @@
 
 #include "core/experiment.h"
 #include "core/system.h"
+#include "fault/fault_plan.h"
 #include "obs/observer.h"
 #include "workload/synthetic.h"
 
@@ -44,6 +45,10 @@ class SimulationSession {
   /// order). The observer must outlive run().
   SimulationSession& with_observer(SimObserver& observer);
 
+  /// Attach a fault-injection plan (fault/fault_plan.h). The plan must
+  /// outlive run(); an empty plan is byte-identical to not attaching one.
+  SimulationSession& with_faults(const FaultPlan& plan);
+
   // Conveniences for the two most-tweaked knobs.
   SimulationSession& with_disks(std::size_t count);
   SimulationSession& with_epoch(Seconds epoch);
@@ -65,6 +70,7 @@ class SimulationSession {
   std::unique_ptr<Policy> owned_policy_;    // adopted instance
   Policy* borrowed_policy_ = nullptr;       // caller-owned instance
   ObserverList observers_;
+  const FaultPlan* faults_ = nullptr;       // caller-owned plan
 };
 
 }  // namespace pr

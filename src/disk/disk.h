@@ -67,6 +67,19 @@ struct DiskLedger {
     const double days = observed() / kSecondsPerDay;
     return days > 0.0 ? static_cast<double>(transitions) / days : 0.0;
   }
+  /// Transition frequency fed to PRESS's frequency-AFR term (Eq. 3).
+  /// For windows of at least one simulated day this is the day-bucketed
+  /// max_transitions_in_day — the quantity READ's budget S actually bounds.
+  /// Sub-day windows fall back to the raw transition count: a 1-hour smoke
+  /// run with 2 transitions reports 2, not the 48/day the extrapolating
+  /// transitions_per_day() would claim (which inflated the frequency AFR —
+  /// nothing observed supports projecting the burst across a full day).
+  [[nodiscard]] double press_transitions_per_day() const {
+    if (observed() >= kSecondsPerDay) {
+      return static_cast<double>(max_transitions_in_day);
+    }
+    return static_cast<double>(transitions);
+  }
 };
 
 class Disk {

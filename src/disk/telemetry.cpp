@@ -29,7 +29,7 @@ DiskTelemetry extract_telemetry(const Disk& disk,
       break;
   }
   t.utilization = disk.ledger().utilization();
-  t.transitions_per_day = disk.ledger().transitions_per_day();
+  t.transitions_per_day = disk.ledger().press_transitions_per_day();
   return t;
 }
 

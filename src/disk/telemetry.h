@@ -16,7 +16,10 @@ struct DiskTelemetry {
   /// Utilization as a fraction in [0, 1] (PRESS clamps to its [25%, 100%]
   /// domain internally, matching §3.3's measurement floor).
   double utilization = 0.0;
-  /// Speed transitions per day.
+  /// Speed-transition frequency for PRESS's Eq. 3: the day-bucketed
+  /// maximum for runs >= 1 simulated day, the raw (non-extrapolated)
+  /// transition count for shorter windows
+  /// (DiskLedger::press_transitions_per_day).
   double transitions_per_day = 0.0;
 };
 

@@ -93,7 +93,7 @@ std::vector<std::size_t> parse_size_list(std::string_view value,
   return out;
 }
 
-enum class Section { kNone, kScenario, kSystem, kWorkload, kPolicy };
+enum class Section { kNone, kScenario, kSystem, kWorkload, kPolicy, kFault };
 
 }  // namespace
 
@@ -141,10 +141,14 @@ ScenarioSpec parse_scenario(std::string_view text, std::string_view source) {
         p.label = p.name;
         spec.policies.push_back(std::move(p));
         section = Section::kPolicy;
+      } else if (kind == "fault") {
+        if (!arg.empty()) fail_at(source, line_no, "[fault] takes no name");
+        spec.fault.enabled = true;
+        section = Section::kFault;
       } else {
         fail_at(source, line_no,
                 "unknown section [" + std::string(kind) +
-                    "]; expected scenario, system, workload or policy");
+                    "]; expected scenario, system, workload, policy or fault");
       }
       continue;
     }
@@ -225,6 +229,21 @@ ScenarioSpec parse_scenario(std::string_view text, std::string_view source) {
         }
         break;
       }
+      case Section::kFault:
+        if (key == "seed") {
+          spec.fault.seed = parse_u64(value, key);
+        } else if (key == "afr") {
+          spec.fault.afr = parse_double(value, key);
+        } else if (key == "rate_scale") {
+          spec.fault.rate_scales = parse_double_list(value, key, at);
+        } else if (key == "mttr") {
+          spec.fault.mttr_s = parse_double(value, key);
+        } else {
+          fail_at(source, line_no,
+                  "unknown key '" + key +
+                      "' in [fault]; valid: seed, afr, rate_scale, mttr");
+        }
+        break;
       }
     } catch (const std::invalid_argument& e) {
       // Add "<source>:<line>" context to bare value-parse errors
@@ -297,6 +316,26 @@ void validate_scenario(const ScenarioSpec& spec) {
       if (!(l > 0.0)) {
         throw std::invalid_argument("workload '" + w.name + "': load must be > 0");
       }
+    }
+  }
+  if (spec.fault.enabled) {
+    if (!(spec.fault.afr >= 0.0)) {
+      throw std::invalid_argument("scenario '" + spec.name +
+                                  "': fault afr must be >= 0");
+    }
+    if (spec.fault.rate_scales.empty()) {
+      throw std::invalid_argument("scenario '" + spec.name +
+                                  "': empty fault rate_scale axis");
+    }
+    for (const double s : spec.fault.rate_scales) {
+      if (!(s >= 0.0)) {
+        throw std::invalid_argument("scenario '" + spec.name +
+                                    "': fault rate_scale must be >= 0");
+      }
+    }
+    if (!(spec.fault.mttr_s > 0.0)) {
+      throw std::invalid_argument("scenario '" + spec.name +
+                                  "': fault mttr must be > 0");
     }
   }
 }

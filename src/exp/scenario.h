@@ -30,6 +30,12 @@
 //   label = READ                # display label (default: name as written)
 //   cap = 40                    # any knob from policies::param_names()
 //
+//   [fault]                     # optional; presence enables injection
+//   seed = 7                    # plan-generation seed
+//   afr = 0.08                  # injected AFR at rate_scale = 1
+//   rate_scale = 0,400,1600     # comma list = sweep axis (0 = no faults)
+//   mttr = 900                  # repair time, seconds
+//
 // Comments start with '#' or ';' (whole line, or after whitespace).
 #pragma once
 
@@ -67,6 +73,23 @@ struct ScenarioPolicy {
   ParamMap params;    ///< knobs; validated against policies::param_names()
 };
 
+/// Fault-injection knobs (`[fault]` section): a seeded per-disk
+/// exponential hazard (fault/fault_plan.h) swept over rate_scale. The
+/// section's presence enables injection; rate_scale 0 cells run the
+/// byte-identical fault-free path.
+struct ScenarioFault {
+  bool enabled = false;
+  /// Base seed for plan generation (mixed with the cell's workload seed,
+  /// rate-scale index and disk count, so every cell gets its own plan).
+  std::uint64_t seed = 1;
+  /// Per-disk annual failure rate at rate_scale = 1.
+  double afr = 0.08;
+  /// Multipliers on `afr`; a sweep axis.
+  std::vector<double> rate_scales = {1.0};
+  /// Deterministic repair time (seconds).
+  double mttr_s = 3600.0;
+};
+
 struct ScenarioSpec {
   std::string name = "scenario";
   /// Worker threads for the sweep (0 = hardware concurrency). Never
@@ -82,6 +105,7 @@ struct ScenarioSpec {
   bool positioned = false;
   std::vector<ScenarioWorkload> workloads;
   std::vector<ScenarioPolicy> policies;
+  ScenarioFault fault;
 };
 
 /// Parse the INI-lite text above. Throws std::invalid_argument with

@@ -3,7 +3,11 @@
 #include <utility>
 
 #include "core/registry.h"
+#include "core/session.h"
 #include "disk/geometry.h"
+#include "fault/degradation_analyzer.h"
+#include "fault/fault_plan.h"
+#include "press/afr_agreement.h"
 #include "trace/csv_trace.h"
 #include "trace/trace_stats.h"
 #include "util/contracts.h"
@@ -29,6 +33,26 @@ struct VariantKey {
   bool has_load;
   std::uint64_t seed;
 };
+
+/// SplitMix64 finalizer — the same mixer pr::Rng uses for seeding, inlined
+/// here to derive one independent plan seed per (base seed, workload seed,
+/// rate-scale index, disk count) cell without any ambient entropy.
+constexpr std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t mix_plan_seed(std::uint64_t base,
+                                      std::uint64_t workload_seed,
+                                      std::uint64_t scale_idx,
+                                      std::uint64_t disks) {
+  std::uint64_t s = splitmix(base);
+  s = splitmix(s ^ workload_seed);
+  s = splitmix(s ^ (scale_idx << 32 | disks));
+  return s;
+}
 
 }  // namespace
 
@@ -101,21 +125,27 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   }
 
   // ---- enumerate cells in spec order: policy-major, then workload/
-  // load/seed (variant order), then epoch, then disks ------------------
+  // load/seed (variant order), then epoch, then disks, then fault rate
+  // scale (a degenerate single-pass axis when no [fault] section) -------
+  const std::size_t scale_count =
+      spec.fault.enabled ? spec.fault.rate_scales.size() : 1;
   struct CellSpec {
     std::size_t policy_idx;
     std::size_t variant_idx;
     double epoch_s;
     std::size_t disks;
+    std::size_t scale_idx;
   };
   std::vector<CellSpec> cell_specs;
   cell_specs.reserve(spec.policies.size() * variants.size() *
-                     spec.epochs.size() * spec.disks.size());
+                     spec.epochs.size() * spec.disks.size() * scale_count);
   for (std::size_t pi = 0; pi < spec.policies.size(); ++pi) {
     for (std::size_t vi = 0; vi < variants.size(); ++vi) {
       for (const double epoch_s : spec.epochs) {
         for (const std::size_t disks : spec.disks) {
-          cell_specs.push_back({pi, vi, epoch_s, disks});
+          for (std::size_t si = 0; si < scale_count; ++si) {
+            cell_specs.push_back({pi, vi, epoch_s, disks, si});
+          }
         }
       }
     }
@@ -123,6 +153,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
 
   ScenarioResult result;
   result.scenario = spec.name;
+  result.faulted = spec.fault.enabled;
   result.cells.resize(cell_specs.size());
   pool.parallel_for(cell_specs.size(), [&](std::size_t i) {
     const CellSpec& cs = cell_specs[i];
@@ -143,7 +174,55 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     cell.seed = variant.seed;
     cell.epoch_s = cs.epoch_s;
     cell.disks = cs.disks;
-    cell.report = evaluate(config, variant.files, variant.trace, *policy);
+    if (!spec.fault.enabled) {
+      cell.report = evaluate(config, variant.files, variant.trace, *policy);
+    } else {
+      // Each cell gets its own deterministic hazard plan over the trace's
+      // arrival span; a 0 rate scale yields the empty plan, which is
+      // byte-identical to the fault-free path.
+      const double rate_scale = spec.fault.rate_scales[cs.scale_idx];
+      const Seconds horizon = variant.trace.empty()
+                                  ? Seconds{0.0}
+                                  : variant.trace.requests.back().arrival;
+      FaultHazard hazard;
+      hazard.seed = mix_plan_seed(spec.fault.seed, variant.seed,
+                                  cs.scale_idx, cs.disks);
+      hazard.afr = spec.fault.afr;
+      hazard.rate_scale = rate_scale;
+      hazard.mttr = Seconds{spec.fault.mttr_s};
+      hazard.horizon = horizon;
+      const FaultPlan plan = FaultPlan::from_hazard(hazard, cs.disks);
+
+      DegradationAnalyzer analyzer;
+      cell.report = SimulationSession(config)
+                        .with_workload(variant.files, variant.trace)
+                        .with_policy(std::move(policy))
+                        .with_observer(analyzer)
+                        .with_faults(plan)
+                        .run();
+      // Only a non-empty plan adds the fault.* duration counters —
+      // rate-scale-0 cells must stay byte-identical to fault-free runs
+      // (the same rule the simulator applies to its fault counters).
+      if (!plan.empty()) analyzer.merge_into(cell.report.sim);
+
+      ScenarioFaultCell fault;
+      fault.rate_scale = rate_scale;
+      fault.injected_afr = spec.fault.afr * rate_scale;
+      fault.failures = analyzer.failures();
+      fault.lost_requests = analyzer.lost_requests();
+      fault.degraded_requests =
+          analyzer.redirected_requests() + analyzer.slowed_requests();
+      fault.downtime_s = analyzer.total_downtime().value();
+      fault.degraded_window_s = analyzer.degraded_window().value();
+      fault.mean_recovery_s = analyzer.mean_recovery_time().value();
+      const AfrAgreement agreement =
+          score_afr_agreement(cell.report.array_afr, fault.injected_afr,
+                              fault.failures, cs.disks, horizon);
+      fault.observed_afr = agreement.observed_afr;
+      fault.press_over_injected = agreement.predicted_over_injected;
+      fault.press_over_observed = agreement.predicted_over_observed;
+      cell.fault = fault;
+    }
     result.cells[i] = std::move(cell);
   });
 #if PR_CONTRACTS_ENABLED

@@ -1,6 +1,6 @@
 // scenario_engine.h — expands a ScenarioSpec into concrete cells
-// (policy × workload × load × seed × epoch × disks) and fans them across
-// the thread pool. This generalizes core/experiment.h's run_sweep (fixed
+// (policy × workload × load × seed × epoch × disks × fault rate scale)
+// and fans them across the thread pool. This generalizes core/experiment.h's run_sweep (fixed
 // policy × workload × disks grid) into arbitrary declarative axes: each
 // (workload, load, seed) variant is generated once and shared by every
 // policy/epoch/disk cell, and results come back in *spec order* —
@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,24 @@
 #include "exp/scenario.h"
 
 namespace pr {
+
+/// Fault-axis results for one cell of a `[fault]`-enabled scenario
+/// (DegradationAnalyzer metrics plus the PRESS-vs-injected agreement
+/// scores from press/afr_agreement.h). Durations are plain seconds so
+/// the report layer can print them without unit plumbing.
+struct ScenarioFaultCell {
+  double rate_scale = 0.0;     ///< swept multiplier on the base AFR
+  double injected_afr = 0.0;   ///< afr × rate_scale (fraction/year)
+  std::uint64_t failures = 0;  ///< fail-stop faults that struck
+  std::uint64_t lost_requests = 0;
+  std::uint64_t degraded_requests = 0;  ///< redirected + slowed
+  double downtime_s = 0.0;              ///< per-disk down intervals, summed
+  double degraded_window_s = 0.0;       ///< wall-clock union, >= 1 disk down
+  double mean_recovery_s = 0.0;
+  double observed_afr = 0.0;  ///< failures per disk-year of exposure
+  double press_over_injected = 0.0;
+  double press_over_observed = 0.0;
+};
 
 /// One completed grid point. The axis fields echo the spec values that
 /// produced the cell (trace workloads report load = 1 and seed = 0: the
@@ -29,10 +48,16 @@ struct ScenarioCell {
   double epoch_s = 0.0;
   std::size_t disks = 0;
   SystemReport report;
+  /// Present iff the spec had a `[fault]` section (rate_scale 0 cells
+  /// included — their plan is empty and the metrics are all zero).
+  std::optional<ScenarioFaultCell> fault;
 };
 
 struct ScenarioResult {
   std::string scenario;
+  /// True when the spec had a `[fault]` section; the report layer widens
+  /// the CSV schema with the fault columns exactly in this case.
+  bool faulted = false;
   std::vector<ScenarioCell> cells;  ///< spec order (policy-major)
 };
 

@@ -21,17 +21,45 @@ std::string full(double v) { return format_double(v, 17); }
 
 }  // namespace
 
-std::string scenario_csv_header() {
-  return "scenario,policy,workload,load,seed,epoch_s,disks,array_afr,"
-         "energy_j,mean_rt_ms,p95_rt_ms,total_transitions,"
-         "max_transitions_per_day,migrations,migration_mb";
+std::string scenario_csv_header(bool with_faults) {
+  std::string header =
+      "scenario,policy,workload,load,seed,epoch_s,disks,array_afr,"
+      "energy_j,mean_rt_ms,p95_rt_ms,total_transitions,"
+      "max_transitions_per_day,migrations,migration_mb";
+  if (with_faults) {
+    header +=
+        ",fault_rate_scale,fault_injected_afr,fault_failures,fault_lost,"
+        "fault_degraded,fault_downtime_s,fault_degraded_window_s,"
+        "fault_mean_recovery_s,fault_observed_afr,press_over_injected,"
+        "press_over_observed";
+  }
+  return header;
 }
 
 void write_scenario_csv(const ScenarioResult& result, std::ostream& out) {
-  out << scenario_csv_header() << "\n";
+  out << scenario_csv_header(result.faulted) << "\n";
   CsvWriter writer(out);
   for (const ScenarioCell& c : result.cells) {
     const SimResult& sim = c.report.sim;
+    if (result.faulted) {
+      // value_or keeps the schema fixed even if a cell somehow lacks the
+      // fault payload (all-zero metrics, same as a rate_scale-0 cell).
+      const ScenarioFaultCell f = c.fault.value_or(ScenarioFaultCell{});
+      writer.row(result.scenario, c.policy, c.workload, full(c.load), c.seed,
+                 full(c.epoch_s), c.disks, full(c.report.array_afr),
+                 full(sim.energy_joules()),
+                 full(sim.mean_response_time_s() * 1e3),
+                 full(sim.response_time_sample.quantile(0.95) * 1e3),
+                 sim.total_transitions, full(sim.max_transitions_per_day),
+                 sim.migrations,
+                 full(static_cast<double>(sim.migration_bytes) / 1e6),
+                 full(f.rate_scale), full(f.injected_afr), f.failures,
+                 f.lost_requests, f.degraded_requests, full(f.downtime_s),
+                 full(f.degraded_window_s), full(f.mean_recovery_s),
+                 full(f.observed_afr), full(f.press_over_injected),
+                 full(f.press_over_observed));
+      continue;
+    }
     writer.row(result.scenario, c.policy, c.workload, full(c.load), c.seed,
                full(c.epoch_s), c.disks, full(c.report.array_afr),
                full(sim.energy_joules()),
@@ -77,6 +105,19 @@ void write_scenario_json(const ScenarioResult& result, std::ostream& out,
         << ",\"total_transitions\":" << sim.total_transitions
         << ",\"max_transitions_per_day\":" << full(sim.max_transitions_per_day)
         << ",\"migrations\":" << sim.migrations;
+    if (c.fault) {
+      const ScenarioFaultCell& f = *c.fault;
+      out << ",\"fault\":{\"rate_scale\":" << full(f.rate_scale)
+          << ",\"injected_afr\":" << full(f.injected_afr)
+          << ",\"failures\":" << f.failures << ",\"lost\":" << f.lost_requests
+          << ",\"degraded\":" << f.degraded_requests
+          << ",\"downtime_s\":" << full(f.downtime_s)
+          << ",\"degraded_window_s\":" << full(f.degraded_window_s)
+          << ",\"mean_recovery_s\":" << full(f.mean_recovery_s)
+          << ",\"observed_afr\":" << full(f.observed_afr)
+          << ",\"press_over_injected\":" << full(f.press_over_injected)
+          << ",\"press_over_observed\":" << full(f.press_over_observed) << "}";
+    }
     if (include_reports) {
       // pr::to_json emits a complete JSON object (plus a trailing
       // newline, stripped here) — splice it in verbatim.

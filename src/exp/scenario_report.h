@@ -11,11 +11,16 @@
 
 namespace pr {
 
-/// The fixed CSV column schema (also asserted by the scenario-smoke CI
-/// job): axes first, then the headline metrics.
-[[nodiscard]] std::string scenario_csv_header();
+/// The fixed CSV column schema (also asserted by the scenario-smoke and
+/// fault-smoke CI jobs): axes first, then the headline metrics. With
+/// `with_faults` the fault-sweep columns (injected rate, degradation
+/// windows, recovery times, lost/degraded counts, PRESS-vs-injected
+/// agreement) are appended; fault-free scenarios keep the narrow schema
+/// byte-for-byte.
+[[nodiscard]] std::string scenario_csv_header(bool with_faults = false);
 
-/// One row per cell, schema above, full double precision.
+/// One row per cell, schema above (widened when result.faulted), full
+/// double precision.
 void write_scenario_csv(const ScenarioResult& result, std::ostream& out);
 void write_scenario_csv_file(const ScenarioResult& result,
                              const std::string& path);

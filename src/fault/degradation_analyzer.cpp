@@ -1,0 +1,62 @@
+#include "fault/degradation_analyzer.h"
+
+#include <cmath>
+
+namespace pr {
+
+void DegradationAnalyzer::on_run_start(const RunStartEvent& event) {
+  fail_since_.assign(event.disk_count, kNeverTime);
+}
+
+void DegradationAnalyzer::on_disk_fail(const DiskFailEvent& event) {
+  if (event.mode != FaultMode::kFailStop) return;
+  ++failures_;
+  if (event.disk < fail_since_.size()) fail_since_[event.disk] = event.time;
+  if (failed_now_ == 0) window_open_ = event.time;
+  ++failed_now_;
+}
+
+void DegradationAnalyzer::on_disk_recover(const DiskRecoverEvent& event) {
+  ++recoveries_;
+  downtime_ += event.downtime;
+  recovery_sum_ += event.downtime;
+  if (event.downtime > recovery_max_) recovery_max_ = event.downtime;
+  if (event.disk < fail_since_.size()) fail_since_[event.disk] = kNeverTime;
+  if (failed_now_ > 0) {
+    --failed_now_;
+    if (failed_now_ == 0) degraded_window_ += event.time - window_open_;
+  }
+}
+
+void DegradationAnalyzer::on_request_degraded(
+    const RequestDegradedEvent& event) {
+  switch (event.outcome) {
+    case DegradedOutcome::kRedirected: ++redirected_; break;
+    case DegradedOutcome::kSlowed: ++slowed_; break;
+    case DegradedOutcome::kLost: ++lost_; break;
+  }
+}
+
+void DegradationAnalyzer::on_run_end(const RunEndEvent& event) {
+  if (failed_now_ > 0) {
+    // Failures still open are charged through the horizon from each disk's
+    // own fail instant; the window union closes at the horizon too.
+    degraded_window_ += event.horizon - window_open_;
+    for (const Seconds since : fail_since_) {
+      if (since < kNeverTime) downtime_ += event.horizon - since;
+    }
+    failed_now_ = 0;
+  }
+}
+
+void DegradationAnalyzer::merge_into(SimResult& result) const {
+  const auto ms = [](Seconds s) {
+    return static_cast<std::uint64_t>(std::llround(s.value() * 1e3));
+  };
+  result.counters["fault.downtime_ms"] += ms(downtime_);
+  result.counters["fault.degraded_window_ms"] += ms(degraded_window_);
+  result.counters["fault.mean_recovery_ms"] += ms(mean_recovery_time());
+  result.counters["fault.max_recovery_ms"] += ms(max_recovery_time());
+}
+
+}  // namespace pr

@@ -1,0 +1,77 @@
+// degradation_analyzer.h — a SimObserver that distills a faulted run into
+// the reliability metrics the fault sweep reports: how long the array ran
+// degraded, how fast faults healed, and how many requests were lost,
+// redirected, or slowed. Attach it next to the usual recorders (it is
+// read-only like every observer) and call merge_into() after the run to
+// fold the time-derived metrics into SimResult::counters — the event
+// *counts* are already interned by the simulator itself, so merge_into()
+// adds only what the counter registry cannot see (durations).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/observer.h"
+#include "sim/metrics.h"
+
+namespace pr {
+
+class DegradationAnalyzer final : public SimObserver {
+ public:
+  void on_run_start(const RunStartEvent& event) override;
+  void on_disk_fail(const DiskFailEvent& event) override;
+  void on_disk_recover(const DiskRecoverEvent& event) override;
+  void on_request_degraded(const RequestDegradedEvent& event) override;
+  void on_run_end(const RunEndEvent& event) override;
+
+  /// Fail-stop faults observed (slowdown announcements excluded).
+  [[nodiscard]] std::uint64_t failures() const { return failures_; }
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+  /// Failures still open when the run ended.
+  [[nodiscard]] std::uint64_t unrecovered() const {
+    return failures_ - recoveries_;
+  }
+  [[nodiscard]] std::uint64_t lost_requests() const { return lost_; }
+  [[nodiscard]] std::uint64_t redirected_requests() const {
+    return redirected_;
+  }
+  [[nodiscard]] std::uint64_t slowed_requests() const { return slowed_; }
+  /// Sum of per-disk down intervals (disk-seconds; overlapping failures
+  /// count once per disk). Open failures are charged through the horizon.
+  [[nodiscard]] Seconds total_downtime() const { return downtime_; }
+  /// Wall-clock union of intervals with >= 1 disk failed — the paper-facing
+  /// "degradation window". Open at run end => closed at the horizon.
+  [[nodiscard]] Seconds degraded_window() const { return degraded_window_; }
+  [[nodiscard]] Seconds mean_recovery_time() const {
+    return recoveries_ == 0 ? Seconds{0.0}
+                            : Seconds{recovery_sum_.value() /
+                                      static_cast<double>(recoveries_)};
+  }
+  [[nodiscard]] Seconds max_recovery_time() const { return recovery_max_; }
+
+  /// Add the duration metrics to result.counters (milliseconds, rounded):
+  /// fault.downtime_ms, fault.degraded_window_ms, fault.mean_recovery_ms,
+  /// fault.max_recovery_ms. Event counts are not re-added — the simulator
+  /// already interned them (sim.faults_injected etc.).
+  void merge_into(SimResult& result) const;
+
+ private:
+  std::uint64_t failures_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t redirected_ = 0;
+  std::uint64_t slowed_ = 0;
+  Seconds downtime_{0.0};
+  Seconds recovery_sum_{0.0};
+  Seconds recovery_max_{0.0};
+  // Union-of-intervals tracking: failed_now_ counts currently-failed disks;
+  // the window opens on 0 -> 1 and closes on 1 -> 0 (or at the horizon).
+  std::uint64_t failed_now_ = 0;
+  Seconds window_open_{0.0};
+  Seconds degraded_window_{0.0};
+  // Per-disk open-failure start (kNeverTime = live), so failures still open
+  // at the horizon charge exact downtime from each disk's own fail instant.
+  std::vector<Seconds> fail_since_;
+};
+
+}  // namespace pr

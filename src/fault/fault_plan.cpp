@@ -1,0 +1,78 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.h"
+
+namespace pr {
+
+namespace {
+
+void check_event(const FaultEvent& e) {
+  if (!(e.time >= Seconds{0.0})) {
+    throw std::invalid_argument("FaultPlan: event time must be >= 0");
+  }
+  if (e.kind == FaultKind::kSlowdown && !(e.factor >= 1.0)) {
+    throw std::invalid_argument("FaultPlan: slowdown factor must be >= 1");
+  }
+}
+
+bool event_order(const FaultEvent& a, const FaultEvent& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.disk != b.disk) return a.disk < b.disk;
+  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::from_events(std::vector<FaultEvent> events) {
+  for (const FaultEvent& e : events) check_event(e);
+  std::stable_sort(events.begin(), events.end(), event_order);
+  FaultPlan plan;
+  plan.events_ = std::move(events);
+  return plan;
+}
+
+FaultPlan FaultPlan::from_hazard(const FaultHazard& hazard,
+                                 std::size_t disk_count) {
+  if (!(hazard.afr >= 0.0) || !(hazard.rate_scale >= 0.0)) {
+    throw std::invalid_argument("FaultPlan::from_hazard: negative rate");
+  }
+  if (!(hazard.mttr > Seconds{0.0})) {
+    throw std::invalid_argument("FaultPlan::from_hazard: mttr must be > 0");
+  }
+  std::vector<FaultEvent> events;
+  const double rate = hazard.afr * hazard.rate_scale;  // failures/disk-year
+  if (rate > 0.0 && hazard.horizon > Seconds{0.0}) {
+    const double mean_tbf = kSecondsPerYear.value() / rate;
+    for (DiskId d = 0; d < disk_count; ++d) {
+      // Per-disk stream keyed on (seed, disk) only: SplitMix64 inside
+      // Rng::reseed decorrelates the additive offsets.
+      Rng rng(hazard.seed +
+              0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(d) + 1));
+      double t = rng.exponential(mean_tbf);
+      while (t < hazard.horizon.value()) {
+        events.push_back({Seconds{t}, d, FaultKind::kFail, 1.0});
+        const double up = t + hazard.mttr.value();
+        if (!(up < hazard.horizon.value())) break;  // down through the end
+        events.push_back({Seconds{up}, d, FaultKind::kRecover, 1.0});
+        t = up + rng.exponential(mean_tbf);
+      }
+    }
+  }
+  return from_events(std::move(events));
+}
+
+void FaultPlan::validate(std::size_t disk_count) const {
+  for (const FaultEvent& e : events_) {
+    if (e.disk >= disk_count) {
+      throw std::invalid_argument("FaultPlan: event targets disk " +
+                                  std::to_string(e.disk) + " but only " +
+                                  std::to_string(disk_count) + " exist");
+    }
+  }
+}
+
+}  // namespace pr

@@ -1,0 +1,107 @@
+// fault_plan.h — deterministic fault schedules for the 2-speed array.
+//
+// The paper's PRESS model *predicts* failures from ESRRA telemetry; this
+// subsystem lets the simulator *experience* them, closing the
+// prediction-vs-observation loop (ROADMAP "fault injection measured
+// through observers"). A FaultPlan is an immutable, time-sorted list of
+// DiskFail / DiskRecover / DiskSlowdown events, built either from an
+// explicit event list or generated from a seeded per-disk exponential
+// hazard — every sample flows from the seed through pr::Rng, so the same
+// (seed, rates, horizon) always yields the same plan (detlint-clean, no
+// ambient entropy).
+//
+// Fault semantics (enforced by the ArraySimulation seam, src/sim/):
+//   * kFail is fail-stop on the routing plane: the disk stops being a
+//     legal serve target until a kRecover. Its DPM timers and energy
+//     ledger keep running untouched — a failed disk still draws power, so
+//     the energy-conservation contract is unaffected.
+//   * kRecover restores the disk (and clears any slowdown).
+//   * kSlowdown(factor) inflates service: each request served by the disk
+//     pays an extra internal transfer of (factor − 1) × bytes. factor 1
+//     restores nominal service.
+// Events are idempotent: failing a failed disk or recovering a live one
+// is a no-op (no observer emission, no counter bump).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/disk.h"
+#include "util/units.h"
+
+namespace pr {
+
+enum class FaultKind : std::uint8_t { kFail = 0, kRecover = 1, kSlowdown = 2 };
+
+[[nodiscard]] constexpr const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kFail: return "fail";
+    case FaultKind::kRecover: return "recover";
+    case FaultKind::kSlowdown: return "slowdown";
+  }
+  return "?";
+}
+
+struct FaultEvent {
+  Seconds time{};
+  DiskId disk = 0;
+  FaultKind kind = FaultKind::kFail;
+  /// Service inflation multiplier for kSlowdown (≥ 1; 1 restores nominal
+  /// service). Ignored for kFail / kRecover.
+  double factor = 1.0;
+};
+
+/// Seeded per-disk hazard for FaultPlan::from_hazard. The AFR is read as
+/// an exponential hazard rate in failures per disk-year — the same
+/// annualized unit PRESS emits — so a sweep can dial injected rates
+/// against predicted ones directly (press/afr_agreement.h scores the
+/// match).
+struct FaultHazard {
+  std::uint64_t seed = 1;
+  /// Per-disk annual failure rate at rate_scale = 1.
+  double afr = 0.08;
+  /// Multiplier on `afr` (the fault_sweep.ini sweep axis). 0 disables
+  /// generation (an empty plan).
+  double rate_scale = 1.0;
+  /// Deterministic repair time: each kFail is paired with a kRecover
+  /// `mttr` later when that still falls inside the horizon.
+  Seconds mttr{3600.0};
+  /// Generation horizon; no event is scheduled at or past it.
+  Seconds horizon{0.0};
+};
+
+class FaultPlan {
+ public:
+  /// The empty plan: attaching it to a run is byte-identical to running
+  /// with no plan at all (a golden test pins this).
+  FaultPlan() = default;
+
+  /// Build from an explicit list; events are stably ordered by
+  /// (time, disk, kind). Throws std::invalid_argument for negative times
+  /// or slowdown factors below 1.
+  [[nodiscard]] static FaultPlan from_events(std::vector<FaultEvent> events);
+
+  /// Generate fail/recover pairs from independent per-disk exponential
+  /// hazards. Deterministic: disk d's stream is seeded from
+  /// (hazard.seed, d) only, so plans for different disk counts share a
+  /// prefix. Throws std::invalid_argument for negative rates or a
+  /// non-positive mttr.
+  [[nodiscard]] static FaultPlan from_hazard(const FaultHazard& hazard,
+                                             std::size_t disk_count);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Check every event targets a disk below `disk_count`. Throws
+  /// std::invalid_argument otherwise (run_simulation calls this before
+  /// the run starts).
+  void validate(std::size_t disk_count) const;
+
+ private:
+  std::vector<FaultEvent> events_;  // sorted by (time, disk, kind)
+};
+
+}  // namespace pr

@@ -1,0 +1,80 @@
+// fault_state.h — the live per-disk fault flags the ArraySimulation seam
+// consults before dispatch. The simulator owns one FaultState, applies
+// FaultPlan events to it in time order, and checks failed()/slowdown()
+// when routing; policies see it through ArrayContext::disk_failed() /
+// disk_slowdown() so degraded_route() overrides can pick a live replica.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.h"
+
+namespace pr {
+
+class FaultState {
+ public:
+  /// What applying one plan event did (drives counters and observer
+  /// emissions — a no-op apply must stay invisible).
+  struct ApplyResult {
+    /// False when the event was idempotently ignored (fail on a failed
+    /// disk, recover on a live one, slowdown to the current factor).
+    bool changed = false;
+    /// For an applied kRecover: how long the disk was down.
+    Seconds downtime{0.0};
+  };
+
+  void resize(std::size_t disk_count) {
+    failed_.assign(disk_count, 0);
+    fail_since_.assign(disk_count, Seconds{0.0});
+    slowdown_.assign(disk_count, 1.0);
+  }
+
+  [[nodiscard]] std::size_t disk_count() const { return failed_.size(); }
+
+  [[nodiscard]] bool failed(DiskId d) const {
+    return d < failed_.size() && failed_[d] != 0;
+  }
+  /// Service inflation multiplier currently in force (1 = nominal).
+  [[nodiscard]] double slowdown(DiskId d) const {
+    return d < slowdown_.size() ? slowdown_[d] : 1.0;
+  }
+  [[nodiscard]] std::size_t failed_count() const {
+    std::size_t n = 0;
+    for (const std::uint8_t f : failed_) n += f;
+    return n;
+  }
+
+  ApplyResult apply(const FaultEvent& e) {
+    ApplyResult r;
+    if (e.disk >= failed_.size()) return r;
+    switch (e.kind) {
+      case FaultKind::kFail:
+        if (failed_[e.disk] != 0) return r;
+        failed_[e.disk] = 1;
+        fail_since_[e.disk] = e.time;
+        r.changed = true;
+        break;
+      case FaultKind::kRecover:
+        if (failed_[e.disk] == 0) return r;
+        failed_[e.disk] = 0;
+        slowdown_[e.disk] = 1.0;
+        r.downtime = e.time - fail_since_[e.disk];
+        r.changed = true;
+        break;
+      case FaultKind::kSlowdown:
+        if (slowdown_[e.disk] == e.factor) return r;
+        slowdown_[e.disk] = e.factor;
+        r.changed = true;
+        break;
+    }
+    return r;
+  }
+
+ private:
+  std::vector<std::uint8_t> failed_;
+  std::vector<Seconds> fail_since_;
+  std::vector<double> slowdown_;
+};
+
+}  // namespace pr

@@ -89,6 +89,45 @@ void JsonlTraceWriter::on_migration(const MigrationEvent& event) {
          << event.to << R"(,"bytes":)" << event.bytes << "}\n";
 }
 
+void JsonlTraceWriter::on_background_copy(const BackgroundCopyEvent& event) {
+  if (!options_.copies) return;
+  line() << R"({"ev":"copy","t":)" << format_double(event.time.value(), 17)
+         << R"(,"from":)" << event.from << R"(,"to":)" << event.to
+         << R"(,"bytes":)" << event.bytes << R"(,"energy_j":)"
+         << format_double(event.energy.value(), 17) << "}\n";
+}
+
+void JsonlTraceWriter::on_disk_fail(const DiskFailEvent& event) {
+  if (!options_.faults) return;
+  line() << R"({"ev":"disk_fail","t":)" << format_double(event.time.value(), 17)
+         << R"(,"disk":)" << event.disk << R"(,"mode":")"
+         << to_string(event.mode) << R"(","factor":)"
+         << format_double(event.factor, 17) << "}\n";
+}
+
+void JsonlTraceWriter::on_disk_recover(const DiskRecoverEvent& event) {
+  if (!options_.faults) return;
+  line() << R"({"ev":"disk_recover","t":)" << format_double(event.time.value(), 17)
+         << R"(,"disk":)" << event.disk << R"(,"down_s":)"
+         << format_double(event.downtime.value(), 17) << "}\n";
+}
+
+void JsonlTraceWriter::on_request_degraded(const RequestDegradedEvent& event) {
+  if (!options_.faults) return;
+  auto& out = line();
+  out << R"({"ev":"request_degraded","t":)" << format_double(event.time.value(), 17)
+      << R"(,"file":)" << event.file << R"(,"intended":)" << event.intended
+      << R"(,"served_by":)";
+  // A lost request was served by nobody; -1 keeps the field numeric.
+  if (event.outcome == DegradedOutcome::kLost) {
+    out << "-1";
+  } else {
+    out << event.served_by;
+  }
+  out << R"(,"outcome":")" << to_string(event.outcome) << R"(","factor":)"
+      << format_double(event.slowdown, 17) << "}\n";
+}
+
 void JsonlTraceWriter::on_run_end(const RunEndEvent& event) {
   line() << R"({"ev":"run_end","horizon_s":)" << format_double(event.horizon.value(), 17)
          << R"(,"requests":)" << event.user_requests << R"(,"energy_j":)"

@@ -24,6 +24,14 @@ struct JsonlOptions {
   bool state_changes = true;
   bool epochs = true;
   bool migrations = true;
+  /// Fault-injection lines (disk_fail/disk_recover/request_degraded).
+  /// On by default: they only fire when a FaultPlan is attached, so
+  /// fault-free traces are unchanged.
+  bool faults = true;
+  /// Background-copy lines. Off by default: these fire in existing
+  /// MAID/replication runs, and the v1 trace schema is frozen
+  /// byte-for-byte — opt in to see cache-fill/replica traffic.
+  bool copies = false;
 };
 
 class JsonlTraceWriter final : public SimObserver {
@@ -39,6 +47,10 @@ class JsonlTraceWriter final : public SimObserver {
   void on_disk_state_change(const DiskStateChangeEvent& event) override;
   void on_epoch_end(const EpochEndEvent& event) override;
   void on_migration(const MigrationEvent& event) override;
+  void on_background_copy(const BackgroundCopyEvent& event) override;
+  void on_disk_fail(const DiskFailEvent& event) override;
+  void on_disk_recover(const DiskRecoverEvent& event) override;
+  void on_request_degraded(const RequestDegradedEvent& event) override;
   void on_run_end(const RunEndEvent& event) override;
 
   [[nodiscard]] std::uint64_t lines_written() const { return lines_; }

@@ -13,6 +13,11 @@
 //   * For one request: spin-up transition/state-change events precede its
 //     RequestCompleteEvent; Policy::after_serve side effects (cache fills,
 //     copies) come after it.
+//   * Injected fault events (DiskFailEvent / DiskRecoverEvent) follow any
+//     epoch work at their instant and precede DPM events and request
+//     events at the same instant. A request's RequestDegradedEvent(s)
+//     precede its RequestCompleteEvent (redirected before slowed); a lost
+//     request emits only RequestDegradedEvent — no completion.
 #pragma once
 
 #include <cstdint>
@@ -105,6 +110,14 @@ struct SpeedTransitionEvent {
   DiskSpeed from = DiskSpeed::kHigh;
   DiskSpeed to = DiskSpeed::kHigh;
   TransitionCause cause = TransitionCause::kPolicy;
+  /// Disk-ledger energy delta across the transition operation: the lump
+  /// transition energy plus idle lazily accounted since the disk's
+  /// previous activity. For kSpinUpToServe this delta is *also* inside
+  /// the enclosing request's RequestCompleteEvent::energy — the
+  /// conservation identity (see RunEndEvent) sums transition energies
+  /// over non-serve causes only. Not serialized to JSONL (schema v1 is
+  /// frozen byte-for-byte).
+  Joules energy{};
 };
 
 /// Fired alongside SpeedTransitionEvent with the derived power state.
@@ -132,13 +145,103 @@ struct MigrationEvent {
   DiskId from = 0;
   DiskId to = 0;
   Bytes bytes = 0;
+  /// Ledger energy delta across the migration's two internal serves
+  /// (incl. idle lazily accounted on both disks). Not serialized to JSONL.
+  Joules energy{};
+};
+
+/// Fired for every ArrayContext::background_copy (MAID cache fills,
+/// replica creation) — internal I/O that is otherwise invisible to
+/// observers, which the energy-conservation identity needs. Off by
+/// default in JsonlTraceWriter (schema v1 is frozen).
+struct BackgroundCopyEvent {
+  Seconds time{};
+  DiskId from = 0;
+  DiskId to = 0;
+  Bytes bytes = 0;
+  /// Ledger energy delta across the copy's internal serves.
+  Joules energy{};
+};
+
+/// How an injected fault degrades a disk.
+enum class FaultMode : std::uint8_t { kFailStop = 0, kSlowdown = 1 };
+
+[[nodiscard]] constexpr const char* to_string(FaultMode m) {
+  return m == FaultMode::kFailStop ? "fail_stop" : "slowdown";
+}
+
+/// Fired when an injected fault takes effect on a disk: kFailStop removes
+/// it from the legal route targets, kSlowdown inflates its service by
+/// `factor` (a factor of 1 announces a return to nominal speed).
+struct DiskFailEvent {
+  Seconds time{};
+  DiskId disk = 0;
+  FaultMode mode = FaultMode::kFailStop;
+  /// Service inflation multiplier (kSlowdown only; 1.0 for kFailStop).
+  double factor = 1.0;
+};
+
+/// Fired when a failed disk returns to service.
+struct DiskRecoverEvent {
+  Seconds time{};
+  DiskId disk = 0;
+  /// How long the disk was failed.
+  Seconds downtime{};
+};
+
+/// What happened to a request whose routed disk was degraded.
+enum class DegradedOutcome : std::uint8_t {
+  /// Served by an alternate disk the policy named (replica, MAID cache).
+  kRedirected = 0,
+  /// Served by a slowed disk (service inflated by the slowdown factor).
+  kSlowed = 1,
+  /// No live copy — the request was recorded as lost, not served.
+  kLost = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(DegradedOutcome o) {
+  switch (o) {
+    case DegradedOutcome::kRedirected: return "redirected";
+    case DegradedOutcome::kSlowed: return "slowed";
+    case DegradedOutcome::kLost: return "lost";
+  }
+  return "?";
+}
+
+/// Fired at a request's arrival instant when faults perturbed its service.
+/// Precedes the request's RequestCompleteEvent; a kLost request emits only
+/// this (no completion, and it is excluded from response-time stats and
+/// the served-request count).
+struct RequestDegradedEvent {
+  Seconds time{};  ///< the request's arrival
+  FileId file = kInvalidFile;
+  /// Disk the policy's route()/stripe() chose before the fault check.
+  DiskId intended = 0;
+  /// Disk that actually served it (== intended for kSlowed; for kLost no
+  /// disk served it and this echoes `intended`).
+  DiskId served_by = 0;
+  DegradedOutcome outcome = DegradedOutcome::kLost;
+  /// Slowdown factor applied (kSlowed only; 1.0 otherwise).
+  double slowdown = 1.0;
 };
 
 /// Fired once after the trailing events drained and every ledger closed.
+///
+/// Conservation identity (pinned by tests/test_observer.cpp): with Σ over
+/// the run's events,
+///   Σ RequestCompleteEvent::energy
+///   + Σ SpeedTransitionEvent::energy  (cause != kSpinUpToServe)
+///   + Σ MigrationEvent::energy + Σ BackgroundCopyEvent::energy
+///   + final_idle_energy
+///   == total_energy == Σ per-disk ledger energy
+/// (equal up to floating-point accumulation error).
 struct RunEndEvent {
   Seconds horizon{};
   std::uint64_t user_requests = 0;
   Joules total_energy{};
+  /// Idle energy accrued after each disk's last activity, accounted when
+  /// the ledgers close at the horizon. Not serialized to JSONL.
+  Joules final_idle_energy{};
 };
 
 /// Hook interface. All callbacks default to no-ops so observers override
@@ -160,6 +263,14 @@ class SimObserver {
   }
   virtual void on_epoch_end(const EpochEndEvent& event) { (void)event; }
   virtual void on_migration(const MigrationEvent& event) { (void)event; }
+  virtual void on_background_copy(const BackgroundCopyEvent& event) {
+    (void)event;
+  }
+  virtual void on_disk_fail(const DiskFailEvent& event) { (void)event; }
+  virtual void on_disk_recover(const DiskRecoverEvent& event) { (void)event; }
+  virtual void on_request_degraded(const RequestDegradedEvent& event) {
+    (void)event;
+  }
   virtual void on_run_end(const RunEndEvent& event) { (void)event; }
 };
 
@@ -195,6 +306,18 @@ class ObserverList final : public SimObserver {
   }
   void on_migration(const MigrationEvent& event) override {
     for (auto* o : observers_) o->on_migration(event);
+  }
+  void on_background_copy(const BackgroundCopyEvent& event) override {
+    for (auto* o : observers_) o->on_background_copy(event);
+  }
+  void on_disk_fail(const DiskFailEvent& event) override {
+    for (auto* o : observers_) o->on_disk_fail(event);
+  }
+  void on_disk_recover(const DiskRecoverEvent& event) override {
+    for (auto* o : observers_) o->on_disk_recover(event);
+  }
+  void on_request_degraded(const RequestDegradedEvent& event) override {
+    for (auto* o : observers_) o->on_request_degraded(event);
   }
   void on_run_end(const RunEndEvent& event) override {
     for (auto* o : observers_) o->on_run_end(event);

@@ -49,6 +49,8 @@ WindowSample TimeSeriesRecorder::array_total(std::size_t w) const {
     total.time_at_high += s.time_at_high;
     total.migrations_in += s.migrations_in;
     total.migrations_out += s.migrations_out;
+    total.degraded_requests += s.degraded_requests;
+    total.lost_requests += s.lost_requests;
   }
   return total;
 }
@@ -111,6 +113,17 @@ void TimeSeriesRecorder::on_migration(const MigrationEvent& event) {
   ++sample(w, event.to).migrations_in;
 }
 
+void TimeSeriesRecorder::on_request_degraded(
+    const RequestDegradedEvent& event) {
+  if (event.intended >= disk_count_) return;
+  WindowSample& s = sample(window_of(event.time), event.intended);
+  if (event.outcome == DegradedOutcome::kLost) {
+    ++s.lost_requests;
+  } else {
+    ++s.degraded_requests;
+  }
+}
+
 void TimeSeriesRecorder::on_run_end(const RunEndEvent& event) {
   for (DiskId d = 0; d < current_speed_.size(); ++d) {
     account_speed_until(d, event.horizon);
@@ -122,7 +135,7 @@ void TimeSeriesRecorder::on_run_end(const RunEndEvent& event) {
 void TimeSeriesRecorder::write_csv(std::ostream& out) const {
   out << "window,start_s,disk,requests,bytes,busy_s,utilization,energy_j,"
          "max_backlog_s,transitions_up,transitions_down,high_speed_fraction,"
-         "migrations_in,migrations_out\n";
+         "migrations_in,migrations_out,degraded,lost\n";
   // Floats go through the locale-independent formatter; the classic
   // locale keeps the integer fields free of grouping separators.
   out.imbue(std::locale::classic());
@@ -136,7 +149,8 @@ void TimeSeriesRecorder::write_csv(std::ostream& out) const {
           << full(s.energy.value()) << ',' << full(s.max_backlog.value())
           << ',' << s.transitions_up << ',' << s.transitions_down << ','
           << full(s.high_speed_fraction(window_)) << ',' << s.migrations_in
-          << ',' << s.migrations_out << '\n';
+          << ',' << s.migrations_out << ',' << s.degraded_requests << ','
+          << s.lost_requests << '\n';
     }
   }
 }

@@ -40,6 +40,11 @@ struct WindowSample {
   Seconds time_at_high{0.0};
   std::uint64_t migrations_in = 0;
   std::uint64_t migrations_out = 0;
+  /// Requests perturbed by injected faults, attributed to the *intended*
+  /// disk's arrival window (always 0 without a FaultPlan): redirected or
+  /// slowed serves, and requests lost outright.
+  std::uint64_t degraded_requests = 0;
+  std::uint64_t lost_requests = 0;
 
   /// Approximate utilization: busy seconds attributed here over the
   /// window length (can exceed 1 when long services pile into the
@@ -64,6 +69,7 @@ class TimeSeriesRecorder final : public SimObserver {
   void on_speed_transition(const SpeedTransitionEvent& event) override;
   void on_epoch_end(const EpochEndEvent& event) override;
   void on_migration(const MigrationEvent& event) override;
+  void on_request_degraded(const RequestDegradedEvent& event) override;
   void on_run_end(const RunEndEvent& event) override;
 
   [[nodiscard]] Seconds window_length() const { return window_; }

@@ -43,6 +43,11 @@ class MaidPolicy final : public Policy {
   void initialize(ArrayContext& ctx) override;
   DiskId route(ArrayContext& ctx, const Request& req) override;
   void after_serve(ArrayContext& ctx, const Request& req, DiskId d) override;
+  /// Fault fallback: a cached copy on a live cache disk, else the home
+  /// disk when the cache copy's disk failed; kInvalidDisk when both the
+  /// home disk and any cache copy are down.
+  DiskId degraded_route(ArrayContext& ctx, const Request& req,
+                        DiskId failed) override;
 
   [[nodiscard]] std::size_t cache_disk_count() const { return cache_disks_; }
   [[nodiscard]] bool is_cache_disk(DiskId d) const { return d < cache_disks_; }

@@ -109,6 +109,35 @@ void ReplicatedReadPolicy::after_serve(ArrayContext& ctx, const Request& req,
   base_.after_serve(ctx, req, d);
 }
 
+DiskId ReplicatedReadPolicy::degraded_route(ArrayContext& ctx,
+                                            const Request& req,
+                                            DiskId failed) {
+  // Consider every copy — the primary plus replicas — skipping failed
+  // disks; among the live ones pick the earliest-ready (the same
+  // join-shortest-workload rule route() uses, lowest id on ties).
+  DiskId best = kInvalidDisk;
+  Seconds best_ready = kNeverTime;
+  const auto consider = [&](DiskId d) {
+    if (d == failed || ctx.disk_failed(d)) return;
+    const Seconds ready = ctx.disk(d).ready_time();
+    if (best == kInvalidDisk || ready < best_ready ||
+        (ready == best_ready && d < best)) {
+      best = d;
+      best_ready = ready;
+    }
+  };
+  consider(ctx.location(req.file));
+  const auto it = replicas_.find(req.file);
+  if (it != replicas_.end()) {
+    for (const DiskId d : it->second) consider(d);
+  }
+  // String bump (cold path, fault runs only): interning the name in
+  // initialize() would add a zero-valued counter to every fault-free
+  // report and break their byte-identity.
+  if (best != kInvalidDisk) ctx.bump("replication.degraded_read");
+  return best;
+}
+
 void ReplicatedReadPolicy::on_epoch(ArrayContext& ctx, Seconds now) {
   // Base READ re-ranks and migrates first; replica sets are then rebuilt
   // against the post-migration placement.

@@ -36,6 +36,11 @@ class ReplicatedReadPolicy final : public Policy {
   void after_serve(ArrayContext& ctx, const Request& req, DiskId d) override;
   void on_epoch(ArrayContext& ctx, Seconds now) override;
   bool allow_spin_down(ArrayContext& ctx, DiskId d, Seconds now) override;
+  /// Fault fallback: serve from a live replica (or the primary when a
+  /// replica disk is the one that failed); kInvalidDisk when every copy
+  /// is on a failed disk.
+  DiskId degraded_route(ArrayContext& ctx, const Request& req,
+                        DiskId failed) override;
 
   [[nodiscard]] std::size_t replicated_files() const {
     return replicas_.size();

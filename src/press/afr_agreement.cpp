@@ -1,0 +1,25 @@
+#include "press/afr_agreement.h"
+
+namespace pr {
+
+AfrAgreement score_afr_agreement(double predicted_afr, double injected_afr,
+                                 std::uint64_t observed_failures,
+                                 std::size_t disks, Seconds horizon) {
+  AfrAgreement a;
+  a.predicted_afr = predicted_afr;
+  a.injected_afr = injected_afr;
+  const double disk_years = static_cast<double>(disks) *
+                            (horizon.value() / kSecondsPerYear.value());
+  if (disk_years > 0.0) {
+    a.observed_afr = static_cast<double>(observed_failures) / disk_years;
+  }
+  if (a.observed_afr > 0.0) {
+    a.predicted_over_observed = predicted_afr / a.observed_afr;
+  }
+  if (injected_afr > 0.0) {
+    a.predicted_over_injected = predicted_afr / injected_afr;
+  }
+  return a;
+}
+
+}  // namespace pr

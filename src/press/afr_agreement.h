@@ -1,0 +1,43 @@
+// afr_agreement.h — scores PRESS's predicted AFR against ground truth
+// from fault injection. The fault sweep (scenarios/fault_sweep.ini) dials
+// an injected exponential hazard per disk; a run then yields three AFRs:
+//   predicted — PRESS's model output from the run's ESRRA telemetry,
+//   injected  — the hazard rate the FaultPlan was generated from,
+//   observed  — failures actually experienced per disk-year of exposure.
+// The ratios predicted/observed and predicted/injected are the paper-loop
+// closure: a well-calibrated model should track the injected rate as the
+// sweep scales it (Pinheiro et al., FAST'07 treat field failures the same
+// way).
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace pr {
+
+struct AfrAgreement {
+  /// PRESS's array AFR for the run (fraction/year).
+  double predicted_afr = 0.0;
+  /// The hazard rate the FaultPlan was generated from (fraction/year).
+  double injected_afr = 0.0;
+  /// Failures per disk-year actually experienced over the horizon.
+  double observed_afr = 0.0;
+  /// predicted / observed (0 when nothing was observed).
+  double predicted_over_observed = 0.0;
+  /// predicted / injected (0 when nothing was injected).
+  double predicted_over_injected = 0.0;
+};
+
+/// Compute the agreement scores. `observed_failures` is the count of
+/// injected fail-stop faults that actually struck (DegradationAnalyzer's
+/// failures()); exposure is disks × horizon, annualized. Ratios with a
+/// zero denominator are reported as 0 rather than inf/nan so fixed-schema
+/// CSV cells stay finite.
+[[nodiscard]] AfrAgreement score_afr_agreement(double predicted_afr,
+                                               double injected_afr,
+                                               std::uint64_t observed_failures,
+                                               std::size_t disks,
+                                               Seconds horizon);
+
+}  // namespace pr

@@ -64,6 +64,10 @@ void ArrayContext::migrate(FileId f, DiskId to) {
   }
   if (from == to) return;
   const Bytes bytes = files_->by_id(f).size;
+  Joules energy_before{0.0};
+  if (observer_ != nullptr) {
+    energy_before = disks_[from].ledger().energy + disks_[to].ledger().energy;
+  }
   disks_[from].serve(now_, bytes, /*internal=*/true);
   disks_[to].serve(now_, bytes, /*internal=*/true);
   cancel_idle_check(from);
@@ -73,7 +77,10 @@ void ArrayContext::migrate(FileId f, DiskId to) {
   ++migrations_;
   migration_bytes_ += bytes;
   if (observer_ != nullptr) {
-    observer_->on_migration(MigrationEvent{now_, f, from, to, bytes});
+    const Joules energy =
+        disks_[from].ledger().energy + disks_[to].ledger().energy -
+        energy_before;
+    observer_->on_migration(MigrationEvent{now_, f, from, to, bytes, energy});
   }
 }
 
@@ -81,10 +88,21 @@ void ArrayContext::background_copy(DiskId from, DiskId to, Bytes bytes) {
   if (from >= disks_.size() || to >= disks_.size()) {
     throw std::invalid_argument("ArrayContext::background_copy: bad disk");
   }
+  Joules energy_before{0.0};
+  if (observer_ != nullptr) {
+    energy_before = disks_[from].ledger().energy;
+    if (from != to) energy_before += disks_[to].ledger().energy;
+  }
   disks_[from].serve(now_, bytes, /*internal=*/true);
   if (from != to) disks_[to].serve(now_, bytes, /*internal=*/true);
   cancel_idle_check(from);
   if (from != to) cancel_idle_check(to);
+  if (observer_ != nullptr) {
+    Joules energy = disks_[from].ledger().energy - energy_before;
+    if (from != to) energy += disks_[to].ledger().energy;
+    observer_->on_background_copy(
+        BackgroundCopyEvent{now_, from, to, bytes, energy});
+  }
 }
 
 void ArrayContext::set_initial_speed(DiskId d, DiskSpeed speed) {
@@ -99,20 +117,23 @@ Seconds ArrayContext::request_transition(DiskId d, DiskSpeed target) {
     throw std::invalid_argument("ArrayContext::request_transition: bad disk");
   }
   const DiskSpeed from = disks_[d].speed();
+  const Joules energy_before =
+      observer_ != nullptr ? disks_[d].ledger().energy : Joules{0.0};
   const Seconds finish = disks_[d].transition(now_, target);
   if (from != target) {
     counters_.add(h_policy_transitions_);
-    emit_transition(d, from, target, now_, finish, TransitionCause::kPolicy);
+    emit_transition(d, from, target, now_, finish, TransitionCause::kPolicy,
+                    disks_[d].ledger().energy - energy_before);
   }
   return finish;
 }
 
 void ArrayContext::emit_transition(DiskId d, DiskSpeed from, DiskSpeed to,
                                    Seconds at, Seconds finish,
-                                   TransitionCause cause) {
+                                   TransitionCause cause, Joules energy) {
   if (observer_ == nullptr || from == to) return;
   observer_->on_speed_transition(
-      SpeedTransitionEvent{at, finish, d, from, to, cause});
+      SpeedTransitionEvent{at, finish, d, from, to, cause, energy});
   observer_->on_disk_state_change(
       DiskStateChangeEvent{at, d, power_state(from), power_state(to)});
 }
@@ -157,9 +178,10 @@ void ArrayContext::cancel_idle_check(DiskId d) {
 class ArraySimulator {
  public:
   ArraySimulator(const SimConfig& config, const FileSet& files,
-                 const Trace& trace, Policy& policy, SimObserver* observer)
+                 const Trace& trace, Policy& policy, SimObserver* observer,
+                 const FaultPlan* faults)
       : config_(config), files_(files), trace_(trace), policy_(policy),
-        ctx_(config, files),
+        ctx_(config, files), faults_(faults),
         h_epochs_(ctx_.counters_.intern("sim.epochs")),
         h_idle_checks_(ctx_.counters_.intern("sim.idle_checks")),
         h_idle_stale_(ctx_.counters_.intern("sim.idle_checks_stale")),
@@ -168,6 +190,19 @@ class ArraySimulator {
         h_spin_vetoed_(ctx_.counters_.intern("sim.spin_downs_vetoed")),
         h_spin_ups_(ctx_.counters_.intern("sim.spin_ups_to_serve")) {
     ctx_.observer_ = observer;
+    // Fault counters are interned only when a non-empty plan is attached:
+    // CounterRegistry snapshots include zero-valued registered counters,
+    // so interning unconditionally would change fault-free reports.
+    ctx_.faults_on_ = faults != nullptr && !faults->empty();
+    if (ctx_.faults_on_) {
+      ctx_.fault_.resize(config.disk_count);
+      h_faults_ = ctx_.counters_.intern("sim.faults_injected");
+      h_recovers_ = ctx_.counters_.intern("sim.fault_recoveries");
+      h_slowdowns_ = ctx_.counters_.intern("sim.fault_slowdowns");
+      h_lost_ = ctx_.counters_.intern("sim.requests_lost");
+      h_redirected_ = ctx_.counters_.intern("sim.requests_degraded");
+      h_slowed_ = ctx_.counters_.intern("sim.requests_slowed");
+    }
   }
 
   SimResult run() {
@@ -182,7 +217,7 @@ class ArraySimulator {
     SimObserver* const obs = ctx_.observer_;
 
     for (const Request& req : trace_.requests) {
-      drain_until(req.arrival);
+      advance_until(req.arrival);
       fire_epochs_until(req.arrival);
       ctx_.now_ = req.arrival;
 
@@ -192,26 +227,79 @@ class ArraySimulator {
       ++ctx_.epoch_requests_;
 
       if (obs != nullptr) pending_ = RequestCompleteEvent{};
+      request_slowed_ = false;
+      request_slowdown_ = 1.0;
 
       Seconds completion{0.0};
       DiskId primary = kInvalidDisk;
       std::uint32_t chunk_count = 1;
+      bool lost = false;
       if (policy_.striped()) {
         const auto chunks = policy_.stripe(ctx_, req);
         if (chunks.empty()) {
           throw std::logic_error("striped policy produced no chunks");
         }
-        // All chunks start in parallel; the request completes when the
-        // slowest disk finishes its piece.
-        for (const auto& chunk : chunks) {
-          const Seconds done = serve_on(chunk.disk, req.arrival, chunk.bytes, req.file);
-          completion = std::max(completion, done);
+        if (ctx_.faults_on_) {
+          // A striped request needs every chunk; any failed chunk disk
+          // loses the whole request (no partial-stripe reconstruction).
+          for (const auto& chunk : chunks) {
+            if (ctx_.fault_.failed(chunk.disk)) {
+              lost = true;
+              break;
+            }
+          }
         }
         primary = chunks.front().disk;
-        chunk_count = static_cast<std::uint32_t>(chunks.size());
+        if (!lost) {
+          // All chunks start in parallel; the request completes when the
+          // slowest disk finishes its piece.
+          for (const auto& chunk : chunks) {
+            const Seconds done = serve_on(chunk.disk, req.arrival, chunk.bytes, req.file);
+            completion = std::max(completion, done);
+          }
+          chunk_count = static_cast<std::uint32_t>(chunks.size());
+        }
       } else {
         primary = policy_.route(ctx_, req);
-        completion = serve_on(primary, req.arrival, req.size, req.file);
+        if (ctx_.faults_on_ && ctx_.fault_.failed(primary)) {
+          const DiskId alt = policy_.degraded_route(ctx_, req, primary);
+          if (alt == kInvalidDisk || alt >= ctx_.disks_.size() ||
+              ctx_.fault_.failed(alt)) {
+            lost = true;
+          } else {
+            ctx_.counters_.add(h_redirected_);
+            if (obs != nullptr) {
+              obs->on_request_degraded(RequestDegradedEvent{
+                  req.arrival, req.file, primary, alt,
+                  DegradedOutcome::kRedirected, 1.0});
+            }
+            primary = alt;
+          }
+        }
+        if (!lost) {
+          completion = serve_on(primary, req.arrival, req.size, req.file);
+        }
+      }
+      if (lost) {
+        // No live copy: the request is recorded, not served — no response
+        // time sample, no completion event, no after_serve (the epoch
+        // popularity bump above stands: demand existed even if unmet).
+        ctx_.counters_.add(h_lost_);
+        if (obs != nullptr) {
+          obs->on_request_degraded(RequestDegradedEvent{
+              req.arrival, req.file, primary, primary, DegradedOutcome::kLost,
+              1.0});
+        }
+        touched_.clear();
+        continue;
+      }
+      if (request_slowed_) {
+        ctx_.counters_.add(h_slowed_);
+        if (obs != nullptr) {
+          obs->on_request_degraded(RequestDegradedEvent{
+              req.arrival, req.file, primary, primary,
+              DegradedOutcome::kSlowed, request_slowdown_});
+        }
       }
       horizon = std::max(horizon, completion);
 
@@ -244,8 +332,9 @@ class ArraySimulator {
       horizon = std::max(horizon, trace_.requests.back().arrival);
     }
     // Trailing events inside the horizon still count (a final spin-down
-    // whose idle window closed before the last completion).
-    drain_until(horizon);
+    // whose idle window closed before the last completion, a fault that
+    // strikes between the last arrival and the last completion).
+    advance_until(horizon);
 
     finalize(horizon);
     return std::move(result_);
@@ -279,22 +368,95 @@ class ArraySimulator {
           backlog_limit < kNeverTime &&
           disk.ready_time() - arrival > backlog_limit;
       if (promote_always || promote_on_load) {
+        const Joules spin_before =
+            obs != nullptr ? disk.ledger().energy : Joules{0.0};
         const Seconds finish = disk.transition(arrival, DiskSpeed::kHigh);
         ctx_.counters_.add(h_spin_ups_);
         ctx_.emit_transition(d, DiskSpeed::kLow, DiskSpeed::kHigh, arrival,
-                             finish, TransitionCause::kSpinUpToServe);
+                             finish, TransitionCause::kSpinUpToServe,
+                             disk.ledger().energy - spin_before);
       }
     }
-    const Seconds completion =
+    Seconds completion =
         ctx_.positioned_io()
             ? disk.serve_positioned(arrival, bytes, ctx_.cylinder_of(file))
             : disk.serve(arrival, bytes);
+    if (ctx_.faults_on_) {
+      // Injected slowdown: the disk pays an extra internal transfer of
+      // (factor − 1) × bytes right behind the request (average-cost seek
+      // even in positional mode — degraded media, not head travel). The
+      // chaser sits inside the observer snapshot, so the request's energy
+      // and service-time deltas include it.
+      const double factor = ctx_.fault_.slowdown(d);
+      if (factor > 1.0) {
+        const auto extra = static_cast<Bytes>(
+            (factor - 1.0) * static_cast<double>(bytes));
+        if (extra > 0) {
+          completion = disk.serve(completion, extra, /*internal=*/true);
+          request_slowed_ = true;
+          request_slowdown_ = std::max(request_slowdown_, factor);
+        }
+      }
+    }
     if (obs != nullptr) {
       pending_.service_time += disk.ledger().busy_time - busy_before;
       pending_.energy += disk.ledger().energy - energy_before;
     }
     touched_.push_back(d);
     return completion;
+  }
+
+  /// Apply one plan event to the live FaultState; announce it (and bump
+  /// the matching counter) only when it actually changed something —
+  /// idempotent events stay invisible.
+  void apply_fault(const FaultEvent& e) {
+    const FaultState::ApplyResult applied = ctx_.fault_.apply(e);
+    if (!applied.changed) return;
+    SimObserver* const obs = ctx_.observer_;
+    switch (e.kind) {
+      case FaultKind::kFail:
+        ctx_.counters_.add(h_faults_);
+        if (obs != nullptr) {
+          obs->on_disk_fail(
+              DiskFailEvent{e.time, e.disk, FaultMode::kFailStop, 1.0});
+        }
+        break;
+      case FaultKind::kRecover:
+        ctx_.counters_.add(h_recovers_);
+        if (obs != nullptr) {
+          obs->on_disk_recover(
+              DiskRecoverEvent{e.time, e.disk, applied.downtime});
+        }
+        break;
+      case FaultKind::kSlowdown:
+        ctx_.counters_.add(h_slowdowns_);
+        if (obs != nullptr) {
+          obs->on_disk_fail(
+              DiskFailEvent{e.time, e.disk, FaultMode::kSlowdown, e.factor});
+        }
+        break;
+    }
+  }
+
+  /// Advance simulated time to `t`, interleaving plan events with the
+  /// deferred-event stream. Ordering at one instant: epoch work → fault
+  /// events → DPM idle checks (drain_until runs exclusive up to each fault
+  /// instant, then inclusive to `t`). The fault-free path collapses to
+  /// plain drain_until.
+  void advance_until(Seconds t) {
+    if (ctx_.faults_on_) {
+      const auto& events = faults_->events();
+      while (fault_cursor_ < events.size() &&
+             events[fault_cursor_].time <= t) {
+        const FaultEvent& e = events[fault_cursor_];
+        drain_until(e.time, /*inclusive=*/false);
+        fire_epochs_until(e.time);
+        ctx_.now_ = e.time;
+        apply_fault(e);
+        ++fault_cursor_;
+      }
+    }
+    drain_until(t);
   }
 
   void validate_inputs() const {
@@ -331,10 +493,13 @@ class ArraySimulator {
   /// Stale queue events have no side effects beyond churn counters —
   /// fire_epochs_until is monotone in the popped time — so both backends
   /// interleave epochs, spin-downs and observer emissions identically.
-  void drain_until(Seconds t) {
+  void drain_until(Seconds t, bool inclusive = true) {
+    const auto due = [t, inclusive](Seconds next) {
+      return inclusive ? next <= t : next < t;
+    };
     if (ctx_.use_timer_) {
       auto& timer = ctx_.idle_timer_;
-      while (!timer.empty() && timer.next_time() <= t) {
+      while (!timer.empty() && due(timer.next_time())) {
         const auto deadline = timer.pop();
         PR_INVARIANT(!(deadline.time < ctx_.now_),
                      "drain_until: idle deadline fired in the past");
@@ -344,7 +509,7 @@ class ArraySimulator {
       }
     } else {
       while (!ctx_.idle_events_.empty() &&
-             ctx_.idle_events_.next_time() <= t) {
+             due(ctx_.idle_events_.next_time())) {
         const auto event = ctx_.idle_events_.pop();
         PR_INVARIANT(!(event.time < ctx_.now_),
                      "drain_until: idle event fired in the past");
@@ -392,10 +557,13 @@ class ArraySimulator {
       ctx_.counters_.add(h_spin_vetoed_);
       return;
     }
+    const Joules energy_before =
+        ctx_.observer_ != nullptr ? disk.ledger().energy : Joules{0.0};
     const Seconds finish = disk.transition(at, DiskSpeed::kLow);
     ctx_.counters_.add(h_spin_downs_);
     ctx_.emit_transition(d, DiskSpeed::kHigh, DiskSpeed::kLow, at, finish,
-                         TransitionCause::kDpmIdle);
+                         TransitionCause::kDpmIdle,
+                         disk.ledger().energy - energy_before);
   }
 
   void fire_epochs_until(Seconds t) {
@@ -442,15 +610,19 @@ class ArraySimulator {
     result_.horizon = horizon;
     result_.ledgers.reserve(ctx_.disks_.size());
     result_.telemetry.reserve(ctx_.disks_.size());
+    Joules final_idle{0.0};
     for (auto& disk : ctx_.disks_) {
+      const Joules before_close = disk.ledger().energy;
       disk.finish(horizon);
+      final_idle += disk.ledger().energy - before_close;
       result_.ledgers.push_back(disk.ledger());
       result_.telemetry.push_back(
           extract_telemetry(disk, config_.temperature_attribution));
       result_.total_energy += disk.ledger().energy;
       result_.total_transitions += disk.ledger().transitions;
-      result_.max_transitions_per_day = std::max(
-          result_.max_transitions_per_day, disk.ledger().transitions_per_day());
+      result_.max_transitions_per_day =
+          std::max(result_.max_transitions_per_day,
+                   disk.ledger().press_transitions_per_day());
     }
     result_.migrations = ctx_.migrations_;
     result_.migration_bytes = ctx_.migration_bytes_;
@@ -458,7 +630,7 @@ class ArraySimulator {
     if (ctx_.observer_ != nullptr) {
       ctx_.observer_->on_run_end(RunEndEvent{
           horizon, static_cast<std::uint64_t>(result_.user_requests),
-          result_.total_energy});
+          result_.total_energy, final_idle});
     }
   }
 
@@ -467,6 +639,14 @@ class ArraySimulator {
   const Trace& trace_;
   Policy& policy_;
   ArrayContext ctx_;
+  /// Attached fault plan (nullptr or empty = fault-free fast path) and the
+  /// index of its next unapplied event.
+  const FaultPlan* faults_ = nullptr;
+  std::size_t fault_cursor_ = 0;
+  /// Whether the in-flight request hit an injected slowdown (and the worst
+  /// factor across its chunks); drives the kSlowed emission.
+  bool request_slowed_ = false;
+  double request_slowdown_ = 1.0;
   Seconds next_epoch_{0.0};
   std::uint64_t epoch_index_ = 0;
   SimResult result_;
@@ -486,19 +666,34 @@ class ArraySimulator {
   CounterRegistry::Handle h_spin_downs_;
   CounterRegistry::Handle h_spin_vetoed_;
   CounterRegistry::Handle h_spin_ups_;
+  // Fault counters; interned (and thus reported) only when a non-empty
+  // FaultPlan is attached.
+  CounterRegistry::Handle h_faults_ = 0;
+  CounterRegistry::Handle h_recovers_ = 0;
+  CounterRegistry::Handle h_slowdowns_ = 0;
+  CounterRegistry::Handle h_lost_ = 0;
+  CounterRegistry::Handle h_redirected_ = 0;
+  CounterRegistry::Handle h_slowed_ = 0;
 };
 
 SimResult run_simulation(const SimConfig& config, const FileSet& files,
                          const Trace& trace, Policy& policy,
-                         SimObserver* observer) {
+                         SimObserver* observer, const FaultPlan* faults) {
   validate(config.disk_params);
-  ArraySimulator sim(config, files, trace, policy, observer);
+  if (faults != nullptr) faults->validate(config.disk_count);
+  ArraySimulator sim(config, files, trace, policy, observer, faults);
   return sim.run();
 }
 
 SimResult run_simulation(const SimConfig& config, const FileSet& files,
+                         const Trace& trace, Policy& policy,
+                         SimObserver* observer) {
+  return run_simulation(config, files, trace, policy, observer, nullptr);
+}
+
+SimResult run_simulation(const SimConfig& config, const FileSet& files,
                          const Trace& trace, Policy& policy) {
-  return run_simulation(config, files, trace, policy, nullptr);
+  return run_simulation(config, files, trace, policy, nullptr, nullptr);
 }
 
 }  // namespace pr

@@ -21,6 +21,8 @@
 
 #include "disk/disk.h"
 #include "disk/telemetry.h"
+#include "fault/fault_plan.h"
+#include "fault/fault_state.h"
 #include "obs/counter_registry.h"
 #include "obs/observer.h"
 #include "sim/dpm.h"
@@ -96,6 +98,17 @@ class ArrayContext {
   [[nodiscard]] std::uint64_t epoch_requests() const {
     return epoch_requests_;
   }
+  /// True when an injected fail-stop fault currently holds `d` out of
+  /// service (always false when no FaultPlan is attached). Policies use
+  /// this in degraded_route() to pick a live replica/cache copy.
+  [[nodiscard]] bool disk_failed(DiskId d) const {
+    return faults_on_ && fault_.failed(d);
+  }
+  /// Injected service-inflation factor currently in force on `d` (1 =
+  /// nominal; always 1 when no FaultPlan is attached).
+  [[nodiscard]] double disk_slowdown(DiskId d) const {
+    return faults_on_ ? fault_.slowdown(d) : 1.0;
+  }
 
   // --- placement & data movement --------------------------------------
   /// Initial placement (no I/O cost); each file must be placed exactly
@@ -156,8 +169,9 @@ class ArrayContext {
   void assign_cylinders(FileId f, DiskId d);
   /// Announce an actual speed change (and the derived power-state change)
   /// to the attached observer; no-op when detached or from == to.
+  /// `energy` is the ledger delta across the transition operation.
   void emit_transition(DiskId d, DiskSpeed from, DiskSpeed to, Seconds at,
-                       Seconds finish, TransitionCause cause);
+                       Seconds finish, TransitionCause cause, Joules energy);
 
   const SimConfig* config_;
   const FileSet* files_;
@@ -185,6 +199,10 @@ class ArrayContext {
   CounterRegistry counters_;
   /// Pre-interned handle for request_transition's hot-path bump.
   CounterRegistry::Handle h_policy_transitions_ = 0;
+  /// Live per-disk fault flags; only consulted when a non-empty FaultPlan
+  /// is attached (faults_on_), so fault-free runs stay byte-identical.
+  FaultState fault_;
+  bool faults_on_ = false;
   /// Attached observer (nullptr = detached; every emission point guards on
   /// this, which is the whole zero-cost story).
   SimObserver* observer_ = nullptr;
@@ -245,6 +263,20 @@ class Policy {
     (void)now;
     return true;
   }
+
+  /// Fault fallback: route() chose `failed`, but an injected fail-stop
+  /// fault holds it out of service. Return an alternate *live* disk that
+  /// has the data (a replica, a MAID cache copy), or kInvalidDisk when no
+  /// live copy exists — the simulator then records the request as lost
+  /// (RequestDegradedEvent kLost, excluded from response-time stats).
+  /// Only called while a FaultPlan with events is attached.
+  virtual DiskId degraded_route(ArrayContext& ctx, const Request& req,
+                                DiskId failed) {
+    (void)ctx;
+    (void)req;
+    (void)failed;
+    return kInvalidDisk;
+  }
 };
 
 /// Drive `policy` over `trace` against an array built from `config`.
@@ -256,6 +288,17 @@ class Policy {
 /// obs/observer.h; pass nullptr for the zero-overhead fast path. Use
 /// ObserverList to attach several observers, or the SimulationSession
 /// builder (core/session.h) for the high-level API.
+/// `faults` (optional) attaches a fault-injection plan (fault/fault_plan.h):
+/// its events are applied in time order interleaved with the usual event
+/// stream (epoch work → fault events → DPM/request events at one instant).
+/// nullptr or an empty plan is the byte-identical fault-free fast path.
+/// Throws std::invalid_argument if the plan targets a disk outside the
+/// array.
+[[nodiscard]] SimResult run_simulation(const SimConfig& config,
+                                       const FileSet& files,
+                                       const Trace& trace, Policy& policy,
+                                       SimObserver* observer,
+                                       const FaultPlan* faults);
 [[nodiscard]] SimResult run_simulation(const SimConfig& config,
                                        const FileSet& files,
                                        const Trace& trace, Policy& policy,

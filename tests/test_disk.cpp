@@ -250,6 +250,31 @@ TEST(Disk, TransitionsPerDayExtrapolates) {
   EXPECT_NEAR(d.ledger().transitions_per_day(), 2.0, 1e-9);
 }
 
+TEST(Disk, PressTransitionsPerDayDoesNotExtrapolateShortRuns) {
+  // Regression: PRESS's frequency factor used to consume the extrapolated
+  // transitions_per_day(), which projects a half-day run's single
+  // transition to 2/day. The model's input is what was observed.
+  Disk d(0, params(), DiskSpeed::kHigh);
+  d.transition(Seconds{10.0}, DiskSpeed::kLow);
+  d.finish(kSecondsPerDay * 0.5);
+  EXPECT_NEAR(d.ledger().transitions_per_day(), 2.0, 1e-9);  // extrapolated
+  EXPECT_NEAR(d.ledger().press_transitions_per_day(), 1.0, 1e-9);  // observed
+}
+
+TEST(Disk, PressTransitionsPerDayUsesWorstDayForLongRuns) {
+  // 3 transitions on day 0, 1 on day 1: the mean rate is 2/day but READ's
+  // budget bounds the worst day, so PRESS sees 3.
+  Disk d(0, params(), DiskSpeed::kHigh);
+  d.transition(Seconds{100.0}, DiskSpeed::kLow);
+  d.transition(Seconds{200.0}, DiskSpeed::kHigh);
+  d.transition(Seconds{300.0}, DiskSpeed::kLow);
+  d.transition(kSecondsPerDay + Seconds{100.0}, DiskSpeed::kHigh);
+  d.finish(kSecondsPerDay * 2.0);
+  EXPECT_NEAR(d.ledger().transitions_per_day(), 2.0, 1e-9);
+  EXPECT_EQ(d.ledger().max_transitions_in_day, 3u);
+  EXPECT_NEAR(d.ledger().press_transitions_per_day(), 3.0, 1e-9);
+}
+
 TEST(Disk, MeanTemperatureWeighting) {
   Disk d(0, params(), DiskSpeed::kHigh);
   d.finish(Seconds{100.0});

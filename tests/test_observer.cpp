@@ -453,6 +453,105 @@ TEST(JsonlTraceWriter, ThrowsOnUnopenablePath) {
 
 // --------------------------------------------------------------- ObserverList
 
+TEST(ObserverList, FanOutStreamsMatchSoleObserverByteForByte) {
+  // Two attached observers take the fan-out dispatch path instead of
+  // sole(); both must see exactly the stream a lone observer sees.
+  auto wc = worldcup98_light_config(9);
+  wc.file_count = 100;
+  wc.request_count = 2'000;
+  const auto w = generate_workload(wc);
+  SystemConfig cfg;
+  cfg.sim.disk_count = 4;
+  cfg.sim.epoch = Seconds{600.0};
+
+  std::ostringstream sole_out;
+  {
+    JsonlTraceWriter sole(sole_out);
+    (void)SimulationSession(cfg)
+        .with_workload(w)
+        .with_policy("read")
+        .with_observer(sole)
+        .run();
+  }
+
+  std::ostringstream first_out, second_out;
+  {
+    JsonlTraceWriter first(first_out);
+    JsonlTraceWriter second(second_out);
+    (void)SimulationSession(cfg)
+        .with_workload(w)
+        .with_policy("read")
+        .with_observer(first)
+        .with_observer(second)
+        .run();
+  }
+
+  EXPECT_FALSE(sole_out.str().empty());
+  EXPECT_EQ(sole_out.str(), first_out.str());
+  EXPECT_EQ(first_out.str(), second_out.str());
+}
+
+// ------------------------------------------------------ energy conservation
+
+/// Sums event energies per the RunEndEvent conservation identity.
+class EnergyAuditor : public SimObserver {
+ public:
+  void on_request_complete(const RequestCompleteEvent& e) override {
+    sum_ += e.energy.value();
+  }
+  void on_speed_transition(const SpeedTransitionEvent& e) override {
+    // kSpinUpToServe deltas are nested inside the enclosing request's.
+    if (e.cause != TransitionCause::kSpinUpToServe) sum_ += e.energy.value();
+  }
+  void on_migration(const MigrationEvent& e) override {
+    sum_ += e.energy.value();
+  }
+  void on_background_copy(const BackgroundCopyEvent& e) override {
+    sum_ += e.energy.value();
+  }
+  void on_run_end(const RunEndEvent& e) override {
+    sum_ += e.final_idle_energy.value();
+    total_ = e.total_energy.value();
+  }
+
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double total() const { return total_; }
+
+ private:
+  double sum_ = 0.0;
+  double total_ = 0.0;
+};
+
+TEST(Observer, EnergyConservationAcrossPolicies) {
+  // Event-level energies must account for every joule the ledgers record:
+  // READ exercises transitions, MAID background copies, PDC migrations.
+  for (const char* policy : {"read", "maid", "pdc"}) {
+    auto wc = worldcup98_light_config(5);
+    wc.file_count = 150;
+    wc.request_count = 4'000;
+    const auto w = generate_workload(wc);
+    SystemConfig cfg;
+    cfg.sim.disk_count = 4;
+    cfg.sim.epoch = Seconds{600.0};
+
+    EnergyAuditor audit;
+    const auto report = SimulationSession(cfg)
+                            .with_workload(w)
+                            .with_policy(policy)
+                            .with_observer(audit)
+                            .run();
+
+    double ledger_energy = 0.0;
+    for (const auto& l : report.sim.ledgers) ledger_energy += l.energy.value();
+    ASSERT_GT(audit.total(), 0.0) << policy;
+    const double tolerance = 1e-9 * audit.total();
+    EXPECT_NEAR(audit.total(), report.sim.energy_joules(), tolerance)
+        << policy;
+    EXPECT_NEAR(audit.total(), ledger_energy, tolerance) << policy;
+    EXPECT_NEAR(audit.sum(), audit.total(), tolerance) << policy;
+  }
+}
+
 TEST(ObserverList, FansOutInAttachmentOrder) {
   class Tagger : public SimObserver {
    public:

@@ -145,6 +145,53 @@ TEST(ScenarioValidate, RejectsBadSpecs) {
   EXPECT_THROW(validate_scenario(traceless), std::invalid_argument);
 }
 
+TEST(ScenarioParse, FaultSection) {
+  const ScenarioSpec spec = parse_scenario(
+      "[policy read]\n"
+      "[fault]\n"
+      "seed = 7\n"
+      "afr = 0.5\n"
+      "rate_scale = 0, 10, 40\n"
+      "mttr = 120\n");
+  EXPECT_TRUE(spec.fault.enabled);
+  EXPECT_EQ(spec.fault.seed, 7u);
+  EXPECT_DOUBLE_EQ(spec.fault.afr, 0.5);
+  EXPECT_EQ(spec.fault.rate_scales, (std::vector<double>{0.0, 10.0, 40.0}));
+  EXPECT_DOUBLE_EQ(spec.fault.mttr_s, 120.0);
+
+  // Absent section leaves injection off with the documented defaults.
+  const ScenarioSpec plain = parse_scenario("[policy read]\n");
+  EXPECT_FALSE(plain.fault.enabled);
+  EXPECT_DOUBLE_EQ(plain.fault.afr, 0.08);
+
+  expect_parse_error("[fault oops]\n", {"t.ini:1"});
+  expect_parse_error("[policy read]\n[fault]\nwobble = 1\n",
+                     {"t.ini:3", "wobble"});
+}
+
+TEST(ScenarioValidate, RejectsBadFaultKnobs) {
+  ScenarioSpec spec;
+  spec.policies.push_back({"read", "", {}});
+  spec.fault.enabled = true;
+  EXPECT_NO_THROW(validate_scenario(spec));
+
+  ScenarioSpec bad_afr = spec;
+  bad_afr.fault.afr = -0.1;
+  EXPECT_THROW(validate_scenario(bad_afr), std::invalid_argument);
+
+  ScenarioSpec no_scales = spec;
+  no_scales.fault.rate_scales.clear();
+  EXPECT_THROW(validate_scenario(no_scales), std::invalid_argument);
+
+  ScenarioSpec bad_scale = spec;
+  bad_scale.fault.rate_scales = {1.0, -2.0};
+  EXPECT_THROW(validate_scenario(bad_scale), std::invalid_argument);
+
+  ScenarioSpec bad_mttr = spec;
+  bad_mttr.fault.mttr_s = 0.0;
+  EXPECT_THROW(validate_scenario(bad_mttr), std::invalid_argument);
+}
+
 TEST(ScenarioValidate, PresetNames) {
   const auto presets = workload_presets();
   EXPECT_EQ(presets.size(), 5u);
@@ -248,6 +295,92 @@ TEST(ScenarioEngine, ThreadCountNeverChangesResults) {
   EXPECT_EQ(csv1.str(), csv4.str());
   EXPECT_EQ(to_json(one, /*include_reports=*/true),
             to_json(four, /*include_reports=*/true));
+}
+
+// ------------------------------------------------------------ fault axis
+
+ScenarioSpec faulted_spec(unsigned threads) {
+  ScenarioSpec spec = tiny_spec(threads);
+  spec.name = "tiny_faults";
+  spec.seeds = {1};
+  spec.disks = {3};
+  spec.policies.resize(1);  // READ only
+  spec.fault.enabled = true;
+  spec.fault.seed = 7;
+  spec.fault.afr = 0.08;
+  // The tiny trace spans ~90 s, so only extreme scales produce faults.
+  spec.fault.rate_scales = {0.0, 4'000'000.0};
+  spec.fault.mttr_s = 20.0;
+  return spec;
+}
+
+TEST(ScenarioEngine, FaultAxisExpandsCellsAndFillsMetrics) {
+  const ScenarioResult result = run_scenario(faulted_spec(2));
+  EXPECT_TRUE(result.faulted);
+  // 1 policy x 1 variant x 1 epoch x 1 disks x 2 rate scales.
+  ASSERT_EQ(result.cells.size(), 2u);
+
+  ASSERT_TRUE(result.cells[0].fault.has_value());
+  const ScenarioFaultCell& baseline = *result.cells[0].fault;
+  EXPECT_DOUBLE_EQ(baseline.rate_scale, 0.0);
+  EXPECT_EQ(baseline.failures, 0u);
+  EXPECT_EQ(baseline.lost_requests, 0u);
+  EXPECT_DOUBLE_EQ(baseline.downtime_s, 0.0);
+
+  ASSERT_TRUE(result.cells[1].fault.has_value());
+  const ScenarioFaultCell& faulted = *result.cells[1].fault;
+  EXPECT_DOUBLE_EQ(faulted.rate_scale, 4'000'000.0);
+  EXPECT_DOUBLE_EQ(faulted.injected_afr, 0.08 * 4'000'000.0);
+  EXPECT_GT(faulted.failures, 0u);
+  EXPECT_GT(faulted.downtime_s, 0.0);
+  EXPECT_GT(faulted.degraded_window_s, 0.0);
+  EXPECT_GT(faulted.observed_afr, 0.0);
+  EXPECT_GT(faulted.press_over_observed, 0.0);
+  // The analyzer's duration metrics landed in the cell's counters.
+  EXPECT_GT(result.cells[1].report.sim.counters.at("fault.downtime_ms"), 0u);
+
+  // The rate-scale-0 cell runs the byte-identical fault-free path: its
+  // report matches the same spec with the [fault] section removed.
+  ScenarioSpec plain = faulted_spec(2);
+  plain.fault = ScenarioFault{};
+  const ScenarioResult unfaulted = run_scenario(plain);
+  ASSERT_EQ(unfaulted.cells.size(), 1u);
+  EXPECT_FALSE(unfaulted.faulted);
+  EXPECT_FALSE(unfaulted.cells[0].fault.has_value());
+  EXPECT_EQ(pr::to_json(result.cells[0].report),
+            pr::to_json(unfaulted.cells[0].report));
+}
+
+TEST(ScenarioEngine, FaultSweepThreadsNeverChangeBytes) {
+  const ScenarioResult one = run_scenario(faulted_spec(1));
+  const ScenarioResult four = run_scenario(faulted_spec(4));
+
+  std::ostringstream csv1, csv4;
+  write_scenario_csv(one, csv1);
+  write_scenario_csv(four, csv4);
+  EXPECT_EQ(csv1.str(), csv4.str());
+  EXPECT_EQ(to_json(one, /*include_reports=*/true),
+            to_json(four, /*include_reports=*/true));
+}
+
+TEST(ScenarioReport, FaultCsvSchemaWidens) {
+  EXPECT_EQ(scenario_csv_header(true),
+            scenario_csv_header() +
+                ",fault_rate_scale,fault_injected_afr,fault_failures,"
+                "fault_lost,fault_degraded,fault_downtime_s,"
+                "fault_degraded_window_s,fault_mean_recovery_s,"
+                "fault_observed_afr,press_over_injected,press_over_observed");
+  const ScenarioResult result = run_scenario(faulted_spec(2));
+  std::ostringstream csv;
+  write_scenario_csv(result, csv);
+  const std::string text = csv.str();
+  EXPECT_EQ(text.substr(0, text.find('\n')), scenario_csv_header(true));
+  std::size_t lines = 0;
+  for (const char ch : text) lines += ch == '\n';
+  EXPECT_EQ(lines, 1u + result.cells.size());
+  // JSON cells carry the fault object.
+  EXPECT_NE(to_json(result).find("\"fault\":{\"rate_scale\":"),
+            std::string::npos);
 }
 
 TEST(ScenarioReport, CsvSchema) {

@@ -50,7 +50,8 @@ bool in_dir(const std::string& path, std::string_view dir) {
 
 /// banned-entropy scope: the deterministic simulation core.
 bool entropy_scoped(const std::string& path) {
-  return in_dir(path, "sim") || in_dir(path, "policy") || in_dir(path, "exp");
+  return in_dir(path, "sim") || in_dir(path, "policy") ||
+         in_dir(path, "exp") || in_dir(path, "fault");
 }
 
 /// locale-float scope: everywhere except util/ (which owns the sanctioned
@@ -92,7 +93,8 @@ const std::vector<RuleInfo>& rules() {
        "report/CSV/JSONL output"},
       {kBannedEntropy,
        "ambient entropy (rand, srand, std::random_device, time(), "
-       "std::chrono::system_clock) inside src/sim, src/policy or src/exp"},
+       "std::chrono::system_clock) inside src/sim, src/policy, src/exp or "
+       "src/fault"},
       {kLocaleFloat,
        "locale-sensitive float formatting/parsing outside util/ (stream "
        "precision manipulators, printf float conversions, stod/strtod, "

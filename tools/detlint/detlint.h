@@ -9,9 +9,9 @@
 //                        iteration order is libstdc++-version- and
 //                        salt-dependent, so emitted order is not stable)
 //   banned-entropy       rand()/srand()/std::random_device/time()/
-//                        std::chrono::system_clock inside src/sim, policy
-//                        or exp (all randomness must flow from the run's
-//                        seed; all time from the simulation clock)
+//                        std::chrono::system_clock inside src/sim, policy,
+//                        exp or fault (all randomness must flow from the
+//                        run's seed; all time from the simulation clock)
 //   locale-float         locale-sensitive float formatting/parsing
 //                        outside util/ (stream precision manipulators,
 //                        printf %f/%g/%e, stod/strtod, locale installs) —
@@ -63,8 +63,9 @@ struct Scrubbed {
 Scrubbed scrub(std::string_view source);
 
 /// Lint one in-memory source. `path` is used both for reporting and for
-/// the path-scoped rules (banned-entropy applies under src/sim|policy|exp,
-/// locale-float everywhere but util/), which is what lets the test suite
+/// the path-scoped rules (banned-entropy applies under
+/// src/sim|policy|exp|fault, locale-float everywhere but util/), which is
+/// what lets the test suite
 /// lint fixture files under virtual src/ paths.
 std::vector<Finding> lint_source(const std::string& path,
                                  std::string_view source);
