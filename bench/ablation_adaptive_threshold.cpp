@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "bench_common.h"
-#include "core/system.h"
+#include "core/session.h"
 #include "policy/read_policy.h"
 #include "util/table.h"
 #include "workload/synthetic.h"
@@ -47,7 +47,10 @@ int main() {
       rc.max_transitions_per_day = cap;
       rc.adaptive_threshold = adaptive;
       ReadPolicy policy(rc);
-      const auto report = evaluate(cfg, w.files, w.trace, policy);
+      const auto report = SimulationSession(cfg)
+                              .with_workload(w.files, w.trace)
+                              .with_policy(policy)
+                              .run();
       const std::string variant =
           adaptive ? "adaptive H (Fig. 6)" : "fixed H (veto only)";
       table.add_row({variant, std::to_string(cap), pct(report.array_afr, 2),

@@ -8,7 +8,7 @@
 
 #include "bench_common.h"
 #include "core/experiment.h"
-#include "core/system.h"
+#include "core/session.h"
 #include "policy/read_policy.h"
 #include "policy/static_policy.h"
 #include "util/table.h"
@@ -36,7 +36,10 @@ int main() {
   // Static reference for the energy-saving fraction.
   StaticPolicy static_policy;
   const auto static_report =
-      evaluate(cfg, w.files, w.trace, static_policy);
+      SimulationSession(cfg)
+          .with_workload(w.files, w.trace)
+          .with_policy(static_policy)
+          .run();
   const double e_static = static_report.sim.energy_joules();
 
   bench::CsvSink csv("ablation_transition_cap");
@@ -57,7 +60,10 @@ int main() {
     ReadConfig rc;
     rc.max_transitions_per_day = cap;
     ReadPolicy policy(rc);
-    const auto report = evaluate(cfg, w.files, w.trace, policy);
+    const auto report = SimulationSession(cfg)
+                            .with_workload(w.files, w.trace)
+                            .with_policy(policy)
+                            .run();
     std::string note;
     if (cap == 40) note = "<- paper's choice (§5.2)";
     if (cap == 64) note = "<- ~5-yr warranty limit 65 (§3.5)";

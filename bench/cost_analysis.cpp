@@ -10,7 +10,7 @@
 
 #include "bench_common.h"
 #include "core/experiment.h"
-#include "core/system.h"
+#include "core/session.h"
 #include "policy/maid_policy.h"
 #include "policy/pdc_policy.h"
 #include "policy/read_policy.h"
@@ -76,7 +76,10 @@ int main() {
   bool have_baseline = false;
   for (const auto& candidate : candidates) {
     const auto report =
-        evaluate(cfg, w.files, w.trace, *candidate.policy);
+        SimulationSession(cfg)
+            .with_workload(w.files, w.trace)
+            .with_policy(*candidate.policy)
+            .run();
     std::vector<double> afrs;
     for (const auto& b : report.disk_press) afrs.push_back(b.combined_afr);
     const auto cost =

@@ -6,7 +6,7 @@
 #include <iostream>
 
 #include "bench_common.h"
-#include "core/system.h"
+#include "core/session.h"
 #include "policy/read_policy.h"
 #include "policy/replication.h"
 #include "util/table.h"
@@ -51,7 +51,10 @@ int main() {
       rc.top_files = 64;
       policy = std::make_unique<ReplicatedReadPolicy>(rc);
     }
-    const auto report = evaluate(cfg, w.files, w.trace, *policy);
+    const auto report = SimulationSession(cfg)
+                            .with_workload(w.files, w.trace)
+                            .with_policy(*policy)
+                            .run();
     const auto& counters = report.sim.counters;
     auto counter = [&](const char* name) -> std::uint64_t {
       const auto it = counters.find(name);

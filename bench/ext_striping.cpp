@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "bench_common.h"
-#include "core/system.h"
+#include "core/session.h"
 #include "policy/static_policy.h"
 #include "policy/read_policy.h"
 #include "policy/striped_read_policy.h"
@@ -76,7 +76,10 @@ int main() {
         default: policy = std::make_unique<StripedReadPolicy>(); break;
       }
       const auto report =
-          evaluate(cfg, cell.w->files, cell.w->trace, *policy);
+          SimulationSession(cfg)
+              .with_workload(cell.w->files, cell.w->trace)
+              .with_policy(*policy)
+              .run();
       const char* layout_name = report.sim.policy_name == "Static"
                                     ? "whole-file (Static)"
                                 : report.sim.policy_name == "RAID0-Static"

@@ -4,14 +4,19 @@
 // regressions that would make the Fig. 7 grid impractical.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "core/system.h"
 #include "obs/counter_registry.h"
 #include "obs/time_series.h"
+#include "policy/online_read_policy.h"
 #include "policy/read_policy.h"
 #include "policy/static_policy.h"
 #include "press/press_model.h"
 #include "sim/event_queue.h"
 #include "sim/idle_timer.h"
+#include "trace/csv_trace.h"
+#include "trace/stream_reader.h"
 #include "workload/synthetic.h"
 #include "workload/zipf.h"
 
@@ -162,6 +167,75 @@ void BM_SimulationWithTimeSeries(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_SimulationWithTimeSeries)->Arg(10'000)->Arg(100'000);
+
+// Batch READ vs the incremental variant on the same trace: the delta is
+// the per-serve counting plus mid-epoch promotions against the O(k)
+// boundary rebalance both share.
+void BM_OnlineReadSimulation(benchmark::State& state) {
+  SyntheticWorkloadConfig cfg;
+  cfg.file_count = 1'000;
+  cfg.request_count = static_cast<std::size_t>(state.range(0));
+  const auto w = generate_workload(cfg);
+  SimConfig sim;
+  sim.disk_params = two_speed_cheetah();
+  sim.disk_count = 8;
+  sim.epoch = Seconds{600.0};
+  for (auto _ : state) {
+    OnlineReadPolicy policy;
+    benchmark::DoNotOptimize(
+        run_simulation(sim, w.files, w.trace, policy));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_OnlineReadSimulation)->Arg(10'000)->Arg(100'000);
+
+// Parse + frame throughput of the bounded-memory CSV reader, excluding
+// simulation: the floor any streaming run pays per request over the
+// materialized path.
+void BM_StreamingIngest(benchmark::State& state) {
+  SyntheticWorkloadConfig cfg;
+  cfg.file_count = 1'000;
+  cfg.request_count = static_cast<std::size_t>(state.range(0));
+  const auto w = generate_workload(cfg);
+  std::ostringstream text;
+  write_csv_trace(w.trace, text);
+  const std::string bytes = text.str();
+  for (auto _ : state) {
+    std::istringstream in(bytes);
+    CsvStreamSource source(in, "bench.csv");
+    Request r;
+    while (source.next(r)) benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_StreamingIngest)->Arg(10'000)->Arg(100'000);
+
+// End-to-end streamed simulation (CSV text -> reader -> simulator),
+// comparable against BM_SimulationThroughput's materialized loop.
+void BM_StreamingSimulation(benchmark::State& state) {
+  SyntheticWorkloadConfig cfg;
+  cfg.file_count = 1'000;
+  cfg.request_count = static_cast<std::size_t>(state.range(0));
+  const auto w = generate_workload(cfg);
+  std::ostringstream text;
+  write_csv_trace(w.trace, text);
+  const std::string bytes = text.str();
+  SimConfig sim;
+  sim.disk_params = two_speed_cheetah();
+  sim.disk_count = 8;
+  for (auto _ : state) {
+    std::istringstream in(bytes);
+    CsvStreamSource source(in, "bench.csv");
+    StaticPolicy policy;
+    benchmark::DoNotOptimize(
+        run_simulation(sim, w.files, source, policy));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_StreamingSimulation)->Arg(10'000)->Arg(100'000);
 
 void BM_CounterRegistryAdd(benchmark::State& state) {
   CounterRegistry registry;

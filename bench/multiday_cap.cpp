@@ -9,7 +9,7 @@
 #include <memory>
 
 #include "bench_common.h"
-#include "core/system.h"
+#include "core/session.h"
 #include "policy/drpm_policy.h"
 #include "policy/read_policy.h"
 #include "util/table.h"
@@ -58,7 +58,10 @@ int main() {
   }
 
   for (auto& candidate : candidates) {
-    const auto report = evaluate(cfg, w.files, w.trace, *candidate.policy);
+    const auto report = SimulationSession(cfg)
+                            .with_workload(w.files, w.trace)
+                            .with_policy(*candidate.policy)
+                            .run();
     std::uint64_t worst_day = 0;
     for (const auto& l : report.sim.ledgers) {
       worst_day = std::max(worst_day, l.max_transitions_in_day);

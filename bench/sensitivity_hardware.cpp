@@ -8,7 +8,7 @@
 #include <memory>
 
 #include "bench_common.h"
-#include "core/system.h"
+#include "core/session.h"
 #include "policy/maid_policy.h"
 #include "policy/pdc_policy.h"
 #include "policy/read_policy.h"
@@ -54,7 +54,10 @@ int main() {
     policies.push_back(std::make_unique<PdcPolicy>());
     policies.push_back(std::make_unique<StaticPolicy>());
     for (const auto& policy : policies) {
-      const auto report = evaluate(cfg, w.files, w.trace, *policy);
+      const auto report = SimulationSession(cfg)
+                              .with_workload(w.files, w.trace)
+                              .with_policy(*policy)
+                              .run();
       table.add_row({drive.label, report.sim.policy_name,
                      pct(report.array_afr, 2),
                      num(report.sim.energy_joules() / 1e3, 1),

@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "bench_common.h"
-#include "core/system.h"
+#include "core/session.h"
 #include "policy/read_policy.h"
 #include "policy/static_policy.h"
 #include "trace/trace_stats.h"
@@ -44,8 +44,14 @@ int main() {
 
     ReadPolicy read;
     StaticPolicy none;
-    const auto r_read = evaluate(cfg, w.files, w.trace, read);
-    const auto r_static = evaluate(cfg, w.files, w.trace, none);
+    const auto r_read = SimulationSession(cfg)
+                            .with_workload(w.files, w.trace)
+                            .with_policy(read)
+                            .run();
+    const auto r_static = SimulationSession(cfg)
+                              .with_workload(w.files, w.trace)
+                              .with_policy(none)
+                              .run();
     const double saving = 1.0 - r_read.sim.energy_joules() /
                                     r_static.sim.energy_joules();
     table.add_row({num(alpha, 1), num(stats.theta, 3),

@@ -13,7 +13,7 @@
 #include <string>
 
 #include "core/report_io.h"
-#include "core/system.h"
+#include "core/session.h"
 #include "policy/maid_policy.h"
 #include "policy/pdc_policy.h"
 #include "policy/read_policy.h"
@@ -68,8 +68,10 @@ int main(int argc, char** argv) {
   config.sim.disk_count = 8;
   config.sim.epoch = Seconds{3600.0};
   auto policy = pick_policy(policy_name);
-  const SystemReport report =
-      evaluate(config, workload.files, workload.trace, *policy);
+  const SystemReport report = SimulationSession(config)
+                                  .with_workload(workload)
+                                  .with_policy(*policy)
+                                  .run();
   std::cout << "\n" << report.summary() << "\n";
 
   // ------------------------------------------------------ annual budget

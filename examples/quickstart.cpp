@@ -7,8 +7,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/system.h"
-#include "policy/read_policy.h"
+#include "core/session.h"
 #include "workload/synthetic.h"
 
 int main(int argc, char** argv) {
@@ -26,12 +25,12 @@ int main(int argc, char** argv) {
   config.sim.disk_count = 8;
   config.sim.epoch = pr::Seconds{600.0};
 
-  // 3. A policy: READ with the paper's transition budget S = 40/day.
-  pr::ReadPolicy policy;
-
-  // 4. Run and report.
-  const pr::SystemReport report =
-      pr::evaluate(config, workload.files, workload.trace, policy);
+  // 3+4. Pick READ (paper transition budget S = 40/day) from the policy
+  // registry, run, and report.
+  const pr::SystemReport report = pr::SimulationSession(config)
+                                      .with_workload(workload)
+                                      .with_policy("read")
+                                      .run();
   std::cout << report.summary() << "\n";
 
   std::cout << "PRESS guidance: keep speed transitions under "

@@ -7,7 +7,8 @@
 //     $ ./run_experiment --policy read --disks 8 --load 1.0 --cap 40
 //     $ ./run_experiment --policy maid --disks 12 --cache-disks 3
 //     $ ./run_experiment --policy striped-read --param stripe_unit=1048576
-//     $ ./run_experiment --policy read --trace mytrace.csv
+//     $ ./run_experiment --policy read --trace jsonl:mytrace.jl
+//     $ ./run_experiment --emit-trace | ./run_experiment --source - --files 4079
 //
 //   Scenario sweep: run a declarative grid from a config file
 //   (grammar: EXPERIMENTS.md "Scenario files"; examples: scenarios/).
@@ -28,12 +29,13 @@
 #include <system_error>
 
 #include "core/registry.h"
+#include "core/session.h"
 #include "disk/geometry.h"
-#include "core/system.h"
 #include "exp/scenario.h"
 #include "exp/scenario_engine.h"
 #include "exp/scenario_report.h"
 #include "trace/csv_trace.h"
+#include "trace/trace_reader.h"
 #include "trace/trace_stats.h"
 #include "util/parse.h"
 #include "util/table.h"
@@ -58,6 +60,8 @@ struct Options {
   ParamMap params;  // --param key=value, forwarded verbatim
   std::uint64_t seed = 42;
   std::string trace_file;
+  std::string source;       // streaming trace spec ('-' = stdin)
+  bool emit_trace = false;  // stream the synthetic workload to stdout
   bool positioned = false;
   bool detail = false;
   // Scenario mode.
@@ -83,7 +87,14 @@ void print_help() {
       "  --cache-disks N      MAID cache disk count\n"
       "  --param KEY=VALUE    any registry knob (repeatable)\n"
       "  --seed N             workload seed                 (default 42)\n"
-      "  --trace FILE         CSV trace instead of synthetic workload\n"
+      "  --trace SPEC         materialize a trace instead of synthesizing\n"
+      "                       ([format:]path; formats: clf, csv, jsonl, wc98)\n"
+      "  --source SPEC        stream a trace through a bounded buffer\n"
+      "                       ('-' = CSV on stdin; needs --files for the\n"
+      "                       file universe, ids must be < N)\n"
+      "  --emit-trace         stream the synthetic workload as CSV to\n"
+      "                       stdout and exit (pairs with --source -)\n"
+      "  --csv FILE           also write the run as a one-cell scenario CSV\n"
       "  --positioned         enable seek-curve positional I/O\n"
       "  --detail             per-disk ESRRA/PRESS table\n"
       "\n"
@@ -144,6 +155,8 @@ bool parse(int argc, char** argv, Options& opt) {
     }
     else if (flag == "--seed") opt.seed = parse_u64(next(), flag);
     else if (flag == "--trace") opt.trace_file = next();
+    else if (flag == "--source") opt.source = next();
+    else if (flag == "--emit-trace") opt.emit_trace = true;
     else if (flag == "--positioned") opt.positioned = true;
     else if (flag == "--detail") opt.detail = true;
     else if (flag == "--config") opt.config_file = next();
@@ -157,6 +170,9 @@ bool parse(int argc, char** argv, Options& opt) {
   if (opt.disks == 0) throw std::runtime_error("--disks must be > 0");
   if (!(opt.load > 0.0)) throw std::runtime_error("--load must be > 0");
   if (!(opt.epoch_s > 0.0)) throw std::runtime_error("--epoch must be > 0");
+  if (!opt.trace_file.empty() && !opt.source.empty()) {
+    throw std::runtime_error("--trace and --source are mutually exclusive");
+  }
   return true;
 }
 
@@ -188,34 +204,108 @@ ParamMap policy_params(const Options& opt) {
   return filtered;
 }
 
-int run_single(const Options& opt) {
-  FileSet files;
-  Trace trace;
-  if (!opt.trace_file.empty()) {
-    trace = read_csv_trace_file(opt.trace_file);
-    files = FileSet::from_trace_stats(compute_trace_stats(trace));
-    std::cout << "loaded " << trace.size() << " requests over "
-              << files.size() << " files from " << opt.trace_file << "\n";
-  } else {
-    auto wc = worldcup98_light_config(opt.seed);
-    wc.load_factor = opt.load;
-    wc.file_count = opt.files;
-    wc.request_count = opt.requests;
-    auto workload = generate_workload(wc);
-    files = std::move(workload.files);
-    trace = std::move(workload.trace);
-    std::cout << "synthesised " << trace.size() << " requests over "
-              << files.size() << " files (load x" << opt.load << ")\n";
-  }
+/// The synthetic workload config the single-run flags describe.
+SyntheticWorkloadConfig synthetic_config(const Options& opt) {
+  auto wc = worldcup98_light_config(opt.seed);
+  wc.load_factor = opt.load;
+  wc.file_count = opt.files;
+  wc.request_count = opt.requests;
+  return wc;
+}
 
+/// `--files N` uniform universe for single-pass stdin sources, where no
+/// stats prepass is possible: N files of the from_trace_stats default
+/// size, rate 0 (policies learn popularity from the stream itself).
+FileSet uniform_fileset(std::size_t count) {
+  std::vector<FileInfo> infos(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    infos[i].id = static_cast<FileId>(i);
+    infos[i].size = 4 * kKiB;
+  }
+  return FileSet(std::move(infos));
+}
+
+/// --emit-trace: pull the synthetic generator through the streaming CSV
+/// writer — no Trace is ever materialized, so this scales to traces
+/// larger than memory.
+int emit_trace(const Options& opt) {
+  SyntheticSource source(synthetic_config(opt));
+  write_csv_trace(source, std::cout);
+  if (!std::cout) throw std::runtime_error("--emit-trace: write failed");
+  return 0;
+}
+
+int run_single(const Options& opt) {
   SystemConfig config;
   config.sim.disk_count = opt.disks;
   config.sim.epoch = Seconds{opt.epoch_s};
   if (opt.positioned) config.sim.seek_curve = cheetah_seek_curve();
-
   auto policy = pr::policies::make(opt.policy, policy_params(opt))();
-  const SystemReport report = evaluate(config, files, trace, *policy);
+
+  FileSet files;
+  Trace trace;
+  SystemReport report;
+  std::string workload_label;
+  if (!opt.source.empty()) {
+    workload_label = opt.source;
+    if (pr::trace::resolve_spec(opt.source).path == "-") {
+      files = uniform_fileset(opt.files);
+    } else {
+      // Seekable sources afford a stats prepass: stream once through the
+      // accumulator to measure the file universe, then re-open to run.
+      auto probe = pr::trace::open(opt.source);
+      TraceStatsAccumulator stats;
+      Request r;
+      while (probe->next(r)) stats.add(r);
+      files = FileSet::from_trace_stats(stats.finalize());
+    }
+    auto source = pr::trace::open(opt.source);
+    std::cout << "streaming " << source->describe() << " over "
+              << files.size() << " files\n";
+    report = SimulationSession(config)
+                 .with_source(files, *source)
+                 .with_policy(*policy)
+                 .run();
+    std::cout << "consumed " << source->produced() << " requests\n";
+  } else {
+    if (!opt.trace_file.empty()) {
+      workload_label = opt.trace_file;
+      trace = pr::trace::open_trace(opt.trace_file);
+      files = FileSet::from_trace_stats(compute_trace_stats(trace));
+      std::cout << "loaded " << trace.size() << " requests over "
+                << files.size() << " files from " << opt.trace_file << "\n";
+    } else {
+      workload_label = "synthetic";
+      auto workload = generate_workload(synthetic_config(opt));
+      files = std::move(workload.files);
+      trace = std::move(workload.trace);
+      std::cout << "synthesised " << trace.size() << " requests over "
+                << files.size() << " files (load x" << opt.load << ")\n";
+    }
+    report = SimulationSession(config)
+                 .with_workload(files, trace)
+                 .with_policy(*policy)
+                 .run();
+  }
   std::cout << "\n" << report.summary();
+
+  if (!opt.csv_path.empty()) {
+    // One-cell scenario export so streaming/smoke tooling can assert the
+    // same CSV schema the sweep engine emits.
+    ScenarioResult one;
+    one.scenario = "single";
+    ScenarioCell cell;
+    cell.policy = opt.policy;
+    cell.workload = workload_label;
+    cell.load = opt.load;
+    cell.seed = opt.seed;
+    cell.epoch_s = opt.epoch_s;
+    cell.disks = opt.disks;
+    cell.report = report;
+    one.cells.push_back(std::move(cell));
+    write_scenario_csv_file(one, opt.csv_path);
+    std::cout << "wrote " << opt.csv_path << "\n";
+  }
 
   if (opt.detail) {
     AsciiTable detail("per-disk ESRRA / PRESS breakdown");
@@ -278,6 +368,7 @@ int main(int argc, char** argv) {
       print_help();
       return 0;
     }
+    if (opt.emit_trace) return emit_trace(opt);
     return opt.config_file.empty() ? run_single(opt) : run_config(opt);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

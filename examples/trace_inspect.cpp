@@ -1,22 +1,20 @@
-// trace_inspect — workload characterisation tool: reads a trace (CSV
-// interchange format or the raw WorldCup98 binary format) and prints the
-// statistics the READ policy parameterises itself with — the skew
-// parameter θ, the fitted Zipf exponent, arrival-rate and size profiles.
-// With no arguments it synthesises a demo trace so the output is
-// self-contained.
+// trace_inspect — workload characterisation tool: reads a trace in any
+// registered format (trace::open specs — CSV/JSONL interchange, raw
+// WorldCup98 binary, Apache CLF) and prints the statistics the READ
+// policy parameterises itself with — the skew parameter θ, the fitted
+// Zipf exponent, arrival-rate and size profiles. With no arguments it
+// synthesises a demo trace so the output is self-contained.
 //
 //   $ ./trace_inspect                      # demo on a synthetic trace
 //   $ ./trace_inspect trace.csv            # CSV trace (time,file,bytes,op)
-//   $ ./trace_inspect --wc98 wc_day66_1    # raw WorldCup98 binary log
-//   $ ./trace_inspect --clf access.log     # Apache CLF/Combined log
-#include <cstring>
+//   $ ./trace_inspect requests.jsonl       # JSONL trace
+//   $ ./trace_inspect wc98:wc_day66_1      # raw WorldCup98 binary log
+//   $ ./trace_inspect clf:access.log       # Apache CLF/Combined log
 #include <iostream>
 #include <string>
 
-#include "trace/clf.h"
-#include "trace/csv_trace.h"
+#include "trace/trace_reader.h"
 #include "trace/trace_stats.h"
-#include "trace/wc98.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "workload/synthetic.h"
@@ -25,23 +23,9 @@ namespace {
 
 pr::Trace load(int argc, char** argv, std::string& source) {
   using namespace pr;
-  if (argc >= 3 && std::strcmp(argv[1], "--wc98") == 0) {
-    source = argv[2];
-    const auto records = read_wc98_records_file(argv[2]);
-    std::cout << "decoded " << records.size() << " WC98 records\n";
-    return wc98_to_trace(records);
-  }
-  if (argc >= 3 && std::strcmp(argv[1], "--clf") == 0) {
-    source = argv[2];
-    ClfParseStats stats;
-    const auto records = read_clf_records_file(argv[2], &stats);
-    std::cout << "parsed " << stats.parsed << " CLF lines (" << stats.skipped
-              << " malformed skipped)\n";
-    return clf_to_trace(records);
-  }
   if (argc >= 2) {
     source = argv[1];
-    return read_csv_trace_file(argv[1]);
+    return pr::trace::open_trace(argv[1]);
   }
   source = "synthetic demo (WC98-like, 200k requests)";
   auto config = worldcup98_light_config(7);

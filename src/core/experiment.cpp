@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/session.h"
 #include "util/thread_pool.h"
 
 namespace pr {
@@ -50,8 +51,10 @@ std::vector<SweepCell> run_sweep(
     cell.policy = policy_name;
     cell.workload = workload.name;
     cell.disk_count = spec.disk_count;
-    cell.report =
-        evaluate(cell_config, *workload.files, *workload.trace, *policy);
+    cell.report = SimulationSession(cell_config)
+                      .with_workload(*workload.files, *workload.trace)
+                      .with_policy(*policy)
+                      .run();
     cells[i] = std::move(cell);
   });
   return cells;

@@ -10,6 +10,7 @@
 #include "policy/drpm_policy.h"
 #include "policy/hibernator_policy.h"
 #include "policy/maid_policy.h"
+#include "policy/online_read_policy.h"
 #include "policy/pdc_policy.h"
 #include "policy/read_policy.h"
 #include "policy/replication.h"
@@ -64,6 +65,18 @@ constexpr std::array<ParamSpec, 3> kPdcParams = {{
      "per-disk load budget as a fraction of one disk's epoch capacity"},
     {"concentration_fraction", "0.8",
      "cumulative access fraction defining the migrated popular head"},
+}};
+
+constexpr std::array<ParamSpec, 7> kOnlineReadParams = {{
+    kReadParams[0],
+    kReadParams[1],
+    kReadParams[2],
+    kReadParams[3],
+    kReadParams[4],
+    {"promote_margin", "0",
+     "decayed-count headroom above the bar before an online promotion"},
+    {"decay_shift", "1",
+     "per-epoch right-shift of the cumulative counts; 0 = no decay"},
 }};
 
 constexpr std::array<ParamSpec, 7> kReplicatedReadParams = {{
@@ -121,7 +134,7 @@ struct Entry {
 // its paper-default configuration; variants that differ only in tuning get
 // their own name (drpm-aggressive). Absent ParamMap keys keep defaults, so
 // make(name) == make(name, {}).
-const std::array<Entry, 10> kEntries = {{
+const std::array<Entry, 11> kEntries = {{
     {"drpm", kDrpmParams,
      [](const ParamMap& p) {
        return std::unique_ptr<Policy>(new DrpmPolicy(drpm_config_from(p, false)));
@@ -148,6 +161,15 @@ const std::array<Entry, 10> kEntries = {{
        c.cache_capacity_fraction =
            p.get_double("cache_capacity_fraction", c.cache_capacity_fraction);
        return std::unique_ptr<Policy>(new MaidPolicy(c));
+     }},
+    {"online-read", kOnlineReadParams,
+     [](const ParamMap& p) {
+       OnlineReadConfig c;
+       c.read = read_config_from(p);
+       c.promote_margin = p.get_u64("promote_margin", c.promote_margin);
+       c.decay_shift = static_cast<std::uint32_t>(
+           p.get_u64("decay_shift", c.decay_shift));
+       return std::unique_ptr<Policy>(new OnlineReadPolicy(c));
      }},
     {"pdc", kPdcParams,
      [](const ParamMap& p) {

@@ -13,6 +13,15 @@ SimulationSession& SimulationSession::with_workload(const FileSet& files,
                                                     const Trace& trace) {
   files_ = &files;
   trace_ = &trace;
+  source_ = nullptr;
+  return *this;
+}
+
+SimulationSession& SimulationSession::with_source(const FileSet& files,
+                                                  RequestSource& source) {
+  files_ = &files;
+  source_ = &source;
+  trace_ = nullptr;
   return *this;
 }
 
@@ -67,7 +76,7 @@ SimulationSession& SimulationSession::with_epoch(Seconds epoch) {
 }
 
 SystemReport SimulationSession::run() {
-  if (files_ == nullptr || trace_ == nullptr) {
+  if (files_ == nullptr || (trace_ == nullptr && source_ == nullptr)) {
     throw std::logic_error("SimulationSession::run: no workload configured");
   }
   std::unique_ptr<Policy> fresh;
@@ -88,8 +97,12 @@ SystemReport SimulationSession::run() {
                               : (observers_.sole() != nullptr
                                      ? observers_.sole()
                                      : static_cast<SimObserver*>(&observers_));
-  SimResult sim = run_simulation(config_.sim, *files_, *trace_, *policy,
-                                 observer, faults_);
+  SimResult sim =
+      source_ != nullptr
+          ? run_simulation(config_.sim, *files_, *source_, *policy, observer,
+                           faults_)
+          : run_simulation(config_.sim, *files_, *trace_, *policy, observer,
+                           faults_);
   return score(PressModel{config_.press}, std::move(sim));
 }
 

@@ -9,8 +9,8 @@
 //                     .with_observer(timeline)
 //                     .run();
 //
-// The bare evaluate() overload in core/system.h remains as a thin wrapper
-// for observer-less one-shot runs.
+// The bare evaluate() wrapper in core/system.h is deprecated; every code
+// path now routes through a session (migration recipe in DESIGN.md).
 #pragma once
 
 #include <memory>
@@ -31,6 +31,12 @@ class SimulationSession {
   /// Point the session at a workload. The files/trace must outlive run().
   SimulationSession& with_workload(const FileSet& files, const Trace& trace);
   SimulationSession& with_workload(const SyntheticWorkload& workload);
+
+  /// Point the session at a streaming workload: `files` is the universe,
+  /// `source` produces the requests (trace::open, SyntheticSource, or any
+  /// custom RequestSource). Both must outlive run(). Sources are
+  /// single-pass, so re-running the session requires a fresh source.
+  SimulationSession& with_source(const FileSet& files, RequestSource& source);
 
   /// Choose the policy by registry name (see core/registry.h; throws
   /// std::invalid_argument for unknown names)...
@@ -66,6 +72,7 @@ class SimulationSession {
   SystemConfig config_;
   const FileSet* files_ = nullptr;
   const Trace* trace_ = nullptr;
+  RequestSource* source_ = nullptr;         // streaming workload
   PolicyFactory factory_;                   // name-based (fresh per run)
   std::unique_ptr<Policy> owned_policy_;    // adopted instance
   Policy* borrowed_policy_ = nullptr;       // caller-owned instance

@@ -1,15 +1,16 @@
-// system.h — the library's high-level facade: configure an array, a
+// system.h — the report types for a scored run: configure an array, a
 // workload and a policy; get back the paper's three evaluation metrics
 // (mean response time, energy, PRESS array AFR) plus full per-disk detail.
 //
-// Typical use (see examples/quickstart.cpp):
+// Typical use (see examples/quickstart.cpp) goes through the session:
 //
 //   auto workload = pr::generate_workload(pr::worldcup98_light_config());
 //   pr::SystemConfig config;
 //   config.sim.disk_count = 8;
-//   pr::ReadPolicy policy;
-//   pr::SystemReport report =
-//       pr::evaluate(config, workload.files, workload.trace, policy);
+//   pr::SystemReport report = pr::SimulationSession(config)
+//                                 .with_workload(workload)
+//                                 .with_policy("read")
+//                                 .run();
 //   std::cout << report.summary();
 #pragma once
 
@@ -41,12 +42,17 @@ struct SystemReport {
   [[nodiscard]] std::string summary() const;
 };
 
-/// Run the simulation and score it with PRESS. Thin wrapper over
-/// SimulationSession (core/session.h), which is the richer front door —
-/// registry-named policies, attached observers, fluent config.
-[[nodiscard]] SystemReport evaluate(const SystemConfig& config,
-                                    const FileSet& files, const Trace& trace,
-                                    Policy& policy);
+/// Run the simulation and score it with PRESS. Deprecated: this predates
+/// SimulationSession (core/session.h), which is the one front door —
+/// registry-named policies, attached observers, streaming sources, fault
+/// plans, fluent config. Equivalent migration (see DESIGN.md):
+///   evaluate(config, files, trace, policy)
+///   → SimulationSession(config).with_workload(files, trace)
+///                               .with_policy(policy).run()
+[[deprecated(
+    "use SimulationSession (core/session.h)")]] [[nodiscard]] SystemReport
+evaluate(const SystemConfig& config, const FileSet& files, const Trace& trace,
+         Policy& policy);
 
 /// Score an already-run simulation (e.g. to re-score one run under several
 /// PRESS integrator strategies, bench ABL3).

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/registry.h"
+#include "trace/trace_reader.h"
 #include "util/parse.h"
 
 namespace pr {
@@ -132,6 +133,14 @@ ScenarioSpec parse_scenario(std::string_view text, std::string_view source) {
         if (!arg.empty()) w.name = std::string(arg);
         spec.workloads.push_back(std::move(w));
         section = Section::kWorkload;
+      } else if (kind == "source") {
+        // Sugar for a streaming workload: [source x] ≡ [workload x] with
+        // kind = source.
+        ScenarioWorkload w;
+        w.kind = "source";
+        if (!arg.empty()) w.name = std::string(arg);
+        spec.workloads.push_back(std::move(w));
+        section = Section::kWorkload;
       } else if (kind == "policy") {
         if (arg.empty()) {
           fail_at(source, line_no, "[policy] needs a registry name, e.g. [policy read]");
@@ -148,7 +157,8 @@ ScenarioSpec parse_scenario(std::string_view text, std::string_view source) {
       } else {
         fail_at(source, line_no,
                 "unknown section [" + std::string(kind) +
-                    "]; expected scenario, system, workload, policy or fault");
+                    "]; expected scenario, system, workload, source, policy "
+                    "or fault");
       }
       continue;
     }
@@ -196,8 +206,10 @@ ScenarioSpec parse_scenario(std::string_view text, std::string_view source) {
           w.kind = value;
         } else if (key == "preset") {
           w.preset = value;
-        } else if (key == "path" || key == "trace") {
+        } else if (key == "path" || key == "trace" || key == "spec") {
           w.path = value;
+        } else if (key == "buffer") {
+          w.buffer = parse_size(value, key);
         } else if (key == "files") {
           w.files = parse_size(value, key);
         } else if (key == "requests") {
@@ -213,8 +225,9 @@ ScenarioSpec parse_scenario(std::string_view text, std::string_view source) {
         } else {
           fail_at(source, line_no,
                   "unknown key '" + key +
-                      "' in [workload]; valid: kind, preset, path, files, "
-                      "requests, zipf_alpha, burstiness, diurnal_depth, load");
+                      "' in [workload]; valid: kind, preset, path, spec, "
+                      "buffer, files, requests, zipf_alpha, burstiness, "
+                      "diurnal_depth, load");
         }
         break;
       }
@@ -303,14 +316,29 @@ void validate_scenario(const ScenarioSpec& spec) {
   for (const ScenarioWorkload& w : spec.workloads) {
     if (w.kind == "synthetic") {
       (void)preset_workload_config(w.preset, 0);
-    } else if (w.kind == "trace") {
+    } else if (w.kind == "trace" || w.kind == "source") {
       if (w.path.empty()) {
+        throw std::invalid_argument("workload '" + w.name + "': kind = " +
+                                    w.kind + " needs spec = [format:]path");
+      }
+      trace::ResolvedSpec resolved;
+      try {
+        resolved = trace::resolve_spec(w.path);
+      } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument("workload '" + w.name + "': " + e.what());
+      }
+      if (w.kind == "source" && resolved.path == "-") {
+        // Cells re-open the source once per run; stdin is single-pass.
         throw std::invalid_argument("workload '" + w.name +
-                                    "': kind = trace needs path = <file.csv>");
+                                    "': kind = source cannot stream stdin");
+      }
+      if (w.buffer && *w.buffer == 0) {
+        throw std::invalid_argument("workload '" + w.name +
+                                    "': buffer must be > 0");
       }
     } else {
       throw std::invalid_argument("workload '" + w.name + "': unknown kind '" +
-                                  w.kind + "'; valid: synthetic, trace");
+                                  w.kind + "'; valid: synthetic, trace, source");
     }
     for (const double l : w.loads) {
       if (!(l > 0.0)) {

@@ -20,11 +20,15 @@
 //   positioned = false          # seek-curve positional I/O
 //
 //   [workload light]            # repeatable; name defaults to "default"
-//   kind = synthetic            # or "trace" (+ path = file.csv)
+//   kind = synthetic            # "trace" (+ path) or "source" (+ spec)
 //   preset = wc98-light         # wc98-light|wc98-heavy|proxy|ftp|email
 //   requests = 80000            # overrides of the preset
 //   files = 1000
 //   load = 1.0                  # comma list = sweep axis
+//
+//   [source replay]             # sugar for [workload replay] kind=source:
+//   spec = jsonl:day66.jl       # trace::open spec ([format:]path)
+//   buffer = 1048576            # stream buffer bound in bytes (optional)
 //
 //   [policy read]               # repeatable; registry names or aliases
 //   label = READ                # display label (default: name as written)
@@ -52,11 +56,18 @@ namespace pr {
 
 struct ScenarioWorkload {
   std::string name = "default";
-  /// "synthetic" (preset + overrides) or "trace" (CSV file at `path`).
+  /// "synthetic" (preset + overrides), "trace" (materialize the file at
+  /// `path` up front) or "source" (stream `path` as a trace::open spec
+  /// through a bounded buffer, re-opened per cell; stdin is rejected
+  /// because cells are re-runs).
   std::string kind = "synthetic";
   /// Synthetic preset: wc98-light | wc98-heavy | proxy | ftp | email.
   std::string preset = "wc98-light";
-  std::string path;  // kind == "trace"
+  /// kind == "trace"/"source": a trace::open spec, `[format:]path`.
+  std::string path;
+  /// kind == "source": stream buffer bound in bytes (absent = reader
+  /// default).
+  std::optional<std::size_t> buffer;
   // Preset overrides (absent = preset default).
   std::optional<std::size_t> files;
   std::optional<std::size_t> requests;

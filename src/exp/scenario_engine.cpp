@@ -8,7 +8,8 @@
 #include "fault/degradation_analyzer.h"
 #include "fault/fault_plan.h"
 #include "press/afr_agreement.h"
-#include "trace/csv_trace.h"
+#include "trace/stream_reader.h"
+#include "trace/trace_reader.h"
 #include "trace/trace_stats.h"
 #include "util/contracts.h"
 #include "util/thread_pool.h"
@@ -24,8 +25,19 @@ struct WorkloadVariant {
   double load = 1.0;
   std::uint64_t seed = 0;
   FileSet files;
+  /// Materialized requests; empty for kind == "source" (cells re-open the
+  /// stream instead).
   Trace trace;
+  /// Last arrival (fault-plan horizon) — measured during the stats pass
+  /// for streaming workloads, so it is valid even when `trace` is empty.
+  Seconds horizon{0.0};
 };
+
+StreamReaderOptions stream_options(const ScenarioWorkload& w) {
+  StreamReaderOptions options;
+  if (w.buffer) options.buffer_bytes = *w.buffer;
+  return options;
+}
 
 struct VariantKey {
   std::size_t workload_idx;
@@ -67,7 +79,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   std::vector<VariantKey> variant_keys;
   for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
     const ScenarioWorkload& w = workloads[wi];
-    if (w.kind == "trace") {
+    if (w.kind == "trace" || w.kind == "source") {
       // A fixed trace has no load/seed degrees of freedom.
       variant_keys.push_back({wi, 1.0, false, 0});
       continue;
@@ -97,9 +109,21 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     v.workload_idx = key.workload_idx;
     v.seed = key.seed;
     if (w.kind == "trace") {
-      v.trace = read_csv_trace_file(w.path);
+      v.trace = trace::open_trace(w.path);
       v.files = FileSet::from_trace_stats(compute_trace_stats(v.trace));
       v.load = 1.0;
+      v.horizon = v.trace.empty() ? Seconds{0.0}
+                                  : v.trace.requests.back().arrival;
+    } else if (w.kind == "source") {
+      // Streaming stats pass: measure the file universe and the fault
+      // horizon without ever materializing the trace.
+      auto probe = trace::open(w.path, stream_options(w));
+      TraceStatsAccumulator stats;
+      Request r;
+      while (probe->next(r)) stats.add(r);
+      v.files = FileSet::from_trace_stats(stats.finalize());
+      v.load = 1.0;
+      v.horizon = stats.last_arrival();
     } else {
       SyntheticWorkloadConfig config = preset_workload_config(w.preset, key.seed);
       if (w.files) config.file_count = *w.files;
@@ -112,6 +136,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       auto workload = generate_workload(config);
       v.files = std::move(workload.files);
       v.trace = std::move(workload.trace);
+      v.horizon = v.trace.empty() ? Seconds{0.0}
+                                  : v.trace.requests.back().arrival;
     }
     variants[i] = std::move(v);
   });
@@ -158,7 +184,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   pool.parallel_for(cell_specs.size(), [&](std::size_t i) {
     const CellSpec& cs = cell_specs[i];
     const WorkloadVariant& variant = variants[cs.variant_idx];
+    const ScenarioWorkload& workload_spec = workloads[variant.workload_idx];
     const ScenarioPolicy& policy_spec = spec.policies[cs.policy_idx];
+    const bool streamed = workload_spec.kind == "source";
 
     SystemConfig config;
     config.sim.disk_count = cs.disks;
@@ -174,16 +202,25 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     cell.seed = variant.seed;
     cell.epoch_s = cs.epoch_s;
     cell.disks = cs.disks;
+    // Streaming workloads re-open the source for each cell; sources are
+    // single-pass, so a shared one could not serve the whole grid.
+    std::unique_ptr<RequestSource> cell_source;
+    SimulationSession session(config);
+    if (streamed) {
+      cell_source = trace::open(workload_spec.path,
+                                stream_options(workload_spec));
+      session.with_source(variant.files, *cell_source);
+    } else {
+      session.with_workload(variant.files, variant.trace);
+    }
     if (!spec.fault.enabled) {
-      cell.report = evaluate(config, variant.files, variant.trace, *policy);
+      cell.report = session.with_policy(*policy).run();
     } else {
       // Each cell gets its own deterministic hazard plan over the trace's
       // arrival span; a 0 rate scale yields the empty plan, which is
       // byte-identical to the fault-free path.
       const double rate_scale = spec.fault.rate_scales[cs.scale_idx];
-      const Seconds horizon = variant.trace.empty()
-                                  ? Seconds{0.0}
-                                  : variant.trace.requests.back().arrival;
+      const Seconds horizon = variant.horizon;
       FaultHazard hazard;
       hazard.seed = mix_plan_seed(spec.fault.seed, variant.seed,
                                   cs.scale_idx, cs.disks);
@@ -194,9 +231,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       const FaultPlan plan = FaultPlan::from_hazard(hazard, cs.disks);
 
       DegradationAnalyzer analyzer;
-      cell.report = SimulationSession(config)
-                        .with_workload(variant.files, variant.trace)
-                        .with_policy(std::move(policy))
+      cell.report = session.with_policy(std::move(policy))
                         .with_observer(analyzer)
                         .with_faults(plan)
                         .run();

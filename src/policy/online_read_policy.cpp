@@ -1,0 +1,60 @@
+#include "policy/online_read_policy.h"
+
+#include <stdexcept>
+
+namespace pr {
+
+OnlineReadPolicy::OnlineReadPolicy(OnlineReadConfig config)
+    : ReadPolicy(config.read), online_(config) {
+  if (online_.decay_shift >= 64) {
+    throw std::invalid_argument("OnlineReadPolicy: decay_shift >= 64");
+  }
+}
+
+void OnlineReadPolicy::initialize(ArrayContext& ctx) {
+  ReadPolicy::initialize(ctx);
+  counts_.assign(ctx.files().size(), 0);
+  served_ = 0;
+  bar_ = 0;
+  online_promotions_ = 0;
+  warmed_ = false;
+  h_promotions_ = ctx.counters().intern("online.promotions");
+  h_demotions_ = ctx.counters().intern("online.demotions");
+}
+
+void OnlineReadPolicy::after_serve(ArrayContext& ctx, const Request& req,
+                                   DiskId d) {
+  (void)d;
+  ++served_;
+  const std::uint64_t count = ++counts_[req.file];
+  if (warmed_ && !hot_file_[req.file] &&
+      count > bar_ + online_.promote_margin) {
+    // Promote now: the migration's background I/O lands before the
+    // simulator arms this request's idle checks, the same window MAID
+    // uses for cache fills — deterministic in both schedulers.
+    ctx.migrate(req.file, next_hot_disk());
+    hot_file_[req.file] = 1;
+    ++online_promotions_;
+    ctx.bump(h_promotions_);
+  }
+}
+
+void OnlineReadPolicy::on_epoch(ArrayContext& ctx, Seconds now) {
+  epoch_migrations_ = 0;
+  if (served_ > 0) {
+    std::size_t cut = 0;
+    const RebalanceCounts moved = rebalance(ctx, counts_, &cut);
+    if (moved.demotions > 0) ctx.bump(h_demotions_, moved.demotions);
+    if (online_.decay_shift > 0) {
+      for (auto& c : counts_) c >>= online_.decay_shift;
+    }
+    // The bar is the decayed count of the weakest member of the new top-k:
+    // a cold file beating it (plus margin) mid-epoch would have made the
+    // cut, so it is promoted without waiting for the boundary.
+    bar_ = cut > 0 ? counts_[rank_scratch_[cut - 1]] : 0;
+    warmed_ = true;
+  }
+  adapt_thresholds(ctx, now);
+}
+
+}  // namespace pr

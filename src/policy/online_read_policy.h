@@ -1,0 +1,71 @@
+// online_read_policy.h — READ without the epoch oracle: the online
+// variant for streaming ingestion (ISSUE 6; ROADMAP "Online serving path",
+// in the spirit of Behzadnia et al.'s online energy-aware management).
+//
+// Batch READ re-ranks from per-epoch access counters that reset at every
+// boundary — an aggregate view a live server only has in hindsight. The
+// online variant instead maintains *cumulative, exponentially decayed*
+// popularity counts updated per served request, and acts at two cadences:
+//   * per request (after_serve): a cold file whose decayed count climbs
+//     past the current promotion bar (the smallest count in the last
+//     boundary's top-k, plus a configurable margin) is promoted to the hot
+//     zone immediately — no waiting for the boundary;
+//   * per epoch (on_epoch): the same O(k) nth_element re-ranking machinery
+//     as batch READ (ReadPolicy::rebalance) runs over the decayed counts,
+//     correcting drift, demoting cooled files, refreshing the promotion
+//     bar, and applying the decay (counts >>= decay_shift).
+// The first boundary doubles as warm-up: no online promotions fire until
+// an initial ranking has established a bar.
+//
+// Diagnostics: "online.promotions" / "online.demotions" counters in
+// SimResult::counters (interned handles, one vector add per bump).
+#pragma once
+
+#include "obs/counter_registry.h"
+#include "policy/read_policy.h"
+
+namespace pr {
+
+struct OnlineReadConfig {
+  ReadConfig read;
+  /// Extra decayed-count headroom above the promotion bar a cold file must
+  /// reach before an online promotion fires. 0 = promote on crossing.
+  std::uint64_t promote_margin = 0;
+  /// Right-shift applied to every cumulative count at each epoch boundary
+  /// (exponential decay with half-life decay_shift epochs); 0 disables
+  /// decay (pure cumulative counts).
+  std::uint32_t decay_shift = 1;
+};
+
+class OnlineReadPolicy final : public ReadPolicy {
+ public:
+  explicit OnlineReadPolicy(OnlineReadConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "READ-online"; }
+
+  void initialize(ArrayContext& ctx) override;
+  void after_serve(ArrayContext& ctx, const Request& req, DiskId d) override;
+  void on_epoch(ArrayContext& ctx, Seconds now) override;
+
+  /// Introspection for tests/benches.
+  [[nodiscard]] std::uint64_t online_promotions() const {
+    return online_promotions_;
+  }
+  [[nodiscard]] std::uint64_t promotion_bar() const { return bar_; }
+  [[nodiscard]] bool warmed_up() const { return warmed_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& decayed_counts() const {
+    return counts_;
+  }
+
+ private:
+  OnlineReadConfig online_;
+  std::vector<std::uint64_t> counts_;  // cumulative, decayed per epoch
+  std::uint64_t served_ = 0;
+  std::uint64_t bar_ = 0;
+  std::uint64_t online_promotions_ = 0;
+  bool warmed_ = false;
+  CounterRegistry::Handle h_promotions_ = 0;
+  CounterRegistry::Handle h_demotions_ = 0;
+};
+
+}  // namespace pr

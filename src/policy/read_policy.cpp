@@ -94,65 +94,68 @@ DiskId ReadPolicy::route(ArrayContext& ctx, const Request& req) {
   return ctx.location(req.file);
 }
 
-void ReadPolicy::on_epoch(ArrayContext& ctx, Seconds now) {
-  epoch_migrations_ = 0;
-  const auto& counts = ctx.epoch_access_counts();
+ReadPolicy::RebalanceCounts ReadPolicy::rebalance(
+    ArrayContext& ctx, const std::vector<std::uint64_t>& counts,
+    std::size_t* popular_cut) {
+  // Lines 10-11: re-rank by observed accesses, re-estimate θ. θ only
+  // needs the counts multiset, so it is fed a view over the raw epoch
+  // counters — no sorted copy is materialized.
+  const double theta = estimate_theta(
+      std::span<const std::uint64_t>(counts), config_.theta_b);
+  const std::size_t popular = popular_file_count(counts.size(), theta);
 
-  if (ctx.epoch_requests() > 0) {
-    // Lines 10-11: re-rank by observed accesses, re-estimate θ. θ only
-    // needs the counts multiset, so it is fed a view over the raw epoch
-    // counters — no sorted copy is materialized.
-    const double theta =
-        estimate_theta(std::span<const std::uint64_t>(counts),
-                       config_.theta_b);
-    const std::size_t popular = popular_file_count(counts.size(), theta);
+  // Only the popular/unpopular boundary matters, so instead of a full
+  // stable_sort over every file: an O(m) nth_element around the cutoff,
+  // then a bounded sort of the popular prefix. The tail needs ordering
+  // only among files currently in the hot zone (the demotion
+  // candidates). The (count desc, FileId asc) comparator reproduces the
+  // former stable_sort's total order exactly, so the migration set, the
+  // round-robin targets and the observer event order are unchanged.
+  const auto by_rank = [&](FileId a, FileId b) {
+    if (counts[a] != counts[b]) return counts[a] > counts[b];
+    return a < b;
+  };
+  auto& order = rank_scratch_;
+  order.resize(counts.size());
+  std::iota(order.begin(), order.end(), FileId{0});
+  const std::size_t cut = std::min(popular, order.size());
+  if (cut < order.size()) {
+    std::nth_element(order.begin(), order.begin() + cut, order.end(),
+                     by_rank);
+  }
+  std::sort(order.begin(), order.begin() + cut, by_rank);
+  if (popular_cut != nullptr) *popular_cut = cut;
 
-    // Only the popular/unpopular boundary matters, so instead of a full
-    // stable_sort over every file: an O(m) nth_element around the cutoff,
-    // then a bounded sort of the popular prefix. The tail needs ordering
-    // only among files currently in the hot zone (the demotion
-    // candidates). The (count desc, FileId asc) comparator reproduces the
-    // former stable_sort's total order exactly, so the migration set, the
-    // round-robin targets and the observer event order are unchanged.
-    const auto by_rank = [&](FileId a, FileId b) {
-      if (counts[a] != counts[b]) return counts[a] > counts[b];
-      return a < b;
-    };
-    auto& order = rank_scratch_;
-    order.resize(counts.size());
-    std::iota(order.begin(), order.end(), FileId{0});
-    const std::size_t cut = std::min(popular, order.size());
-    if (cut < order.size()) {
-      std::nth_element(order.begin(), order.begin() + cut, order.end(),
-                       by_rank);
-    }
-    std::sort(order.begin(), order.begin() + cut, by_rank);
-
-    // Lines 12-19: migrate files whose category changed. Targets follow
-    // the zone round-robin cursors; promotions (rank order over the
-    // popular prefix) precede demotions (rank order over the hot tail),
-    // exactly as the single full-order sweep did.
-    for (std::size_t rank = 0; rank < cut; ++rank) {
-      const FileId f = order[rank];
-      if (!hot_file_[f]) {
-        ctx.migrate(f, next_hot_disk());
-        hot_file_[f] = 1;
-        ++epoch_migrations_;
-      }
-    }
-    auto& demote = demote_scratch_;
-    demote.clear();
-    for (std::size_t rank = cut; rank < order.size(); ++rank) {
-      if (hot_file_[order[rank]]) demote.push_back(order[rank]);
-    }
-    std::sort(demote.begin(), demote.end(), by_rank);
-    for (const FileId f : demote) {
-      ctx.migrate(f, next_cold_disk());
-      hot_file_[f] = 0;
+  // Lines 12-19: migrate files whose category changed. Targets follow
+  // the zone round-robin cursors; promotions (rank order over the
+  // popular prefix) precede demotions (rank order over the hot tail),
+  // exactly as the single full-order sweep did.
+  RebalanceCounts moved;
+  for (std::size_t rank = 0; rank < cut; ++rank) {
+    const FileId f = order[rank];
+    if (!hot_file_[f]) {
+      ctx.migrate(f, next_hot_disk());
+      hot_file_[f] = 1;
       ++epoch_migrations_;
+      ++moved.promotions;
     }
   }
+  auto& demote = demote_scratch_;
+  demote.clear();
+  for (std::size_t rank = cut; rank < order.size(); ++rank) {
+    if (hot_file_[order[rank]]) demote.push_back(order[rank]);
+  }
+  std::sort(demote.begin(), demote.end(), by_rank);
+  for (const FileId f : demote) {
+    ctx.migrate(f, next_cold_disk());
+    hot_file_[f] = 0;
+    ++epoch_migrations_;
+    ++moved.demotions;
+  }
+  return moved;
+}
 
+void ReadPolicy::adapt_thresholds(ArrayContext& ctx, Seconds now) {
   // Lines 20-24: adaptive threshold — half the budget spent => double H.
   if (!config_.adaptive_threshold) return;
   for (DiskId d = 0; d < ctx.disk_count(); ++d) {
@@ -165,6 +168,14 @@ void ReadPolicy::on_epoch(ArrayContext& ctx, Seconds now) {
                      << doubled.value() << "s";
     }
   }
+}
+
+void ReadPolicy::on_epoch(ArrayContext& ctx, Seconds now) {
+  epoch_migrations_ = 0;
+  if (ctx.epoch_requests() > 0) {
+    rebalance(ctx, ctx.epoch_access_counts());
+  }
+  adapt_thresholds(ctx, now);
 }
 
 bool ReadPolicy::allow_spin_down(ArrayContext& ctx, DiskId d, Seconds now) {

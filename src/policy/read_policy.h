@@ -45,7 +45,7 @@ struct ReadConfig {
   bool adaptive_threshold = true;
 };
 
-class ReadPolicy final : public Policy {
+class ReadPolicy : public Policy {
  public:
   explicit ReadPolicy(ReadConfig config = {});
 
@@ -64,7 +64,30 @@ class ReadPolicy final : public Policy {
     return epoch_migrations_;
   }
 
- private:
+ protected:
+  /// How many files a rebalance pass promoted/demoted (diagnostics for
+  /// the online variant's counters).
+  struct RebalanceCounts {
+    std::uint64_t promotions = 0;
+    std::uint64_t demotions = 0;
+  };
+
+  /// Fig. 6 lines 10-19 over an arbitrary popularity-count vector: re-rank
+  /// (O(m) nth_element around the popular cutoff, (count desc, id asc)
+  /// total order), re-estimate θ, migrate category changes — promotions in
+  /// rank order, then demotions in rank order. The batch policy feeds it
+  /// the epoch counters; the online variant its cumulative decayed counts.
+  /// After the call rank_scratch_ holds the full order and the popular
+  /// prefix [0, cut) is sorted; returns the migration split.
+  RebalanceCounts rebalance(ArrayContext& ctx,
+                            const std::vector<std::uint64_t>& counts,
+                            std::size_t* popular_cut = nullptr);
+
+  /// Fig. 6 lines 20-24: double a disk's idleness threshold H once half
+  /// its daily transition budget is spent. No-op when the adaptive knob is
+  /// off.
+  void adapt_thresholds(ArrayContext& ctx, Seconds now);
+
   [[nodiscard]] DiskId next_hot_disk();
   [[nodiscard]] DiskId next_cold_disk();
 

@@ -178,9 +178,9 @@ void ArrayContext::cancel_idle_check(DiskId d) {
 class ArraySimulator {
  public:
   ArraySimulator(const SimConfig& config, const FileSet& files,
-                 const Trace& trace, Policy& policy, SimObserver* observer,
+                 RequestSource& source, Policy& policy, SimObserver* observer,
                  const FaultPlan* faults)
-      : config_(config), files_(files), trace_(trace), policy_(policy),
+      : config_(config), files_(files), source_(source), policy_(policy),
         ctx_(config, files), faults_(faults),
         h_epochs_(ctx_.counters_.intern("sim.epochs")),
         h_idle_checks_(ctx_.counters_.intern("sim.idle_checks")),
@@ -206,7 +206,6 @@ class ArraySimulator {
   }
 
   SimResult run() {
-    validate_inputs();
     policy_.initialize(ctx_);
     validate_placement();
     emit_run_start();
@@ -214,9 +213,25 @@ class ArraySimulator {
 
     next_epoch_ = ctx_.config_->epoch;
     Seconds horizon{0.0};
+    Seconds last_arrival{0.0};
+    bool any_requests = false;
     SimObserver* const obs = ctx_.observer_;
 
-    for (const Request& req : trace_.requests) {
+    Request req;
+    while (source_.next(req)) {
+      // Incremental input validation: a streaming source has no upfront
+      // pass, so the materialized path's contract errors are re-raised
+      // here, verbatim, the moment a violation arrives.
+      if (any_requests && req.arrival < last_arrival) {
+        throw std::invalid_argument("run_simulation: trace is not sorted");
+      }
+      if (req.file == kInvalidFile || req.file >= files_.size()) {
+        throw std::invalid_argument(
+            "run_simulation: trace references unknown file");
+      }
+      last_arrival = req.arrival;
+      any_requests = true;
+
       advance_until(req.arrival);
       fire_epochs_until(req.arrival);
       ctx_.now_ = req.arrival;
@@ -328,8 +343,8 @@ class ArraySimulator {
       touched_.clear();
     }
 
-    if (!trace_.requests.empty()) {
-      horizon = std::max(horizon, trace_.requests.back().arrival);
+    if (any_requests) {
+      horizon = std::max(horizon, last_arrival);
     }
     // Trailing events inside the horizon still count (a final spin-down
     // whose idle window closed before the last completion, a fault that
@@ -457,18 +472,6 @@ class ArraySimulator {
       }
     }
     drain_until(t);
-  }
-
-  void validate_inputs() const {
-    if (!trace_.is_sorted()) {
-      throw std::invalid_argument("run_simulation: trace is not sorted");
-    }
-    for (const auto& r : trace_.requests) {
-      if (r.file == kInvalidFile || r.file >= files_.size()) {
-        throw std::invalid_argument(
-            "run_simulation: trace references unknown file");
-      }
-    }
   }
 
   void validate_placement() const {
@@ -636,7 +639,7 @@ class ArraySimulator {
 
   const SimConfig& config_;
   const FileSet& files_;
-  const Trace& trace_;
+  RequestSource& source_;
   Policy& policy_;
   ArrayContext ctx_;
   /// Attached fault plan (nullptr or empty = fault-free fast path) and the
@@ -677,12 +680,41 @@ class ArraySimulator {
 };
 
 SimResult run_simulation(const SimConfig& config, const FileSet& files,
-                         const Trace& trace, Policy& policy,
+                         RequestSource& source, Policy& policy,
                          SimObserver* observer, const FaultPlan* faults) {
   validate(config.disk_params);
   if (faults != nullptr) faults->validate(config.disk_count);
-  ArraySimulator sim(config, files, trace, policy, observer, faults);
+  ArraySimulator sim(config, files, source, policy, observer, faults);
   return sim.run();
+}
+
+SimResult run_simulation(const SimConfig& config, const FileSet& files,
+                         RequestSource& source, Policy& policy,
+                         SimObserver* observer) {
+  return run_simulation(config, files, source, policy, observer, nullptr);
+}
+
+SimResult run_simulation(const SimConfig& config, const FileSet& files,
+                         RequestSource& source, Policy& policy) {
+  return run_simulation(config, files, source, policy, nullptr, nullptr);
+}
+
+SimResult run_simulation(const SimConfig& config, const FileSet& files,
+                         const Trace& trace, Policy& policy,
+                         SimObserver* observer, const FaultPlan* faults) {
+  // Upfront validation preserves the historical contract that a bad trace
+  // throws before the policy runs initialize().
+  if (!trace.is_sorted()) {
+    throw std::invalid_argument("run_simulation: trace is not sorted");
+  }
+  for (const auto& r : trace.requests) {
+    if (r.file == kInvalidFile || r.file >= files.size()) {
+      throw std::invalid_argument(
+          "run_simulation: trace references unknown file");
+    }
+  }
+  TraceSource source(trace);
+  return run_simulation(config, files, source, policy, observer, faults);
 }
 
 SimResult run_simulation(const SimConfig& config, const FileSet& files,

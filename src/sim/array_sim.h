@@ -30,6 +30,7 @@
 #include "sim/idle_timer.h"
 #include "sim/metrics.h"
 #include "trace/request.h"
+#include "trace/request_source.h"
 #include "workload/fileset.h"
 
 namespace pr {
@@ -279,10 +280,15 @@ class Policy {
   }
 };
 
-/// Drive `policy` over `trace` against an array built from `config`.
-/// The trace must be sorted by arrival; every file referenced must be in
-/// `files`. Throws std::invalid_argument / std::logic_error on contract
-/// violations (unsorted trace, unplaced file, bad route target).
+/// Drive `policy` over the requests `source` produces, against an array
+/// built from `config`. This is the primary entry point: the simulator
+/// *pulls* one request at a time (bounded-memory ingestion, structural
+/// backpressure) and validates incrementally — arrivals must be
+/// non-decreasing and every file must be in `files`, or it throws the
+/// same std::invalid_argument the materialized path always did
+/// ("run_simulation: trace is not sorted" / "... references unknown
+/// file"). std::logic_error on policy contract violations (unplaced file,
+/// bad route target).
 ///
 /// `observer` (optional) receives the hook stream described in
 /// obs/observer.h; pass nullptr for the zero-overhead fast path. Use
@@ -294,6 +300,23 @@ class Policy {
 /// nullptr or an empty plan is the byte-identical fault-free fast path.
 /// Throws std::invalid_argument if the plan targets a disk outside the
 /// array.
+[[nodiscard]] SimResult run_simulation(const SimConfig& config,
+                                       const FileSet& files,
+                                       RequestSource& source, Policy& policy,
+                                       SimObserver* observer,
+                                       const FaultPlan* faults);
+[[nodiscard]] SimResult run_simulation(const SimConfig& config,
+                                       const FileSet& files,
+                                       RequestSource& source, Policy& policy,
+                                       SimObserver* observer);
+[[nodiscard]] SimResult run_simulation(const SimConfig& config,
+                                       const FileSet& files,
+                                       RequestSource& source, Policy& policy);
+
+/// Materialized-trace adapters: validate `trace` up front (so contract
+/// errors surface before the policy initializes, exactly as before the
+/// streaming redesign) and replay it through a TraceSource. Byte-identical
+/// to the historical vector path — the goldens pin this.
 [[nodiscard]] SimResult run_simulation(const SimConfig& config,
                                        const FileSet& files,
                                        const Trace& trace, Policy& policy,

@@ -27,6 +27,17 @@ void write_csv_trace(const Trace& trace, std::ostream& out) {
   }
 }
 
+void write_csv_trace(RequestSource& source, std::ostream& out) {
+  out << kHeader << "\n";
+  out.imbue(std::locale::classic());
+  Request r;
+  while (source.next(r)) {
+    out << format_double(r.arrival.value(), 9) << ',' << r.file << ','
+        << r.size << ',' << (r.kind == RequestKind::kRead ? 'R' : 'W')
+        << '\n';
+  }
+}
+
 void write_csv_trace_file(const Trace& trace, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("write_csv_trace_file: cannot open " + path);

@@ -7,11 +7,15 @@
 #include <string>
 
 #include "trace/request.h"
+#include "trace/request_source.h"
 
 namespace pr {
 
 /// Write `trace` as CSV (with header) to `out`.
 void write_csv_trace(const Trace& trace, std::ostream& out);
+/// Drain `source` to CSV without materializing a Trace — the streaming
+/// sibling (same header/row bytes as the Trace overload).
+void write_csv_trace(RequestSource& source, std::ostream& out);
 /// Write to a file; throws std::runtime_error on I/O failure.
 void write_csv_trace_file(const Trace& trace, const std::string& path);
 

@@ -1,0 +1,110 @@
+// request_source.h — the streaming half of the trace layer: a pull-based
+// request iterator the simulator consumes one arrival at a time.
+//
+// Before this abstraction every entry path materialized a full
+// std::vector<Request> — an oracle the paper's serving scenario doesn't
+// have, and a memory wall for fleet-scale traces. A RequestSource inverts
+// the flow: the simulator *pulls*, the source produces exactly one request
+// per pull, and whatever buffering a source needs internally is bounded by
+// its own configuration (see stream_reader.h). Backpressure is structural:
+// nothing upstream of the simulator ever runs ahead of the pull.
+//
+// Implementations shipped by the library:
+//   TraceSource            — adapter over a materialized Trace (borrowed or
+//                            owned); the byte-identical bridge for every
+//                            legacy vector-based call site.
+//   CsvStreamSource /
+//   JsonlStreamSource      — bounded-memory text readers over a file, pipe
+//                            or inherited fd tail (stream_reader.h).
+//   SyntheticSource        — wrapper over the src/workload/ generators that
+//                            synthesises requests on demand instead of
+//                            materializing the trace (workload/synthetic.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "trace/request.h"
+
+namespace pr {
+
+/// Pull-based request iterator. Arrivals must be produced in
+/// non-decreasing time order (the simulator re-checks incrementally and
+/// throws the same std::invalid_argument the materialized path always
+/// did). A source is single-pass: once next() returns false it keeps
+/// returning false.
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+
+  RequestSource(const RequestSource&) = delete;
+  RequestSource& operator=(const RequestSource&) = delete;
+
+  /// Produce the next request into `out`. Returns false at end of stream
+  /// (out is left untouched). Throws std::invalid_argument for malformed
+  /// input (streaming readers report "<source>:<line>: message").
+  bool next(Request& out) {
+    if (!poll(out)) return false;
+    ++produced_;
+    return true;
+  }
+
+  /// Human-readable description of where requests come from ("trace[8000]",
+  /// "csv:traces/day1.csv", "synthetic:wc98-light"). Used in logs and
+  /// error messages.
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// True when requests are produced incrementally (unbounded input is
+  /// possible); false for adapters over fully materialized traces.
+  [[nodiscard]] virtual bool streaming() const = 0;
+
+  /// Requests handed out so far (diagnostics; also the 1-based line-item
+  /// count streaming readers use in error messages).
+  [[nodiscard]] std::uint64_t produced() const { return produced_; }
+
+ protected:
+  RequestSource() = default;
+
+  /// Implementation hook for next(); same contract, minus the counting.
+  virtual bool poll(Request& out) = 0;
+
+ private:
+  std::uint64_t produced_ = 0;
+};
+
+/// Adapter over a materialized Trace. Borrows by default (the trace must
+/// outlive the source); the rvalue overload takes ownership (trace::open
+/// uses it for the whole-file legacy formats). streaming() is false: the
+/// input is finite and fully resident, so callers may still take the
+/// up-front validation path.
+class TraceSource final : public RequestSource {
+ public:
+  /// Borrow `trace` (caller keeps it alive).
+  explicit TraceSource(const Trace& trace) : trace_(&trace) {}
+  /// Own a materialized trace (legacy-format adapters).
+  explicit TraceSource(Trace&& trace)
+      : owned_(std::move(trace)), trace_(&owned_) {}
+
+  [[nodiscard]] std::string describe() const override {
+    return "trace[" + std::to_string(trace_->size()) + "]";
+  }
+  [[nodiscard]] bool streaming() const override { return false; }
+
+  /// The adapted trace (tests and stats passes use this to avoid a drain).
+  [[nodiscard]] const Trace& trace() const { return *trace_; }
+
+ protected:
+  bool poll(Request& out) override {
+    if (cursor_ >= trace_->requests.size()) return false;
+    out = trace_->requests[cursor_++];
+    return true;
+  }
+
+ private:
+  Trace owned_;
+  const Trace* trace_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace pr

@@ -1,0 +1,139 @@
+// stream_reader.h — bounded-memory streaming trace readers: RequestSource
+// implementations that parse text formats (CSV, JSONL) line by line from a
+// file, pipe or inherited fd (/dev/fd/N, or '-' = stdin via the istream
+// constructor) without ever materializing the trace.
+//
+// Memory contract: a reader holds at most `StreamReaderOptions::buffer_bytes`
+// of undelivered input — one refill chunk's worth of pending lines. A line
+// longer than the buffer is a hard error (it cannot be scanned within the
+// bound), and a contracts check (util/contracts.h) asserts the bound is
+// never exceeded. Because RequestSource is pull-based, this bound is also
+// the backpressure story: nothing is read from the underlying stream until
+// the simulator asks for the next request and the pending lines run out.
+//
+// Error contract: malformed input throws std::invalid_argument with
+// "<source>:<line>: message" context — the same style as the scenario
+// parser (src/exp/scenario.cpp) — including garbled fields, unsorted
+// arrivals, and a truncated trailing line (bytes after the final newline at
+// end of stream are rejected, never silently dropped).
+//
+// Formats:
+//   CSV   — the interchange format of csv_trace.h: header
+//           `time_s,file_id,bytes,op`, rows `<seconds>,<id>,<bytes>,<R|W>`.
+//   JSONL — one object per line, {"t":<seconds>,"file":<id>,
+//           "bytes":<n>,"op":"R"|"W"} ("op" optional, default "R"); keys in
+//           any order. write_jsonl_trace emits it at full precision
+//           (format_double 17), so a JSONL round trip is byte-exact in the
+//           arrival doubles — unlike CSV's historical precision-9 rows.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+
+#include "trace/request.h"
+#include "trace/request_source.h"
+
+namespace pr {
+
+struct StreamReaderOptions {
+  /// Upper bound on buffered undelivered input, in bytes. Also the
+  /// longest admissible line.
+  std::size_t buffer_bytes = 1 << 20;
+};
+
+/// Shared line-framing machinery: chunked reads into a bounded buffer,
+/// newline scanning, CR stripping, line accounting and the truncated-tail
+/// check. Subclasses implement parse_line() for their format.
+class LineStreamSource : public RequestSource {
+ public:
+  [[nodiscard]] std::string describe() const override { return source_; }
+  [[nodiscard]] bool streaming() const override { return true; }
+
+  /// High-water mark of buffered undelivered bytes — always <= the
+  /// configured bound (tests assert this on multi-GB synthetic pipes).
+  [[nodiscard]] std::size_t buffer_high_water() const { return high_water_; }
+  [[nodiscard]] const StreamReaderOptions& options() const { return options_; }
+
+ protected:
+  /// Read from a caller-owned stream (pipe, stdin, string stream). `source`
+  /// names it in errors.
+  LineStreamSource(std::istream& in, std::string source,
+                   StreamReaderOptions options);
+  /// Open `path` (binary). Throws std::runtime_error when it cannot be
+  /// opened.
+  LineStreamSource(const std::string& path, StreamReaderOptions options);
+
+  bool poll(Request& out) override;
+
+  /// Parse one complete line (CR/LF already stripped) into `out`. Return
+  /// false to skip the line (blank separators). Throw via fail() for
+  /// malformed content.
+  virtual bool parse_line(std::string_view line, Request& out) = 0;
+
+  /// Fetch the next complete line into `line`. Returns false at a clean
+  /// end of stream. Subclass constructors use this to consume headers.
+  bool next_line(std::string& line);
+
+  /// Throw std::invalid_argument("<source>:<line>: message").
+  [[noreturn]] void fail(const std::string& message) const;
+
+  /// 1-based number of the line most recently returned by next_line().
+  [[nodiscard]] std::size_t line_number() const { return line_no_; }
+
+  /// Enforce non-decreasing arrivals with a file:line diagnostic.
+  void check_sorted(Seconds arrival);
+
+ private:
+  void refill();
+
+  std::ifstream owned_;
+  std::istream* in_;
+  std::string source_;
+  StreamReaderOptions options_;
+  std::string buffer_;       // undelivered bytes, <= options_.buffer_bytes
+  std::size_t scan_from_ = 0;  // no '\n' before this offset
+  std::size_t high_water_ = 0;
+  std::size_t line_no_ = 0;
+  bool exhausted_ = false;
+  bool have_last_ = false;
+  Seconds last_arrival_{0.0};
+};
+
+/// Streaming reader for the csv_trace.h interchange format. The header is
+/// consumed (and validated) at construction, so a malformed file fails at
+/// open time, not mid-simulation.
+class CsvStreamSource final : public LineStreamSource {
+ public:
+  CsvStreamSource(std::istream& in, std::string source,
+                  StreamReaderOptions options = {});
+  explicit CsvStreamSource(const std::string& path,
+                           StreamReaderOptions options = {});
+
+ protected:
+  bool parse_line(std::string_view line, Request& out) override;
+
+ private:
+  void consume_header();
+};
+
+/// Streaming reader for the JSONL ingestion schema documented above.
+class JsonlStreamSource final : public LineStreamSource {
+ public:
+  JsonlStreamSource(std::istream& in, std::string source,
+                    StreamReaderOptions options = {});
+  explicit JsonlStreamSource(const std::string& path,
+                             StreamReaderOptions options = {});
+
+ protected:
+  bool parse_line(std::string_view line, Request& out) override;
+};
+
+/// Write `trace` in the JSONL ingestion schema, arrivals at full precision
+/// (17 significant digits round-trip every finite double, so reading the
+/// output back reproduces the trace bit-exactly).
+void write_jsonl_trace(const Trace& trace, std::ostream& out);
+void write_jsonl_trace_file(const Trace& trace, const std::string& path);
+
+}  // namespace pr

@@ -60,41 +60,51 @@ double estimate_theta(const std::vector<std::uint64_t>& counts,
                         files_fraction);
 }
 
-TraceStats compute_trace_stats(const Trace& trace,
-                               const TraceStatsOptions& options) {
-  TraceStats stats;
-  stats.theta_b = options.theta_b;
-  stats.request_count = trace.size();
-  if (trace.empty()) return stats;
-
-  const std::size_t universe = trace.file_universe();
-  stats.access_counts.assign(universe, 0);
-  stats.mean_file_bytes.assign(universe, 0.0);
-
-  for (const auto& r : trace.requests) {
-    stats.total_bytes += r.size;
-    if (r.file != kInvalidFile) {
-      ++stats.access_counts[r.file];
-      // incremental mean per file
-      const auto n = static_cast<double>(stats.access_counts[r.file]);
-      stats.mean_file_bytes[r.file] +=
-          (static_cast<double>(r.size) - stats.mean_file_bytes[r.file]) / n;
+void TraceStatsAccumulator::add(const Request& r) {
+  ++request_count_;
+  total_bytes_ += r.size;
+  if (r.file != kInvalidFile) {
+    if (r.file >= access_counts_.size()) {
+      access_counts_.resize(r.file + std::size_t{1}, 0);
+      mean_file_bytes_.resize(r.file + std::size_t{1}, 0.0);
     }
+    ++access_counts_[r.file];
+    // incremental mean per file
+    const auto n = static_cast<double>(access_counts_[r.file]);
+    mean_file_bytes_[r.file] +=
+        (static_cast<double>(r.size) - mean_file_bytes_[r.file]) / n;
   }
+  if (!have_first_) {
+    first_ = r.arrival;
+    have_first_ = true;
+  }
+  last_ = r.arrival;
+}
+
+TraceStats TraceStatsAccumulator::finalize() const {
+  TraceStats stats;
+  stats.theta_b = options_.theta_b;
+  stats.request_count = request_count_;
+  if (request_count_ == 0) return stats;
+
+  stats.total_bytes = total_bytes_;
+  stats.access_counts = access_counts_;
+  stats.mean_file_bytes = mean_file_bytes_;
   stats.file_count = static_cast<std::size_t>(std::count_if(
       stats.access_counts.begin(), stats.access_counts.end(),
       [](std::uint64_t c) { return c > 0; }));
 
-  stats.duration = trace.duration();
+  stats.duration =
+      request_count_ > 1 ? Seconds{last_ - first_} : Seconds{0};
   stats.mean_interarrival =
-      trace.size() > 1
+      request_count_ > 1
           ? Seconds{stats.duration.value() /
-                    static_cast<double>(trace.size() - 1)}
+                    static_cast<double>(request_count_ - 1)}
           : Seconds{0};
   stats.mean_request_bytes = static_cast<double>(stats.total_bytes) /
-                             static_cast<double>(trace.size());
+                             static_cast<double>(request_count_);
 
-  stats.theta = estimate_theta(stats.access_counts, options.theta_b);
+  stats.theta = estimate_theta(stats.access_counts, options_.theta_b);
 
   // Fraction of accesses going to the top θ_b fraction of (active) files.
   {
@@ -106,12 +116,12 @@ TraceStats compute_trace_stats(const Trace& trace,
     std::sort(active.begin(), active.end(), std::greater<>());
     if (!active.empty()) {
       auto top_n = static_cast<std::size_t>(std::ceil(
-          options.theta_b * static_cast<double>(active.size())));
+          options_.theta_b * static_cast<double>(active.size())));
       top_n = std::clamp<std::size_t>(top_n, 1, active.size());
       std::uint64_t top = 0;
       for (std::size_t i = 0; i < top_n; ++i) top += active[i];
       stats.top_fraction_accesses =
-          static_cast<double>(top) / static_cast<double>(trace.size());
+          static_cast<double>(top) / static_cast<double>(request_count_);
     }
   }
 
@@ -124,7 +134,9 @@ TraceStats compute_trace_stats(const Trace& trace,
     }
     std::sort(active.begin(), active.end(), std::greater<>());
     std::size_t n = active.size();
-    if (options.zipf_fit_ranks > 0) n = std::min(n, options.zipf_fit_ranks);
+    if (options_.zipf_fit_ranks > 0) {
+      n = std::min(n, options_.zipf_fit_ranks);
+    }
     if (n >= 3) {
       double sx = 0.0;
       double sy = 0.0;
@@ -147,6 +159,13 @@ TraceStats compute_trace_stats(const Trace& trace,
   }
 
   return stats;
+}
+
+TraceStats compute_trace_stats(const Trace& trace,
+                               const TraceStatsOptions& options) {
+  TraceStatsAccumulator acc(options);
+  for (const auto& r : trace.requests) acc.add(r);
+  return acc.finalize();
 }
 
 }  // namespace pr

@@ -52,6 +52,49 @@ struct TraceStatsOptions {
 [[nodiscard]] TraceStats compute_trace_stats(const Trace& trace,
                                              const TraceStatsOptions& options = {});
 
+/// Incremental form of compute_trace_stats for streaming ingestion: feed
+/// requests in arrival order with add(), then finalize(). Feeding every
+/// request of a trace reproduces compute_trace_stats exactly (same
+/// accumulation order, same derived statistics) — compute_trace_stats is
+/// implemented on top of this class. Memory is O(file universe), not
+/// O(requests), so a stats pass over an unbounded stream stays bounded by
+/// the id space.
+class TraceStatsAccumulator {
+ public:
+  explicit TraceStatsAccumulator(TraceStatsOptions options = {})
+      : options_(options) {}
+
+  /// Record one request (arrival order required for the duration fields).
+  void add(const Request& r);
+
+  /// Requests recorded so far.
+  [[nodiscard]] std::size_t request_count() const { return request_count_; }
+  /// Arrival of the most recent request (0 before the first add). The
+  /// scenario engine uses this as the fault-plan horizon.
+  [[nodiscard]] Seconds last_arrival() const { return last_; }
+  /// Live per-file access counts (grows with the observed id space).
+  [[nodiscard]] const std::vector<std::uint64_t>& access_counts() const {
+    return access_counts_;
+  }
+  /// Live per-file mean transfer sizes (same indexing as access_counts()).
+  [[nodiscard]] const std::vector<double>& mean_file_bytes() const {
+    return mean_file_bytes_;
+  }
+
+  /// Derive the full TraceStats from everything added so far.
+  [[nodiscard]] TraceStats finalize() const;
+
+ private:
+  TraceStatsOptions options_;
+  std::size_t request_count_ = 0;
+  Bytes total_bytes_ = 0;
+  std::vector<std::uint64_t> access_counts_;
+  std::vector<double> mean_file_bytes_;
+  Seconds first_{0};
+  Seconds last_{0};
+  bool have_first_ = false;
+};
+
 /// θ from an A/B skew statement: A fraction of accesses to B fraction of
 /// files; both in (0, 1). θ = log(A)/log(B). θ ∈ (0, 1] for A ≥ B.
 [[nodiscard]] double theta_from_skew(double accesses_fraction,

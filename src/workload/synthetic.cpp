@@ -91,56 +91,63 @@ FileSet generate_fileset(const SyntheticWorkloadConfig& config) {
   return FileSet(std::move(files));
 }
 
-SyntheticWorkload generate_workload(const SyntheticWorkloadConfig& config) {
-  validate(config);
-  SyntheticWorkload w;
-  w.files = generate_fileset(config);
+SyntheticSource::SyntheticSource(const SyntheticWorkloadConfig& config)
+    : config_(config),
+      files_(generate_fileset(config)),  // validates config
+      rng_(config.seed ^ 0xD1F7C0DEULL),  // independent arrival stream
+      zipf_(config.file_count, config.zipf_alpha),
+      base_mean_(config.mean_interarrival.value() / config.load_factor) {
+  recent_.reserve(config_.burst_window);
+}
 
-  Rng rng(config.seed ^ 0xD1F7C0DEULL);  // independent arrival stream
-  ZipfDistribution zipf(config.file_count, config.zipf_alpha);
+std::string SyntheticSource::describe() const {
+  return "synthetic[" + std::to_string(config_.request_count) + "]";
+}
 
-  const double base_mean =
-      config.mean_interarrival.value() / config.load_factor;
+bool SyntheticSource::poll(Request& out) {
+  if (emitted_ >= config_.request_count) return false;
+  ++emitted_;
 
-  w.trace.requests.reserve(config.request_count);
-  // Recent-file ring buffer for temporal locality.
-  std::vector<FileId> recent;
-  recent.reserve(config.burst_window);
-  std::size_t recent_cursor = 0;
-
-  double t = 0.0;
-  for (std::size_t i = 0; i < config.request_count; ++i) {
-    double mean = base_mean;
-    if (config.diurnal_depth > 0.0) {
-      // Rate modulation lambda(t) = base * (1 + depth*sin(2πt/86400));
-      // inter-arrival mean is its reciprocal at the current time (thinning
-      // would be exact; this local approximation is fine at depth < 1 and
-      // keeps generation single-pass).
-      const double phase = 2.0 * std::numbers::pi * t / 86'400.0;
-      mean = base_mean / (1.0 + config.diurnal_depth * std::sin(phase));
-    }
-    t += rng.exponential(mean);
-
-    Request r;
-    r.arrival = Seconds{t};
-    if (config.burstiness > 0.0 && !recent.empty() &&
-        rng.bernoulli(config.burstiness)) {
-      r.file = recent[rng.uniform_index(recent.size())];
-    } else {
-      r.file = static_cast<FileId>(zipf.sample(rng));
-    }
-    if (config.burstiness > 0.0) {
-      if (recent.size() < config.burst_window) {
-        recent.push_back(r.file);
-      } else {
-        recent[recent_cursor] = r.file;
-        recent_cursor = (recent_cursor + 1) % config.burst_window;
-      }
-    }
-    r.size = w.files[r.file].size;
-    r.kind = RequestKind::kRead;
-    w.trace.requests.push_back(r);
+  double mean = base_mean_;
+  if (config_.diurnal_depth > 0.0) {
+    // Rate modulation lambda(t) = base * (1 + depth*sin(2πt/86400));
+    // inter-arrival mean is its reciprocal at the current time (thinning
+    // would be exact; this local approximation is fine at depth < 1 and
+    // keeps generation single-pass).
+    const double phase = 2.0 * std::numbers::pi * t_ / 86'400.0;
+    mean = base_mean_ / (1.0 + config_.diurnal_depth * std::sin(phase));
   }
+  t_ += rng_.exponential(mean);
+
+  Request r;
+  r.arrival = Seconds{t_};
+  if (config_.burstiness > 0.0 && !recent_.empty() &&
+      rng_.bernoulli(config_.burstiness)) {
+    r.file = recent_[rng_.uniform_index(recent_.size())];
+  } else {
+    r.file = static_cast<FileId>(zipf_.sample(rng_));
+  }
+  if (config_.burstiness > 0.0) {
+    if (recent_.size() < config_.burst_window) {
+      recent_.push_back(r.file);
+    } else {
+      recent_[recent_cursor_] = r.file;
+      recent_cursor_ = (recent_cursor_ + 1) % config_.burst_window;
+    }
+  }
+  r.size = files_[r.file].size;
+  r.kind = RequestKind::kRead;
+  out = r;
+  return true;
+}
+
+SyntheticWorkload generate_workload(const SyntheticWorkloadConfig& config) {
+  SyntheticSource source(config);
+  SyntheticWorkload w;
+  w.files = source.files();
+  w.trace.requests.reserve(config.request_count);
+  Request r;
+  while (source.next(r)) w.trace.requests.push_back(r);
   return w;
 }
 

@@ -17,9 +17,13 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "trace/request.h"
+#include "trace/request_source.h"
+#include "util/rng.h"
 #include "workload/fileset.h"
+#include "workload/zipf.h"
 
 namespace pr {
 
@@ -73,6 +77,40 @@ struct SyntheticWorkload {
 /// Generate file universe and request trace.
 [[nodiscard]] SyntheticWorkload generate_workload(
     const SyntheticWorkloadConfig& config);
+
+/// RequestSource over the synthetic model: requests are synthesised one at
+/// a time on pull, never materialized. Draining it yields exactly the
+/// trace generate_workload(config) builds (generate_workload is
+/// implemented on top of this class), so streaming and batch runs of the
+/// same config are byte-identical. The file universe is still generated
+/// eagerly at construction — it is O(file_count), not O(request_count).
+class SyntheticSource final : public RequestSource {
+ public:
+  explicit SyntheticSource(const SyntheticWorkloadConfig& config);
+
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] bool streaming() const override { return true; }
+
+  /// Ground-truth file universe (sizes + intended access rates).
+  [[nodiscard]] const FileSet& files() const { return files_; }
+  [[nodiscard]] const SyntheticWorkloadConfig& config() const {
+    return config_;
+  }
+
+ protected:
+  bool poll(Request& out) override;
+
+ private:
+  SyntheticWorkloadConfig config_;
+  FileSet files_;
+  Rng rng_;
+  ZipfDistribution zipf_;
+  double base_mean_;
+  std::vector<FileId> recent_;  // temporal-locality ring buffer
+  std::size_t recent_cursor_ = 0;
+  double t_ = 0.0;
+  std::size_t emitted_ = 0;
+};
 
 /// The paper's two evaluation conditions (§5.2): base/light and heavy.
 [[nodiscard]] SyntheticWorkloadConfig worldcup98_light_config(

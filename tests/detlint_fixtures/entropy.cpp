@@ -1,7 +1,7 @@
 // Fixture: every banned ambient-entropy source, one per line, plus
-// comment/string decoys that must NOT fire. Linted under a virtual
-// src/sim/ path (scoped: 5 findings) and a virtual src/trace/ path
-// (unscoped: clean).
+// comment/string decoys that must NOT fire. Linted under virtual scoped
+// paths (src/sim/, src/trace/stream_reader.cpp: 5 findings) and a
+// virtual src/trace/ parser path (unscoped: clean).
 #include <chrono>
 #include <cstdlib>
 #include <ctime>

@@ -104,6 +104,21 @@ TEST(DetlintRules, BannedEntropySilentOutsideScope) {
   EXPECT_TRUE(findings.empty());
 }
 
+// The streaming readers sit on the deterministic run path, so they are
+// in scope even though the rest of src/trace (ambient-log parsers) is
+// not.
+TEST(DetlintRules, BannedEntropyFiresInStreamingTraceFiles) {
+  for (const char* path :
+       {"src/trace/stream_reader.cpp", "src/trace/request_source.h",
+        "src/trace/trace_reader.cpp"}) {
+    const auto findings =
+        detlint::lint_source(path, read_fixture("entropy.cpp"));
+    EXPECT_EQ(lines_of(findings, "banned-entropy"),
+              (std::vector<int>{11, 12, 13, 14, 15}))
+        << "under virtual path " << path;
+  }
+}
+
 // ----------------------------------------------------------- locale-float
 
 TEST(DetlintRules, LocaleFloatFiresOutsideUtil) {

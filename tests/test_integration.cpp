@@ -5,7 +5,7 @@
 #include <cmath>
 
 #include "core/experiment.h"
-#include "core/system.h"
+#include "core/session.h"
 #include "policy/drpm_policy.h"
 #include "policy/hibernator_policy.h"
 #include "policy/maid_policy.h"
@@ -37,6 +37,16 @@ SystemConfig system_config(std::size_t disks) {
   return c;
 }
 
+/// The old run_session() call shape, routed through the one front door
+/// (core/session.h) so these tests keep reading as one-liners.
+SystemReport run_session(const SystemConfig& cfg, const FileSet& files,
+                         const Trace& trace, Policy& policy) {
+  return SimulationSession(cfg)
+      .with_workload(files, trace)
+      .with_policy(policy)
+      .run();
+}
+
 struct PipelineFixture : public ::testing::Test {
   void SetUp() override {
     workload = generate_workload(test_workload_config());
@@ -54,7 +64,7 @@ TEST_F(PipelineFixture, EveryPolicyServesEveryRequest) {
   HibernatorPolicy hibernator;
   for (Policy* p : std::initializer_list<Policy*>{&read, &maid, &pdc, &none,
                                                   &drpm, &hibernator}) {
-    const auto report = evaluate(cfg, workload.files, workload.trace, *p);
+    const auto report = run_session(cfg, workload.files, workload.trace, *p);
     EXPECT_EQ(report.sim.user_requests, workload.trace.size()) << p->name();
     std::uint64_t served = 0;
     for (const auto& l : report.sim.ledgers) served += l.requests;
@@ -69,7 +79,7 @@ TEST_F(PipelineFixture, EveryPolicyServesEveryRequest) {
 TEST_F(PipelineFixture, EveryLedgerCoversTheHorizon) {
   const auto cfg = system_config(8);
   ReadPolicy read;
-  const auto report = evaluate(cfg, workload.files, workload.trace, read);
+  const auto report = run_session(cfg, workload.files, workload.trace, read);
   for (const auto& l : report.sim.ledgers) {
     EXPECT_NEAR(l.observed().value(), report.sim.horizon.value(),
                 1e-6 * report.sim.horizon.value());
@@ -82,11 +92,11 @@ TEST_F(PipelineFixture, EnergySavingSchemesBeatStatic) {
   MaidPolicy maid;
   StaticPolicy none;
   const double e_read =
-      evaluate(cfg, workload.files, workload.trace, read).sim.energy_joules();
+      run_session(cfg, workload.files, workload.trace, read).sim.energy_joules();
   const double e_maid =
-      evaluate(cfg, workload.files, workload.trace, maid).sim.energy_joules();
+      run_session(cfg, workload.files, workload.trace, maid).sim.energy_joules();
   const double e_static =
-      evaluate(cfg, workload.files, workload.trace, none).sim.energy_joules();
+      run_session(cfg, workload.files, workload.trace, none).sim.energy_joules();
   EXPECT_LT(e_read, e_static);
   EXPECT_LT(e_maid, e_static);
 }
@@ -100,11 +110,11 @@ TEST_F(PipelineFixture, ReadBeatsBaselinesOnReliability) {
   MaidPolicy maid;
   PdcPolicy pdc;
   const double afr_read =
-      evaluate(cfg, workload.files, workload.trace, read).array_afr;
+      run_session(cfg, workload.files, workload.trace, read).array_afr;
   const double afr_maid =
-      evaluate(cfg, workload.files, workload.trace, maid).array_afr;
+      run_session(cfg, workload.files, workload.trace, maid).array_afr;
   const double afr_pdc =
-      evaluate(cfg, workload.files, workload.trace, pdc).array_afr;
+      run_session(cfg, workload.files, workload.trace, pdc).array_afr;
   EXPECT_LE(afr_read, afr_maid);
   EXPECT_LE(afr_read, afr_pdc);
 }
@@ -114,7 +124,7 @@ TEST_F(PipelineFixture, ReadRespectsTransitionCap) {
   ReadConfig rc;
   rc.max_transitions_per_day = 40;
   ReadPolicy read(rc);
-  const auto report = evaluate(cfg, workload.files, workload.trace, read);
+  const auto report = run_session(cfg, workload.files, workload.trace, read);
   const double days = report.sim.horizon.value() / kSecondsPerDay.value();
   for (const auto& l : report.sim.ledgers) {
     EXPECT_LE(static_cast<double>(l.transitions),
@@ -128,8 +138,8 @@ TEST_F(PipelineFixture, ReadUtilizationIsMoreEvenThanPdc) {
   const auto cfg = system_config(8);
   ReadPolicy read;
   PdcPolicy pdc;
-  const auto r_read = evaluate(cfg, workload.files, workload.trace, read);
-  const auto r_pdc = evaluate(cfg, workload.files, workload.trace, pdc);
+  const auto r_read = run_session(cfg, workload.files, workload.trace, read);
+  const auto r_pdc = run_session(cfg, workload.files, workload.trace, pdc);
   EXPECT_LT(r_read.sim.utilization_stddev() / (r_read.sim.mean_utilization() + 1e-12),
             r_pdc.sim.utilization_stddev() / (r_pdc.sim.mean_utilization() + 1e-12));
 }
@@ -138,8 +148,8 @@ TEST_F(PipelineFixture, DeterministicEndToEnd) {
   const auto cfg = system_config(6);
   ReadPolicy p1;
   ReadPolicy p2;
-  const auto a = evaluate(cfg, workload.files, workload.trace, p1);
-  const auto b = evaluate(cfg, workload.files, workload.trace, p2);
+  const auto a = run_session(cfg, workload.files, workload.trace, p1);
+  const auto b = run_session(cfg, workload.files, workload.trace, p2);
   EXPECT_DOUBLE_EQ(a.sim.energy_joules(), b.sim.energy_joules());
   EXPECT_DOUBLE_EQ(a.sim.mean_response_time_s(), b.sim.mean_response_time_s());
   EXPECT_DOUBLE_EQ(a.array_afr, b.array_afr);
@@ -150,7 +160,7 @@ TEST_F(PipelineFixture, DeterministicEndToEnd) {
 TEST_F(PipelineFixture, SummaryMentionsKeyMetrics) {
   const auto cfg = system_config(6);
   ReadPolicy read;
-  const auto report = evaluate(cfg, workload.files, workload.trace, read);
+  const auto report = run_session(cfg, workload.files, workload.trace, read);
   const std::string s = report.summary();
   EXPECT_NE(s.find("READ"), std::string::npos);
   EXPECT_NE(s.find("mean response"), std::string::npos);
@@ -180,11 +190,11 @@ TEST_F(PipelineFixture, PowerManagementBaselinesNeverExceedStatic) {
   HibernatorPolicy hibernator;
   StaticPolicy none;
   const double e_static =
-      evaluate(cfg, workload.files, workload.trace, none).sim.energy_joules();
+      run_session(cfg, workload.files, workload.trace, none).sim.energy_joules();
   EXPECT_LT(
-      evaluate(cfg, workload.files, workload.trace, drpm).sim.energy_joules(),
+      run_session(cfg, workload.files, workload.trace, drpm).sim.energy_joules(),
       e_static);
-  EXPECT_LE(evaluate(cfg, workload.files, workload.trace, hibernator)
+  EXPECT_LE(run_session(cfg, workload.files, workload.trace, hibernator)
                 .sim.energy_joules(),
             e_static * (1.0 + 1e-9));
 }
@@ -200,11 +210,11 @@ TEST_F(PipelineFixture, HalvedIdemaScoringKeepsReadCompetitive) {
   MaidPolicy maid;
   PdcPolicy pdc;
   const double afr_read =
-      evaluate(cfg, workload.files, workload.trace, read).array_afr;
+      run_session(cfg, workload.files, workload.trace, read).array_afr;
   const double afr_maid =
-      evaluate(cfg, workload.files, workload.trace, maid).array_afr;
+      run_session(cfg, workload.files, workload.trace, maid).array_afr;
   const double afr_pdc =
-      evaluate(cfg, workload.files, workload.trace, pdc).array_afr;
+      run_session(cfg, workload.files, workload.trace, pdc).array_afr;
   EXPECT_LE(afr_read, afr_maid + 0.005);
   EXPECT_LE(afr_read, afr_pdc + 0.005);
 }
@@ -213,7 +223,7 @@ TEST_F(PipelineFixture, ThermalLagAttributionStaysInBands) {
   SystemConfig cfg = system_config(8);
   cfg.sim.temperature_attribution = TemperatureAttribution::kThermalLag;
   ReadPolicy read;
-  const auto report = evaluate(cfg, workload.files, workload.trace, read);
+  const auto report = run_session(cfg, workload.files, workload.trace, read);
   for (const auto& t : report.sim.telemetry) {
     EXPECT_GE(t.temperature.value(), 40.0 - 1e-9);
     EXPECT_LE(t.temperature.value(), 50.0 + 1e-9);

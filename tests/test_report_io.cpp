@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/session.h"
 #include "policy/read_policy.h"
 #include "workload/synthetic.h"
 
@@ -26,7 +27,10 @@ SystemReport sample_report() {
   SystemConfig cfg;
   cfg.sim.disk_count = 4;
   ReadPolicy policy;
-  return evaluate(cfg, w.files, w.trace, policy);
+  return SimulationSession(cfg)
+             .with_workload(w.files, w.trace)
+             .with_policy(policy)
+             .run();
 }
 
 TEST(ReportJson, ContainsRunLevelFields) {

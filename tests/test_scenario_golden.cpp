@@ -10,6 +10,7 @@
 
 #include "core/experiment.h"
 #include "core/registry.h"
+#include "core/session.h"
 #include "core/report_io.h"
 #include "exp/scenario.h"
 #include "exp/scenario_engine.h"
@@ -72,8 +73,8 @@ TEST(ScenarioGolden, EngineMatchesRunSweep) {
   }
 }
 
-// A cell built from registry knobs must equal a direct evaluate() with the
-// equivalent hand-built config struct — i.e. the ParamMap really reaches
+// A cell built from registry knobs must equal a direct session run with
+// the equivalent hand-built config struct — i.e. the ParamMap really reaches
 // the policy's config fields.
 TEST(ScenarioGolden, RegistryKnobsReachPolicyConfig) {
   ScenarioSpec spec;
@@ -102,7 +103,10 @@ TEST(ScenarioGolden, RegistryKnobsReachPolicyConfig) {
   config.sim.disk_count = 4;
   config.sim.epoch = Seconds{600.0};
   const SystemReport direct =
-      evaluate(config, workload.files, workload.trace, policy);
+      SimulationSession(config)
+          .with_workload(workload.files, workload.trace)
+          .with_policy(policy)
+          .run();
 
   EXPECT_EQ(pr::to_json(direct), pr::to_json(modern.cells[0].report));
 

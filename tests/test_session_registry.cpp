@@ -92,7 +92,12 @@ TEST(SimulationSession, MatchesTheEvaluateWrapperExactly) {
   const auto cfg = small_system();
 
   ReadPolicy for_evaluate;
+  // evaluate() is deprecated, but this test deliberately pins the wrapper's
+  // equivalence until it is removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const auto via_evaluate = evaluate(cfg, w.files, w.trace, for_evaluate);
+#pragma GCC diagnostic pop
 
   ReadPolicy for_session;
   const auto via_session = SimulationSession(cfg)

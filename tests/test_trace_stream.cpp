@@ -1,0 +1,653 @@
+// Streaming-ingestion tests: RequestSource semantics, the bounded-memory
+// line readers (CSV/JSONL), the trace::open registry, and — the load-bearing
+// part — byte-identity between the materialized-vector simulation path and
+// the streaming path for READ/MAID/PDC under both idle-check schedulers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "core/report_io.h"
+#include "core/session.h"
+#include "exp/scenario.h"
+#include "exp/scenario_engine.h"
+#include "exp/scenario_report.h"
+#include "obs/jsonl_writer.h"
+#include "trace/csv_trace.h"
+#include "trace/stream_reader.h"
+#include "trace/trace_reader.h"
+#include "trace/trace_stats.h"
+#include "util/fmt.h"
+#include "workload/synthetic.h"
+
+namespace pr {
+namespace {
+
+// ------------------------------------------------------------ fixtures
+
+/// A compressed skewed day, small enough for exhaustive cross-path runs.
+SyntheticWorkloadConfig golden_workload_config() {
+  SyntheticWorkloadConfig c;
+  c.file_count = 400;
+  c.request_count = 8'000;
+  c.mean_interarrival = Seconds{0.35};
+  c.zipf_alpha = 0.9;
+  c.diurnal_depth = 0.5;
+  c.seed = 20260805;
+  return c;
+}
+
+Trace tiny_trace() {
+  Trace t;
+  for (int i = 0; i < 3; ++i) {
+    Request r;
+    r.arrival = Seconds{0.5 * i};
+    r.file = static_cast<FileId>(i);
+    r.size = 1024;
+    r.kind = RequestKind::kRead;
+    t.requests.push_back(r);
+  }
+  return t;
+}
+
+std::vector<Request> drain(RequestSource& source) {
+  std::vector<Request> out;
+  Request r;
+  while (source.next(r)) out.push_back(r);
+  return out;
+}
+
+void expect_same_requests(const std::vector<Request>& a,
+                          const std::vector<Request>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Bitwise arrival equality: the streaming readers must take the exact
+    // parse path the materialized readers take.
+    EXPECT_EQ(a[i].arrival.value(), b[i].arrival.value()) << "request " << i;
+    EXPECT_EQ(a[i].file, b[i].file) << "request " << i;
+    EXPECT_EQ(a[i].size, b[i].size) << "request " << i;
+    EXPECT_EQ(a[i].kind, b[i].kind) << "request " << i;
+  }
+}
+
+// -------------------------------------------------- RequestSource basics
+
+TEST(TraceSourceTest, DrainsBorrowedTraceAndSticksAtEnd) {
+  const Trace t = tiny_trace();
+  TraceSource source(t);
+  EXPECT_FALSE(source.streaming());
+  EXPECT_EQ(source.describe(), "trace[3]");
+  EXPECT_EQ(source.produced(), 0u);
+
+  const auto out = drain(source);
+  expect_same_requests(out, t.requests);
+  EXPECT_EQ(source.produced(), 3u);
+
+  // End of stream is sticky and leaves `out` untouched.
+  Request sentinel;
+  sentinel.file = 777;
+  EXPECT_FALSE(source.next(sentinel));
+  EXPECT_FALSE(source.next(sentinel));
+  EXPECT_EQ(sentinel.file, 777u);
+  EXPECT_EQ(source.produced(), 3u);
+}
+
+TEST(TraceSourceTest, OwningOverloadKeepsTheTraceAlive) {
+  auto source = std::make_unique<TraceSource>(tiny_trace());
+  EXPECT_EQ(source->trace().size(), 3u);
+  EXPECT_EQ(drain(*source).size(), 3u);
+}
+
+// ------------------------------------------------- streaming CSV reader
+
+TEST(CsvStreamTest, MatchesTheMaterializedCsvReader) {
+  const auto workload = generate_workload(golden_workload_config());
+  std::ostringstream text;
+  write_csv_trace(workload.trace, text);
+
+  std::istringstream for_batch(text.str());
+  const Trace batch = read_csv_trace(for_batch);
+
+  std::istringstream for_stream(text.str());
+  CsvStreamSource source(for_stream, "golden.csv");
+  EXPECT_TRUE(source.streaming());
+  EXPECT_EQ(source.describe(), "golden.csv");
+  expect_same_requests(drain(source), batch.requests);
+}
+
+TEST(CsvStreamTest, SkipsBlankSeparatorLines) {
+  std::istringstream in(
+      "time_s,file_id,bytes,op\n"
+      "0.5,1,100,R\n"
+      "\n"
+      "1.5,2,200,W\n");
+  CsvStreamSource source(in, "blanks.csv");
+  const auto out = drain(source);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].kind, RequestKind::kWrite);
+}
+
+// ------------------------------------------------------- JSONL round trip
+
+TEST(JsonlStreamTest, RoundTripIsBitExact) {
+  const auto workload = generate_workload(golden_workload_config());
+  std::ostringstream text;
+  write_jsonl_trace(workload.trace, text);
+
+  std::istringstream in(text.str());
+  JsonlStreamSource source(in, "golden.jsonl");
+  const auto out = drain(source);
+  expect_same_requests(out, workload.trace.requests);
+
+  // Writing the re-read requests again reproduces the original bytes.
+  Trace again;
+  again.requests = out;
+  std::ostringstream text2;
+  write_jsonl_trace(again, text2);
+  EXPECT_EQ(text.str(), text2.str());
+}
+
+TEST(JsonlStreamTest, AcceptsReorderedKeysAndDefaultsOp) {
+  std::istringstream in(
+      "{\"file\":7,\"t\":1.25,\"bytes\":4096}\n"
+      "{\"op\":\"W\",\"bytes\":8,\"t\":2.5,\"file\":9}\n");
+  JsonlStreamSource source(in, "keys.jsonl");
+  const auto out = drain(source);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].file, 7u);
+  EXPECT_EQ(out[0].kind, RequestKind::kRead);
+  EXPECT_EQ(out[1].kind, RequestKind::kWrite);
+  EXPECT_EQ(out[1].arrival.value(), 2.5);
+}
+
+// ----------------------------------------------------- error diagnostics
+
+/// Expect an invalid_argument whose message starts with "<source>:<line>:"
+/// and mentions `detail`.
+template <typename Fn>
+void expect_stream_error(Fn&& fn, const std::string& prefix,
+                         const std::string& detail) {
+  try {
+    fn();
+    FAIL() << "expected std::invalid_argument (" << prefix << " " << detail
+           << ")";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.rfind(prefix, 0), 0u) << what;
+    EXPECT_NE(what.find(detail), std::string::npos) << what;
+  }
+}
+
+TEST(StreamErrorTest, TruncatedTrailingLineIsRejected) {
+  expect_stream_error(
+      [] {
+        std::istringstream in("time_s,file_id,bytes,op\n0.5,1,100,R");
+        CsvStreamSource source(in, "trunc.csv");
+        Request r;
+        while (source.next(r)) {
+        }
+      },
+      "trunc.csv:2:", "truncated");
+}
+
+TEST(StreamErrorTest, BadCsvHeader) {
+  expect_stream_error(
+      [] {
+        std::istringstream in("when,who,what,why\n");
+        CsvStreamSource source(in, "h.csv");
+      },
+      "h.csv:1:", "bad header");
+}
+
+TEST(StreamErrorTest, EmptyCsvInput) {
+  expect_stream_error(
+      [] {
+        std::istringstream in("");
+        CsvStreamSource source(in, "empty.csv");
+      },
+      "empty.csv:1:", "empty input");
+}
+
+TEST(StreamErrorTest, BadOpAndGarbledFields) {
+  expect_stream_error(
+      [] {
+        std::istringstream in("time_s,file_id,bytes,op\n0.5,1,100,X\n");
+        CsvStreamSource source(in, "op.csv");
+        Request r;
+        source.next(r);
+      },
+      "op.csv:2:", "bad op");
+  expect_stream_error(
+      [] {
+        std::istringstream in("time_s,file_id,bytes,op\n0.5,one,100,R\n");
+        CsvStreamSource source(in, "num.csv");
+        Request r;
+        source.next(r);
+      },
+      "num.csv:2:", "file_id");
+}
+
+TEST(StreamErrorTest, UnsortedArrivals) {
+  expect_stream_error(
+      [] {
+        std::istringstream in(
+            "time_s,file_id,bytes,op\n2,1,100,R\n1,1,100,R\n");
+        CsvStreamSource source(in, "sort.csv");
+        Request r;
+        while (source.next(r)) {
+        }
+      },
+      "sort.csv:3:", "not sorted");
+}
+
+TEST(StreamErrorTest, UnknownJsonlKey) {
+  expect_stream_error(
+      [] {
+        std::istringstream in("{\"t\":1,\"file\":1,\"bytes\":1,\"nope\":2}\n");
+        JsonlStreamSource source(in, "k.jsonl");
+        Request r;
+        source.next(r);
+      },
+      "k.jsonl:1:", "unknown key");
+}
+
+TEST(StreamErrorTest, LineLongerThanTheBufferBound) {
+  StreamReaderOptions options;
+  options.buffer_bytes = 64;
+  std::string text = "time_s,file_id,bytes,op\n0.5,1,";
+  text.append(200, '9');  // one absurd row, longer than the whole bound
+  text += ",R\n";
+  expect_stream_error(
+      [&] {
+        std::istringstream in(text);
+        CsvStreamSource source(in, "long.csv", options);
+        Request r;
+        while (source.next(r)) {
+        }
+      },
+      "long.csv:2:", "buffer bound");
+}
+
+// -------------------------------------------------- bounded buffering
+
+/// A streambuf that *generates* CSV rows on demand — the trace exists only
+/// as the few bytes currently buffered, so draining it proves the reader
+/// never needs the whole input resident.
+class GeneratedCsvBuf : public std::streambuf {
+ public:
+  explicit GeneratedCsvBuf(std::size_t rows) : rows_(rows) {
+    pending_ = "time_s,file_id,bytes,op\n";
+    setg(pending_.data(), pending_.data(), pending_.data() + pending_.size());
+  }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    if (next_row_ >= rows_) return traits_type::eof();
+    pending_ = format_double(0.001 * static_cast<double>(next_row_), 9);
+    pending_ += ',';
+    pending_ += std::to_string(next_row_ % 97);
+    pending_ += ",4096,R\n";
+    ++next_row_;
+    setg(pending_.data(), pending_.data(), pending_.data() + pending_.size());
+    return traits_type::to_int_type(*gptr());
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t next_row_ = 0;
+  std::string pending_;
+};
+
+TEST(BoundedBufferTest, HighWaterStaysUnderTheConfiguredBound) {
+  constexpr std::size_t kRows = 200'000;  // ~5 MB of text, never resident
+  GeneratedCsvBuf buf(kRows);
+  std::istream in(&buf);
+  StreamReaderOptions options;
+  options.buffer_bytes = 4096;
+  CsvStreamSource source(in, "generated.csv", options);
+  Request r;
+  std::uint64_t count = 0;
+  while (source.next(r)) ++count;
+  EXPECT_EQ(count, kRows);
+  EXPECT_LE(source.buffer_high_water(), options.buffer_bytes);
+  EXPECT_GT(source.buffer_high_water(), 0u);
+}
+
+TEST(BoundedBufferTest, ZeroBufferIsRejectedAtConstruction) {
+  StreamReaderOptions options;
+  options.buffer_bytes = 0;
+  std::istringstream in("time_s,file_id,bytes,op\n");
+  EXPECT_THROW(CsvStreamSource(in, "z.csv", options), std::invalid_argument);
+}
+
+// ----------------------------------------------------- SyntheticSource
+
+TEST(SyntheticSourceTest, MatchesTheMaterializedGenerator) {
+  const auto config = golden_workload_config();
+  const auto workload = generate_workload(config);
+
+  SyntheticSource source(config);
+  EXPECT_TRUE(source.streaming());
+  EXPECT_EQ(source.files().size(), workload.files.size());
+  for (std::size_t i = 0; i < workload.files.size(); ++i) {
+    EXPECT_EQ(source.files()[i].size, workload.files[i].size) << i;
+    EXPECT_EQ(source.files()[i].access_rate, workload.files[i].access_rate)
+        << i;
+  }
+  expect_same_requests(drain(source), workload.trace.requests);
+}
+
+// ----------------------------------------------- TraceStatsAccumulator
+
+TEST(TraceStatsAccumulatorTest, MatchesBatchComputation) {
+  const auto workload = generate_workload(golden_workload_config());
+  const TraceStats batch = compute_trace_stats(workload.trace);
+
+  TraceStatsAccumulator acc;
+  for (const Request& r : workload.trace.requests) acc.add(r);
+  const TraceStats incremental = acc.finalize();
+
+  EXPECT_EQ(incremental.request_count, batch.request_count);
+  EXPECT_EQ(incremental.file_count, batch.file_count);
+  EXPECT_EQ(incremental.total_bytes, batch.total_bytes);
+  EXPECT_EQ(incremental.duration.value(), batch.duration.value());
+  EXPECT_EQ(incremental.mean_interarrival.value(),
+            batch.mean_interarrival.value());
+  EXPECT_EQ(incremental.mean_request_bytes, batch.mean_request_bytes);
+  EXPECT_EQ(incremental.theta, batch.theta);
+  EXPECT_EQ(incremental.top_fraction_accesses, batch.top_fraction_accesses);
+  EXPECT_EQ(incremental.zipf_alpha, batch.zipf_alpha);
+  EXPECT_EQ(incremental.access_counts, batch.access_counts);
+  EXPECT_EQ(acc.last_arrival().value(),
+            workload.trace.requests.back().arrival.value());
+}
+
+// ------------------------------------------------------- trace::open
+
+TEST(TraceReaderTest, ResolvesSpecsAndInfersFormats) {
+  EXPECT_EQ(trace::resolve_spec("csv:weird.bin").format, "csv");
+  EXPECT_EQ(trace::resolve_spec("csv:weird.bin").path, "weird.bin");
+  EXPECT_EQ(trace::resolve_spec("a/b.csv").format, "csv");
+  EXPECT_EQ(trace::resolve_spec("day.jsonl").format, "jsonl");
+  EXPECT_EQ(trace::resolve_spec("day.ndjson").format, "jsonl");
+  EXPECT_EQ(trace::resolve_spec("access.log").format, "clf");
+  EXPECT_EQ(trace::resolve_spec("day66.wc98").format, "wc98");
+  EXPECT_EQ(trace::resolve_spec("-").format, "csv");
+  EXPECT_EQ(trace::resolve_spec("-").path, "-");
+  EXPECT_EQ(trace::resolve_spec("jsonl:-").format, "jsonl");
+  // A prefix is only a format when registered; bare ':' paths keep working.
+  EXPECT_EQ(trace::resolve_spec("weird:path.csv").path, "weird:path.csv");
+  EXPECT_THROW((void)trace::resolve_spec(""), std::invalid_argument);
+  EXPECT_THROW((void)trace::resolve_spec("no_extension"),
+               std::invalid_argument);
+  EXPECT_THROW((void)trace::resolve_spec("file.xyz"), std::invalid_argument);
+  EXPECT_THROW((void)trace::resolve_spec("csv:"), std::invalid_argument);
+}
+
+TEST(TraceReaderTest, OpenTraceMatchesTheLegacyCsvReader) {
+  const auto workload = generate_workload(golden_workload_config());
+  const std::string path = testing::TempDir() + "stream_golden.csv";
+  write_csv_trace_file(workload.trace, path);
+
+  const Trace legacy = read_csv_trace_file(path);
+  const Trace unified = trace::open_trace(path);
+  expect_same_requests(unified.requests, legacy.requests);
+
+  auto source = trace::open(path);
+  EXPECT_TRUE(source->streaming());
+  expect_same_requests(drain(*source), legacy.requests);
+  std::remove(path.c_str());
+}
+
+// -------------------------------------- streaming / materialized identity
+
+struct SessionRun {
+  std::string report_json;
+  std::string events;
+};
+
+SessionRun run_with_workload(const SystemConfig& config,
+                             const std::string& policy, const FileSet& files,
+                             const Trace& trace) {
+  std::ostringstream events;
+  JsonlTraceWriter writer(events);
+  SessionRun out;
+  out.report_json = to_json(SimulationSession(config)
+                                .with_workload(files, trace)
+                                .with_policy(policy)
+                                .with_observer(writer)
+                                .run());
+  out.events = events.str();
+  return out;
+}
+
+SessionRun run_with_source(const SystemConfig& config,
+                           const std::string& policy, const FileSet& files,
+                           RequestSource& source) {
+  std::ostringstream events;
+  JsonlTraceWriter writer(events);
+  SessionRun out;
+  out.report_json = to_json(SimulationSession(config)
+                                .with_source(files, source)
+                                .with_policy(policy)
+                                .with_observer(writer)
+                                .run());
+  out.events = events.str();
+  return out;
+}
+
+SystemConfig identity_config(IdleScheduler scheduler) {
+  SystemConfig config;
+  config.sim.disk_count = 8;
+  config.sim.epoch = Seconds{600.0};
+  config.sim.idle_scheduler = scheduler;
+  return config;
+}
+
+/// READ/MAID/PDC under both schedulers: the vector path, the TraceSource
+/// adapter, the JSONL stream (bit-exact arrivals) and the CSV stream
+/// (precision-9 arrivals, compared against a trace materialized from the
+/// same bytes) must agree on the full report and event stream.
+TEST(StreamingIdentityTest, SourceRunsMatchVectorRunsExactly) {
+  const auto workload = generate_workload(golden_workload_config());
+
+  std::ostringstream jsonl_text;
+  write_jsonl_trace(workload.trace, jsonl_text);
+  std::ostringstream csv_text;
+  write_csv_trace(workload.trace, csv_text);
+  std::istringstream csv_for_batch(csv_text.str());
+  const Trace csv_trace = read_csv_trace(csv_for_batch);
+  const FileSet csv_files =
+      FileSet::from_trace_stats(compute_trace_stats(csv_trace));
+
+  for (const IdleScheduler scheduler :
+       {IdleScheduler::kTimerHeap, IdleScheduler::kEventQueue}) {
+    const SystemConfig config = identity_config(scheduler);
+    for (const std::string policy : {"read", "maid", "pdc"}) {
+      const std::string label =
+          policy + "/" +
+          (scheduler == IdleScheduler::kTimerHeap ? "timer" : "queue");
+
+      const SessionRun golden =
+          run_with_workload(config, policy, workload.files, workload.trace);
+
+      TraceSource adapter(workload.trace);
+      const SessionRun via_adapter =
+          run_with_source(config, policy, workload.files, adapter);
+      EXPECT_EQ(via_adapter.report_json, golden.report_json) << label;
+      EXPECT_EQ(via_adapter.events, golden.events) << label;
+
+      std::istringstream jsonl_in(jsonl_text.str());
+      JsonlStreamSource jsonl(jsonl_in, "golden.jsonl");
+      const SessionRun via_jsonl =
+          run_with_source(config, policy, workload.files, jsonl);
+      EXPECT_EQ(via_jsonl.report_json, golden.report_json) << label;
+      EXPECT_EQ(via_jsonl.events, golden.events) << label;
+
+      const SessionRun csv_golden =
+          run_with_workload(config, policy, csv_files, csv_trace);
+      std::istringstream csv_in(csv_text.str());
+      CsvStreamSource csv(csv_in, "golden.csv");
+      const SessionRun via_csv =
+          run_with_source(config, policy, csv_files, csv);
+      EXPECT_EQ(via_csv.report_json, csv_golden.report_json) << label;
+      EXPECT_EQ(via_csv.events, csv_golden.events) << label;
+    }
+  }
+}
+
+// ------------------------------------------------------- online READ
+
+TEST(OnlineReadTest, DeterministicAcrossSchedulersAndSources) {
+  const auto workload = generate_workload(golden_workload_config());
+  std::ostringstream jsonl_text;
+  write_jsonl_trace(workload.trace, jsonl_text);
+
+  std::string timer_events;
+  std::map<std::string, std::uint64_t> timer_counters;
+  for (const IdleScheduler scheduler :
+       {IdleScheduler::kTimerHeap, IdleScheduler::kEventQueue}) {
+    const SystemConfig config = identity_config(scheduler);
+    std::ostringstream events;
+    JsonlTraceWriter writer(events);
+    const SystemReport golden = SimulationSession(config)
+                                    .with_workload(workload)
+                                    .with_policy("online-read")
+                                    .with_observer(writer)
+                                    .run();
+    std::istringstream jsonl_in(jsonl_text.str());
+    JsonlStreamSource jsonl(jsonl_in, "golden.jsonl");
+    const SessionRun streamed =
+        run_with_source(config, "online-read", workload.files, jsonl);
+    EXPECT_EQ(streamed.report_json, to_json(golden));
+    EXPECT_EQ(streamed.events, events.str());
+
+    // Across schedulers, only the sim.idle_checks* churn family may
+    // differ (the same allowance test_scheduler_golden pins).
+    std::map<std::string, std::uint64_t> comparable;
+    for (const auto& [name, value] : golden.sim.counters) {
+      if (name.rfind("sim.idle_checks", 0) == 0) continue;
+      comparable.emplace(name, value);
+    }
+    if (scheduler == IdleScheduler::kTimerHeap) {
+      timer_events = events.str();
+      timer_counters = comparable;
+    } else {
+      EXPECT_EQ(events.str(), timer_events);
+      EXPECT_EQ(comparable, timer_counters);
+    }
+  }
+}
+
+TEST(OnlineReadTest, PromotesBetweenEpochBoundaries) {
+  const auto workload = generate_workload(golden_workload_config());
+  SystemConfig config;
+  config.sim.disk_count = 8;
+  config.sim.epoch = Seconds{300.0};
+  const SystemReport report = SimulationSession(config)
+                                  .with_workload(workload)
+                                  .with_policy("online-read")
+                                  .run();
+  ASSERT_NE(report.sim.counters.find("online.promotions"),
+            report.sim.counters.end());
+  ASSERT_NE(report.sim.counters.find("online.demotions"),
+            report.sim.counters.end());
+  EXPECT_GT(report.sim.counters.at("online.promotions"), 0u);
+  // The batch policies must NOT intern the online counters (counter
+  // hygiene: zero-valued registered counters would widen their snapshots).
+  const SystemReport batch = SimulationSession(config)
+                                 .with_workload(workload)
+                                 .with_policy("read")
+                                 .run();
+  EXPECT_EQ(batch.sim.counters.find("online.promotions"),
+            batch.sim.counters.end());
+}
+
+TEST(OnlineReadTest, RegistryExposesTheKnobs) {
+  ASSERT_TRUE(policies::contains("online-read"));
+  const auto names = policies::param_names("online-read");
+  EXPECT_NE(std::find(names.begin(), names.end(), "promote_margin"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "decay_shift"),
+            names.end());
+  auto policy = policies::make(
+      "online-read", ParamMap{{"promote_margin", "2"}, {"decay_shift", "0"}})();
+  EXPECT_EQ(policy->name(), "READ-online");
+  EXPECT_THROW((void)policies::make("online-read",
+                                    ParamMap{{"decay_shift", "64"}})(),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------- scenario [source]
+
+TEST(ScenarioSourceTest, StreamedCellsMatchMaterializedCellsAcrossThreads) {
+  auto config = golden_workload_config();
+  config.request_count = 3'000;  // keep the 2x2 grid quick
+  const auto workload = generate_workload(config);
+  const std::string path = testing::TempDir() + "scenario_source.csv";
+  write_csv_trace_file(workload.trace, path);
+
+  ScenarioSpec materialized;
+  materialized.name = "replay";
+  materialized.threads = 1;
+  materialized.disks = {4, 8};
+  materialized.epochs = {600.0};
+  ScenarioWorkload w;
+  w.name = "day";
+  w.kind = "trace";
+  w.path = path;
+  materialized.workloads = {w};
+  materialized.policies.push_back({"read", "READ", ParamMap{}});
+  materialized.policies.push_back({"pdc", "PDC", ParamMap{}});
+
+  ScenarioSpec streamed = materialized;
+  streamed.workloads[0].kind = "source";
+  streamed.workloads[0].buffer = 8192;
+
+  auto csv_of = [](const ScenarioResult& result) {
+    std::ostringstream out;
+    write_scenario_csv(result, out);
+    return out.str();
+  };
+
+  const std::string golden = csv_of(run_scenario(materialized));
+  EXPECT_EQ(csv_of(run_scenario(streamed)), golden);
+
+  // Thread count must never leak into results (the cells re-open the
+  // source independently, in deterministic cell order).
+  streamed.threads = 4;
+  EXPECT_EQ(csv_of(run_scenario(streamed)), golden);
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioSourceTest, ParserSupportsTheSourceSection) {
+  const ScenarioSpec spec = parse_scenario(
+      "[source replay]\n"
+      "spec = jsonl:day.jl\n"
+      "buffer = 65536\n"
+      "[policy read]\n");
+  ASSERT_EQ(spec.workloads.size(), 1u);
+  EXPECT_EQ(spec.workloads[0].name, "replay");
+  EXPECT_EQ(spec.workloads[0].kind, "source");
+  EXPECT_EQ(spec.workloads[0].path, "jsonl:day.jl");
+  ASSERT_TRUE(spec.workloads[0].buffer.has_value());
+  EXPECT_EQ(*spec.workloads[0].buffer, 65536u);
+
+  // stdin cannot back a grid (cells re-run the source).
+  EXPECT_THROW((void)parse_scenario("[source s]\nspec = -\n[policy read]\n"),
+               std::invalid_argument);
+  // Unresolvable specs fail at validation, not mid-sweep.
+  EXPECT_THROW(
+      (void)parse_scenario("[source s]\nspec = day.xyz\n[policy read]\n"),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pr

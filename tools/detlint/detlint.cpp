@@ -48,10 +48,26 @@ bool in_dir(const std::string& path, std::string_view dir) {
          path.compare(0, inner.size() - 1, inner, 1, inner.size() - 1) == 0;
 }
 
-/// banned-entropy scope: the deterministic simulation core.
+/// The streaming-ingestion files under src/trace feed requests straight
+/// into the deterministic run path, so they join the entropy scope. The
+/// rest of src/trace parses ambient log formats (CLF timestamps need
+/// <ctime>) and stays out.
+bool streaming_trace(const std::string& path) {
+  if (!in_dir(path, "trace")) return false;
+  const std::size_t slash = path.find_last_of('/');
+  const std::string_view base = std::string_view(path).substr(
+      slash == std::string::npos ? 0 : slash + 1);
+  return base.rfind("stream_", 0) == 0 ||
+         base.rfind("request_source", 0) == 0 ||
+         base.rfind("trace_reader", 0) == 0;
+}
+
+/// banned-entropy scope: the deterministic simulation core plus the
+/// streaming trace readers.
 bool entropy_scoped(const std::string& path) {
   return in_dir(path, "sim") || in_dir(path, "policy") ||
-         in_dir(path, "exp") || in_dir(path, "fault");
+         in_dir(path, "exp") || in_dir(path, "fault") ||
+         streaming_trace(path);
 }
 
 /// locale-float scope: everywhere except util/ (which owns the sanctioned
@@ -93,8 +109,8 @@ const std::vector<RuleInfo>& rules() {
        "report/CSV/JSONL output"},
       {kBannedEntropy,
        "ambient entropy (rand, srand, std::random_device, time(), "
-       "std::chrono::system_clock) inside src/sim, src/policy, src/exp or "
-       "src/fault"},
+       "std::chrono::system_clock) inside src/sim, src/policy, src/exp, "
+       "src/fault, or the streaming readers under src/trace"},
       {kLocaleFloat,
        "locale-sensitive float formatting/parsing outside util/ (stream "
        "precision manipulators, printf float conversions, stod/strtod, "

@@ -10,8 +10,13 @@
 //                        salt-dependent, so emitted order is not stable)
 //   banned-entropy       rand()/srand()/std::random_device/time()/
 //                        std::chrono::system_clock inside src/sim, policy,
-//                        exp or fault (all randomness must flow from the
-//                        run's seed; all time from the simulation clock)
+//                        exp, fault, or the streaming readers under
+//                        src/trace (stream_*/request_source*/
+//                        trace_reader* — they feed the run path; the
+//                        ambient-log parsers like CLF stay out because
+//                        timestamp decoding needs <ctime>). Randomness
+//                        must flow from the run's seed; time from the
+//                        simulation clock.
 //   locale-float         locale-sensitive float formatting/parsing
 //                        outside util/ (stream precision manipulators,
 //                        printf %f/%g/%e, stod/strtod, locale installs) —
@@ -64,8 +69,8 @@ Scrubbed scrub(std::string_view source);
 
 /// Lint one in-memory source. `path` is used both for reporting and for
 /// the path-scoped rules (banned-entropy applies under
-/// src/sim|policy|exp|fault, locale-float everywhere but util/), which is
-/// what lets the test suite
+/// src/sim|policy|exp|fault plus the streaming readers in src/trace,
+/// locale-float everywhere but util/), which is what lets the test suite
 /// lint fixture files under virtual src/ paths.
 std::vector<Finding> lint_source(const std::string& path,
                                  std::string_view source);
