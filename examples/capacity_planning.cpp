@@ -7,26 +7,65 @@
 // configuration that satisfies both.
 //
 //   $ ./capacity_planning [max_afr_percent] [slo_ms] [--quick]
+//                         [--disks n,n,...]
+//
+// --disks overrides the swept array sizes (paper default 6..16). Values
+// are validated through fleet_disk_count, so >4096-disk configurations
+// are accepted up to the 32-bit DiskId space and anything beyond fails
+// loudly instead of overflowing an int-typed disk index.
+#include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
+#include <string>
 
 #include "core/experiment.h"
 #include "policy/maid_policy.h"
 #include "policy/pdc_policy.h"
 #include "policy/read_policy.h"
 #include "policy/static_policy.h"
+#include "sim/fleet_sim.h"
 #include "util/table.h"
 #include "workload/synthetic.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+// Comma-separated array sizes, each range-checked through the fleet id
+// constructor (throws std::invalid_argument on zero or 32-bit overflow).
+std::vector<std::size_t> parse_disk_list(const std::string& text) {
+  std::vector<std::size_t> disks;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', pos), text.size());
+    const std::string field = text.substr(pos, comma - pos);
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(field.c_str(), &end, 10);
+    if (field.empty() || end != field.c_str() + field.size() ||
+        value > 0xFFFFFFFFull) {
+      throw std::invalid_argument("--disks: bad count '" + field + "'");
+    }
+    disks.push_back(
+        pr::fleet_disk_count(1, static_cast<std::uint32_t>(value)));
+    pos = comma + 1;
+  }
+  return disks;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
   using namespace pr;
   double max_afr = 0.20;
   double slo_ms = 15.0;
   bool quick = false;
+  std::vector<std::size_t> disk_counts = {6, 8, 10, 12, 14, 16};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--disks") == 0 && i + 1 < argc) {
+      disk_counts = parse_disk_list(argv[++i]);
     } else if (max_afr == 0.20) {
       max_afr = std::atof(argv[i]) / 100.0;
     } else {
@@ -43,7 +82,7 @@ int main(int argc, char** argv) {
 
   SweepConfig sweep;
   sweep.base.sim.epoch = Seconds{3600.0};
-  sweep.disk_counts = {6, 8, 10, 12, 14, 16};
+  sweep.disk_counts = disk_counts;
 
   const std::vector<std::pair<std::string, PolicyFactory>> policies = {
       {"READ", [] { return std::make_unique<ReadPolicy>(); }},
@@ -97,4 +136,7 @@ int main(int argc, char** argv) {
                  "AFR budget or the SLO, or extend the sweep.\n";
   }
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
 }

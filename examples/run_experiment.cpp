@@ -67,6 +67,7 @@ struct Options {
   // Scenario mode.
   std::string config_file;
   std::optional<unsigned> threads;
+  std::optional<unsigned> fleet_threads;
   std::string csv_path;
   std::string json_path;
 };
@@ -101,6 +102,8 @@ void print_help() {
       "scenario sweep:\n"
       "  --config FILE        run a declarative scenario (see scenarios/)\n"
       "  --threads N          sweep worker threads (0 = hardware)\n"
+      "  --fleet-threads N    override [fleet] threads (never changes\n"
+      "                       result bytes; 0 = hardware)\n"
       "  --csv FILE           cell CSV (default results/<scenario>.csv)\n"
       "  --json FILE          cell JSON (off by default)\n"
       "\n"
@@ -162,6 +165,8 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (flag == "--config") opt.config_file = next();
     else if (flag == "--threads")
       opt.threads = static_cast<unsigned>(parse_u64(next(), flag));
+    else if (flag == "--fleet-threads")
+      opt.fleet_threads = static_cast<unsigned>(parse_u64(next(), flag));
     else if (flag == "--csv") opt.csv_path = next();
     else if (flag == "--json") opt.json_path = next();
     else if (flag == "--help" || flag == "-h") return false;
@@ -325,6 +330,7 @@ int run_single(const Options& opt) {
 int run_config(const Options& opt) {
   ScenarioSpec spec = load_scenario_file(opt.config_file);
   if (opt.threads) spec.threads = *opt.threads;
+  if (opt.fleet_threads) spec.fleet.threads = *opt.fleet_threads;
 
   std::cout << "scenario '" << spec.name << "' from " << opt.config_file
             << "\n";

@@ -2,11 +2,13 @@
 # bench_snapshot.sh — capture a performance snapshot of the hot paths.
 #
 # Runs bench/obs_overhead (simulation-loop cost per configuration, plus
-# idle-check churn counters for both scheduling backends) and
-# bench/micro_benchmarks (google-benchmark JSON), and merges both into
+# idle-check churn counters for both scheduling backends),
+# bench/micro_benchmarks (google-benchmark JSON), and
+# bench/fleet_throughput (the BM_FleetThroughput family up to the
+# 10k-disk / 100M-request fleet day), and merges them into
 # BENCH_<date>.json at the repo root: benchmark -> ns/op plus the key
-# sim.* counters. Commit the file to record a before/after pair across a
-# performance PR (see docs/PERFORMANCE.md).
+# sim.* counters and a "fleet" section. Commit the file to record a
+# before/after pair across a performance PR (see docs/PERFORMANCE.md).
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #   BUILD_DIR=dir   build directory (default: build; configured Release if
@@ -22,7 +24,8 @@ OUT="${1:-BENCH_$(date +%F).json}"
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$BUILD_DIR" --target obs_overhead micro_benchmarks -j
+cmake --build "$BUILD_DIR" --target obs_overhead micro_benchmarks \
+  fleet_throughput -j
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -34,6 +37,13 @@ PR_RESULTS_DIR="$TMP" "$BUILD_DIR/bench/obs_overhead" | tee "$TMP/obs_overhead.t
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_format=json >"$TMP/micro.json"
 
+# The fleet family materializes its workloads once per point and replays
+# them, so the timed region is pure simulator; the 100M-request point runs
+# a single iteration (~6 s simulated fleet day).
+"$BUILD_DIR/bench/fleet_throughput" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json >"$TMP/fleet.json"
+
 python3 - "$TMP" "$OUT" <<'EOF'
 import csv, json, os, subprocess, sys
 
@@ -44,6 +54,7 @@ snapshot = {
         ["git", "rev-parse", "--short", "HEAD"],
         capture_output=True, text=True).stdout.strip() or None,
     "benchmarks": {},
+    "fleet": {},
     "obs_overhead": {},
     "sim_counters": {},
 }
@@ -59,6 +70,17 @@ for b in micro.get("benchmarks", []):
     if "items_per_second" in b:
         entry["ns_per_item"] = 1e9 / b["items_per_second"]
     snapshot["benchmarks"][b["name"]] = entry
+
+with open(os.path.join(tmp, "fleet.json")) as f:
+    fleet = json.load(f)
+for b in fleet.get("benchmarks", []):
+    entry = {"real_time_ms": b["real_time"]}
+    if "items_per_second" in b:
+        entry["requests_per_second"] = b["items_per_second"]
+        entry["ns_per_request"] = 1e9 / b["items_per_second"]
+    if "fleet_disks" in b:
+        entry["fleet_disks"] = int(b["fleet_disks"])
+    snapshot["fleet"][b["name"]] = entry
 
 with open(os.path.join(tmp, "obs_overhead.csv")) as f:
     for row in csv.DictReader(f):

@@ -18,37 +18,56 @@ bool approx_eq(double a, double b, double rel_tol) {
 }  // namespace
 
 bool Disk::ledger_conserves(double rel_tol) const {
-  const double observed = ledger_.observed().value();
-  const double at_speeds =
-      (ledger_.time_at_low + ledger_.time_at_high).value();
-  const double busy_idle = (ledger_.busy_time + ledger_.idle_time).value();
-  return approx_eq(observed, accounted_until_.value(), rel_tol) &&
+  const DiskLedger& ledger = soa_->ledger[slot_];
+  const double observed = ledger.observed().value();
+  const double at_speeds = (ledger.time_at_low + ledger.time_at_high).value();
+  const double busy_idle = (ledger.busy_time + ledger.idle_time).value();
+  return approx_eq(observed, soa_->accounted_until[slot_].value(), rel_tol) &&
          approx_eq(at_speeds, busy_idle, rel_tol) &&
-         !(ledger_.energy < Joules{0.0});
+         !(ledger.energy < Joules{0.0});
 }
 
 Disk::Disk(DiskId id, const TwoSpeedDiskParams& params, DiskSpeed initial)
-    : id_(id), params_(params), speed_(initial), initial_speed_(initial) {
+    : owned_(std::make_unique<DiskArraySoA>(1)),
+      soa_(owned_.get()),
+      slot_(0),
+      id_(id),
+      params_(params) {
   validate(params_);
+  soa_->speed[slot_] = initial;
+  soa_->initial_speed[slot_] = initial;
+}
+
+Disk::Disk(DiskArraySoA& soa, std::uint32_t slot, DiskId id,
+           const TwoSpeedDiskParams& params, DiskSpeed initial)
+    : soa_(&soa), slot_(slot), id_(id), params_(params) {
+  PR_PRECONDITION(slot < soa.size(),
+                  "Disk: facade slot beyond the SoA's size");
+  validate(params_);
+  soa_->speed[slot_] = initial;
+  soa_->initial_speed[slot_] = initial;
 }
 
 void Disk::add_time_at_speed(DiskSpeed s, Seconds dt) {
+  DiskLedger& ledger = soa_->ledger[slot_];
   if (s == DiskSpeed::kLow) {
-    ledger_.time_at_low += dt;
+    ledger.time_at_low += dt;
   } else {
-    ledger_.time_at_high += dt;
+    ledger.time_at_high += dt;
   }
 }
 
 void Disk::account_idle_until(Seconds t) {
   PR_PRECONDITION(!(t < Seconds{0.0}),
                   "Disk: cannot account time before the simulation start");
-  if (t <= accounted_until_) return;
-  const Seconds dt = t - accounted_until_;
-  ledger_.idle_time += dt;
-  ledger_.energy += params_.mode(speed_ == DiskSpeed::kHigh).idle_power * dt;
-  add_time_at_speed(speed_, dt);
-  accounted_until_ = t;
+  if (t <= soa_->accounted_until[slot_]) return;
+  const Seconds dt = t - soa_->accounted_until[slot_];
+  DiskLedger& ledger = soa_->ledger[slot_];
+  ledger.idle_time += dt;
+  ledger.energy +=
+      params_.mode(soa_->speed[slot_] == DiskSpeed::kHigh).idle_power * dt;
+  add_time_at_speed(soa_->speed[slot_], dt);
+  soa_->accounted_until[slot_] = t;
 }
 
 Seconds Disk::serve(Seconds arrival, Bytes bytes, bool internal) {
@@ -62,8 +81,9 @@ Seconds Disk::serve_positioned(Seconds arrival, Bytes bytes,
 }
 
 void Disk::set_seek_curve(const SeekCurve& curve) {
-  if (accounted_until_ > Seconds{0.0} || ready_time_ > Seconds{0.0} ||
-      activity_generation_ != 0) {
+  if (soa_->accounted_until[slot_] > Seconds{0.0} ||
+      soa_->ready_time[slot_] > Seconds{0.0} ||
+      soa_->activity_generation[slot_] != 0) {
     throw std::logic_error("Disk::set_seek_curve: simulation already started");
   }
   seek_curve_ = curve;
@@ -74,61 +94,62 @@ Seconds Disk::serve_impl(Seconds arrival, Bytes bytes, bool internal,
   if (arrival < Seconds{0.0}) {
     throw std::invalid_argument("Disk::serve: negative arrival");
   }
-  ++activity_generation_;
-  const Seconds start = std::max(arrival, ready_time_);
+  ++soa_->activity_generation[slot_];
+  const Seconds start = std::max(arrival, soa_->ready_time[slot_]);
   account_idle_until(start);
 
-  const auto& mode = params_.mode(speed_ == DiskSpeed::kHigh);
+  const auto& mode = params_.mode(soa_->speed[slot_] == DiskSpeed::kHigh);
   ServiceCost cost = service_cost(mode, bytes);
   if (cylinder) {
     // Replace the average seek with the head-travel seek.
-    const Cylinder target =
-        *cylinder % seek_curve_->geometry().cylinders;
-    const Cylinder distance = target >= head_ ? target - head_
-                                              : head_ - target;
+    const Cylinder head = soa_->head[slot_];
+    const Cylinder target = *cylinder % seek_curve_->geometry().cylinders;
+    const Cylinder distance = target >= head ? target - head : head - target;
     cost.time = cost.time - mode.avg_seek + seek_curve_->seek_time(distance);
     cost.energy = mode.active_power * cost.time;
-    head_ = target;
+    soa_->head[slot_] = target;
   }
-  ledger_.busy_time += cost.time;
-  ledger_.energy += cost.energy;
-  add_time_at_speed(speed_, cost.time);
+  DiskLedger& ledger = soa_->ledger[slot_];
+  ledger.busy_time += cost.time;
+  ledger.energy += cost.energy;
+  add_time_at_speed(soa_->speed[slot_], cost.time);
   if (internal) {
-    ++ledger_.internal_ops;
-    ledger_.internal_bytes += bytes;
+    ++ledger.internal_ops;
+    ledger.internal_bytes += bytes;
   } else {
-    ++ledger_.requests;
-    ledger_.bytes_served += bytes;
+    ++ledger.requests;
+    ledger.bytes_served += bytes;
   }
 
-  ready_time_ = start + cost.time;
-  accounted_until_ = ready_time_;
-  PR_INVARIANT(!(ready_time_ < start),
-               "Disk::serve: ready time moved backwards");
-  return ready_time_;
+  const Seconds ready = start + cost.time;
+  soa_->ready_time[slot_] = ready;
+  soa_->accounted_until[slot_] = ready;
+  PR_INVARIANT(!(ready < start), "Disk::serve: ready time moved backwards");
+  return ready;
 }
 
 void Disk::note_transition_start(Seconds at) {
   const auto day = static_cast<std::int64_t>(
       std::floor(at.value() / kSecondsPerDay.value()));
-  if (day != current_day_) {
-    current_day_ = day;
-    transitions_in_day_ = 0;
+  if (day != soa_->current_day[slot_]) {
+    soa_->current_day[slot_] = day;
+    soa_->transitions_in_day[slot_] = 0;
   }
-  ++transitions_in_day_;
-  ledger_.max_transitions_in_day =
-      std::max(ledger_.max_transitions_in_day, transitions_in_day_);
+  ++soa_->transitions_in_day[slot_];
+  DiskLedger& ledger = soa_->ledger[slot_];
+  ledger.max_transitions_in_day = std::max(ledger.max_transitions_in_day,
+                                           soa_->transitions_in_day[slot_]);
 }
 
 Seconds Disk::transition(Seconds at, DiskSpeed target) {
   PR_PRECONDITION(!(at < Seconds{0.0}),
                   "Disk::transition: negative transition time");
-  const Seconds start = std::max(at, ready_time_);
-  if (target == speed_) return start;
+  const Seconds start = std::max(at, soa_->ready_time[slot_]);
+  if (target == soa_->speed[slot_]) return start;
   // 2-speed legality: each recorded transition changes the speed, so the
   // history must strictly alternate low/high.
-  PR_INVARIANT(speed_history_.empty() ||
-                   speed_history_.back().second != target,
+  auto& history = soa_->speed_history[slot_];
+  PR_INVARIANT(history.empty() || history.back().second != target,
                "Disk::transition: speed history stopped alternating");
   account_idle_until(start);
 
@@ -138,17 +159,19 @@ Seconds Disk::transition(Seconds at, DiskSpeed target) {
   const Joules lump =
       up ? params_.transition_up_energy : params_.transition_down_energy;
 
-  ledger_.transition_time += dur;
-  ledger_.energy += lump;
-  ++ledger_.transitions;
-  if (up) ++ledger_.transitions_up;
+  DiskLedger& ledger = soa_->ledger[slot_];
+  ledger.transition_time += dur;
+  ledger.energy += lump;
+  ++ledger.transitions;
+  if (up) ++ledger.transitions_up;
   note_transition_start(start);
 
-  speed_ = target;
-  ready_time_ = start + dur;
-  accounted_until_ = ready_time_;
-  speed_history_.emplace_back(ready_time_, target);
-  return ready_time_;
+  soa_->speed[slot_] = target;
+  const Seconds ready = start + dur;
+  soa_->ready_time[slot_] = ready;
+  soa_->accounted_until[slot_] = ready;
+  history.emplace_back(ready, target);
+  return ready;
 }
 
 void Disk::finish(Seconds end) {
@@ -158,38 +181,43 @@ void Disk::finish(Seconds end) {
 }
 
 void Disk::set_initial_speed(DiskSpeed speed) {
-  if (accounted_until_ > Seconds{0.0} || ready_time_ > Seconds{0.0} ||
-      activity_generation_ != 0 || ledger_.transitions != 0) {
+  if (soa_->accounted_until[slot_] > Seconds{0.0} ||
+      soa_->ready_time[slot_] > Seconds{0.0} ||
+      soa_->activity_generation[slot_] != 0 ||
+      soa_->ledger[slot_].transitions != 0) {
     throw std::logic_error(
         "Disk::set_initial_speed: simulation already started");
   }
-  speed_ = speed;
-  initial_speed_ = speed;
+  soa_->speed[slot_] = speed;
+  soa_->initial_speed[slot_] = speed;
 }
 
 std::uint64_t Disk::transitions_today(Seconds now) const {
   const auto day = static_cast<std::int64_t>(
       std::floor(now.value() / kSecondsPerDay.value()));
-  return day == current_day_ ? transitions_in_day_ : 0;
+  return day == soa_->current_day[slot_] ? soa_->transitions_in_day[slot_]
+                                         : 0;
 }
 
 Celsius Disk::mean_temperature() const {
-  const double t_low = ledger_.time_at_low.value();
-  const double t_high = ledger_.time_at_high.value();
-  const double t_trans = ledger_.transition_time.value();
+  const DiskLedger& ledger = soa_->ledger[slot_];
+  const double t_low = ledger.time_at_low.value();
+  const double t_high = ledger.time_at_high.value();
+  const double t_trans = ledger.transition_time.value();
   const double total = t_low + t_high + t_trans;
   const double low_c = params_.low.operating_temp.value();
   const double high_c = params_.high.operating_temp.value();
   if (total <= 0.0) {
-    return speed_ == DiskSpeed::kHigh ? params_.high.operating_temp
-                                      : params_.low.operating_temp;
+    return soa_->speed[slot_] == DiskSpeed::kHigh ? params_.high.operating_temp
+                                                  : params_.low.operating_temp;
   }
   const double mid = 0.5 * (low_c + high_c);
   return Celsius{(t_low * low_c + t_high * high_c + t_trans * mid) / total};
 }
 
 Celsius Disk::max_temperature() const {
-  if (ledger_.time_at_high.value() > 0.0 || speed_ == DiskSpeed::kHigh) {
+  if (soa_->ledger[slot_].time_at_high.value() > 0.0 ||
+      soa_->speed[slot_] == DiskSpeed::kHigh) {
     return params_.high.operating_temp;
   }
   return params_.low.operating_temp;

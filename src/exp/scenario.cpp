@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/registry.h"
+#include "sim/fleet_sim.h"
 #include "trace/trace_reader.h"
 #include "util/parse.h"
 
@@ -94,7 +95,15 @@ std::vector<std::size_t> parse_size_list(std::string_view value,
   return out;
 }
 
-enum class Section { kNone, kScenario, kSystem, kWorkload, kPolicy, kFault };
+enum class Section {
+  kNone,
+  kScenario,
+  kSystem,
+  kWorkload,
+  kPolicy,
+  kFault,
+  kFleet
+};
 
 }  // namespace
 
@@ -154,11 +163,15 @@ ScenarioSpec parse_scenario(std::string_view text, std::string_view source) {
         if (!arg.empty()) fail_at(source, line_no, "[fault] takes no name");
         spec.fault.enabled = true;
         section = Section::kFault;
+      } else if (kind == "fleet") {
+        if (!arg.empty()) fail_at(source, line_no, "[fleet] takes no name");
+        spec.fleet.enabled = true;
+        section = Section::kFleet;
       } else {
         fail_at(source, line_no,
                 "unknown section [" + std::string(kind) +
-                    "]; expected scenario, system, workload, source, policy "
-                    "or fault");
+                    "]; expected scenario, system, workload, source, policy, "
+                    "fault or fleet");
       }
       continue;
     }
@@ -257,6 +270,21 @@ ScenarioSpec parse_scenario(std::string_view text, std::string_view source) {
                       "' in [fault]; valid: seed, afr, rate_scale, mttr");
         }
         break;
+      case Section::kFleet:
+        if (key == "shards") {
+          const std::uint64_t shards = parse_u64(value, key);
+          if (shards == 0 || shards > 0xFFFFFFFFULL) {
+            fail_at(source, line_no, "shards must be in [1, 2^32)");
+          }
+          spec.fleet.shards = static_cast<std::uint32_t>(shards);
+        } else if (key == "threads") {
+          spec.fleet.threads = static_cast<unsigned>(parse_u64(value, key));
+        } else {
+          fail_at(source, line_no,
+                  "unknown key '" + key +
+                      "' in [fleet]; valid: shards, threads");
+        }
+        break;
       }
     } catch (const std::invalid_argument& e) {
       // Add "<source>:<line>" context to bare value-parse errors
@@ -344,6 +372,30 @@ void validate_scenario(const ScenarioSpec& spec) {
       if (!(l > 0.0)) {
         throw std::invalid_argument("workload '" + w.name + "': load must be > 0");
       }
+    }
+  }
+  if (spec.fleet.enabled) {
+    if (spec.fleet.shards == 0) {
+      throw std::invalid_argument("scenario '" + spec.name +
+                                  "': fleet shards must be > 0");
+    }
+    for (const ScenarioWorkload& w : spec.workloads) {
+      if (w.kind != "synthetic") {
+        throw std::invalid_argument(
+            "scenario '" + spec.name + "': [fleet] needs synthetic " +
+            "workloads (each shard derives its own stream); workload '" +
+            w.name + "' is kind = " + w.kind);
+      }
+    }
+    for (const std::size_t disks : spec.disks) {
+      if (disks > 0xFFFFFFFFULL) {
+        throw std::invalid_argument("scenario '" + spec.name +
+                                    "': fleet disks exceed the 32-bit id "
+                                    "space");
+      }
+      // Throws std::invalid_argument on geometry overflow.
+      (void)fleet_disk_count(spec.fleet.shards,
+                             static_cast<std::uint32_t>(disks));
     }
   }
   if (spec.fault.enabled) {

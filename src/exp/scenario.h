@@ -40,6 +40,10 @@
 //   rate_scale = 0,400,1600     # comma list = sweep axis (0 = no faults)
 //   mttr = 900                  # repair time, seconds
 //
+//   [fleet]                     # optional; every cell becomes a fleet
+//   shards = 125                # independent arrays of [system] disks each
+//   threads = 1                 # workers per fleet cell (0 = hardware)
+//
 // Comments start with '#' or ';' (whole line, or after whitespace).
 #pragma once
 
@@ -101,6 +105,21 @@ struct ScenarioFault {
   double mttr_s = 3600.0;
 };
 
+/// Fleet-mode knobs (`[fleet]` section): every cell becomes `shards`
+/// independent arrays of [system] `disks` disks each, simulated with
+/// sim/fleet_sim.h and reported as one merged result (cell `disks` column
+/// = total fleet disks). Synthetic workloads only — each shard derives its
+/// own stream from the cell's workload config via fleet_shard_seed.
+/// Composes with [fault]: each shard gets an independent hazard plan.
+struct ScenarioFleet {
+  bool enabled = false;
+  std::uint32_t shards = 1;
+  /// Worker threads *inside* each fleet cell (1 = inline). Cells already
+  /// fan across the scenario pool; raise this only for few-cell fleet
+  /// scenarios. Never affects result bytes.
+  unsigned threads = 1;
+};
+
 struct ScenarioSpec {
   std::string name = "scenario";
   /// Worker threads for the sweep (0 = hardware concurrency). Never
@@ -117,6 +136,7 @@ struct ScenarioSpec {
   std::vector<ScenarioWorkload> workloads;
   std::vector<ScenarioPolicy> policies;
   ScenarioFault fault;
+  ScenarioFleet fleet;
 };
 
 /// Parse the INI-lite text above. Throws std::invalid_argument with

@@ -1,5 +1,7 @@
 #include "exp/scenario_engine.h"
 
+#include <cmath>
+#include <memory>
 #include <utility>
 
 #include "core/registry.h"
@@ -8,6 +10,7 @@
 #include "fault/degradation_analyzer.h"
 #include "fault/fault_plan.h"
 #include "press/afr_agreement.h"
+#include "sim/fleet_sim.h"
 #include "trace/stream_reader.h"
 #include "trace/trace_reader.h"
 #include "trace/trace_stats.h"
@@ -31,6 +34,9 @@ struct WorkloadVariant {
   /// Last arrival (fault-plan horizon) — measured during the stats pass
   /// for streaming workloads, so it is valid even when `trace` is empty.
   Seconds horizon{0.0};
+  /// Fleet mode only: the resolved synthetic config (files/trace stay
+  /// empty — every shard synthesizes its own stream from this template).
+  SyntheticWorkloadConfig synth;
 };
 
 StreamReaderOptions stream_options(const ScenarioWorkload& w) {
@@ -64,6 +70,126 @@ constexpr std::uint64_t mix_plan_seed(std::uint64_t base,
   s = splitmix(s ^ workload_seed);
   s = splitmix(s ^ (scale_idx << 32 | disks));
   return s;
+}
+
+/// One `[fleet]` cell: shards × [system]-disks arrays merged into a single
+/// scored report (sim/fleet_sim.h). Composes with [fault] by giving every
+/// shard an independent hazard plan derived from the cell's plan seed, and
+/// a private DegradationAnalyzer whose metrics fold in shard order.
+void run_fleet_cell(const ScenarioSpec& spec, const WorkloadVariant& variant,
+                    const PolicyFactory& factory, double epoch_s,
+                    std::size_t disks, std::size_t scale_idx,
+                    ScenarioCell& cell) {
+  SystemConfig config;
+  config.sim.disk_count = disks;
+  config.sim.epoch = Seconds{epoch_s};
+  if (spec.positioned) config.sim.seek_curve = cheetah_seek_curve();
+
+  FleetConfig fleet;
+  fleet.shard = config.sim;
+  fleet.shards = spec.fleet.shards;
+  fleet.threads = spec.fleet.threads;
+  fleet.workload = variant.synth;
+  fleet.base_seed = variant.seed;
+  fleet.policy = factory;
+  cell.disks =
+      fleet_disk_count(fleet.shards, static_cast<std::uint32_t>(disks));
+
+  std::vector<std::unique_ptr<DegradationAnalyzer>> analyzers;
+  std::function<FaultPlan(std::uint32_t)> make_plan;
+  double rate_scale = 0.0;
+  Seconds shard_horizon{0.0};
+  if (spec.fault.enabled) {
+    rate_scale = spec.fault.rate_scales[scale_idx];
+    // Hazard plans need a horizon before any shard synthesizes a request;
+    // use the expected arrival span of the widest shard (shard 0 carries
+    // any remainder request).
+    const SyntheticWorkloadConfig shard0 = fleet_shard_workload(fleet, 0);
+    shard_horizon = Seconds{shard0.mean_interarrival.value() /
+                            shard0.load_factor *
+                            static_cast<double>(shard0.request_count)};
+    const std::uint64_t cell_seed =
+        mix_plan_seed(spec.fault.seed, variant.seed, scale_idx, disks);
+    const double afr = spec.fault.afr;
+    const Seconds mttr{spec.fault.mttr_s};
+    make_plan = [=](std::uint32_t shard) {
+      FaultHazard hazard;
+      hazard.seed = fleet_shard_seed(cell_seed, shard);
+      hazard.afr = afr;
+      hazard.rate_scale = rate_scale;
+      hazard.mttr = mttr;
+      hazard.horizon = shard_horizon;
+      return FaultPlan::from_hazard(hazard, disks);
+    };
+    fleet.shard_faults = make_plan;
+    analyzers.resize(fleet.shards);
+    for (auto& a : analyzers) a = std::make_unique<DegradationAnalyzer>();
+    fleet.shard_observer = [&analyzers](std::uint32_t shard) {
+      // ObserverList forwards to the caller-owned analyzer, which outlives
+      // the shard run so its metrics can fold after the fleet completes.
+      auto list = std::make_unique<ObserverList>();
+      list->add(*analyzers[shard]);
+      return list;
+    };
+  }
+
+  FleetResult run = run_fleet(fleet);
+  cell.report = score(PressModel{config.press}, std::move(run.merged));
+
+  if (spec.fault.enabled) {
+    ScenarioFaultCell fault;
+    fault.rate_scale = rate_scale;
+    fault.injected_afr = spec.fault.afr * rate_scale;
+    Seconds downtime{0.0};
+    Seconds degraded_window{0.0};
+    Seconds recovery_sum{0.0};
+    Seconds recovery_max{0.0};
+    std::uint64_t recoveries = 0;
+    bool any_faults = false;
+    for (std::uint32_t s = 0; s < fleet.shards; ++s) {
+      const DegradationAnalyzer& a = *analyzers[s];
+      fault.failures += a.failures();
+      fault.lost_requests += a.lost_requests();
+      fault.degraded_requests += a.redirected_requests() + a.slowed_requests();
+      downtime += a.total_downtime();
+      // Shards are independent arrays, so the fleet "window" is the sum of
+      // per-array degraded windows (a wall-clock union across rooms would
+      // be meaningless).
+      degraded_window += a.degraded_window();
+      recoveries += a.recoveries();
+      recovery_sum += Seconds{a.mean_recovery_time().value() *
+                              static_cast<double>(a.recoveries())};
+      recovery_max = std::max(recovery_max, a.max_recovery_time());
+      if (!any_faults && !make_plan(s).empty()) any_faults = true;
+    }
+    fault.downtime_s = downtime.value();
+    fault.degraded_window_s = degraded_window.value();
+    const Seconds mean_recovery =
+        recoveries == 0
+            ? Seconds{0.0}
+            : Seconds{recovery_sum.value() / static_cast<double>(recoveries)};
+    fault.mean_recovery_s = mean_recovery.value();
+    // Same counter names and ms rounding DegradationAnalyzer::merge_into
+    // uses, written once with the fleet-level aggregates; rate-scale-0
+    // cells (all plans empty) stay byte-identical to fault-free runs.
+    if (any_faults) {
+      const auto ms = [](Seconds t) {
+        return static_cast<std::uint64_t>(std::llround(t.value() * 1e3));
+      };
+      auto& counters = cell.report.sim.counters;
+      counters["fault.downtime_ms"] += ms(downtime);
+      counters["fault.degraded_window_ms"] += ms(degraded_window);
+      counters["fault.mean_recovery_ms"] += ms(mean_recovery);
+      counters["fault.max_recovery_ms"] += ms(recovery_max);
+    }
+    const AfrAgreement agreement = score_afr_agreement(
+        cell.report.array_afr, fault.injected_afr, fault.failures,
+        cell.disks, shard_horizon);
+    fault.observed_afr = agreement.observed_afr;
+    fault.press_over_injected = agreement.predicted_over_injected;
+    fault.press_over_observed = agreement.predicted_over_observed;
+    cell.fault = fault;
+  }
 }
 
 }  // namespace
@@ -133,11 +259,17 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       if (w.diurnal_depth) config.diurnal_depth = *w.diurnal_depth;
       if (key.has_load) config.load_factor = key.load;
       v.load = config.load_factor;
-      auto workload = generate_workload(config);
-      v.files = std::move(workload.files);
-      v.trace = std::move(workload.trace);
-      v.horizon = v.trace.empty() ? Seconds{0.0}
-                                  : v.trace.requests.back().arrival;
+      if (spec.fleet.enabled) {
+        // Fleet cells never materialize the fleet-total trace; shards
+        // synthesize their slices on pull inside run_fleet.
+        v.synth = config;
+      } else {
+        auto workload = generate_workload(config);
+        v.files = std::move(workload.files);
+        v.trace = std::move(workload.trace);
+        v.horizon = v.trace.empty() ? Seconds{0.0}
+                                    : v.trace.requests.back().arrival;
+      }
     }
     variants[i] = std::move(v);
   });
@@ -202,6 +334,12 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     cell.seed = variant.seed;
     cell.epoch_s = cs.epoch_s;
     cell.disks = cs.disks;
+    if (spec.fleet.enabled) {
+      run_fleet_cell(spec, variant, factories[cs.policy_idx], cs.epoch_s,
+                     cs.disks, cs.scale_idx, cell);
+      result.cells[i] = std::move(cell);
+      return;
+    }
     // Streaming workloads re-open the source for each cell; sources are
     // single-pass, so a shared one could not serve the whole grid.
     std::unique_ptr<RequestSource> cell_source;

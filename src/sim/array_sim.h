@@ -79,6 +79,11 @@ class ArrayContext {
   // --- observation ---------------------------------------------------
   [[nodiscard]] std::size_t disk_count() const { return disks_.size(); }
   [[nodiscard]] const Disk& disk(DiskId d) const { return disks_.at(d); }
+  /// The array's hot state as contiguous per-field lanes (disk/disk_soa.h).
+  /// Read-only view for policies and analytics that scan a single field
+  /// across every disk (epoch re-ranking, fleet rollups) — the facade
+  /// accessors above remain the mutation path.
+  [[nodiscard]] const DiskArraySoA& hot_state() const { return *soa_; }
   [[nodiscard]] Seconds now() const { return now_; }
   [[nodiscard]] const FileSet& files() const { return *files_; }
   [[nodiscard]] const SimConfig& config() const { return *config_; }
@@ -176,6 +181,10 @@ class ArrayContext {
 
   const SimConfig* config_;
   const FileSet* files_;
+  /// Shared hot-state lanes; declared before disks_ so the facades'
+  /// pointers outlive them on destruction. unique_ptr keeps the lanes
+  /// address-stable if the context itself is moved.
+  std::unique_ptr<DiskArraySoA> soa_;
   std::vector<Disk> disks_;
   std::vector<DpmConfig> dpm_;
   std::vector<DiskId> placement_;
@@ -194,6 +203,14 @@ class ArrayContext {
   /// exactly when the queue path's push sequence would, so simultaneous
   /// deadlines fire in the same cross-disk order in both modes.
   std::uint64_t idle_seq_ = 0;
+  /// Batched-dispatch fast path: a lower bound on the time of the
+  /// earliest pending deferred event (idle deadline, epoch boundary,
+  /// fault instant). While an arrival stays strictly below the hint the
+  /// simulator skips the drain machinery entirely — one comparison per
+  /// request. Arming an idle check lowers it; the simulator recomputes it
+  /// after every slow-path drain (cancellations only raise the true
+  /// minimum, so a stale-low hint is conservative, never wrong).
+  Seconds wake_hint_{0.0};
   bool use_timer_ = true;
   std::uint64_t migrations_ = 0;
   Bytes migration_bytes_ = 0;

@@ -21,6 +21,8 @@
 //                            materializing the trace (workload/synthetic.h).
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -50,6 +52,18 @@ class RequestSource {
     return true;
   }
 
+  /// Produce up to `max` requests into `out[0..max)`; returns how many
+  /// were written (0 only at end of stream). The batch is the simulator's
+  /// unit of pull at fleet scale: one virtual dispatch amortized over the
+  /// whole batch instead of one per request. Identical request sequence
+  /// to repeated next() calls — batching is a transport detail, never a
+  /// reordering.
+  std::size_t next_batch(Request* out, std::size_t max) {
+    const std::size_t n = poll_batch(out, max);
+    produced_ += n;
+    return n;
+  }
+
   /// Human-readable description of where requests come from ("trace[8000]",
   /// "csv:traces/day1.csv", "synthetic:wc98-light"). Used in logs and
   /// error messages.
@@ -68,6 +82,14 @@ class RequestSource {
 
   /// Implementation hook for next(); same contract, minus the counting.
   virtual bool poll(Request& out) = 0;
+
+  /// Implementation hook for next_batch(). The default drains poll();
+  /// sources with resident storage override it with a bulk copy.
+  virtual std::size_t poll_batch(Request* out, std::size_t max) {
+    std::size_t n = 0;
+    while (n < max && poll(out[n])) ++n;
+    return n;
+  }
 
  private:
   std::uint64_t produced_ = 0;
@@ -99,6 +121,14 @@ class TraceSource final : public RequestSource {
     if (cursor_ >= trace_->requests.size()) return false;
     out = trace_->requests[cursor_++];
     return true;
+  }
+
+  std::size_t poll_batch(Request* out, std::size_t max) override {
+    const auto& requests = trace_->requests;
+    const std::size_t n = std::min(max, requests.size() - cursor_);
+    std::copy_n(requests.data() + cursor_, n, out);
+    cursor_ += n;
+    return n;
   }
 
  private:

@@ -31,6 +31,7 @@
 #include <fstream>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "trace/request.h"
 #include "trace/request_source.h"
@@ -72,9 +73,10 @@ class LineStreamSource : public RequestSource {
   /// malformed content.
   virtual bool parse_line(std::string_view line, Request& out) = 0;
 
-  /// Fetch the next complete line into `line`. Returns false at a clean
+  /// Frame the next complete line as a view into the internal buffer
+  /// (valid until the next next_line() call). Returns false at a clean
   /// end of stream. Subclass constructors use this to consume headers.
-  bool next_line(std::string& line);
+  bool next_line(std::string_view& line);
 
   /// Throw std::invalid_argument("<source>:<line>: message").
   [[noreturn]] void fail(const std::string& message) const;
@@ -92,8 +94,11 @@ class LineStreamSource : public RequestSource {
   std::istream* in_;
   std::string source_;
   StreamReaderOptions options_;
-  std::string buffer_;       // undelivered bytes, <= options_.buffer_bytes
-  std::size_t scan_from_ = 0;  // no '\n' before this offset
+  std::string buffer_;  // undelivered tail <= options_.buffer_bytes
+  /// Delivered prefix of buffer_ (compacted away in one move at the next
+  /// refill, so line consumption is O(line), not O(buffer)).
+  std::size_t consumed_ = 0;
+  std::size_t scan_from_ = 0;  // no '\n' in [consumed_, scan_from_)
   std::size_t high_water_ = 0;
   std::size_t line_no_ = 0;
   bool exhausted_ = false;

@@ -137,6 +137,14 @@ std::uint64_t ReservoirSample::next_u64() {
   return z ^ (z >> 31);
 }
 
+void ReservoirSample::merge(const ReservoirSample& other) {
+  for (const double x : other.sample_) add(x);
+  // The unretained remainder of the other population influenced which
+  // samples it kept; credit it to seen() so acceptance odds keep scaling
+  // with the true population size across repeated merges.
+  seen_ += other.seen_ - other.sample_.size();
+}
+
 void ReservoirSample::add(double x) {
   ++seen_;
   if (sample_.size() < capacity_) {

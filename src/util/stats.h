@@ -75,6 +75,13 @@ class ReservoirSample {
   explicit ReservoirSample(std::size_t capacity, std::uint64_t seed = 1);
 
   void add(double x);
+  /// Deterministically fold another reservoir into this one: the other's
+  /// retained samples are re-streamed through add() in their stored
+  /// order, then the rest of its population is credited to seen(). Exact
+  /// when the union fits in capacity, a deterministic approximation of a
+  /// union reservoir otherwise. Merge order is part of the byte contract
+  /// — fleet merges always fold in shard order.
+  void merge(const ReservoirSample& other);
   [[nodiscard]] std::size_t seen() const { return seen_; }
   [[nodiscard]] std::size_t size() const { return sample_.size(); }
 

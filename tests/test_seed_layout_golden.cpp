@@ -1,0 +1,131 @@
+// Seed-layout golden: pins the byte-exact observable output of the
+// simulator as it was BEFORE the SoA hot-state refactor (commit 1701bae,
+// AoS `Disk` objects owning their own ledgers), so the `Disk`-as-facade
+// layout (disk/disk_soa.h) is provably a drop-in. The constants below are
+// FNV-1a-64 hashes of (a) the full JSONL observer stream and (b) a
+// canonical full-precision dump of the SimResult, captured by running this
+// very harness at the seed commit. Any change to arithmetic order, event
+// interleaving, or counter content shows up as a hash mismatch.
+//
+// The hashes are bit-exact IEEE-754 artifacts of the x86-64 baseline ISA
+// (no FMA contraction, same code path in Debug and Release); other
+// architectures may contract differently, so the comparison is gated on
+// __x86_64__ and skipped elsewhere (the structural timer-vs-queue goldens
+// in test_scheduler_golden.cpp still run everywhere).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/jsonl_writer.h"
+#include "policy/maid_policy.h"
+#include "policy/pdc_policy.h"
+#include "policy/read_policy.h"
+#include "sim/array_sim.h"
+#include "util/fmt.h"
+#include "workload/synthetic.h"
+
+namespace pr {
+namespace {
+
+std::uint64_t fnv1a(std::string_view bytes,
+                    std::uint64_t h = 0xCBF29CE484222325ULL) {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::string f(double v) { return format_double(v, 17); }
+
+/// Canonical full-precision dump of everything a SimResult reports. The
+/// exact field order is part of the golden — do not reorder.
+std::string dump_result(const SimResult& r) {
+  std::ostringstream out;
+  out << "policy=" << r.policy_name << "\nuser_requests=" << r.user_requests
+      << "\nmigrations=" << r.migrations
+      << "\nmigration_bytes=" << r.migration_bytes
+      << "\ntotal_transitions=" << r.total_transitions
+      << "\nmax_transitions_per_day=" << f(r.max_transitions_per_day)
+      << "\ntotal_energy=" << f(r.total_energy.value())
+      << "\nhorizon=" << f(r.horizon.value())
+      << "\nrt_count=" << r.response_time.count()
+      << "\nrt_mean=" << f(r.response_time.mean())
+      << "\nrt_min=" << f(r.response_time.min())
+      << "\nrt_max=" << f(r.response_time.max())
+      << "\nrt_sum=" << f(r.response_time.sum()) << "\n";
+  for (std::size_t d = 0; d < r.ledgers.size(); ++d) {
+    const DiskLedger& l = r.ledgers[d];
+    out << "disk" << d << "=" << f(l.busy_time.value()) << ","
+        << f(l.idle_time.value()) << "," << f(l.transition_time.value())
+        << "," << f(l.time_at_low.value()) << "," << f(l.time_at_high.value())
+        << "," << f(l.energy.value()) << "," << l.transitions << ","
+        << l.transitions_up << "," << l.max_transitions_in_day << ","
+        << l.requests << "," << l.bytes_served << "," << l.internal_ops << ","
+        << l.internal_bytes << "\n";
+  }
+  for (const auto& [name, value] : r.counters) {
+    out << name << "=" << value << "\n";
+  }
+  return out.str();
+}
+
+struct GoldenHashes {
+  std::uint64_t result;
+  std::uint64_t jsonl;
+};
+
+template <typename PolicyT>
+GoldenHashes run_golden() {
+  SyntheticWorkloadConfig wc;
+  wc.file_count = 400;
+  wc.request_count = 8000;
+  wc.mean_interarrival = Seconds{0.35};
+  wc.seed = 20260805;
+  const SyntheticWorkload w = generate_workload(wc);
+
+  SimConfig sc;
+  sc.disk_params = two_speed_cheetah();
+  sc.disk_count = 8;
+  sc.epoch = Seconds{600.0};
+  std::ostringstream jsonl;
+  JsonlTraceWriter writer(jsonl);
+  PolicyT policy;
+  const SimResult result = run_simulation(sc, w.files, w.trace, policy, &writer);
+  return GoldenHashes{fnv1a(dump_result(result)), fnv1a(jsonl.str())};
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+// Captured at the seed commit (pre-SoA AoS Disk layout); see file comment.
+TEST(SeedLayoutGolden, ReadPolicyMatchesSeedBytes) {
+  const GoldenHashes h = run_golden<ReadPolicy>();
+  EXPECT_EQ(h.result, 18404763294783990677ULL) << "result dump hash drifted";
+  EXPECT_EQ(h.jsonl, 17343312274707228058ULL) << "JSONL stream hash drifted";
+}
+
+TEST(SeedLayoutGolden, MaidPolicyMatchesSeedBytes) {
+  const GoldenHashes h = run_golden<MaidPolicy>();
+  EXPECT_EQ(h.result, 4712958847698992063ULL) << "result dump hash drifted";
+  EXPECT_EQ(h.jsonl, 7344537821866690566ULL) << "JSONL stream hash drifted";
+}
+
+TEST(SeedLayoutGolden, PdcPolicyMatchesSeedBytes) {
+  const GoldenHashes h = run_golden<PdcPolicy>();
+  EXPECT_EQ(h.result, 3390955525029948489ULL) << "result dump hash drifted";
+  EXPECT_EQ(h.jsonl, 6470625918837204041ULL) << "JSONL stream hash drifted";
+}
+
+#else
+
+TEST(SeedLayoutGolden, SkippedOffX86) {
+  GTEST_SKIP() << "seed hashes are x86-64 baseline-ISA artifacts";
+}
+
+#endif
+
+}  // namespace
+}  // namespace pr
