@@ -3,12 +3,14 @@
 #
 # Runs bench/obs_overhead (simulation-loop cost per configuration, plus
 # idle-check churn counters for both scheduling backends),
-# bench/micro_benchmarks (google-benchmark JSON), and
+# bench/micro_benchmarks (google-benchmark JSON),
 # bench/fleet_throughput (the BM_FleetThroughput family up to the
-# 10k-disk / 100M-request fleet day), and merges them into
+# 10k-disk / 100M-request fleet day), and bench/redundancy_bench (the
+# degraded-read / rebuild-overhead points), and merges them into
 # BENCH_<date>.json at the repo root: benchmark -> ns/op plus the key
-# sim.* counters and a "fleet" section. Commit the file to record a
-# before/after pair across a performance PR (see docs/PERFORMANCE.md).
+# sim.* counters, a "fleet" section, and a "redundancy" section. Commit
+# the file to record a before/after pair across a performance PR (see
+# docs/PERFORMANCE.md).
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #   BUILD_DIR=dir   build directory (default: build; configured Release if
@@ -25,7 +27,7 @@ if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "$BUILD_DIR" --target obs_overhead micro_benchmarks \
-  fleet_throughput -j
+  fleet_throughput redundancy_bench -j
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -44,6 +46,12 @@ PR_RESULTS_DIR="$TMP" "$BUILD_DIR/bench/obs_overhead" | tee "$TMP/obs_overhead.t
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_format=json >"$TMP/fleet.json"
 
+# Degraded reads and the rebuild engine; the fault plans are fixed event
+# lists, so every iteration replays the identical faulted run.
+"$BUILD_DIR/bench/redundancy_bench" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json >"$TMP/redundancy.json"
+
 python3 - "$TMP" "$OUT" <<'EOF'
 import csv, json, os, subprocess, sys
 
@@ -55,6 +63,7 @@ snapshot = {
         capture_output=True, text=True).stdout.strip() or None,
     "benchmarks": {},
     "fleet": {},
+    "redundancy": {},
     "obs_overhead": {},
     "sim_counters": {},
 }
@@ -81,6 +90,15 @@ for b in fleet.get("benchmarks", []):
     if "fleet_disks" in b:
         entry["fleet_disks"] = int(b["fleet_disks"])
     snapshot["fleet"][b["name"]] = entry
+
+with open(os.path.join(tmp, "redundancy.json")) as f:
+    redundancy = json.load(f)
+for b in redundancy.get("benchmarks", []):
+    entry = {"real_time_ms": b["real_time"]}
+    if "items_per_second" in b:
+        entry["requests_per_second"] = b["items_per_second"]
+        entry["ns_per_request"] = 1e9 / b["items_per_second"]
+    snapshot["redundancy"][b["name"]] = entry
 
 with open(os.path.join(tmp, "obs_overhead.csv")) as f:
     for row in csv.DictReader(f):

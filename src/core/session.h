@@ -9,8 +9,8 @@
 //                     .with_observer(timeline)
 //                     .run();
 //
-// The bare evaluate() wrapper in core/system.h is deprecated; every code
-// path now routes through a session (migration recipe in DESIGN.md).
+// Every code path routes through a session — the old bare evaluate()
+// wrapper in core/system.h was removed after its call sites migrated.
 #pragma once
 
 #include <memory>

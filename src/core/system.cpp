@@ -2,7 +2,6 @@
 
 #include <sstream>
 
-#include "core/session.h"
 #include "util/table.h"
 
 namespace pr {
@@ -21,14 +20,6 @@ SystemReport score(const PressModel& press, SimResult sim) {
     }
   }
   return report;
-}
-
-SystemReport evaluate(const SystemConfig& config, const FileSet& files,
-                      const Trace& trace, Policy& policy) {
-  return SimulationSession(config)
-      .with_workload(files, trace)
-      .with_policy(policy)
-      .run();
 }
 
 std::string SystemReport::summary() const {

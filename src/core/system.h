@@ -42,18 +42,6 @@ struct SystemReport {
   [[nodiscard]] std::string summary() const;
 };
 
-/// Run the simulation and score it with PRESS. Deprecated: this predates
-/// SimulationSession (core/session.h), which is the one front door —
-/// registry-named policies, attached observers, streaming sources, fault
-/// plans, fluent config. Equivalent migration (see DESIGN.md):
-///   evaluate(config, files, trace, policy)
-///   → SimulationSession(config).with_workload(files, trace)
-///                               .with_policy(policy).run()
-[[deprecated(
-    "use SimulationSession (core/session.h)")]] [[nodiscard]] SystemReport
-evaluate(const SystemConfig& config, const FileSet& files, const Trace& trace,
-         Policy& policy);
-
 /// Score an already-run simulation (e.g. to re-score one run under several
 /// PRESS integrator strategies, bench ABL3).
 [[nodiscard]] SystemReport score(const PressModel& press, SimResult sim);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/registry.h"
+#include "redundancy/scheme.h"
 #include "sim/fleet_sim.h"
 #include "trace/trace_reader.h"
 #include "util/parse.h"
@@ -102,7 +103,8 @@ enum class Section {
   kWorkload,
   kPolicy,
   kFault,
-  kFleet
+  kFleet,
+  kRedundancy
 };
 
 }  // namespace
@@ -167,11 +169,17 @@ ScenarioSpec parse_scenario(std::string_view text, std::string_view source) {
         if (!arg.empty()) fail_at(source, line_no, "[fleet] takes no name");
         spec.fleet.enabled = true;
         section = Section::kFleet;
+      } else if (kind == "redundancy") {
+        if (!arg.empty()) {
+          fail_at(source, line_no, "[redundancy] takes no name");
+        }
+        spec.redundancy.enabled = true;
+        section = Section::kRedundancy;
       } else {
         fail_at(source, line_no,
                 "unknown section [" + std::string(kind) +
                     "]; expected scenario, system, workload, source, policy, "
-                    "fault or fleet");
+                    "fault, fleet or redundancy");
       }
       continue;
     }
@@ -264,10 +272,15 @@ ScenarioSpec parse_scenario(std::string_view text, std::string_view source) {
           spec.fault.rate_scales = parse_double_list(value, key, at);
         } else if (key == "mttr") {
           spec.fault.mttr_s = parse_double(value, key);
+        } else if (key == "kill_disk") {
+          spec.fault.kill_disks = parse_size_list(value, key, at);
+        } else if (key == "kill_at") {
+          spec.fault.kill_at_s = parse_double_list(value, key, at);
         } else {
           fail_at(source, line_no,
                   "unknown key '" + key +
-                      "' in [fault]; valid: seed, afr, rate_scale, mttr");
+                      "' in [fault]; valid: seed, afr, rate_scale, mttr, "
+                      "kill_disk, kill_at");
         }
         break;
       case Section::kFleet:
@@ -283,6 +296,24 @@ ScenarioSpec parse_scenario(std::string_view text, std::string_view source) {
           fail_at(source, line_no,
                   "unknown key '" + key +
                       "' in [fleet]; valid: shards, threads");
+        }
+        break;
+      case Section::kRedundancy:
+        if (key == "scheme") {
+          spec.redundancy.scheme = value;
+        } else if (key == "group") {
+          spec.redundancy.group = parse_size(value, key);
+        } else if (key == "rebuild") {
+          spec.redundancy.rebuild = parse_bool(value, key);
+        } else if (key == "rebuild_mbps") {
+          spec.redundancy.rebuild_mbps = parse_double(value, key);
+        } else if (key == "rebuild_chunk") {
+          spec.redundancy.rebuild_chunk = parse_size(value, key);
+        } else {
+          fail_at(source, line_no,
+                  "unknown key '" + key +
+                      "' in [redundancy]; valid: scheme, group, rebuild, "
+                      "rebuild_mbps, rebuild_chunk");
         }
         break;
       }
@@ -417,7 +448,54 @@ void validate_scenario(const ScenarioSpec& spec) {
       throw std::invalid_argument("scenario '" + spec.name +
                                   "': fault mttr must be > 0");
     }
+    if (spec.fault.kill_disks.size() != spec.fault.kill_at_s.size()) {
+      throw std::invalid_argument(
+          "scenario '" + spec.name +
+          "': kill_disk and kill_at must be paired lists of equal length");
+    }
+    for (const double t : spec.fault.kill_at_s) {
+      if (!(t >= 0.0)) {
+        throw std::invalid_argument("scenario '" + spec.name +
+                                    "': kill_at must be >= 0");
+      }
+    }
+    for (const std::size_t d : spec.fault.kill_disks) {
+      for (const std::size_t disks : spec.disks) {
+        if (d >= disks) {
+          throw std::invalid_argument(
+              "scenario '" + spec.name + "': kill_disk " + std::to_string(d) +
+              " out of range for a " + std::to_string(disks) + "-disk array");
+        }
+      }
+    }
   }
+  if (spec.redundancy.enabled) {
+    // scenario_redundancy_kind throws for unknown scheme names;
+    // validate_redundancy checks the geometry against every disks-axis
+    // value (raid5 wants disks divisible by group, etc.).
+    const RedundancyKind kind = scenario_redundancy_kind(spec.redundancy);
+    RedundancyConfig config;
+    config.kind = kind;
+    config.group = spec.redundancy.group;
+    config.rebuild = spec.redundancy.rebuild;
+    config.rebuild_mbps = spec.redundancy.rebuild_mbps;
+    config.rebuild_chunk = static_cast<Bytes>(spec.redundancy.rebuild_chunk);
+    for (const std::size_t disks : spec.disks) {
+      try {
+        validate_redundancy(config, disks);
+      } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument("scenario '" + spec.name +
+                                    "': [redundancy] " + e.what());
+      }
+    }
+  }
+}
+
+RedundancyKind scenario_redundancy_kind(const ScenarioRedundancy& r) {
+  if (r.scheme == "raid5") return RedundancyKind::kRaid5;
+  if (r.scheme == "declustered") return RedundancyKind::kDeclustered;
+  throw std::invalid_argument("unknown redundancy scheme '" + r.scheme +
+                              "'; valid: raid5, declustered");
 }
 
 std::vector<std::string> workload_presets() {

@@ -39,6 +39,17 @@
 //   afr = 0.08                  # injected AFR at rate_scale = 1
 //   rate_scale = 0,400,1600     # comma list = sweep axis (0 = no faults)
 //   mttr = 900                  # repair time, seconds
+//   kill_disk = 3               # deterministic fail-stop events merged
+//   kill_at = 1800              # into every cell's plan (paired lists;
+//                               # no planned recovery — the rebuild engine
+//                               # or the horizon ends them)
+//
+//   [redundancy]                # optional; parity protection + rebuild
+//   scheme = raid5              # raid5 | declustered
+//   group = 4                   # stripe width (0 = whole array)
+//   rebuild = true              # background rebuild engine on/off
+//   rebuild_mbps = 32           # rebuild bandwidth per step stream
+//   rebuild_chunk = 4194304     # bytes per rebuild step
 //
 //   [fleet]                     # optional; every cell becomes a fleet
 //   shards = 125                # independent arrays of [system] disks each
@@ -53,6 +64,7 @@
 #include <string_view>
 #include <vector>
 
+#include "redundancy/redundancy_config.h"
 #include "util/param_map.h"
 #include "workload/synthetic.h"
 
@@ -103,6 +115,33 @@ struct ScenarioFault {
   std::vector<double> rate_scales = {1.0};
   /// Deterministic repair time (seconds).
   double mttr_s = 3600.0;
+  /// Scripted fail-stop events merged into every cell's plan on top of
+  /// the hazard draw: kill_disks[i] fails at kill_at_s[i] (paired lists).
+  /// No planned recovery is scripted — with [redundancy] rebuild on, the
+  /// rebuild engine recovers the disk when reconstruction finishes, which
+  /// is exactly the rebuild-smoke CI shape.
+  std::vector<std::size_t> kill_disks;
+  std::vector<double> kill_at_s;
+};
+
+/// Parity-protection knobs (`[redundancy]` section): a config-owned
+/// RedundancyScheme (redundancy/redundancy_config.h) for every cell,
+/// composing with [fault] (degraded reads reconstruct instead of losing
+/// requests; overlapping in-group failures count data-loss events) and
+/// with [fleet] (each shard carries its own scheme + rebuild state). The
+/// engine also scores the observed data-loss rate against the closed-form
+/// MTTDL prediction (press/mttdl_agreement.h).
+struct ScenarioRedundancy {
+  bool enabled = false;
+  /// "raid5" | "declustered" (redundancy/redundancy_config.h kinds).
+  std::string scheme = "raid5";
+  /// Stripe width / protection-group size (0 = whole array).
+  std::size_t group = 0;
+  /// Run the background rebuild engine after a failure.
+  bool rebuild = true;
+  /// Rebuild bandwidth per stream (MB/s) and step granularity (bytes).
+  double rebuild_mbps = 32.0;
+  std::size_t rebuild_chunk = 4u * 1024u * 1024u;
 };
 
 /// Fleet-mode knobs (`[fleet]` section): every cell becomes `shards`
@@ -137,6 +176,7 @@ struct ScenarioSpec {
   std::vector<ScenarioPolicy> policies;
   ScenarioFault fault;
   ScenarioFleet fleet;
+  ScenarioRedundancy redundancy;
 };
 
 /// Parse the INI-lite text above. Throws std::invalid_argument with
@@ -152,6 +192,11 @@ struct ScenarioSpec {
 /// presets, positive values). parse_scenario runs this; code-built specs
 /// get it from the engine.
 void validate_scenario(const ScenarioSpec& spec);
+
+/// Map the [redundancy] scheme name to its RedundancyKind. Throws
+/// std::invalid_argument for unknown names (listing the valid ones).
+[[nodiscard]] RedundancyKind scenario_redundancy_kind(
+    const ScenarioRedundancy& redundancy);
 
 /// Known synthetic preset names (wc98-light, wc98-heavy, proxy, ftp,
 /// email).

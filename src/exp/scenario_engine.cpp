@@ -10,6 +10,7 @@
 #include "fault/degradation_analyzer.h"
 #include "fault/fault_plan.h"
 #include "press/afr_agreement.h"
+#include "press/mttdl_agreement.h"
 #include "sim/fleet_sim.h"
 #include "trace/stream_reader.h"
 #include "trace/trace_reader.h"
@@ -72,6 +73,79 @@ constexpr std::uint64_t mix_plan_seed(std::uint64_t base,
   return s;
 }
 
+RedundancyConfig scenario_redundancy_config(const ScenarioSpec& spec) {
+  RedundancyConfig config;
+  config.kind = scenario_redundancy_kind(spec.redundancy);
+  config.group = spec.redundancy.group;
+  config.rebuild = spec.redundancy.rebuild;
+  config.rebuild_mbps = spec.redundancy.rebuild_mbps;
+  config.rebuild_chunk = static_cast<Bytes>(spec.redundancy.rebuild_chunk);
+  return config;
+}
+
+/// Merge the scripted kill_disk/kill_at fail-stop events into a hazard
+/// plan (from_events re-sorts, so ordering vs the drawn events is exact).
+FaultPlan with_kills(FaultPlan plan, const ScenarioFault& fault) {
+  if (fault.kill_disks.empty()) return plan;
+  std::vector<FaultEvent> events = plan.events();
+  for (std::size_t i = 0; i < fault.kill_disks.size(); ++i) {
+    FaultEvent e;
+    e.time = Seconds{fault.kill_at_s[i]};
+    e.disk = static_cast<DiskId>(fault.kill_disks[i]);
+    e.kind = FaultKind::kFail;
+    events.push_back(e);
+  }
+  return FaultPlan::from_events(std::move(events));
+}
+
+std::uint64_t counter_of(const SimResult& sim, const char* name) {
+  const auto it = sim.counters.find(name);
+  return it == sim.counters.end() ? 0 : it->second;
+}
+
+/// Fold the run's redundancy counters plus the MTTDL loop closure into a
+/// ScenarioRedundancyCell. `arrays` × `horizon` is the per-array exposure
+/// (fleet cells pass shards / the shard horizon); rates are normalized per
+/// protection domain — each RAID-5 group, or the whole array under
+/// declustered parity where any two overlapping failures collide.
+ScenarioRedundancyCell score_redundancy_cell(const ScenarioSpec& spec,
+                                             const SimResult& sim,
+                                             double injected_afr,
+                                             std::size_t array_disks,
+                                             std::size_t arrays,
+                                             Seconds horizon) {
+  ScenarioRedundancyCell r;
+  r.scheme = spec.redundancy.scheme;
+  r.reconstructed_requests = counter_of(sim, "sim.requests_reconstructed");
+  r.data_loss_events = counter_of(sim, "redundancy.data_loss_events");
+  r.rebuilds_started = counter_of(sim, "redundancy.rebuilds_started");
+  r.rebuilds_completed = counter_of(sim, "redundancy.rebuilds_completed");
+  r.mean_rebuild_s =
+      static_cast<double>(counter_of(sim, "redundancy.mean_rebuild_ms")) / 1e3;
+
+  const RedundancyKind kind = scenario_redundancy_kind(spec.redundancy);
+  const std::size_t group =
+      spec.redundancy.group == 0 ? array_disks : spec.redundancy.group;
+  MttdlInputs inputs;
+  inputs.mttr = Seconds{spec.fault.mttr_s};
+  inputs.disk_afr = injected_afr;
+  std::size_t domains_per_array = 1;
+  if (kind == RedundancyKind::kRaid5) {
+    inputs.disks = group;
+    domains_per_array = array_disks / group;
+  } else {
+    inputs.disks = array_disks;  // declustered: one whole-array domain
+  }
+  const MttdlAgreement agreement = score_mttdl_agreement(
+      RaidLevel::kRaid5, inputs, r.data_loss_events,
+      arrays * domains_per_array, horizon);
+  r.predicted_mttdl_hours = agreement.predicted_mttdl_hours;
+  r.predicted_losses_per_year = agreement.predicted_losses_per_year;
+  r.observed_losses_per_year = agreement.observed_losses_per_year;
+  r.observed_over_predicted = agreement.observed_over_predicted;
+  return r;
+}
+
 /// One `[fleet]` cell: shards × [system]-disks arrays merged into a single
 /// scored report (sim/fleet_sim.h). Composes with [fault] by giving every
 /// shard an independent hazard plan derived from the cell's plan seed, and
@@ -84,6 +158,9 @@ void run_fleet_cell(const ScenarioSpec& spec, const WorkloadVariant& variant,
   config.sim.disk_count = disks;
   config.sim.epoch = Seconds{epoch_s};
   if (spec.positioned) config.sim.seek_curve = cheetah_seek_curve();
+  if (spec.redundancy.enabled) {
+    config.sim.redundancy = scenario_redundancy_config(spec);
+  }
 
   FleetConfig fleet;
   fleet.shard = config.sim;
@@ -112,6 +189,7 @@ void run_fleet_cell(const ScenarioSpec& spec, const WorkloadVariant& variant,
         mix_plan_seed(spec.fault.seed, variant.seed, scale_idx, disks);
     const double afr = spec.fault.afr;
     const Seconds mttr{spec.fault.mttr_s};
+    const ScenarioFault fault_spec = spec.fault;
     make_plan = [=](std::uint32_t shard) {
       FaultHazard hazard;
       hazard.seed = fleet_shard_seed(cell_seed, shard);
@@ -119,7 +197,9 @@ void run_fleet_cell(const ScenarioSpec& spec, const WorkloadVariant& variant,
       hazard.rate_scale = rate_scale;
       hazard.mttr = mttr;
       hazard.horizon = shard_horizon;
-      return FaultPlan::from_hazard(hazard, disks);
+      // Scripted kills strike every shard identically (each shard is an
+      // independent array experiencing the same operator script).
+      return with_kills(FaultPlan::from_hazard(hazard, disks), fault_spec);
     };
     fleet.shard_faults = make_plan;
     analyzers.resize(fleet.shards);
@@ -144,7 +224,10 @@ void run_fleet_cell(const ScenarioSpec& spec, const WorkloadVariant& variant,
     Seconds degraded_window{0.0};
     Seconds recovery_sum{0.0};
     Seconds recovery_max{0.0};
+    Seconds rebuild_sum{0.0};
+    Seconds rebuild_max{0.0};
     std::uint64_t recoveries = 0;
+    std::uint64_t rebuilds_completed = 0;
     bool any_faults = false;
     for (std::uint32_t s = 0; s < fleet.shards; ++s) {
       const DegradationAnalyzer& a = *analyzers[s];
@@ -160,6 +243,10 @@ void run_fleet_cell(const ScenarioSpec& spec, const WorkloadVariant& variant,
       recovery_sum += Seconds{a.mean_recovery_time().value() *
                               static_cast<double>(a.recoveries())};
       recovery_max = std::max(recovery_max, a.max_recovery_time());
+      rebuilds_completed += a.rebuilds_completed();
+      rebuild_sum += Seconds{a.mean_rebuild_time().value() *
+                             static_cast<double>(a.rebuilds_completed())};
+      rebuild_max = std::max(rebuild_max, a.max_rebuild_time());
       if (!any_faults && !make_plan(s).empty()) any_faults = true;
     }
     fault.downtime_s = downtime.value();
@@ -181,6 +268,12 @@ void run_fleet_cell(const ScenarioSpec& spec, const WorkloadVariant& variant,
       counters["fault.degraded_window_ms"] += ms(degraded_window);
       counters["fault.mean_recovery_ms"] += ms(mean_recovery);
       counters["fault.max_recovery_ms"] += ms(recovery_max);
+      if (rebuilds_completed > 0) {
+        const Seconds mean_rebuild{rebuild_sum.value() /
+                                   static_cast<double>(rebuilds_completed)};
+        counters["redundancy.mean_rebuild_ms"] += ms(mean_rebuild);
+        counters["redundancy.max_rebuild_ms"] += ms(rebuild_max);
+      }
     }
     const AfrAgreement agreement = score_afr_agreement(
         cell.report.array_afr, fault.injected_afr, fault.failures,
@@ -189,6 +282,11 @@ void run_fleet_cell(const ScenarioSpec& spec, const WorkloadVariant& variant,
     fault.press_over_injected = agreement.predicted_over_injected;
     fault.press_over_observed = agreement.predicted_over_observed;
     cell.fault = fault;
+  }
+  if (spec.redundancy.enabled) {
+    cell.redundancy =
+        score_redundancy_cell(spec, cell.report.sim, spec.fault.afr * rate_scale,
+                              disks, fleet.shards, shard_horizon);
   }
 }
 
@@ -312,6 +410,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   ScenarioResult result;
   result.scenario = spec.name;
   result.faulted = spec.fault.enabled;
+  result.redundant = spec.redundancy.enabled;
   result.cells.resize(cell_specs.size());
   pool.parallel_for(cell_specs.size(), [&](std::size_t i) {
     const CellSpec& cs = cell_specs[i];
@@ -324,6 +423,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     config.sim.disk_count = cs.disks;
     config.sim.epoch = Seconds{cs.epoch_s};
     if (spec.positioned) config.sim.seek_curve = cheetah_seek_curve();
+    if (spec.redundancy.enabled) {
+      config.sim.redundancy = scenario_redundancy_config(spec);
+    }
 
     auto policy = factories[cs.policy_idx]();
     ScenarioCell cell;
@@ -366,7 +468,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       hazard.rate_scale = rate_scale;
       hazard.mttr = Seconds{spec.fault.mttr_s};
       hazard.horizon = horizon;
-      const FaultPlan plan = FaultPlan::from_hazard(hazard, cs.disks);
+      const FaultPlan plan =
+          with_kills(FaultPlan::from_hazard(hazard, cs.disks), spec.fault);
 
       DegradationAnalyzer analyzer;
       cell.report = session.with_policy(std::move(policy))
@@ -395,6 +498,14 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       fault.press_over_injected = agreement.predicted_over_injected;
       fault.press_over_observed = agreement.predicted_over_observed;
       cell.fault = fault;
+    }
+    if (spec.redundancy.enabled) {
+      const double injected_afr =
+          spec.fault.enabled
+              ? spec.fault.afr * spec.fault.rate_scales[cs.scale_idx]
+              : 0.0;
+      cell.redundancy = score_redundancy_cell(
+          spec, cell.report.sim, injected_afr, cs.disks, 1, variant.horizon);
     }
     result.cells[i] = std::move(cell);
   });

@@ -37,6 +37,26 @@ struct ScenarioFaultCell {
   double press_over_observed = 0.0;
 };
 
+/// Redundancy-layer results for one cell of a `[redundancy]`-enabled
+/// scenario: what parity actually bought (reconstructed reads, data-loss
+/// events, rebuild completions) plus the closed-form loop closure
+/// (press/mttdl_agreement.h). Rates are per *protection domain* year — a
+/// RAID-5 group or, for declustered parity, the whole array — so the
+/// prediction and the observation live in the same unit regardless of
+/// group size.
+struct ScenarioRedundancyCell {
+  std::string scheme;  ///< "raid5" | "declustered"
+  std::uint64_t reconstructed_requests = 0;
+  std::uint64_t data_loss_events = 0;
+  std::uint64_t rebuilds_started = 0;
+  std::uint64_t rebuilds_completed = 0;
+  double mean_rebuild_s = 0.0;
+  double predicted_mttdl_hours = 0.0;  ///< closed form, per domain
+  double predicted_losses_per_year = 0.0;  ///< per domain-year
+  double observed_losses_per_year = 0.0;   ///< per domain-year
+  double observed_over_predicted = 0.0;    ///< 0 when prediction is 0-rate
+};
+
 /// One completed grid point. The axis fields echo the spec values that
 /// produced the cell (trace workloads report load = 1 and seed = 0: the
 /// axes do not apply to a fixed trace).
@@ -51,6 +71,10 @@ struct ScenarioCell {
   /// Present iff the spec had a `[fault]` section (rate_scale 0 cells
   /// included — their plan is empty and the metrics are all zero).
   std::optional<ScenarioFaultCell> fault;
+  /// Present iff the spec had a `[redundancy]` section. All-zero (beyond
+  /// the prediction) without a `[fault]` section: parity only acts when
+  /// failures strike.
+  std::optional<ScenarioRedundancyCell> redundancy;
 };
 
 struct ScenarioResult {
@@ -58,6 +82,9 @@ struct ScenarioResult {
   /// True when the spec had a `[fault]` section; the report layer widens
   /// the CSV schema with the fault columns exactly in this case.
   bool faulted = false;
+  /// True when the spec had a `[redundancy]` section; the report layer
+  /// appends the redundancy columns exactly in this case.
+  bool redundant = false;
   std::vector<ScenarioCell> cells;  ///< spec order (policy-major)
 };
 

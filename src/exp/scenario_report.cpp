@@ -21,7 +21,7 @@ std::string full(double v) { return format_double(v, 17); }
 
 }  // namespace
 
-std::string scenario_csv_header(bool with_faults) {
+std::string scenario_csv_header(bool with_faults, bool with_redundancy) {
   std::string header =
       "scenario,policy,workload,load,seed,epoch_s,disks,array_afr,"
       "energy_j,mean_rt_ms,p95_rt_ms,total_transitions,"
@@ -33,41 +33,63 @@ std::string scenario_csv_header(bool with_faults) {
         "fault_mean_recovery_s,fault_observed_afr,press_over_injected,"
         "press_over_observed";
   }
+  if (with_redundancy) {
+    header +=
+        ",redundancy_scheme,reconstructed,data_loss_events,rebuilds_started,"
+        "rebuilds_completed,mean_rebuild_s,mttdl_hours,"
+        "predicted_losses_per_year,observed_losses_per_year,"
+        "loss_over_predicted";
+  }
   return header;
 }
 
 void write_scenario_csv(const ScenarioResult& result, std::ostream& out) {
-  out << scenario_csv_header(result.faulted) << "\n";
+  out << scenario_csv_header(result.faulted, result.redundant) << "\n";
   CsvWriter writer(out);
   for (const ScenarioCell& c : result.cells) {
     const SimResult& sim = c.report.sim;
+    std::vector<std::string> fields = {
+        result.scenario,
+        c.policy,
+        c.workload,
+        full(c.load),
+        std::to_string(c.seed),
+        full(c.epoch_s),
+        std::to_string(c.disks),
+        full(c.report.array_afr),
+        full(sim.energy_joules()),
+        full(sim.mean_response_time_s() * 1e3),
+        full(sim.response_time_sample.quantile(0.95) * 1e3),
+        std::to_string(sim.total_transitions),
+        full(sim.max_transitions_per_day),
+        std::to_string(sim.migrations),
+        full(static_cast<double>(sim.migration_bytes) / 1e6)};
     if (result.faulted) {
       // value_or keeps the schema fixed even if a cell somehow lacks the
       // fault payload (all-zero metrics, same as a rate_scale-0 cell).
       const ScenarioFaultCell f = c.fault.value_or(ScenarioFaultCell{});
-      writer.row(result.scenario, c.policy, c.workload, full(c.load), c.seed,
-                 full(c.epoch_s), c.disks, full(c.report.array_afr),
-                 full(sim.energy_joules()),
-                 full(sim.mean_response_time_s() * 1e3),
-                 full(sim.response_time_sample.quantile(0.95) * 1e3),
-                 sim.total_transitions, full(sim.max_transitions_per_day),
-                 sim.migrations,
-                 full(static_cast<double>(sim.migration_bytes) / 1e6),
-                 full(f.rate_scale), full(f.injected_afr), f.failures,
-                 f.lost_requests, f.degraded_requests, full(f.downtime_s),
-                 full(f.degraded_window_s), full(f.mean_recovery_s),
-                 full(f.observed_afr), full(f.press_over_injected),
-                 full(f.press_over_observed));
-      continue;
+      fields.insert(fields.end(),
+                    {full(f.rate_scale), full(f.injected_afr),
+                     std::to_string(f.failures), std::to_string(f.lost_requests),
+                     std::to_string(f.degraded_requests), full(f.downtime_s),
+                     full(f.degraded_window_s), full(f.mean_recovery_s),
+                     full(f.observed_afr), full(f.press_over_injected),
+                     full(f.press_over_observed)});
     }
-    writer.row(result.scenario, c.policy, c.workload, full(c.load), c.seed,
-               full(c.epoch_s), c.disks, full(c.report.array_afr),
-               full(sim.energy_joules()),
-               full(sim.mean_response_time_s() * 1e3),
-               full(sim.response_time_sample.quantile(0.95) * 1e3),
-               sim.total_transitions, full(sim.max_transitions_per_day),
-               sim.migrations,
-               full(static_cast<double>(sim.migration_bytes) / 1e6));
+    if (result.redundant) {
+      const ScenarioRedundancyCell r =
+          c.redundancy.value_or(ScenarioRedundancyCell{});
+      fields.insert(fields.end(),
+                    {r.scheme, std::to_string(r.reconstructed_requests),
+                     std::to_string(r.data_loss_events),
+                     std::to_string(r.rebuilds_started),
+                     std::to_string(r.rebuilds_completed),
+                     full(r.mean_rebuild_s), full(r.predicted_mttdl_hours),
+                     full(r.predicted_losses_per_year),
+                     full(r.observed_losses_per_year),
+                     full(r.observed_over_predicted)});
+    }
+    writer.write_row(fields);
   }
 }
 
@@ -117,6 +139,22 @@ void write_scenario_json(const ScenarioResult& result, std::ostream& out,
           << ",\"observed_afr\":" << full(f.observed_afr)
           << ",\"press_over_injected\":" << full(f.press_over_injected)
           << ",\"press_over_observed\":" << full(f.press_over_observed) << "}";
+    }
+    if (c.redundancy) {
+      const ScenarioRedundancyCell& r = *c.redundancy;
+      out << ",\"redundancy\":{\"scheme\":\"" << json_escape(r.scheme)
+          << "\",\"reconstructed\":" << r.reconstructed_requests
+          << ",\"data_loss_events\":" << r.data_loss_events
+          << ",\"rebuilds_started\":" << r.rebuilds_started
+          << ",\"rebuilds_completed\":" << r.rebuilds_completed
+          << ",\"mean_rebuild_s\":" << full(r.mean_rebuild_s)
+          << ",\"mttdl_hours\":" << full(r.predicted_mttdl_hours)
+          << ",\"predicted_losses_per_year\":"
+          << full(r.predicted_losses_per_year)
+          << ",\"observed_losses_per_year\":"
+          << full(r.observed_losses_per_year)
+          << ",\"loss_over_predicted\":" << full(r.observed_over_predicted)
+          << "}";
     }
     if (include_reports) {
       // pr::to_json emits a complete JSON object (plus a trailing

@@ -1,11 +1,13 @@
 #include "fault/degradation_analyzer.h"
 
 #include <cmath>
+#include <string>
 
 namespace pr {
 
 void DegradationAnalyzer::on_run_start(const RunStartEvent& event) {
   fail_since_.assign(event.disk_count, kNeverTime);
+  degraded_by_disk_.assign(event.disk_count, 0);
 }
 
 void DegradationAnalyzer::on_disk_fail(const DiskFailEvent& event) {
@@ -34,7 +36,24 @@ void DegradationAnalyzer::on_request_degraded(
     case DegradedOutcome::kRedirected: ++redirected_; break;
     case DegradedOutcome::kSlowed: ++slowed_; break;
     case DegradedOutcome::kLost: ++lost_; break;
+    case DegradedOutcome::kReconstructed: ++reconstructed_; break;
   }
+  if (event.intended < degraded_by_disk_.size()) {
+    ++degraded_by_disk_[event.intended];
+  }
+}
+
+void DegradationAnalyzer::on_rebuild_start(const RebuildStartEvent& event) {
+  (void)event;
+  ++rebuilds_started_;
+}
+
+void DegradationAnalyzer::on_rebuild_complete(
+    const RebuildCompleteEvent& event) {
+  ++rebuilds_completed_;
+  rebuilt_bytes_ += event.bytes;
+  rebuild_sum_ += event.duration;
+  if (event.duration > rebuild_max_) rebuild_max_ = event.duration;
 }
 
 void DegradationAnalyzer::on_run_end(const RunEndEvent& event) {
@@ -57,6 +76,17 @@ void DegradationAnalyzer::merge_into(SimResult& result) const {
   result.counters["fault.degraded_window_ms"] += ms(degraded_window_);
   result.counters["fault.mean_recovery_ms"] += ms(mean_recovery_time());
   result.counters["fault.max_recovery_ms"] += ms(max_recovery_time());
+  // Per-disk split only where a failure actually degraded traffic, so runs
+  // predating this metric keep their exact historical counter sets.
+  for (std::size_t d = 0; d < degraded_by_disk_.size(); ++d) {
+    if (degraded_by_disk_[d] == 0) continue;
+    result.counters["fault.disk" + std::to_string(d) +
+                    ".degraded_requests"] += degraded_by_disk_[d];
+  }
+  if (rebuilds_completed_ > 0) {
+    result.counters["redundancy.mean_rebuild_ms"] += ms(mean_rebuild_time());
+    result.counters["redundancy.max_rebuild_ms"] += ms(max_rebuild_time());
+  }
 }
 
 }  // namespace pr

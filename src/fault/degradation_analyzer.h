@@ -1,11 +1,13 @@
 // degradation_analyzer.h — a SimObserver that distills a faulted run into
 // the reliability metrics the fault sweep reports: how long the array ran
-// degraded, how fast faults healed, and how many requests were lost,
-// redirected, or slowed. Attach it next to the usual recorders (it is
-// read-only like every observer) and call merge_into() after the run to
-// fold the time-derived metrics into SimResult::counters — the event
-// *counts* are already interned by the simulator itself, so merge_into()
-// adds only what the counter registry cannot see (durations).
+// degraded, how fast faults healed, how many requests were lost,
+// redirected, slowed, or parity-reconstructed — and, per disk, how many
+// requests each failure actually degraded. Attach it next to the usual
+// recorders (it is read-only like every observer) and call merge_into()
+// after the run to fold the time-derived and per-disk metrics into
+// SimResult::counters — the aggregate event *counts* are already interned
+// by the simulator itself, so merge_into() adds only what the counter
+// registry cannot see (durations, per-disk splits).
 #pragma once
 
 #include <cstdint>
@@ -22,6 +24,8 @@ class DegradationAnalyzer final : public SimObserver {
   void on_disk_fail(const DiskFailEvent& event) override;
   void on_disk_recover(const DiskRecoverEvent& event) override;
   void on_request_degraded(const RequestDegradedEvent& event) override;
+  void on_rebuild_start(const RebuildStartEvent& event) override;
+  void on_rebuild_complete(const RebuildCompleteEvent& event) override;
   void on_run_end(const RunEndEvent& event) override;
 
   /// Fail-stop faults observed (slowdown announcements excluded).
@@ -36,6 +40,17 @@ class DegradationAnalyzer final : public SimObserver {
     return redirected_;
   }
   [[nodiscard]] std::uint64_t slowed_requests() const { return slowed_; }
+  /// Requests served by parity reconstruction (DegradedOutcome::
+  /// kReconstructed).
+  [[nodiscard]] std::uint64_t reconstructed_requests() const {
+    return reconstructed_;
+  }
+  /// Degraded requests (any outcome) keyed by the disk the policy
+  /// *intended* to serve them — which failure hurt how much. Sized by the
+  /// run's disk count after on_run_start.
+  [[nodiscard]] const std::vector<std::uint64_t>& degraded_by_disk() const {
+    return degraded_by_disk_;
+  }
   /// Sum of per-disk down intervals (disk-seconds; overlapping failures
   /// count once per disk). Open failures are charged through the horizon.
   [[nodiscard]] Seconds total_downtime() const { return downtime_; }
@@ -48,11 +63,32 @@ class DegradationAnalyzer final : public SimObserver {
                                       static_cast<double>(recoveries_)};
   }
   [[nodiscard]] Seconds max_recovery_time() const { return recovery_max_; }
+  /// Rebuild-engine observations (zero on runs without parity rebuild).
+  [[nodiscard]] std::uint64_t rebuilds_started() const {
+    return rebuilds_started_;
+  }
+  [[nodiscard]] std::uint64_t rebuilds_completed() const {
+    return rebuilds_completed_;
+  }
+  [[nodiscard]] Bytes rebuilt_bytes() const { return rebuilt_bytes_; }
+  [[nodiscard]] Seconds mean_rebuild_time() const {
+    return rebuilds_completed_ == 0
+               ? Seconds{0.0}
+               : Seconds{rebuild_sum_.value() /
+                         static_cast<double>(rebuilds_completed_)};
+  }
+  [[nodiscard]] Seconds max_rebuild_time() const { return rebuild_max_; }
 
-  /// Add the duration metrics to result.counters (milliseconds, rounded):
-  /// fault.downtime_ms, fault.degraded_window_ms, fault.mean_recovery_ms,
-  /// fault.max_recovery_ms. Event counts are not re-added — the simulator
-  /// already interned them (sim.faults_injected etc.).
+  /// Add the metrics the registry cannot see to result.counters:
+  /// durations in milliseconds, rounded (fault.downtime_ms,
+  /// fault.degraded_window_ms, fault.mean_recovery_ms,
+  /// fault.max_recovery_ms; redundancy.mean_rebuild_ms /
+  /// redundancy.max_rebuild_ms when a rebuild completed) and the per-disk
+  /// degraded-request split (fault.disk<N>.degraded_requests, emitted
+  /// only for disks with a nonzero count so fault reports keep their
+  /// historical counter sets when no request was degraded). Aggregate
+  /// event counts are not re-added — the simulator already interned them
+  /// (sim.faults_injected etc.).
   void merge_into(SimResult& result) const;
 
  private:
@@ -61,6 +97,12 @@ class DegradationAnalyzer final : public SimObserver {
   std::uint64_t lost_ = 0;
   std::uint64_t redirected_ = 0;
   std::uint64_t slowed_ = 0;
+  std::uint64_t reconstructed_ = 0;
+  std::uint64_t rebuilds_started_ = 0;
+  std::uint64_t rebuilds_completed_ = 0;
+  Bytes rebuilt_bytes_ = 0;
+  Seconds rebuild_sum_{0.0};
+  Seconds rebuild_max_{0.0};
   Seconds downtime_{0.0};
   Seconds recovery_sum_{0.0};
   Seconds recovery_max_{0.0};
@@ -72,6 +114,8 @@ class DegradationAnalyzer final : public SimObserver {
   // Per-disk open-failure start (kNeverTime = live), so failures still open
   // at the horizon charge exact downtime from each disk's own fail instant.
   std::vector<Seconds> fail_since_;
+  // Degraded requests keyed by RequestDegradedEvent::intended.
+  std::vector<std::uint64_t> degraded_by_disk_;
 };
 
 }  // namespace pr

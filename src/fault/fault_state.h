@@ -1,8 +1,9 @@
 // fault_state.h — the live per-disk fault flags the ArraySimulation seam
 // consults before dispatch. The simulator owns one FaultState, applies
 // FaultPlan events to it in time order, and checks failed()/slowdown()
-// when routing; policies see it through ArrayContext::disk_failed() /
-// disk_slowdown() so degraded_route() overrides can pick a live replica.
+// when routing; redundancy schemes (redundancy/scheme.h) see it through
+// ArrayContext::disk_failed() / disk_slowdown() to pick live copies or
+// surviving stripe units.
 #pragma once
 
 #include <cstdint>

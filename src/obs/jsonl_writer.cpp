@@ -128,6 +128,39 @@ void JsonlTraceWriter::on_request_degraded(const RequestDegradedEvent& event) {
       << format_double(event.slowdown, 17) << "}\n";
 }
 
+void JsonlTraceWriter::on_rebuild_start(const RebuildStartEvent& event) {
+  if (!options_.rebuilds) return;
+  line() << R"({"ev":"rebuild_start","t":)"
+         << format_double(event.time.value(), 17) << R"(,"disk":)"
+         << event.disk << R"(,"bytes":)" << event.bytes << "}\n";
+}
+
+void JsonlTraceWriter::on_rebuild_progress(const RebuildProgressEvent& event) {
+  if (!options_.rebuilds) return;
+  line() << R"({"ev":"rebuild_progress","t":)"
+         << format_double(event.time.value(), 17) << R"(,"disk":)"
+         << event.disk << R"(,"done":)" << event.done << R"(,"total":)"
+         << event.total << R"(,"energy_j":)"
+         << format_double(event.energy.value(), 17) << "}\n";
+}
+
+void JsonlTraceWriter::on_rebuild_complete(const RebuildCompleteEvent& event) {
+  if (!options_.rebuilds) return;
+  line() << R"({"ev":"rebuild_complete","t":)"
+         << format_double(event.time.value(), 17) << R"(,"disk":)"
+         << event.disk << R"(,"bytes":)" << event.bytes << R"(,"duration_s":)"
+         << format_double(event.duration.value(), 17) << "}\n";
+}
+
+void JsonlTraceWriter::on_stripe_reconstruct(
+    const StripeReconstructEvent& event) {
+  if (!options_.rebuilds) return;
+  line() << R"({"ev":"stripe_reconstruct","t":)"
+         << format_double(event.time.value(), 17) << R"(,"file":)"
+         << event.file << R"(,"failed":)" << event.failed << R"(,"sources":)"
+         << event.sources << R"(,"bytes":)" << event.bytes << "}\n";
+}
+
 void JsonlTraceWriter::on_run_end(const RunEndEvent& event) {
   line() << R"({"ev":"run_end","horizon_s":)" << format_double(event.horizon.value(), 17)
          << R"(,"requests":)" << event.user_requests << R"(,"energy_j":)"

@@ -32,6 +32,11 @@ struct JsonlOptions {
   /// MAID/replication runs, and the v1 trace schema is frozen
   /// byte-for-byte — opt in to see cache-fill/replica traffic.
   bool copies = false;
+  /// Redundancy-layer lines (rebuild_start/rebuild_progress/
+  /// rebuild_complete/stripe_reconstruct). On by default: they only fire
+  /// when a parity RedundancyScheme is configured and faults strike, so
+  /// every pre-redundancy trace is unchanged (v1 schema safe).
+  bool rebuilds = true;
 };
 
 class JsonlTraceWriter final : public SimObserver {
@@ -51,6 +56,10 @@ class JsonlTraceWriter final : public SimObserver {
   void on_disk_fail(const DiskFailEvent& event) override;
   void on_disk_recover(const DiskRecoverEvent& event) override;
   void on_request_degraded(const RequestDegradedEvent& event) override;
+  void on_rebuild_start(const RebuildStartEvent& event) override;
+  void on_rebuild_progress(const RebuildProgressEvent& event) override;
+  void on_rebuild_complete(const RebuildCompleteEvent& event) override;
+  void on_stripe_reconstruct(const StripeReconstructEvent& event) override;
   void on_run_end(const RunEndEvent& event) override;
 
   [[nodiscard]] std::uint64_t lines_written() const { return lines_; }

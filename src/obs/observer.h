@@ -18,6 +18,11 @@
 //     events at the same instant. A request's RequestDegradedEvent(s)
 //     precede its RequestCompleteEvent (redirected before slowed); a lost
 //     request emits only RequestDegradedEvent — no completion.
+//   * Rebuild steps (RebuildProgress/Complete, and the DiskRecoverEvent a
+//     completion triggers) fall between fault events and DPM events at
+//     one instant: epoch work → fault events → rebuild steps → DPM idle
+//     checks. A StripeReconstructEvent precedes the degraded request's
+//     RequestDegradedEvent(kReconstructed).
 #pragma once
 
 #include <cstdint>
@@ -39,6 +44,10 @@ enum class TransitionCause : std::uint8_t {
   kSpinUpToServe = 1,
   /// Explicit Policy request_transition() (zone reconfiguration).
   kPolicy = 2,
+  /// A spun-down disk woken to carry rebuild I/O (source reads or the
+  /// reconstructed writes) — the reliability-vs-energy tension made
+  /// visible in the transition stream.
+  kRebuild = 3,
 };
 
 [[nodiscard]] constexpr const char* to_string(TransitionCause c) {
@@ -46,6 +55,7 @@ enum class TransitionCause : std::uint8_t {
     case TransitionCause::kDpmIdle: return "dpm_idle";
     case TransitionCause::kSpinUpToServe: return "spin_up_to_serve";
     case TransitionCause::kPolicy: return "policy";
+    case TransitionCause::kRebuild: return "rebuild";
   }
   return "?";
 }
@@ -197,6 +207,9 @@ enum class DegradedOutcome : std::uint8_t {
   kSlowed = 1,
   /// No live copy — the request was recorded as lost, not served.
   kLost = 2,
+  /// Rebuilt from parity: served by costed reads on the surviving stripe
+  /// units (see StripeReconstructEvent for the fan-out).
+  kReconstructed = 3,
 };
 
 [[nodiscard]] constexpr const char* to_string(DegradedOutcome o) {
@@ -204,6 +217,7 @@ enum class DegradedOutcome : std::uint8_t {
     case DegradedOutcome::kRedirected: return "redirected";
     case DegradedOutcome::kSlowed: return "slowed";
     case DegradedOutcome::kLost: return "lost";
+    case DegradedOutcome::kReconstructed: return "reconstructed";
   }
   return "?";
 }
@@ -225,16 +239,69 @@ struct RequestDegradedEvent {
   double slowdown = 1.0;
 };
 
+/// Fired when a parity rebuild of a failed disk begins (at the failure
+/// instant — the scheme knows immediately how much must be reconstructed).
+struct RebuildStartEvent {
+  Seconds time{};
+  DiskId disk = 0;
+  /// Bytes placed on the failed disk that the rebuild must reconstruct.
+  Bytes bytes = 0;
+};
+
+/// Fired after each rebuild step's I/O (source reads + the reconstructed
+/// write) was issued. Progress is cumulative.
+struct RebuildProgressEvent {
+  Seconds time{};
+  DiskId disk = 0;
+  Bytes done = 0;
+  Bytes total = 0;
+  /// Ledger energy delta across the step's internal serves and rebuild
+  /// wake-ups — this is the rebuild's slice of the conservation identity
+  /// (see RunEndEvent).
+  Joules energy{};
+};
+
+/// Fired when a rebuild finishes; a DiskRecoverEvent for the same disk at
+/// the same instant follows (the rebuilt disk returns to service through
+/// the normal fault machinery, so its measured downtime is the rebuild
+/// duration plus any pre-rebuild lag).
+struct RebuildCompleteEvent {
+  Seconds time{};
+  DiskId disk = 0;
+  Bytes bytes = 0;
+  /// Failure-to-completion duration (the observed repair time — an
+  /// *output* feeding the MTTDL agreement check, not an input).
+  Seconds duration{};
+};
+
+/// Fired at a degraded request's arrival instant when parity reconstructs
+/// the failed unit: `sources` disks each served a costed read of `bytes`.
+/// Precedes the request's RequestDegradedEvent(kReconstructed).
+struct StripeReconstructEvent {
+  Seconds time{};
+  FileId file = kInvalidFile;
+  /// The failed disk whose data was reconstructed.
+  DiskId failed = 0;
+  /// Number of surviving stripe units read (g − 1 when all survive).
+  std::uint32_t sources = 0;
+  /// Bytes reconstructed (read from *each* source).
+  Bytes bytes = 0;
+};
+
 /// Fired once after the trailing events drained and every ledger closed.
 ///
 /// Conservation identity (pinned by tests/test_observer.cpp): with Σ over
 /// the run's events,
 ///   Σ RequestCompleteEvent::energy
-///   + Σ SpeedTransitionEvent::energy  (cause != kSpinUpToServe)
+///   + Σ SpeedTransitionEvent::energy  (cause != kSpinUpToServe
+///                                      and cause != kRebuild)
 ///   + Σ MigrationEvent::energy + Σ BackgroundCopyEvent::energy
+///   + Σ RebuildProgressEvent::energy
 ///   + final_idle_energy
 ///   == total_energy == Σ per-disk ledger energy
-/// (equal up to floating-point accumulation error).
+/// (equal up to floating-point accumulation error; kRebuild transition
+/// deltas are inside their step's RebuildProgressEvent::energy, exactly
+/// as kSpinUpToServe deltas are inside their request's event).
 struct RunEndEvent {
   Seconds horizon{};
   std::uint64_t user_requests = 0;
@@ -269,6 +336,18 @@ class SimObserver {
   virtual void on_disk_fail(const DiskFailEvent& event) { (void)event; }
   virtual void on_disk_recover(const DiskRecoverEvent& event) { (void)event; }
   virtual void on_request_degraded(const RequestDegradedEvent& event) {
+    (void)event;
+  }
+  virtual void on_rebuild_start(const RebuildStartEvent& event) {
+    (void)event;
+  }
+  virtual void on_rebuild_progress(const RebuildProgressEvent& event) {
+    (void)event;
+  }
+  virtual void on_rebuild_complete(const RebuildCompleteEvent& event) {
+    (void)event;
+  }
+  virtual void on_stripe_reconstruct(const StripeReconstructEvent& event) {
     (void)event;
   }
   virtual void on_run_end(const RunEndEvent& event) { (void)event; }
@@ -318,6 +397,18 @@ class ObserverList final : public SimObserver {
   }
   void on_request_degraded(const RequestDegradedEvent& event) override {
     for (auto* o : observers_) o->on_request_degraded(event);
+  }
+  void on_rebuild_start(const RebuildStartEvent& event) override {
+    for (auto* o : observers_) o->on_rebuild_start(event);
+  }
+  void on_rebuild_progress(const RebuildProgressEvent& event) override {
+    for (auto* o : observers_) o->on_rebuild_progress(event);
+  }
+  void on_rebuild_complete(const RebuildCompleteEvent& event) override {
+    for (auto* o : observers_) o->on_rebuild_complete(event);
+  }
+  void on_stripe_reconstruct(const StripeReconstructEvent& event) override {
+    for (auto* o : observers_) o->on_stripe_reconstruct(event);
   }
   void on_run_end(const RunEndEvent& event) override {
     for (auto* o : observers_) o->on_run_end(event);

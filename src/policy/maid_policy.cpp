@@ -77,27 +77,30 @@ void MaidPolicy::after_serve(ArrayContext& ctx, const Request& req,
   admit(ctx, req.file, req.size, served);
 }
 
-DiskId MaidPolicy::degraded_route(ArrayContext& ctx, const Request& req,
-                                  DiskId failed) {
+DegradedAction MaidPolicy::CacheScheme::degraded_read(
+    ArrayContext& ctx, FileId file, Bytes bytes, DiskId failed,
+    DiskId& redirect, std::vector<StripeChunk>& reads) {
+  (void)bytes;
+  (void)reads;
   // route() already chose: a failed cache disk on a hit, or the failed
   // home disk on a miss. Fall back to whichever copy is still live.
   DiskId alt = kInvalidDisk;
-  const auto it = cache_index_.find(req.file);
-  if (it != cache_index_.end() && it->second->disk != failed &&
+  const auto it = owner_->cache_index_.find(file);
+  if (it != owner_->cache_index_.end() && it->second->disk != failed &&
       !ctx.disk_failed(it->second->disk)) {
     alt = it->second->disk;
   } else {
-    const DiskId home = ctx.location(req.file);
+    const DiskId home = ctx.location(file);
     if (home != failed && !ctx.disk_failed(home)) alt = home;
   }
-  if (alt != kInvalidDisk) {
-    // The serve comes from an existing copy — suppress the after_serve
-    // re-admission a miss would trigger. String bump on purpose: interning
-    // in initialize() would add a zero counter to fault-free reports.
-    last_was_hit_ = true;
-    ctx.bump("maid.degraded_read");
-  }
-  return alt;
+  if (alt == kInvalidDisk) return DegradedAction::kLost;
+  // The serve comes from an existing copy — suppress the after_serve
+  // re-admission a miss would trigger. String bump on purpose: interning
+  // in initialize() would add a zero counter to fault-free reports.
+  owner_->last_was_hit_ = true;
+  ctx.bump("maid.degraded_read");
+  redirect = alt;
+  return DegradedAction::kRedirect;
 }
 
 void MaidPolicy::admit(ArrayContext& ctx, FileId file, Bytes bytes,

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "redundancy/scheme.h"
 #include "sim/array_sim.h"
 
 namespace pr {
@@ -43,11 +44,11 @@ class MaidPolicy final : public Policy {
   void initialize(ArrayContext& ctx) override;
   DiskId route(ArrayContext& ctx, const Request& req) override;
   void after_serve(ArrayContext& ctx, const Request& req, DiskId d) override;
-  /// Fault fallback: a cached copy on a live cache disk, else the home
-  /// disk when the cache copy's disk failed; kInvalidDisk when both the
-  /// home disk and any cache copy are down.
-  DiskId degraded_route(ArrayContext& ctx, const Request& req,
-                        DiskId failed) override;
+  /// The cache copies exposed through the redundancy seam: a degraded
+  /// read redirects to a cached copy on a live cache disk, else to the
+  /// home disk when the cache copy's disk failed; lost when both the home
+  /// disk and any cache copy are down.
+  [[nodiscard]] RedundancyScheme* redundancy() override { return &scheme_; }
 
   [[nodiscard]] std::size_t cache_disk_count() const { return cache_disks_; }
   [[nodiscard]] bool is_cache_disk(DiskId d) const { return d < cache_disks_; }
@@ -62,10 +63,24 @@ class MaidPolicy final : public Policy {
     Bytes bytes = 0;
   };
 
+  /// Copy-based scheme over the cache index (see redundancy()).
+  class CacheScheme final : public RedundancyScheme {
+   public:
+    explicit CacheScheme(MaidPolicy& owner) : owner_(&owner) {}
+    [[nodiscard]] std::string name() const override { return "maid-cache"; }
+    [[nodiscard]] DegradedAction degraded_read(
+        ArrayContext& ctx, FileId file, Bytes bytes, DiskId failed,
+        DiskId& redirect, std::vector<StripeChunk>& reads) override;
+
+   private:
+    MaidPolicy* owner_;
+  };
+
   void admit(ArrayContext& ctx, FileId file, Bytes bytes, DiskId home);
   void evict_lru(ArrayContext& ctx);
 
   MaidConfig config_;
+  CacheScheme scheme_{*this};
   std::size_t cache_disks_ = 0;
   Bytes cache_budget_ = 0;
   Bytes cache_used_ = 0;

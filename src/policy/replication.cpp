@@ -109,9 +109,11 @@ void ReplicatedReadPolicy::after_serve(ArrayContext& ctx, const Request& req,
   base_.after_serve(ctx, req, d);
 }
 
-DiskId ReplicatedReadPolicy::degraded_route(ArrayContext& ctx,
-                                            const Request& req,
-                                            DiskId failed) {
+DegradedAction ReplicatedReadPolicy::ReplicaScheme::degraded_read(
+    ArrayContext& ctx, FileId file, Bytes bytes, DiskId failed,
+    DiskId& redirect, std::vector<StripeChunk>& reads) {
+  (void)bytes;
+  (void)reads;
   // Consider every copy — the primary plus replicas — skipping failed
   // disks; among the live ones pick the earliest-ready (the same
   // join-shortest-workload rule route() uses, lowest id on ties).
@@ -126,16 +128,18 @@ DiskId ReplicatedReadPolicy::degraded_route(ArrayContext& ctx,
       best_ready = ready;
     }
   };
-  consider(ctx.location(req.file));
-  const auto it = replicas_.find(req.file);
-  if (it != replicas_.end()) {
+  consider(ctx.location(file));
+  const auto it = owner_->replicas_.find(file);
+  if (it != owner_->replicas_.end()) {
     for (const DiskId d : it->second) consider(d);
   }
+  if (best == kInvalidDisk) return DegradedAction::kLost;
   // String bump (cold path, fault runs only): interning the name in
   // initialize() would add a zero-valued counter to every fault-free
   // report and break their byte-identity.
-  if (best != kInvalidDisk) ctx.bump("replication.degraded_read");
-  return best;
+  ctx.bump("replication.degraded_read");
+  redirect = best;
+  return DegradedAction::kRedirect;
 }
 
 void ReplicatedReadPolicy::on_epoch(ArrayContext& ctx, Seconds now) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "policy/read_policy.h"
+#include "redundancy/scheme.h"
 
 namespace pr {
 
@@ -36,11 +37,10 @@ class ReplicatedReadPolicy final : public Policy {
   void after_serve(ArrayContext& ctx, const Request& req, DiskId d) override;
   void on_epoch(ArrayContext& ctx, Seconds now) override;
   bool allow_spin_down(ArrayContext& ctx, DiskId d, Seconds now) override;
-  /// Fault fallback: serve from a live replica (or the primary when a
-  /// replica disk is the one that failed); kInvalidDisk when every copy
-  /// is on a failed disk.
-  DiskId degraded_route(ArrayContext& ctx, const Request& req,
-                        DiskId failed) override;
+  /// The replica sets exposed through the redundancy seam: a degraded
+  /// read redirects to a live copy (or the primary when a replica disk is
+  /// the one that failed); lost when every copy is on a failed disk.
+  [[nodiscard]] RedundancyScheme* redundancy() override { return &scheme_; }
 
   [[nodiscard]] std::size_t replicated_files() const {
     return replicas_.size();
@@ -48,6 +48,19 @@ class ReplicatedReadPolicy final : public Policy {
   [[nodiscard]] const ReadPolicy& base() const { return base_; }
 
  private:
+  /// Copy-based scheme over the policy's replica map (see redundancy()).
+  class ReplicaScheme final : public RedundancyScheme {
+   public:
+    explicit ReplicaScheme(ReplicatedReadPolicy& owner) : owner_(&owner) {}
+    [[nodiscard]] std::string name() const override { return "replica-set"; }
+    [[nodiscard]] DegradedAction degraded_read(
+        ArrayContext& ctx, FileId file, Bytes bytes, DiskId failed,
+        DiskId& redirect, std::vector<StripeChunk>& reads) override;
+
+   private:
+    ReplicatedReadPolicy* owner_;
+  };
+
   /// (Re)build replica sets for the given hottest files.
   void build_replicas(ArrayContext& ctx, const std::vector<FileId>& hottest);
   [[nodiscard]] std::vector<DiskId> replica_targets(const ArrayContext& ctx,
@@ -55,6 +68,7 @@ class ReplicatedReadPolicy final : public Policy {
 
   ReplicationConfig config_;
   ReadPolicy base_;
+  ReplicaScheme scheme_{*this};
   /// file -> extra replica locations (primary lives in the placement map).
   std::unordered_map<FileId, std::vector<DiskId>> replicas_;
   // Counter handles interned in initialize() (route() runs per request).

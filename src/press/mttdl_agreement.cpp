@@ -1,0 +1,33 @@
+#include "press/mttdl_agreement.h"
+
+#include <stdexcept>
+
+namespace pr {
+
+MttdlAgreement score_mttdl_agreement(RaidLevel level,
+                                     const MttdlInputs& inputs,
+                                     std::uint64_t observed_losses,
+                                     std::size_t arrays, Seconds horizon) {
+  MttdlAgreement a;
+  try {
+    a.predicted_mttdl_hours = mttdl_hours(level, inputs);
+  } catch (const std::invalid_argument&) {
+    return a;  // degenerate layout/rates: all-zero scores, not a throw
+  }
+  if (a.predicted_mttdl_hours > 0.0) {
+    a.predicted_losses_per_year = 8760.0 / a.predicted_mttdl_hours;
+  }
+  const double array_years = static_cast<double>(arrays) *
+                             (horizon.value() / kSecondsPerYear.value());
+  if (array_years > 0.0) {
+    a.observed_losses_per_year =
+        static_cast<double>(observed_losses) / array_years;
+  }
+  if (a.predicted_losses_per_year > 0.0) {
+    a.observed_over_predicted =
+        a.observed_losses_per_year / a.predicted_losses_per_year;
+  }
+  return a;
+}
+
+}  // namespace pr

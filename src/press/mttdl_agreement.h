@@ -1,0 +1,48 @@
+// mttdl_agreement.h — scores the MTTDL closed forms (mttdl.h) against
+// simulated ground truth from the redundancy layer. A fault-injected run
+// with a parity scheme counts actual data-loss events (two overlapping
+// failures in one protection domain — redundancy.data_loss_events); this
+// module converts the closed-form MTTDL into a predicted loss rate per
+// array-year and compares it with the rate the simulation experienced, the
+// same ratio-style loop closure as afr_agreement.h. Most short horizons
+// observe zero losses against a tiny predicted rate — that is agreement,
+// not failure, which is why the scenario engine reports the raw rates
+// alongside the ratio instead of thresholding.
+#pragma once
+
+#include <cstdint>
+
+#include "press/mttdl.h"
+#include "util/units.h"
+
+namespace pr {
+
+struct MttdlAgreement {
+  /// Closed-form mean time to data loss for the run's layout (hours).
+  double predicted_mttdl_hours = 0.0;
+  /// Expected data-loss events per array-year (8760 / MTTDL hours).
+  double predicted_losses_per_year = 0.0;
+  /// Data-loss events the simulation actually recorded per array-year of
+  /// exposure (events / (arrays x horizon-years)).
+  double observed_losses_per_year = 0.0;
+  /// observed / predicted (0 when the prediction is zero-rate). Values
+  /// near 1 mean the Markov model matches the injected-fault simulation;
+  /// 0 with a tiny predicted rate is the expected no-loss outcome.
+  double observed_over_predicted = 0.0;
+};
+
+/// Compute the agreement scores. `observed_losses` is the simulation's
+/// redundancy.data_loss_events total across `arrays` independent runs
+/// (fleet shards each count as one array), each simulated for `horizon`.
+/// Ratios with a zero denominator are reported as 0 rather than inf/nan
+/// so fixed-schema CSV cells stay finite. Degenerate MTTDL inputs (afr or
+/// mttr <= 0, too few disks) are reported as all-zero scores instead of
+/// propagating mttdl_hours's throw — the caller may legitimately have a
+/// run with no repair data yet.
+[[nodiscard]] MttdlAgreement score_mttdl_agreement(RaidLevel level,
+                                                   const MttdlInputs& inputs,
+                                                   std::uint64_t observed_losses,
+                                                   std::size_t arrays,
+                                                   Seconds horizon);
+
+}  // namespace pr

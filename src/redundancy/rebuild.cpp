@@ -1,0 +1,85 @@
+#include "redundancy/rebuild.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace pr {
+
+void RebuildScheduler::configure(double mbps, Bytes chunk) {
+  PR_PRECONDITION(mbps > 0.0, "RebuildScheduler: mbps must be > 0");
+  PR_PRECONDITION(chunk > 0, "RebuildScheduler: chunk must be > 0");
+  period_s_ = static_cast<double>(chunk) / (mbps * 1e6);
+  chunk_ = chunk;
+}
+
+bool RebuildScheduler::rebuilding(DiskId d) const {
+  for (const InFlight& r : rebuilding_) {
+    if (r.disk == d) return true;
+  }
+  return false;
+}
+
+std::size_t RebuildScheduler::earliest() const {
+  std::size_t best = rebuilding_.size();
+  for (std::size_t i = 0; i < rebuilding_.size(); ++i) {
+    if (best == rebuilding_.size() || rebuilding_[i].next < rebuilding_[best].next ||
+        (rebuilding_[i].next == rebuilding_[best].next &&
+         rebuilding_[i].disk < rebuilding_[best].disk)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+Seconds RebuildScheduler::next_time() const {
+  const std::size_t i = earliest();
+  return i == rebuilding_.size() ? kNeverTime : rebuilding_[i].next;
+}
+
+void RebuildScheduler::start(DiskId disk, Seconds now, Bytes total) {
+  PR_PRECONDITION(chunk_ > 0, "RebuildScheduler: start() before configure()");
+  if (rebuilding(disk)) return;
+  InFlight r;
+  r.disk = disk;
+  r.total = total;
+  // The first chunk is due one period out (reconstruction takes time even
+  // for the first stripe); an empty disk completes in one immediate step.
+  r.next = total == 0 ? now : now + Seconds{period_s_};
+  r.started = now;
+  rebuilding_.push_back(r);
+}
+
+bool RebuildScheduler::abort(DiskId disk) {
+  for (std::size_t i = 0; i < rebuilding_.size(); ++i) {
+    if (rebuilding_[i].disk != disk) continue;
+    rebuilding_.erase(rebuilding_.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+    return true;
+  }
+  return false;
+}
+
+bool RebuildScheduler::pop_due(Seconds t, Step& out) {
+  const std::size_t i = earliest();
+  if (i == rebuilding_.size() || rebuilding_[i].next > t) return false;
+  InFlight& r = rebuilding_[i];
+  out.disk = r.disk;
+  out.time = r.next;
+  out.bytes = std::min<Bytes>(chunk_, r.total - r.done);
+  out.index = r.steps;
+  out.total = r.total;
+  out.started = r.started;
+  r.done += out.bytes;
+  ++r.steps;
+  out.done = r.done;
+  out.completes = r.done >= r.total;
+  if (out.completes) {
+    rebuilding_.erase(rebuilding_.begin() + static_cast<std::ptrdiff_t>(i));
+  } else {
+    r.next = r.next + Seconds{period_s_};
+  }
+  return true;
+}
+
+}  // namespace pr

@@ -1,0 +1,67 @@
+// redundancy_config.h — configuration for the array's redundancy layer.
+//
+// Kept free of simulator dependencies so sim/array_sim.h can embed a
+// RedundancyConfig in SimConfig (and FleetConfig::shard / scenario cells
+// inherit it for free) while the scheme implementations in this directory
+// include the simulator headers. The paper's baseline storage model is a
+// RAID-style array; this knob selects which organization the simulator
+// actually enforces when faults strike (degraded reads, rebuild I/O):
+//
+//   kNone        — no parity. Degraded requests fall back to whatever copy
+//                  set the policy maintains (replicas, the MAID cache) or
+//                  are lost. Today's behavior, byte-identical.
+//   kRaid5       — rotated parity over fixed consecutive groups of
+//                  `group` disks; a degraded read reconstructs from the
+//                  g−1 surviving group members.
+//   kDeclustered — parity groups of `group` disks drawn per stripe from
+//                  the whole array, so reconstruction and rebuild load
+//                  spread over every surviving disk instead of one group.
+//
+// Parity capacity overhead is not modelled in placement (files keep the
+// policy's layout; parity is implicit) — the scheme models the *I/O and
+// reliability* consequences: reconstruction reads costed as real disk
+// I/O, rebuild traffic that competes with foreground requests and wakes
+// spun-down disks, and data-loss events when a second failure overlaps.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace pr {
+
+enum class RedundancyKind : std::uint8_t {
+  kNone = 0,
+  kRaid5 = 1,
+  kDeclustered = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(RedundancyKind k) {
+  switch (k) {
+    case RedundancyKind::kNone: return "none";
+    case RedundancyKind::kRaid5: return "raid5";
+    case RedundancyKind::kDeclustered: return "declustered";
+  }
+  return "?";
+}
+
+struct RedundancyConfig {
+  RedundancyKind kind = RedundancyKind::kNone;
+  /// Parity-group size g (data + parity stripe units per group). 0 means
+  /// the whole array forms one group.
+  std::size_t group = 0;
+  /// Run the rebuild engine: a fail-stop disk is reconstructed in the
+  /// background and returns to service when the rebuild completes (the
+  /// repair time becomes an *output* of the simulation). Off = degraded
+  /// reads only; recovery happens only via explicit plan events.
+  bool rebuild = true;
+  /// Scheduled rebuild rate in MB/s — sets the pacing of rebuild steps.
+  /// The actual I/O still queues FCFS behind foreground traffic, so an
+  /// overloaded array rebuilds slower than the scheduled rate.
+  double rebuild_mbps = 32.0;
+  /// Bytes reconstructed per rebuild step (one read on each surviving
+  /// source plus one write on the rebuilt disk per step).
+  Bytes rebuild_chunk = 4 * kMiB;
+};
+
+}  // namespace pr

@@ -1,0 +1,128 @@
+#include "redundancy/scheme.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace pr {
+
+namespace {
+
+/// Resolve group = 0 ("whole array") to the disk count.
+std::size_t resolve_group(std::size_t group, std::size_t disk_count) {
+  return group == 0 ? disk_count : group;
+}
+
+}  // namespace
+
+// --- RAID-5 ------------------------------------------------------------
+
+Raid5Scheme::Raid5Scheme(std::size_t disk_count, std::size_t group)
+    : disks_(disk_count), group_(resolve_group(group, disk_count)) {}
+
+DegradedAction Raid5Scheme::degraded_read(ArrayContext& ctx, FileId file,
+                                          Bytes bytes, DiskId failed,
+                                          DiskId& redirect,
+                                          std::vector<StripeChunk>& reads) {
+  (void)file;
+  (void)redirect;
+  const std::size_t base = (failed / group_) * group_;
+  for (std::size_t j = 0; j < group_; ++j) {
+    const auto member = static_cast<DiskId>(base + j);
+    if (member == failed) continue;
+    // A second failure in the group means the stripe is unrecoverable.
+    if (ctx.disk_failed(member)) return DegradedAction::kLost;
+    reads.push_back(StripeChunk{member, bytes});
+  }
+  return reads.empty() ? DegradedAction::kLost : DegradedAction::kReconstruct;
+}
+
+void Raid5Scheme::rebuild_sources(const ArrayContext& ctx, DiskId failed,
+                                  std::uint64_t step,
+                                  std::vector<DiskId>& sources) const {
+  (void)step;
+  const std::size_t base = (failed / group_) * group_;
+  for (std::size_t j = 0; j < group_; ++j) {
+    const auto member = static_cast<DiskId>(base + j);
+    if (member == failed || ctx.disk_failed(member)) continue;
+    sources.push_back(member);
+  }
+}
+
+// --- Declustered parity ------------------------------------------------
+
+DeclusteredScheme::DeclusteredScheme(std::size_t disk_count, std::size_t group)
+    : disks_(disk_count), group_(resolve_group(group, disk_count)) {}
+
+DiskId DeclusteredScheme::partner(DiskId d, std::uint64_t salt,
+                                  std::size_t j) const {
+  const std::size_t offset = 1 + ((salt + j) % (disks_ - 1));
+  return static_cast<DiskId>((d + offset) % disks_);
+}
+
+DegradedAction DeclusteredScheme::degraded_read(
+    ArrayContext& ctx, FileId file, Bytes bytes, DiskId failed,
+    DiskId& redirect, std::vector<StripeChunk>& reads) {
+  (void)redirect;
+  // The file id is the stripe salt: every file's parity partners are a
+  // different rotation, which is exactly the load-spreading property.
+  for (std::size_t j = 0; j + 1 < group_; ++j) {
+    const DiskId p = partner(failed, file, j);
+    if (ctx.disk_failed(p)) return DegradedAction::kLost;
+    reads.push_back(StripeChunk{p, bytes});
+  }
+  return reads.empty() ? DegradedAction::kLost : DegradedAction::kReconstruct;
+}
+
+void DeclusteredScheme::rebuild_sources(const ArrayContext& ctx, DiskId failed,
+                                        std::uint64_t step,
+                                        std::vector<DiskId>& sources) const {
+  // Successive steps rebuild successive stripes, so the read load rotates
+  // over the surviving disks — the declustering win.
+  for (std::size_t j = 0; j + 1 < group_; ++j) {
+    const DiskId p = partner(failed, step, j);
+    if (ctx.disk_failed(p)) continue;
+    sources.push_back(p);
+  }
+}
+
+// --- validation & factory ----------------------------------------------
+
+void validate_redundancy(const RedundancyConfig& config,
+                         std::size_t disk_count) {
+  if (config.kind == RedundancyKind::kNone) return;
+  const std::size_t g = resolve_group(config.group, disk_count);
+  if (g < 2 || g > disk_count) {
+    throw std::invalid_argument(
+        "redundancy: group size must be in [2, disk_count], got " +
+        std::to_string(g) + " over " + std::to_string(disk_count) + " disks");
+  }
+  if (config.kind == RedundancyKind::kRaid5 && disk_count % g != 0) {
+    throw std::invalid_argument(
+        "redundancy: raid5 group " + std::to_string(g) +
+        " does not divide the array of " + std::to_string(disk_count));
+  }
+  if (config.rebuild) {
+    if (!(config.rebuild_mbps > 0.0)) {
+      throw std::invalid_argument("redundancy: rebuild_mbps must be > 0");
+    }
+    if (config.rebuild_chunk == 0) {
+      throw std::invalid_argument("redundancy: rebuild_chunk must be > 0");
+    }
+  }
+}
+
+std::unique_ptr<RedundancyScheme> make_scheme(const RedundancyConfig& config,
+                                              std::size_t disk_count) {
+  validate_redundancy(config, disk_count);
+  switch (config.kind) {
+    case RedundancyKind::kNone:
+      return nullptr;
+    case RedundancyKind::kRaid5:
+      return std::make_unique<Raid5Scheme>(disk_count, config.group);
+    case RedundancyKind::kDeclustered:
+      return std::make_unique<DeclusteredScheme>(disk_count, config.group);
+  }
+  return nullptr;
+}
+
+}  // namespace pr

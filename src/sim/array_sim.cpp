@@ -4,6 +4,8 @@
 #include <array>
 #include <stdexcept>
 
+#include "redundancy/rebuild.h"
+#include "redundancy/scheme.h"
 #include "util/contracts.h"
 #include "util/log.h"
 
@@ -212,6 +214,37 @@ class ArraySimulator {
       h_redirected_ = ctx_.counters_.intern("sim.requests_degraded");
       h_slowed_ = ctx_.counters_.intern("sim.requests_slowed");
     }
+    // Redundancy seam resolution: a parity scheme configured on the array
+    // wins; otherwise the policy may expose its own copy set (replicas,
+    // the MAID cache) as a scheme; otherwise degraded requests are lost.
+    // The config scheme is built (and validated) even on fault-free runs
+    // so a bad config errors deterministically; the parity machinery and
+    // its counters arm only when the seam can actually fire — same
+    // zero-valued-counter reasoning as the fault counters above.
+    if (config.redundancy.kind != RedundancyKind::kNone) {
+      owned_scheme_ = make_scheme(config.redundancy, config.disk_count);
+    }
+    scheme_ =
+        owned_scheme_ != nullptr ? owned_scheme_.get() : policy_.redundancy();
+    parity_on_ = ctx_.faults_on_ && scheme_ != nullptr && scheme_->parity();
+    if (parity_on_) {
+      h_reconstructed_ = ctx_.counters_.intern("sim.requests_reconstructed");
+      h_data_loss_ = ctx_.counters_.intern("redundancy.data_loss_events");
+      if (config.redundancy.rebuild) {
+        rebuild_on_ = true;
+        rebuild_.configure(config.redundancy.rebuild_mbps,
+                           config.redundancy.rebuild_chunk);
+        h_rebuild_steps_ = ctx_.counters_.intern("redundancy.rebuild_steps");
+        h_rebuild_wakeups_ =
+            ctx_.counters_.intern("redundancy.rebuild_wakeups");
+        h_rebuilds_started_ =
+            ctx_.counters_.intern("redundancy.rebuilds_started");
+        h_rebuilds_completed_ =
+            ctx_.counters_.intern("redundancy.rebuilds_completed");
+        h_rebuilds_aborted_ =
+            ctx_.counters_.intern("redundancy.rebuilds_aborted");
+      }
+    }
   }
 
   SimResult run() {
@@ -271,23 +304,69 @@ class ArraySimulator {
       DiskId primary = kInvalidDisk;
       std::uint32_t chunk_count = 1;
       bool lost = false;
+      bool reconstructed = false;
       if (policy_.striped()) {
         const auto chunks = policy_.stripe(ctx_, req);
         if (chunks.empty()) {
           throw std::logic_error("striped policy produced no chunks");
         }
+        primary = chunks.front().disk;
         if (ctx_.faults_on_) {
-          // A striped request needs every chunk; any failed chunk disk
-          // loses the whole request (no partial-stripe reconstruction).
+          // A striped request needs every chunk; each failed chunk disk
+          // consults the redundancy seam. Without a scheme (or with
+          // RAID-0) any failure loses the whole request, exactly as
+          // before; parity replaces the failed chunk with costed reads on
+          // its surviving stripe units. The plan is built first and only
+          // booked (counters, events, serves) if every chunk survives.
+          plan_serves_.clear();
+          planned_degrades_.clear();
           for (const auto& chunk : chunks) {
-            if (ctx_.fault_.failed(chunk.disk)) {
+            if (!ctx_.fault_.failed(chunk.disk)) {
+              plan_serves_.push_back(chunk);
+              continue;
+            }
+            scratch_reads_.clear();
+            DiskId redirect = kInvalidDisk;
+            const DegradedAction action =
+                scheme_ == nullptr
+                    ? DegradedAction::kLost
+                    : scheme_->degraded_read(ctx_, req.file, chunk.bytes,
+                                             chunk.disk, redirect,
+                                             scratch_reads_);
+            if (action == DegradedAction::kRedirect && redirect != kInvalidDisk &&
+                redirect < ctx_.disks_.size() &&
+                !ctx_.fault_.failed(redirect)) {
+              plan_serves_.push_back(StripeChunk{redirect, chunk.bytes});
+              planned_degrades_.push_back(PlannedDegrade{
+                  DegradedOutcome::kRedirected, chunk.disk, redirect, 0,
+                  chunk.bytes});
+            } else if (action == DegradedAction::kReconstruct &&
+                       !scratch_reads_.empty()) {
+              PR_ASSERT(parity_on_,
+                        "kReconstruct from a non-parity redundancy scheme");
+              planned_degrades_.push_back(PlannedDegrade{
+                  DegradedOutcome::kReconstructed, chunk.disk, chunk.disk,
+                  static_cast<std::uint32_t>(scratch_reads_.size()),
+                  chunk.bytes});
+              plan_serves_.insert(plan_serves_.end(), scratch_reads_.begin(),
+                                  scratch_reads_.end());
+            } else {
               lost = true;
               break;
             }
           }
-        }
-        primary = chunks.front().disk;
-        if (!lost) {
+          if (!lost) {
+            for (const auto& pd : planned_degrades_) {
+              emit_planned_degrade(req.arrival, req.file, pd);
+            }
+            for (const auto& chunk : plan_serves_) {
+              const Seconds done =
+                  serve_on(chunk.disk, req.arrival, chunk.bytes, req.file);
+              completion = std::max(completion, done);
+            }
+            chunk_count = static_cast<std::uint32_t>(plan_serves_.size());
+          }
+        } else {
           // All chunks start in parallel; the request completes when the
           // slowest disk finishes its piece.
           for (const auto& chunk : chunks) {
@@ -299,21 +378,46 @@ class ArraySimulator {
       } else {
         primary = policy_.route(ctx_, req);
         if (ctx_.faults_on_ && ctx_.fault_.failed(primary)) {
-          const DiskId alt = policy_.degraded_route(ctx_, req, primary);
-          if (alt == kInvalidDisk || alt >= ctx_.disks_.size() ||
-              ctx_.fault_.failed(alt)) {
-            lost = true;
-          } else {
-            ctx_.counters_.add(h_redirected_);
-            if (obs != nullptr) {
-              obs->on_request_degraded(RequestDegradedEvent{
-                  req.arrival, req.file, primary, alt,
-                  DegradedOutcome::kRedirected, 1.0});
-            }
-            primary = alt;
+          scratch_reads_.clear();
+          DiskId redirect = kInvalidDisk;
+          const DegradedAction action =
+              scheme_ == nullptr
+                  ? DegradedAction::kLost
+                  : scheme_->degraded_read(ctx_, req.file, req.size, primary,
+                                           redirect, scratch_reads_);
+          switch (action) {
+            case DegradedAction::kLost:
+              lost = true;
+              break;
+            case DegradedAction::kRedirect:
+              if (redirect == kInvalidDisk ||
+                  redirect >= ctx_.disks_.size() ||
+                  ctx_.fault_.failed(redirect)) {
+                lost = true;
+              } else {
+                ctx_.counters_.add(h_redirected_);
+                if (obs != nullptr) {
+                  obs->on_request_degraded(RequestDegradedEvent{
+                      req.arrival, req.file, primary, redirect,
+                      DegradedOutcome::kRedirected, 1.0});
+                }
+                primary = redirect;
+              }
+              break;
+            case DegradedAction::kReconstruct:
+              if (scratch_reads_.empty()) {
+                lost = true;
+              } else {
+                completion =
+                    reconstruct(req.arrival, req.file, primary, req.size);
+                chunk_count =
+                    static_cast<std::uint32_t>(scratch_reads_.size());
+                reconstructed = true;
+              }
+              break;
           }
         }
-        if (!lost) {
+        if (!lost && !reconstructed) {
           completion = serve_on(primary, req.arrival, req.size, req.file);
         }
       }
@@ -379,6 +483,17 @@ class ArraySimulator {
   }
 
  private:
+  /// A striped request's degraded chunk, planned in the first pass and
+  /// booked (counter + events) only if the whole request survives.
+  struct PlannedDegrade {
+    DegradedOutcome outcome = DegradedOutcome::kLost;
+    DiskId intended = kInvalidDisk;
+    DiskId served_by = kInvalidDisk;
+    /// Reconstruction fan-out (kReconstructed only).
+    std::uint32_t sources = 0;
+    Bytes bytes = 0;
+  };
+
   /// Serve `bytes` of `file` on disk `d` at `arrival`, applying
   /// spin-up-to-serve, and remember the disk for idle-check arming.
   /// Returns completion.
@@ -444,6 +559,144 @@ class ArraySimulator {
     return completion;
   }
 
+  /// Serve a degraded single request by parity reconstruction: one costed
+  /// read of `bytes` on each surviving stripe unit (scratch_reads_), all
+  /// in parallel; the request completes when the slowest survivor
+  /// finishes. Books the counter and the StripeReconstruct +
+  /// RequestDegraded(kReconstructed) events before the serves so the
+  /// degraded events precede any spin-up transitions, as for redirects.
+  Seconds reconstruct(Seconds arrival, FileId file, DiskId failed,
+                      Bytes bytes) {
+    PR_ASSERT(parity_on_,
+              "kReconstruct from a non-parity redundancy scheme");
+    SimObserver* const obs = ctx_.observer_;
+    ctx_.counters_.add(h_reconstructed_);
+    if (obs != nullptr) {
+      obs->on_stripe_reconstruct(StripeReconstructEvent{
+          arrival, file, failed,
+          static_cast<std::uint32_t>(scratch_reads_.size()), bytes});
+      obs->on_request_degraded(RequestDegradedEvent{
+          arrival, file, failed, failed, DegradedOutcome::kReconstructed,
+          1.0});
+    }
+    Seconds completion{0.0};
+    for (const StripeChunk& read : scratch_reads_) {
+      completion = std::max(completion,
+                            serve_on(read.disk, arrival, read.bytes, file));
+    }
+    return completion;
+  }
+
+  /// Book one surviving striped request's planned degraded chunk: the
+  /// counters and events deferred from the planning pass.
+  void emit_planned_degrade(Seconds arrival, FileId file,
+                            const PlannedDegrade& pd) {
+    SimObserver* const obs = ctx_.observer_;
+    if (pd.outcome == DegradedOutcome::kRedirected) {
+      ctx_.counters_.add(h_redirected_);
+      if (obs != nullptr) {
+        obs->on_request_degraded(RequestDegradedEvent{
+            arrival, file, pd.intended, pd.served_by,
+            DegradedOutcome::kRedirected, 1.0});
+      }
+      return;
+    }
+    ctx_.counters_.add(h_reconstructed_);
+    if (obs != nullptr) {
+      obs->on_stripe_reconstruct(StripeReconstructEvent{
+          arrival, file, pd.intended, pd.sources, pd.bytes});
+      obs->on_request_degraded(RequestDegradedEvent{
+          arrival, file, pd.intended, pd.intended,
+          DegradedOutcome::kReconstructed, 1.0});
+    }
+  }
+
+  /// Parity bookkeeping at a fail-stop instant: count the failure as a
+  /// data-loss event if it overlaps another failure the layout cannot
+  /// survive (one event per new failure — the Markov model's absorbing
+  /// transition), then start the paced background rebuild of everything
+  /// placed on the disk.
+  void on_parity_failure(Seconds at, DiskId disk) {
+    for (DiskId other = 0; other < ctx_.disks_.size(); ++other) {
+      if (other == disk || !ctx_.fault_.failed(other)) continue;
+      if (scheme_->loses_data(disk, other)) {
+        ctx_.counters_.add(h_data_loss_);
+        break;
+      }
+    }
+    if (!rebuild_on_ || rebuild_.rebuilding(disk)) return;
+    Bytes total = 0;
+    for (FileId f = 0; f < ctx_.placement_.size(); ++f) {
+      if (ctx_.placement_[f] == disk) total += files_.by_id(f).size;
+    }
+    rebuild_.start(disk, at, total);
+    ctx_.counters_.add(h_rebuilds_started_);
+    if (ctx_.observer_ != nullptr) {
+      ctx_.observer_->on_rebuild_start(RebuildStartEvent{at, disk, total});
+    }
+  }
+
+  /// One internal rebuild serve on `d`: wake the disk if it is spun down
+  /// (TransitionCause::kRebuild — the energy cost of staying protected),
+  /// pay the transfer, and drop any pending idle check (the background-
+  /// I/O precedent set by migrate/background_copy: no re-arm, the next
+  /// foreground serve re-arms).
+  void rebuild_io(DiskId d, Seconds at, Bytes bytes) {
+    Disk& disk = ctx_.disks_[d];
+    if (disk.speed() == DiskSpeed::kLow) {
+      const Joules spin_before =
+          ctx_.observer_ != nullptr ? disk.ledger().energy : Joules{0.0};
+      const Seconds finish = disk.transition(at, DiskSpeed::kHigh);
+      ctx_.counters_.add(h_rebuild_wakeups_);
+      ctx_.emit_transition(d, DiskSpeed::kLow, DiskSpeed::kHigh, at, finish,
+                           TransitionCause::kRebuild,
+                           disk.ledger().energy - spin_before);
+    }
+    if (bytes > 0) disk.serve(at, bytes, /*internal=*/true);
+    ctx_.cancel_idle_check(d);
+  }
+
+  /// Turn one due rebuild step into I/O: a read on each surviving stripe
+  /// source plus the reconstructed write on the rebuilt disk (its ledger
+  /// models the replacement spindle), all queued FCFS behind foreground
+  /// traffic. A completing step returns the disk to service through the
+  /// normal fault machinery — a synthetic kRecover at the same instant —
+  /// so the observed downtime (DiskRecoverEvent) *is* the repair time.
+  void run_rebuild_step(const RebuildScheduler::Step& step) {
+    const Seconds at = step.time;
+    scratch_sources_.clear();
+    scheme_->rebuild_sources(ctx_, step.disk, step.index, scratch_sources_);
+    SimObserver* const obs = ctx_.observer_;
+    Joules energy_before{0.0};
+    if (obs != nullptr) {
+      energy_before = ctx_.disks_[step.disk].ledger().energy;
+      for (const DiskId s : scratch_sources_) {
+        energy_before += ctx_.disks_[s].ledger().energy;
+      }
+    }
+    for (const DiskId s : scratch_sources_) {
+      rebuild_io(s, at, step.bytes);
+    }
+    rebuild_io(step.disk, at, step.bytes);
+    ctx_.counters_.add(h_rebuild_steps_);
+    if (obs != nullptr) {
+      Joules energy_after = ctx_.disks_[step.disk].ledger().energy;
+      for (const DiskId s : scratch_sources_) {
+        energy_after += ctx_.disks_[s].ledger().energy;
+      }
+      obs->on_rebuild_progress(RebuildProgressEvent{
+          at, step.disk, step.done, step.total, energy_after - energy_before});
+    }
+    if (step.completes) {
+      ctx_.counters_.add(h_rebuilds_completed_);
+      if (obs != nullptr) {
+        obs->on_rebuild_complete(RebuildCompleteEvent{
+            at, step.disk, step.total, at - step.started});
+      }
+      apply_fault(FaultEvent{at, step.disk, FaultKind::kRecover, 1.0});
+    }
+  }
+
   /// Apply one plan event to the live FaultState; announce it (and bump
   /// the matching counter) only when it actually changed something —
   /// idempotent events stay invisible.
@@ -458,9 +711,15 @@ class ArraySimulator {
           obs->on_disk_fail(
               DiskFailEvent{e.time, e.disk, FaultMode::kFailStop, 1.0});
         }
+        if (parity_on_) on_parity_failure(e.time, e.disk);
         break;
       case FaultKind::kRecover:
         ctx_.counters_.add(h_recovers_);
+        // The disk came back by external means (a plan kRecover) while a
+        // rebuild was still copying — drop the now-moot rebuild.
+        if (rebuild_on_ && rebuild_.abort(e.disk)) {
+          ctx_.counters_.add(h_rebuilds_aborted_);
+        }
         if (obs != nullptr) {
           obs->on_disk_recover(
               DiskRecoverEvent{e.time, e.disk, applied.downtime});
@@ -493,26 +752,39 @@ class ArraySimulator {
       if (fault_cursor_ < events.size()) {
         hint = std::min(hint, events[fault_cursor_].time);
       }
+      if (rebuild_on_) {
+        hint = std::min(hint, rebuild_.next_time());
+      }
     }
     ctx_.wake_hint_ = hint;
   }
 
-  /// Advance simulated time to `t`, interleaving plan events with the
-  /// deferred-event stream. Ordering at one instant: epoch work → fault
-  /// events → DPM idle checks (drain_until runs exclusive up to each fault
-  /// instant, then inclusive to `t`). The fault-free path collapses to
-  /// plain drain_until.
+  /// Advance simulated time to `t`, interleaving plan events and rebuild
+  /// steps with the deferred-event stream. Ordering at one instant: epoch
+  /// work → fault events → rebuild steps → DPM idle checks (drain_until
+  /// runs exclusive up to each fault/rebuild instant, then inclusive to
+  /// `t`). The fault-free path collapses to plain drain_until.
   void advance_until(Seconds t) {
     if (ctx_.faults_on_) {
       const auto& events = faults_->events();
-      while (fault_cursor_ < events.size() &&
-             events[fault_cursor_].time <= t) {
-        const FaultEvent& e = events[fault_cursor_];
-        drain_until(e.time, /*inclusive=*/false);
-        fire_epochs_until(e.time);
-        ctx_.now_ = e.time;
-        apply_fault(e);
-        ++fault_cursor_;
+      for (;;) {
+        const Seconds fault_next = fault_cursor_ < events.size()
+                                       ? events[fault_cursor_].time
+                                       : kNeverTime;
+        const Seconds rebuild_next =
+            rebuild_on_ ? rebuild_.next_time() : kNeverTime;
+        const Seconds next = std::min(fault_next, rebuild_next);
+        if (!(next <= t)) break;
+        drain_until(next, /*inclusive=*/false);
+        fire_epochs_until(next);
+        ctx_.now_ = next;
+        if (fault_next <= rebuild_next) {
+          apply_fault(events[fault_cursor_]);
+          ++fault_cursor_;
+        } else {
+          RebuildScheduler::Step step;
+          if (rebuild_.pop_due(next, step)) run_rebuild_step(step);
+        }
       }
     }
     drain_until(t);
@@ -690,6 +962,20 @@ class ArraySimulator {
   /// index of its next unapplied event.
   const FaultPlan* faults_ = nullptr;
   std::size_t fault_cursor_ = 0;
+  /// Resolved redundancy seam: the config-owned parity scheme (wins) or
+  /// the policy's copy-set scheme; nullptr = degraded requests are lost.
+  std::unique_ptr<RedundancyScheme> owned_scheme_;
+  RedundancyScheme* scheme_ = nullptr;
+  /// True when a parity scheme is live under an attached fault plan — the
+  /// reconstruct / data-loss / rebuild machinery can fire.
+  bool parity_on_ = false;
+  bool rebuild_on_ = false;
+  RebuildScheduler rebuild_;
+  /// Per-request / per-step scratch (cleared before each use).
+  std::vector<StripeChunk> scratch_reads_;
+  std::vector<StripeChunk> plan_serves_;
+  std::vector<PlannedDegrade> planned_degrades_;
+  std::vector<DiskId> scratch_sources_;
   /// Whether the in-flight request hit an injected slowdown (and the worst
   /// factor across its chunks); drives the kSlowed emission.
   bool request_slowed_ = false;
@@ -721,6 +1007,15 @@ class ArraySimulator {
   CounterRegistry::Handle h_lost_ = 0;
   CounterRegistry::Handle h_redirected_ = 0;
   CounterRegistry::Handle h_slowed_ = 0;
+  // Redundancy counters; interned only when a parity scheme is live under
+  // an attached fault plan (the rebuild set only with the engine on).
+  CounterRegistry::Handle h_reconstructed_ = 0;
+  CounterRegistry::Handle h_data_loss_ = 0;
+  CounterRegistry::Handle h_rebuild_steps_ = 0;
+  CounterRegistry::Handle h_rebuild_wakeups_ = 0;
+  CounterRegistry::Handle h_rebuilds_started_ = 0;
+  CounterRegistry::Handle h_rebuilds_completed_ = 0;
+  CounterRegistry::Handle h_rebuilds_aborted_ = 0;
 };
 
 SimResult run_simulation(const SimConfig& config, const FileSet& files,

@@ -25,6 +25,7 @@
 #include "fault/fault_state.h"
 #include "obs/counter_registry.h"
 #include "obs/observer.h"
+#include "redundancy/redundancy_config.h"
 #include "sim/dpm.h"
 #include "sim/event_queue.h"
 #include "sim/idle_timer.h"
@@ -67,6 +68,13 @@ struct SimConfig {
   std::optional<SeekCurve> seek_curve;
   /// DPM idle-check scheduling backend (see IdleScheduler).
   IdleScheduler idle_scheduler = IdleScheduler::kTimerHeap;
+  /// Array-level redundancy organization (redundancy/redundancy_config.h).
+  /// kNone (default) preserves today's behavior byte-for-byte: degraded
+  /// requests fall back to the policy's own copy set or are lost. A parity
+  /// kind adds reconstruction reads for degraded requests and a paced
+  /// background rebuild of failed disks; it takes precedence over
+  /// Policy::redundancy().
+  RedundancyConfig redundancy;
 };
 
 class Policy;
@@ -105,8 +113,8 @@ class ArrayContext {
     return epoch_requests_;
   }
   /// True when an injected fail-stop fault currently holds `d` out of
-  /// service (always false when no FaultPlan is attached). Policies use
-  /// this in degraded_route() to pick a live replica/cache copy.
+  /// service (always false when no FaultPlan is attached). Redundancy
+  /// schemes use this to pick live copies / surviving stripe units.
   [[nodiscard]] bool disk_failed(DiskId d) const {
     return faults_on_ && fault_.failed(d);
   }
@@ -232,6 +240,10 @@ struct StripeChunk {
   Bytes bytes = 0;
 };
 
+/// The redundancy seam (redundancy/scheme.h): how degraded requests are
+/// still served — a live copy, parity reconstruction, or lost.
+class RedundancyScheme;
+
 /// An energy-saving scheme under evaluation.
 class Policy {
  public:
@@ -282,19 +294,16 @@ class Policy {
     return true;
   }
 
-  /// Fault fallback: route() chose `failed`, but an injected fail-stop
-  /// fault holds it out of service. Return an alternate *live* disk that
-  /// has the data (a replica, a MAID cache copy), or kInvalidDisk when no
-  /// live copy exists — the simulator then records the request as lost
-  /// (RequestDegradedEvent kLost, excluded from response-time stats).
-  /// Only called while a FaultPlan with events is attached.
-  virtual DiskId degraded_route(ArrayContext& ctx, const Request& req,
-                                DiskId failed) {
-    (void)ctx;
-    (void)req;
-    (void)failed;
-    return kInvalidDisk;
-  }
+  /// The redundancy scheme backing this policy's own copy set (replica
+  /// sets, the MAID cache) — the simulator consults it when route() lands
+  /// on a failed disk and SimConfig::redundancy is kNone (a configured
+  /// parity scheme takes precedence). Return nullptr (the default) when
+  /// the policy maintains no redundant copies: degraded requests are then
+  /// recorded as lost (RequestDegradedEvent kLost, excluded from
+  /// response-time stats). Only consulted while a FaultPlan with events
+  /// is attached. The returned pointer must stay valid for the policy's
+  /// lifetime (policies typically hold the scheme as a member).
+  [[nodiscard]] virtual RedundancyScheme* redundancy() { return nullptr; }
 };
 
 /// Drive `policy` over the requests `source` produces, against an array
@@ -313,10 +322,11 @@ class Policy {
 /// builder (core/session.h) for the high-level API.
 /// `faults` (optional) attaches a fault-injection plan (fault/fault_plan.h):
 /// its events are applied in time order interleaved with the usual event
-/// stream (epoch work → fault events → DPM/request events at one instant).
-/// nullptr or an empty plan is the byte-identical fault-free fast path.
-/// Throws std::invalid_argument if the plan targets a disk outside the
-/// array.
+/// stream (epoch work → fault events → rebuild steps → DPM/request events
+/// at one instant). nullptr or an empty plan is the byte-identical
+/// fault-free fast path. Throws std::invalid_argument if the plan targets
+/// a disk outside the array, or if SimConfig::redundancy is unsatisfiable
+/// on the array (see redundancy/scheme.h validate_redundancy).
 [[nodiscard]] SimResult run_simulation(const SimConfig& config,
                                        const FileSet& files,
                                        RequestSource& source, Policy& policy,

@@ -52,8 +52,9 @@ Trace trace_of(std::initializer_list<std::pair<double, FileId>> arrivals) {
   return t;
 }
 
-/// Places file f on disk f % n; no replicas, so degraded requests whose
-/// disk failed are lost (Policy::degraded_route's default).
+/// Places file f on disk f % n; no replicas and no redundancy scheme, so
+/// degraded requests whose disk failed are lost (the simulator's default
+/// when Policy::redundancy() returns nullptr).
 class ProbePolicy : public Policy {
  public:
   std::string name() const override { return "Probe"; }

@@ -1,7 +1,7 @@
 // Golden equivalence for the scenario engine: the declarative path
 // (INI text -> ScenarioSpec -> run_scenario) must reproduce, byte for
 // byte, what the legacy imperative path (generate_workload + run_sweep /
-// evaluate with a hand-built policy) produced. This is the migration
+// a session with a hand-built policy) produced. This is the migration
 // safety net for the benches that moved onto the scenario library.
 #include <gtest/gtest.h>
 

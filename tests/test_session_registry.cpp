@@ -1,6 +1,6 @@
 // Tests for the registry-based core API: pr::policies name round-trips,
-// SimulationSession builder semantics and equivalence with the evaluate()
-// wrapper, and the improvement() degenerate-input guard.
+// SimulationSession builder semantics (including instance-vs-named policy
+// equivalence), and the improvement() degenerate-input guard.
 #include "core/registry.h"
 
 #include <gtest/gtest.h>
@@ -87,31 +87,32 @@ TEST(PolicyRegistry, UnknownNameThrowsAndListsCandidates) {
 
 // -------------------------------------------------------- SimulationSession
 
-TEST(SimulationSession, MatchesTheEvaluateWrapperExactly) {
+TEST(SimulationSession, InstancePolicyMatchesRegistryNamedPolicyExactly) {
+  // The removed evaluate() wrapper was pinned equivalent to a session run;
+  // the invariant it guarded lives on as instance-vs-named equivalence:
+  // handing the session a concrete Policy object must score identically to
+  // naming the same policy through the registry.
   const auto w = tiny_workload();
   const auto cfg = small_system();
 
-  ReadPolicy for_evaluate;
-  // evaluate() is deprecated, but this test deliberately pins the wrapper's
-  // equivalence until it is removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto via_evaluate = evaluate(cfg, w.files, w.trace, for_evaluate);
-#pragma GCC diagnostic pop
+  ReadPolicy instance;
+  const auto via_instance = SimulationSession(cfg)
+                                .with_workload(w.files, w.trace)
+                                .with_policy(instance)
+                                .run();
 
-  ReadPolicy for_session;
-  const auto via_session = SimulationSession(cfg)
-                               .with_workload(w.files, w.trace)
-                               .with_policy(for_session)
-                               .run();
+  const auto via_name = SimulationSession(cfg)
+                            .with_workload(w.files, w.trace)
+                            .with_policy("read")
+                            .run();
 
-  EXPECT_EQ(via_evaluate.sim.policy_name, via_session.sim.policy_name);
-  EXPECT_DOUBLE_EQ(via_evaluate.sim.mean_response_time_s(),
-                   via_session.sim.mean_response_time_s());
-  EXPECT_DOUBLE_EQ(via_evaluate.sim.energy_joules(),
-                   via_session.sim.energy_joules());
-  EXPECT_DOUBLE_EQ(via_evaluate.array_afr, via_session.array_afr);
-  EXPECT_EQ(via_evaluate.worst_disk, via_session.worst_disk);
+  EXPECT_EQ(via_instance.sim.policy_name, via_name.sim.policy_name);
+  EXPECT_DOUBLE_EQ(via_instance.sim.mean_response_time_s(),
+                   via_name.sim.mean_response_time_s());
+  EXPECT_DOUBLE_EQ(via_instance.sim.energy_joules(),
+                   via_name.sim.energy_joules());
+  EXPECT_DOUBLE_EQ(via_instance.array_afr, via_name.array_afr);
+  EXPECT_EQ(via_instance.worst_disk, via_name.worst_disk);
 }
 
 TEST(SimulationSession, NamedPolicyRunsAreRepeatable) {

@@ -67,7 +67,7 @@ bool streaming_trace(const std::string& path) {
 bool entropy_scoped(const std::string& path) {
   return in_dir(path, "sim") || in_dir(path, "policy") ||
          in_dir(path, "exp") || in_dir(path, "fault") ||
-         streaming_trace(path);
+         in_dir(path, "redundancy") || streaming_trace(path);
 }
 
 /// locale-float scope: everywhere except util/ (which owns the sanctioned

@@ -10,7 +10,7 @@
 //                        salt-dependent, so emitted order is not stable)
 //   banned-entropy       rand()/srand()/std::random_device/time()/
 //                        std::chrono::system_clock inside src/sim, policy,
-//                        exp, fault, or the streaming readers under
+//                        exp, fault, redundancy, or the streaming readers under
 //                        src/trace (stream_*/request_source*/
 //                        trace_reader* — they feed the run path; the
 //                        ambient-log parsers like CLF stay out because
@@ -69,9 +69,9 @@ Scrubbed scrub(std::string_view source);
 
 /// Lint one in-memory source. `path` is used both for reporting and for
 /// the path-scoped rules (banned-entropy applies under
-/// src/sim|policy|exp|fault plus the streaming readers in src/trace,
-/// locale-float everywhere but util/), which is what lets the test suite
-/// lint fixture files under virtual src/ paths.
+/// src/sim|policy|exp|fault|redundancy plus the streaming readers in
+/// src/trace, locale-float everywhere but util/), which is what lets the
+/// test suite lint fixture files under virtual src/ paths.
 std::vector<Finding> lint_source(const std::string& path,
                                  std::string_view source);
 
