@@ -95,10 +95,15 @@ DegradedAction MaidPolicy::CacheScheme::degraded_read(
   }
   if (alt == kInvalidDisk) return DegradedAction::kLost;
   // The serve comes from an existing copy — suppress the after_serve
-  // re-admission a miss would trigger. String bump on purpose: interning
-  // in initialize() would add a zero counter to fault-free reports.
+  // re-admission a miss would trigger. The handle is interned here, on
+  // the first degraded read, not in initialize(): eager interning would
+  // add a zero counter to fault-free reports.
   owner_->last_was_hit_ = true;
-  ctx.bump("maid.degraded_read");
+  if (!owner_->h_degraded_interned_) {
+    owner_->h_degraded_ = ctx.counters().intern("maid.degraded_read");
+    owner_->h_degraded_interned_ = true;
+  }
+  ctx.bump(owner_->h_degraded_);
   redirect = alt;
   return DegradedAction::kRedirect;
 }

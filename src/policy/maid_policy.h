@@ -98,6 +98,11 @@ class MaidPolicy final : public Policy {
   CounterRegistry::Handle h_miss_ = 0;
   CounterRegistry::Handle h_fill_ = 0;
   CounterRegistry::Handle h_evict_ = 0;
+  // Interned lazily on the first degraded read — interning in
+  // initialize() would add a zero-valued counter to every fault-free
+  // report and break their byte-identity.
+  CounterRegistry::Handle h_degraded_ = 0;
+  bool h_degraded_interned_ = false;
 };
 
 }  // namespace pr

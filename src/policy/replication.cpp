@@ -134,10 +134,15 @@ DegradedAction ReplicatedReadPolicy::ReplicaScheme::degraded_read(
     for (const DiskId d : it->second) consider(d);
   }
   if (best == kInvalidDisk) return DegradedAction::kLost;
-  // String bump (cold path, fault runs only): interning the name in
-  // initialize() would add a zero-valued counter to every fault-free
-  // report and break their byte-identity.
-  ctx.bump("replication.degraded_read");
+  // The handle is interned here, on the first degraded read, not in
+  // initialize(): eager interning would add a zero-valued counter to
+  // every fault-free report and break their byte-identity.
+  if (!owner_->h_degraded_interned_) {
+    owner_->h_degraded_ =
+        ctx.counters().intern("replication.degraded_read");
+    owner_->h_degraded_interned_ = true;
+  }
+  ctx.bump(owner_->h_degraded_);
   redirect = best;
   return DegradedAction::kRedirect;
 }

@@ -74,6 +74,11 @@ class ReplicatedReadPolicy final : public Policy {
   // Counter handles interned in initialize() (route() runs per request).
   CounterRegistry::Handle h_copy_ = 0;
   CounterRegistry::Handle h_offloaded_ = 0;
+  // Interned lazily on the first degraded read — interning in
+  // initialize() would add a zero-valued counter to every fault-free
+  // report and break their byte-identity.
+  CounterRegistry::Handle h_degraded_ = 0;
+  bool h_degraded_interned_ = false;
 };
 
 }  // namespace pr

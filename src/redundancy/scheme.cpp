@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/contracts.h"
+
 namespace pr {
 
 namespace {
@@ -17,7 +19,15 @@ std::size_t resolve_group(std::size_t group, std::size_t disk_count) {
 // --- RAID-5 ------------------------------------------------------------
 
 Raid5Scheme::Raid5Scheme(std::size_t disk_count, std::size_t group)
-    : disks_(disk_count), group_(resolve_group(group, disk_count)) {}
+    : disks_(disk_count), group_(resolve_group(group, disk_count)) {
+  // validate_redundancy() guards the factory path; direct construction
+  // must satisfy the same geometry, or degraded_read indexes past the
+  // array (group stride) and divides by a degenerate group.
+  PR_PRECONDITION(group_ >= 2 && group_ <= disks_,
+                  "Raid5Scheme: group size must be in [2, disk_count]");
+  PR_PRECONDITION(disks_ % group_ == 0,
+                  "Raid5Scheme: group must divide the array evenly");
+}
 
 DegradedAction Raid5Scheme::degraded_read(ArrayContext& ctx, FileId file,
                                           Bytes bytes, DiskId failed,
@@ -51,7 +61,12 @@ void Raid5Scheme::rebuild_sources(const ArrayContext& ctx, DiskId failed,
 // --- Declustered parity ------------------------------------------------
 
 DeclusteredScheme::DeclusteredScheme(std::size_t disk_count, std::size_t group)
-    : disks_(disk_count), group_(resolve_group(group, disk_count)) {}
+    : disks_(disk_count), group_(resolve_group(group, disk_count)) {
+  // partner() rotates over disks_ - 1 survivors: a group wider than the
+  // array or a single-disk array makes that modulus degenerate.
+  PR_PRECONDITION(group_ >= 2 && group_ <= disks_,
+                  "DeclusteredScheme: group size must be in [2, disk_count]");
+}
 
 DiskId DeclusteredScheme::partner(DiskId d, std::uint64_t salt,
                                   std::size_t j) const {

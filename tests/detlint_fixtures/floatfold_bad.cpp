@@ -1,0 +1,36 @@
+// Fixture: float accumulation in a nondeterministic fold order — a
+// range-for over an unordered container, std::accumulate over one, and
+// a += onto a captured float inside a thread-pool lambda. Linted under
+// src/obs/ (3 findings); under src/sim/fleet_sim_merge.cpp (sanctioned
+// helper: clean). Names are unique per function: the linter's float
+// declarations are file-scoped, so reusing a name across functions
+// would cross-talk.
+#include <numeric>
+#include <unordered_map>
+
+#include "util/thread_pool.h"
+
+double fold_range_for() {
+  std::unordered_map<int, double> joules_by_disk;
+  double joule_total = 0.0;
+  for (const auto& kv : joules_by_disk) {
+    joule_total += kv.second;  // line 17: finding (hash-order fold)
+  }
+  return joule_total;
+}
+
+double fold_accumulate() {
+  std::unordered_map<int, double> watts;
+  return std::accumulate(watts.begin(), watts.end(), 0.0,  // line 24: finding
+                         [](double acc, const auto& kv) {
+                           return acc + kv.second;
+                         });
+}
+
+double fold_threads(pr::ThreadPool& pool) {
+  double energy = 0.0;
+  pool.submit([&] {
+    energy += 1.0;  // line 33: finding (thread-completion-order fold)
+  });
+  return energy;
+}

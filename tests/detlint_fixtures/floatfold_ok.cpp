@@ -1,0 +1,37 @@
+// Fixture: order-controlled folds that must NOT fire — an ordered map,
+// a vector (insertion order), an integer fold over an unordered
+// container (exact arithmetic commutes), and a suppressed fold.
+#include <map>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+double fold_sorted() {
+  std::map<int, double> joules_by_disk;  // ordered: iteration is stable
+  double joule_total = 0.0;
+  for (const auto& kv : joules_by_disk) joule_total += kv.second;
+  return joule_total;
+}
+
+double fold_vector(const std::vector<double>& shards) {
+  double shard_total = 0.0;
+  for (double v : shards) shard_total += v;  // insertion order: stable
+  return std::accumulate(shards.begin(), shards.end(), shard_total);
+}
+
+int count_unordered() {
+  std::unordered_map<int, int> hits;
+  int hit_count = 0;
+  // Integer folds commute exactly; only float targets are flagged.
+  for (const auto& kv : hits) hit_count += kv.second;
+  return hit_count;
+}
+
+double fold_suppressed() {
+  std::unordered_map<int, double> watts;
+  double watt_total = 0.0;
+  for (const auto& kv : watts) {
+    watt_total += kv.second;  // detlint:allow(float-fold-order)
+  }
+  return watt_total;
+}

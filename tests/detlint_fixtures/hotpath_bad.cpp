@@ -1,0 +1,29 @@
+// Fixture: string-keyed counter access on the request path, plus decoys
+// that must NOT fire (handle bumps, interning, comment/string mentions)
+// and one suppressed call. Linted under virtual request-path paths
+// (src/policy/, src/sim/: 2 findings) and src/exp/ (out of scope: clean).
+#include "obs/counter_registry.h"
+
+void serve(pr::ArrayContext& ctx) {
+  ctx.bump("policy.requests");  // line 8: finding
+  const auto v = ctx.counters().value("policy.requests");  // line 9: finding
+  (void)v;
+}
+
+void serve_fast(pr::ArrayContext& ctx, pr::CounterRegistry::Handle h) {
+  ctx.bump(h);            // handle bump: sanctioned, must not fire
+  ctx.bump(h, 2);         // with a count: still sanctioned
+  // decoy comment: bump("in a comment") must not fire
+  const char* label = "call bump( by name";  // string decoy: must not fire
+  (void)label;
+}
+
+void initialize(pr::ArrayContext& ctx) {
+  // Interning by name is the sanctioned setup step, not a hot-path bump.
+  const auto h = ctx.counters().intern("policy.requests");
+  (void)h;
+}
+
+void legacy(pr::ArrayContext& ctx) {
+  ctx.bump("policy.legacy");  // detlint:allow(hot-path-counter)
+}

@@ -1,0 +1,18 @@
+// Fixture: the sanctioned counter idiom (PR 2) — intern once, bump
+// through the handle. Linted under src/policy/: must stay clean.
+#include "obs/counter_registry.h"
+
+struct Policy {
+  pr::CounterRegistry::Handle h_req_ = 0;
+  pr::CounterRegistry::Handle h_miss_ = 0;
+
+  void initialize(pr::ArrayContext& ctx) {
+    h_req_ = ctx.counters().intern("policy.requests");
+    h_miss_ = ctx.counters().intern("policy.misses");
+  }
+
+  void serve(pr::ArrayContext& ctx, bool miss) {
+    ctx.bump(h_req_);
+    if (miss) ctx.bump(h_miss_, 1);
+  }
+};

@@ -1,0 +1,12 @@
+// Fixture: JSONL emitter for the schema-drift pass — recognized by its
+// basename, like the real obs/jsonl_writer.cpp. The paired
+// OBSERVABILITY.md fixture documents ev/t/disk and the spin_up event
+// name but not `mystery_key` (one finding).
+#include <string>
+
+std::string spin_event(const std::string& t) {
+  std::string line = R"({"ev":"spin_up","t":)";
+  line += t;
+  line += R"(,"disk":0,"mystery_key":1})";
+  return line;
+}

@@ -1,0 +1,21 @@
+// Fixture: CSV emitter for the schema-drift pass — recognized by its
+// basename, like the real exp/scenario_report.cpp. The paired
+// EXPERIMENTS.md fixture documents every column except `surprise_col`
+// (one finding) and leaves the legacy columns to a suppression.
+#include <string>
+
+std::string csv_header(bool with_faults) {
+  std::string header = "scenario,seed,energy_j,mean_latency_ms";
+  if (with_faults) header += ",faults_injected,surprise_col";
+  return header;
+}
+
+std::string csv_legacy() {
+  // detlint:allow(schema-drift)
+  return "legacy_col,other_legacy";
+}
+
+std::string not_a_column_list() {
+  // Prose and single words must not parse as column lists.
+  return "energy report for one scenario";
+}

@@ -11,6 +11,8 @@
 #include "disk/disk.h"
 #include "disk/disk_params.h"
 #include "obs/counter_registry.h"
+#include "redundancy/rebuild.h"
+#include "redundancy/scheme.h"
 #include "sim/event_queue.h"
 #include "sim/idle_timer.h"
 #include "util/contracts.h"
@@ -19,11 +21,16 @@
 
 namespace {
 
+using pr::Bytes;
 using pr::CounterRegistry;
+using pr::DeclusteredScheme;
 using pr::Disk;
+using pr::DiskId;
 using pr::DiskSpeed;
 using pr::EventQueue;
 using pr::IdleTimerHeap;
+using pr::Raid5Scheme;
+using pr::RebuildScheduler;
 using pr::Seconds;
 
 #if PR_CONTRACTS_ENABLED
@@ -73,6 +80,40 @@ TEST(ContractsDeath, CounterRegistryForeignHandle) {
                "CounterRegistry::value: handle was never interned");
   EXPECT_DEATH((void)reg.name(h + 1),
                "CounterRegistry::name: handle was never interned");
+}
+
+TEST(ContractsDeath, RebuildSchedulerPacingMustBePositive) {
+  // Pacing is bytes-per-step over mbps: a zero rate or zero chunk makes
+  // the step interval degenerate (infinite or zero-width steps).
+  RebuildScheduler sched;
+  EXPECT_DEATH(sched.configure(0.0, Bytes{1024}),
+               "RebuildScheduler: mbps must be > 0");
+  EXPECT_DEATH(sched.configure(100.0, Bytes{0}),
+               "RebuildScheduler: chunk must be > 0");
+}
+
+TEST(ContractsDeath, RebuildSchedulerStartBeforeConfigure) {
+  RebuildScheduler sched;
+  EXPECT_DEATH(sched.start(DiskId{0}, Seconds{0.0}, Bytes{1} << 30),
+               "RebuildScheduler: start\\(\\) before configure\\(\\)");
+}
+
+TEST(ContractsDeath, Raid5SchemeRejectsBadGeometry) {
+  (void)Raid5Scheme(8, 4);  // valid: group divides the array
+  EXPECT_DEATH((void)Raid5Scheme(8, 1),
+               "Raid5Scheme: group size must be in \\[2, disk_count\\]");
+  EXPECT_DEATH((void)Raid5Scheme(4, 8),
+               "Raid5Scheme: group size must be in \\[2, disk_count\\]");
+  EXPECT_DEATH((void)Raid5Scheme(8, 3),
+               "Raid5Scheme: group must divide the array evenly");
+}
+
+TEST(ContractsDeath, DeclusteredSchemeRejectsBadGeometry) {
+  (void)DeclusteredScheme(8, 4);  // valid; need not divide evenly
+  EXPECT_DEATH((void)DeclusteredScheme(8, 1),
+               "DeclusteredScheme: group size must be in \\[2, disk_count\\]");
+  EXPECT_DEATH((void)DeclusteredScheme(4, 8),
+               "DeclusteredScheme: group size must be in \\[2, disk_count\\]");
 }
 
 TEST(ContractsDeath, DiskRejectsNegativeTime) {

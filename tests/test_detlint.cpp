@@ -1,19 +1,26 @@
-// test_detlint.cpp — pins every detlint rule against on-disk fixtures.
+// test_detlint.cpp — pins every prlint rule against on-disk fixtures.
 //
 // Fixtures live in tests/detlint_fixtures/ (path injected via the
 // DETLINT_FIXTURE_DIR compile definition) and are linted through
-// lint_source() under *virtual* paths, because two of the three rules are
-// path-scoped: banned-entropy fires only under src/sim|policy|exp and
-// locale-float everywhere except util/.
+// lint_source() under *virtual* paths, because most per-file rules are
+// path-scoped (banned-entropy under src/sim|policy|exp|... plus tools/
+// and bench/, hot-path-counter under the request-path subsystems,
+// float-fold-order everywhere in src/ except the sanctioned mergers).
+// The whole-program passes (layer-dag, schema-drift) are driven on
+// in-memory SourceFiles plus fixture docs, and golden-tested against
+// the real src/ tree via PRLINT_REPO_ROOT.
 #include <algorithm>
 #include <fstream>
+#include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "detlint.h"
+#include "prlint.h"
 
 namespace {
 
@@ -70,6 +77,17 @@ TEST(DetlintScrub, CollectsAllowMarkersPerLine) {
             (std::vector<std::string>{"unordered-iteration"}));
 }
 
+TEST(DetlintScrub, StringLiteralsKeepLineAndEscapedQuotes) {
+  const auto literals = detlint::string_literals(
+      "const char* a = \"first\";\n"
+      "// \"not a literal\"\n"
+      "const char* b = R\"({\"ev\":\"x\"})\";\n");
+  ASSERT_EQ(literals.size(), 2u);
+  EXPECT_EQ(literals[0], (std::pair<int, std::string>{1, "first"}));
+  EXPECT_EQ(literals[1].first, 3);
+  EXPECT_EQ(literals[1].second, "{\"ev\":\"x\"}");
+}
+
 // ---------------------------------------------------- unordered-iteration
 
 TEST(DetlintRules, UnorderedIterationInOutputAdjacentFile) {
@@ -119,6 +137,18 @@ TEST(DetlintRules, BannedEntropyFiresInStreamingTraceFiles) {
   }
 }
 
+// tools/ and bench/ are scanned too (suppressions allowed there by
+// policy, but the rule itself fires the same way).
+TEST(DetlintRules, BannedEntropyFiresInToolsAndBench) {
+  for (const char* path : {"tools/replay/replay.cpp", "bench/bench_sim.cpp"}) {
+    const auto findings =
+        detlint::lint_source(path, read_fixture("entropy.cpp"));
+    EXPECT_EQ(lines_of(findings, "banned-entropy"),
+              (std::vector<int>{11, 12, 13, 14, 15}))
+        << "under virtual path " << path;
+  }
+}
+
 // ----------------------------------------------------------- locale-float
 
 TEST(DetlintRules, LocaleFloatFiresOutsideUtil) {
@@ -142,6 +172,96 @@ TEST(DetlintRules, SanctionedPatternsStayClean) {
       << "first: " << (findings.empty() ? "" : findings[0].message);
 }
 
+// ------------------------------------------------------- hot-path-counter
+
+TEST(DetlintRules, HotPathCounterFiresOnStringKeys) {
+  for (const char* path :
+       {"src/policy/hotpath_bad.cpp", "src/sim/hotpath_bad.cpp",
+        "src/redundancy/hotpath_bad.cpp", "src/fault/hotpath_bad.cpp"}) {
+    const auto findings =
+        detlint::lint_source(path, read_fixture("hotpath_bad.cpp"));
+    EXPECT_EQ(lines_of(findings, "hot-path-counter"),
+              (std::vector<int>{8, 9}))
+        << "under virtual path " << path;
+  }
+}
+
+TEST(DetlintRules, HotPathCounterSilentOutsideRequestPath) {
+  for (const char* path :
+       {"src/exp/hotpath_bad.cpp", "src/obs/hotpath_bad.cpp"}) {
+    const auto findings =
+        detlint::lint_source(path, read_fixture("hotpath_bad.cpp"));
+    EXPECT_TRUE(lines_of(findings, "hot-path-counter").empty())
+        << "under virtual path " << path;
+  }
+}
+
+TEST(DetlintRules, HotPathCounterSuppressionHonored) {
+  detlint::LintOptions keep;
+  keep.keep_suppressed = true;
+  const auto findings = detlint::lint_source(
+      "src/policy/hotpath_bad.cpp", read_fixture("hotpath_bad.cpp"), keep);
+  int suppressed = 0;
+  for (const auto& f : findings) {
+    if (f.rule == "hot-path-counter" && f.suppressed) {
+      ++suppressed;
+      EXPECT_EQ(f.line, 28);  // legacy(): same-line allow
+    }
+  }
+  EXPECT_EQ(suppressed, 1);
+}
+
+TEST(DetlintRules, HotPathCounterInternedHandlesStayClean) {
+  const auto findings = detlint::lint_source(
+      "src/policy/hotpath_ok.cpp", read_fixture("hotpath_ok.cpp"));
+  EXPECT_TRUE(findings.empty())
+      << "first: " << (findings.empty() ? "" : findings[0].message);
+}
+
+// ------------------------------------------------------- float-fold-order
+
+TEST(DetlintRules, FloatFoldOrderFiresOnUnorderedFolds) {
+  const auto findings = detlint::lint_source(
+      "src/obs/floatfold_bad.cpp", read_fixture("floatfold_bad.cpp"));
+  // 17: += in a range-for over an unordered map; 24: std::accumulate
+  // over one; 33: += onto a captured float in a thread-pool lambda.
+  EXPECT_EQ(lines_of(findings, "float-fold-order"),
+            (std::vector<int>{17, 24, 33}));
+  for (const auto& f : findings) {
+    EXPECT_FALSE(f.hint.empty());
+  }
+}
+
+TEST(DetlintRules, FloatFoldOrderSilentInSanctionedMergersAndOutsideSrc) {
+  for (const char* path :
+       {"src/sim/fleet_sim_merge.cpp", "src/util/stats_extra.cpp",
+        "tools/replay/replay.cpp"}) {
+    const auto findings =
+        detlint::lint_source(path, read_fixture("floatfold_bad.cpp"));
+    EXPECT_TRUE(lines_of(findings, "float-fold-order").empty())
+        << "under virtual path " << path;
+  }
+}
+
+TEST(DetlintRules, FloatFoldOrderOrderedFoldsStayClean) {
+  const auto findings = detlint::lint_source(
+      "src/obs/floatfold_ok.cpp", read_fixture("floatfold_ok.cpp"));
+  EXPECT_TRUE(findings.empty())
+      << "first: " << (findings.empty() ? "" : findings[0].message);
+}
+
+TEST(DetlintRules, FloatFoldOrderSuppressionHonored) {
+  detlint::LintOptions keep;
+  keep.keep_suppressed = true;
+  const auto findings = detlint::lint_source(
+      "src/obs/floatfold_ok.cpp", read_fixture("floatfold_ok.cpp"), keep);
+  int suppressed = 0;
+  for (const auto& f : findings) {
+    if (f.rule == "float-fold-order" && f.suppressed) ++suppressed;
+  }
+  EXPECT_EQ(suppressed, 1);  // fold_suppressed()'s allow
+}
+
 // ------------------------------------------------------------ suppression
 
 TEST(DetlintSuppression, AllowCoversOwnAndNextLineOnly) {
@@ -152,20 +272,258 @@ TEST(DetlintSuppression, AllowCoversOwnAndNextLineOnly) {
   EXPECT_EQ(lines_of(findings, "banned-entropy"), (std::vector<int>{10}));
 }
 
+// ----------------------------------------------------------- LintOptions
+
+TEST(DetlintOptions, SelectNarrowsToNamedRules) {
+  detlint::LintOptions only_locale;
+  only_locale.select = {"locale-float"};
+  const auto findings = detlint::lint_source(
+      "src/sim/entropy.cpp", read_fixture("entropy.cpp"), only_locale);
+  EXPECT_TRUE(findings.empty());
+
+  detlint::LintOptions only_entropy;
+  only_entropy.select = {"banned-entropy"};
+  const auto hits = detlint::lint_source(
+      "src/sim/entropy.cpp", read_fixture("entropy.cpp"), only_entropy);
+  EXPECT_EQ(lines_of(hits, "banned-entropy").size(), 5u);
+}
+
+// -------------------------------------------------------------- layer DAG
+
+prlint::LayerConfig mini_layers() {
+  return prlint::load_layers(std::string(DETLINT_FIXTURE_DIR) +
+                             "/layers_mini.ini");
+}
+
+TEST(PrlintLayers, ParsesMiniConfigBottomUp) {
+  const auto cfg = mini_layers();
+  ASSERT_EQ(cfg.layers.size(), 3u);
+  EXPECT_EQ(cfg.rank_of("util"), 0);
+  EXPECT_EQ(cfg.rank_of("disk"), 1);
+  EXPECT_EQ(cfg.rank_of("trace"), 1);
+  EXPECT_EQ(cfg.rank_of("sim"), 2);
+  EXPECT_EQ(cfg.rank_of("nonesuch"), -1);
+  EXPECT_EQ(cfg.name_of(1), "mid");
+  EXPECT_EQ(cfg.declared_dirs(),
+            (std::vector<std::string>{"util", "disk", "trace", "sim"}));
+}
+
+TEST(PrlintLayers, ParseErrorsCarryFileAndLine) {
+  EXPECT_THROW((void)prlint::parse_layers("name = util\n", "bad.ini"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)prlint::parse_layers("[layers]\njust-a-word\n", "bad.ini"),
+      std::runtime_error);
+  try {
+    (void)prlint::parse_layers("[layers]\na = util\nb = util\n", "dup.ini");
+    FAIL() << "duplicate dir must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("dup.ini:3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PrlintLayers, DownwardIncludesAreClean) {
+  const std::vector<prlint::SourceFile> files = {
+      {"src/sim/array.h", "#include \"disk/disk.h\"\n"
+                          "#include \"util/units.h\"\n"},
+      {"src/disk/disk.h", "#include \"util/units.h\"\n"},
+      {"src/util/units.h", "int x;\n"},
+  };
+  const auto findings = prlint::check_layers(files, mini_layers());
+  EXPECT_TRUE(findings.empty())
+      << "first: " << (findings.empty() ? "" : findings[0].message);
+}
+
+TEST(PrlintLayers, UpwardIncludeIsAFinding) {
+  const std::vector<prlint::SourceFile> files = {
+      {"src/util/units.h", "int x;\n#include \"sim/array.h\"\n"},
+      {"src/sim/array.h", "int y;\n"},
+  };
+  const auto findings = prlint::check_layers(files, mini_layers());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layer-dag");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("upward include"), std::string::npos);
+  EXPECT_FALSE(findings[0].hint.empty());
+}
+
+TEST(PrlintLayers, UndeclaredDirectoryIsAFinding) {
+  const std::vector<prlint::SourceFile> files = {
+      {"src/sim/array.h", "#include \"exp/scenario.h\"\n"},
+  };
+  const auto findings = prlint::check_layers(files, mini_layers());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("not declared"), std::string::npos);
+}
+
+TEST(PrlintLayers, SameLayerIncludeCycleIsAFinding) {
+  const std::vector<prlint::SourceFile> files = {
+      {"src/sim/a.h", "#include \"sim/b.h\"\n"},
+      {"src/sim/b.h", "#include \"sim/a.h\"\n"},
+  };
+  const auto findings = prlint::check_layers(files, mini_layers());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("include cycle"), std::string::npos);
+}
+
+TEST(PrlintLayers, AllowMarkerSuppressesUpwardInclude) {
+  const std::vector<prlint::SourceFile> files = {
+      {"src/util/units.h",
+       "// detlint:allow(layer-dag)\n#include \"sim/array.h\"\n"},
+      {"src/sim/array.h", "int y;\n"},
+  };
+  const auto findings = prlint::check_layers(files, mini_layers());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+}
+
+TEST(PrlintLayers, DotEmitsLayeredDirectoryGraph) {
+  const std::vector<prlint::SourceFile> files = {
+      {"src/sim/array.h", "#include \"disk/disk.h\"\n"
+                          "#include \"disk/params.h\"\n"},
+      {"src/disk/disk.h", "int x;\n"},
+  };
+  const auto cfg = mini_layers();
+  const auto graph = prlint::extract_includes(files);
+  const std::string dot = prlint::to_dot(graph, &cfg);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("sim"), std::string::npos);
+  // Two file-level includes collapse onto one weighted dir edge.
+  EXPECT_NE(dot.find("\"sim\" -> \"disk\" [label=2]"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_"), std::string::npos);
+}
+
+TEST(PrlintLayers, SameDirectoryIncludesAreIgnored) {
+  const auto graph = prlint::extract_includes(
+      {{"src/sim/a.h", "#include \"b.h\"\n#include <vector>\n"}});
+  EXPECT_TRUE(graph.edges.empty());
+}
+
+// ------------------------------------------------------------ schema drift
+
+prlint::SchemaDocs fixture_docs() {
+  prlint::SchemaDocs docs;
+  docs.csv_doc_path = "schema/EXPERIMENTS.md";
+  docs.csv_doc = read_fixture("schema/EXPERIMENTS.md");
+  docs.jsonl_doc_path = "schema/OBSERVABILITY.md";
+  docs.jsonl_doc = read_fixture("schema/OBSERVABILITY.md");
+  return docs;
+}
+
+TEST(PrlintSchema, UndocumentedCsvColumnAndJsonlKeyAreFindings) {
+  const std::vector<prlint::SourceFile> files = {
+      {"src/exp/scenario_report.cpp",
+       read_fixture("schema/scenario_report.cpp")},
+      {"src/obs/jsonl_writer.cpp", read_fixture("schema/jsonl_writer.cpp")},
+  };
+  const auto findings = prlint::check_schema(files, fixture_docs());
+  std::vector<std::string> live;
+  int suppressed = 0;
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.rule, "schema-drift");
+    EXPECT_FALSE(f.hint.empty());
+    if (f.suppressed) {
+      ++suppressed;
+    } else {
+      live.push_back(f.path + ":" + std::to_string(f.line));
+      EXPECT_TRUE(f.message.find("surprise_col") != std::string::npos ||
+                  f.message.find("mystery_key") != std::string::npos)
+          << f.message;
+    }
+  }
+  EXPECT_EQ(live, (std::vector<std::string>{
+                      "src/exp/scenario_report.cpp:9",
+                      "src/obs/jsonl_writer.cpp:10"}));
+  EXPECT_EQ(suppressed, 2);  // csv_legacy()'s two allowed columns
+}
+
+TEST(PrlintSchema, NonEmitterFilesAndEmptyDocsAreSkipped) {
+  // A file that emits the same literals under a different basename is
+  // not an emitter; an emitter checked with empty doc text is skipped.
+  const std::vector<prlint::SourceFile> other = {
+      {"src/exp/other_report.cpp", read_fixture("schema/scenario_report.cpp")},
+  };
+  EXPECT_TRUE(prlint::check_schema(other, fixture_docs()).empty());
+
+  const std::vector<prlint::SourceFile> emitter = {
+      {"src/exp/scenario_report.cpp",
+       read_fixture("schema/scenario_report.cpp")},
+  };
+  EXPECT_TRUE(prlint::check_schema(emitter, prlint::SchemaDocs{}).empty());
+}
+
+// ------------------------------------------------- golden: the real tree
+
+#ifdef PRLINT_REPO_ROOT
+
+std::vector<prlint::SourceFile> real_sources() {
+  return prlint::load_sources(
+      detlint::collect_sources({std::string(PRLINT_REPO_ROOT) + "/src"}));
+}
+
+// layers.ini is the checked-in architecture claim; this pins it against
+// the actual include graph in both directions — no upward/undeclared/
+// cyclic include in src/, and no stale directory in the declaration.
+TEST(PrlintGolden, LayersIniMatchesTheRealIncludeGraph) {
+  const auto layers = prlint::load_layers(std::string(PRLINT_REPO_ROOT) +
+                                          "/tools/detlint/layers.ini");
+  const auto sources = real_sources();
+  const auto findings = prlint::check_layers(sources, layers);
+  for (const auto& f : findings) {
+    ADD_FAILURE() << f.path << ":" << f.line << ": " << f.message;
+  }
+
+  const auto graph = prlint::extract_includes(sources);
+  EXPECT_GT(graph.edges.size(), 100u) << "include graph implausibly small";
+  std::set<std::string> seen_dirs;
+  for (const auto& id : graph.files) {
+    const auto slash = id.find('/');
+    if (slash != std::string::npos) seen_dirs.insert(id.substr(0, slash));
+  }
+  for (const auto& dir : layers.declared_dirs()) {
+    EXPECT_TRUE(seen_dirs.count(dir))
+        << "layers.ini declares '" << dir << "' but src/ has no such dir";
+  }
+}
+
+TEST(PrlintGolden, EmittedSchemasAreDocumented) {
+  prlint::SchemaDocs docs;
+  docs.csv_doc_path = "EXPERIMENTS.md";
+  docs.csv_doc = prlint::load_sources(
+      {std::string(PRLINT_REPO_ROOT) + "/EXPERIMENTS.md"})[0].source;
+  docs.jsonl_doc_path = "docs/OBSERVABILITY.md";
+  docs.jsonl_doc = prlint::load_sources(
+      {std::string(PRLINT_REPO_ROOT) + "/docs/OBSERVABILITY.md"})[0].source;
+  const auto findings = prlint::check_schema(real_sources(), docs);
+  for (const auto& f : findings) {
+    ADD_FAILURE() << f.path << ":" << f.line << ": " << f.message;
+  }
+}
+
+#endif  // PRLINT_REPO_ROOT
+
 // ------------------------------------------------------------------ misc
 
-TEST(DetlintCatalogue, ThreeRulesRegistered) {
-  const auto& rules = detlint::rules();
-  ASSERT_EQ(rules.size(), 3u);
-  EXPECT_EQ(rules[0].id, "unordered-iteration");
-  EXPECT_EQ(rules[1].id, "banned-entropy");
-  EXPECT_EQ(rules[2].id, "locale-float");
+TEST(DetlintCatalogue, AllRulesRegistered) {
+  const auto& per_file = detlint::rules();
+  ASSERT_EQ(per_file.size(), 5u);
+  EXPECT_EQ(per_file[0].id, "unordered-iteration");
+  EXPECT_EQ(per_file[1].id, "banned-entropy");
+  EXPECT_EQ(per_file[2].id, "locale-float");
+  EXPECT_EQ(per_file[3].id, "hot-path-counter");
+  EXPECT_EQ(per_file[4].id, "float-fold-order");
+
+  const auto& whole_program = prlint::rules();
+  ASSERT_EQ(whole_program.size(), 2u);
+  EXPECT_EQ(whole_program[0].id, "layer-dag");
+  EXPECT_EQ(whole_program[1].id, "schema-drift");
 }
 
 TEST(DetlintCollect, ExpandsDirectoriesSorted) {
   const auto sources =
       detlint::collect_sources({std::string(DETLINT_FIXTURE_DIR)});
-  ASSERT_GE(sources.size(), 6u);
+  ASSERT_GE(sources.size(), 12u);
   EXPECT_TRUE(std::is_sorted(sources.begin(), sources.end()));
   for (const auto& s : sources) {
     EXPECT_NE(s.find("detlint_fixtures"), std::string::npos);

@@ -17,6 +17,8 @@ namespace {
 constexpr std::string_view kUnorderedIteration = "unordered-iteration";
 constexpr std::string_view kBannedEntropy = "banned-entropy";
 constexpr std::string_view kLocaleFloat = "locale-float";
+constexpr std::string_view kHotPathCounter = "hot-path-counter";
+constexpr std::string_view kFloatFoldOrder = "float-fold-order";
 
 constexpr std::string_view kUnorderedHint =
     "iterate a sorted view instead (std::map, or sort the keys into a "
@@ -29,6 +31,15 @@ constexpr std::string_view kLocaleHint =
     "format through pr::format_double (util/fmt.h) or imbue "
     "std::locale::classic(); default-locale formatting changes bytes when "
     "the host installs a global locale";
+constexpr std::string_view kHotPathHint =
+    "intern a CounterRegistry::Handle once (in initialize(), or lazily on "
+    "the first fault-path hit) and bump through it; string keys hash on "
+    "every event and a typo silently mints a new counter";
+constexpr std::string_view kFloatFoldHint =
+    "fold in a deterministic order: sort the keys (or use std::map), or "
+    "merge per-shard partials in shard order through the sanctioned "
+    "helpers (sim/fleet_sim, util/stats); float addition is not "
+    "associative, so fold order changes emitted bytes";
 
 // ---------------------------------------------------------- path scoping
 
@@ -62,17 +73,37 @@ bool streaming_trace(const std::string& path) {
          base.rfind("trace_reader", 0) == 0;
 }
 
-/// banned-entropy scope: the deterministic simulation core plus the
-/// streaming trace readers.
+/// banned-entropy scope: the deterministic simulation core, the streaming
+/// trace readers, and (since the CI scan grew repo-wide) tools/ and
+/// bench/ — suppressions are allowed outside src/ but counted.
 bool entropy_scoped(const std::string& path) {
   return in_dir(path, "sim") || in_dir(path, "policy") ||
          in_dir(path, "exp") || in_dir(path, "fault") ||
-         in_dir(path, "redundancy") || streaming_trace(path);
+         in_dir(path, "redundancy") || streaming_trace(path) ||
+         in_dir(path, "tools") || in_dir(path, "bench");
 }
 
 /// locale-float scope: everywhere except util/ (which owns the sanctioned
 /// locale-independent formatting helpers).
 bool locale_scoped(const std::string& path) { return !in_dir(path, "util"); }
+
+/// hot-path-counter scope: the request-path subsystems. Every per-event
+/// counter there must go through an interned handle (PR 2).
+bool hot_path_scoped(const std::string& path) {
+  return in_dir(path, "sim") || in_dir(path, "policy") ||
+         in_dir(path, "redundancy") || in_dir(path, "fault");
+}
+
+/// float-fold-order scope: all of src/, minus the sanctioned shard-order
+/// merge helpers (fleet_sim's deterministic fold, util/stats' Welford
+/// merges) whose entire job is order-controlled accumulation.
+bool float_fold_scoped(const std::string& path) {
+  const bool in_src =
+      path.rfind("src/", 0) == 0 || path.find("/src/") != std::string::npos;
+  if (!in_src) return false;
+  return path.find("sim/fleet_sim") == std::string::npos &&
+         path.find("util/stats") == std::string::npos;
+}
 
 // -------------------------------------------------------------- scrubber
 
@@ -110,13 +141,29 @@ const std::vector<RuleInfo>& rules() {
       {kBannedEntropy,
        "ambient entropy (rand, srand, std::random_device, time(), "
        "std::chrono::system_clock) inside src/sim, src/policy, src/exp, "
-       "src/fault, or the streaming readers under src/trace"},
+       "src/fault, src/redundancy, the streaming readers under src/trace, "
+       "and tools/ + bench/"},
       {kLocaleFloat,
        "locale-sensitive float formatting/parsing outside util/ (stream "
        "precision manipulators, printf float conversions, stod/strtod, "
        "locale installs)"},
+      {kHotPathCounter,
+       "string-keyed CounterRegistry access (bump(\"...\")/value(\"...\")) "
+       "inside the request-path subsystems src/sim, src/policy, "
+       "src/redundancy, src/fault — interned Handles are the sanctioned "
+       "path"},
+      {kFloatFoldOrder,
+       "float accumulation in a nondeterministic fold order: += over a "
+       "range-for on an unordered container, std::accumulate over an "
+       "unordered range, or += onto a captured float in a thread-pool "
+       "file, outside the sanctioned fleet_sim/stats merge helpers"},
   };
   return kRules;
+}
+
+bool LintOptions::selected(std::string_view rule) const {
+  if (select.empty()) return true;
+  return std::find(select.begin(), select.end(), rule) != select.end();
 }
 
 Scrubbed scrub(std::string_view source) {
@@ -237,6 +284,92 @@ Scrubbed scrub(std::string_view source) {
   return out;
 }
 
+std::vector<std::pair<int, std::string>> string_literals(
+    std::string_view source) {
+  std::vector<std::pair<int, std::string>> out;
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  int line = 1;
+  int literal_line = 1;
+  std::string literal;
+  std::string raw_delim;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   source[i - 1])) &&
+                               source[i - 1] != '_'))) {
+          std::size_t open = i + 2;
+          std::string delim;
+          while (open < source.size() && source[open] != '(') {
+            delim.push_back(source[open++]);
+          }
+          raw_delim = ")" + delim + "\"";
+          state = State::kRaw;
+          literal_line = line;
+          literal.clear();
+          i = open;
+        } else if (c == '"') {
+          state = State::kString;
+          literal_line = line;
+          literal.clear();
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') state = State::kCode;
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          // Keep escaped quotes as plain quotes so "key": patterns in
+          // ordinary literals match; drop other escapes.
+          if (next == '"') literal.push_back('"');
+          ++i;
+        } else if (c == '"') {
+          out.emplace_back(literal_line, literal);
+          state = State::kCode;
+        } else {
+          literal.push_back(c);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRaw:
+        if (source.compare(i, raw_delim.size(), raw_delim) == 0) {
+          out.emplace_back(literal_line, literal);
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          literal.push_back(c);
+        }
+        break;
+    }
+    if (c == '\n') ++line;
+  }
+  return out;
+}
+
 namespace {
 
 // ---------------------------------------------------------- lint helpers
@@ -270,6 +403,19 @@ bool output_adjacent(const std::vector<std::string>& raw_lines) {
     for (const std::string_view s : signals) {
       if (header.find(s) != std::string::npos) return true;
     }
+  }
+  return false;
+}
+
+/// Does the raw source include `header` (substring match on the target)?
+bool includes_header(const std::vector<std::string>& raw_lines,
+                     std::string_view header) {
+  static const std::regex include_re(
+      R"(^\s*#\s*include\s*[<"]([^">]+)[">])");
+  for (const std::string& line : raw_lines) {
+    std::smatch m;
+    if (!std::regex_search(line, m, include_re)) continue;
+    if (m[1].str().find(header) != std::string::npos) return true;
   }
   return false;
 }
@@ -308,6 +454,68 @@ std::vector<std::string> unordered_names(std::string_view code) {
     }
   }
   return names;
+}
+
+/// First declaration line (1-based) of every float-typed name: `double x`
+/// / `float x` declarations plus `auto x = <literal with a dot>`.
+std::unordered_map<std::string, int> float_decl_lines(
+    const std::vector<std::string>& code_lines) {
+  static const std::regex decl_re(R"(\b(?:double|float)\s+([A-Za-z_]\w*))");
+  static const std::regex auto_re(
+      R"(\bauto\s+([A-Za-z_]\w*)\s*=\s*-?\d+\.\d*)");
+  std::unordered_map<std::string, int> decls;
+  for (std::size_t l = 0; l < code_lines.size(); ++l) {
+    for (const std::regex* re : {&decl_re, &auto_re}) {
+      auto begin = std::sregex_iterator(code_lines[l].begin(),
+                                        code_lines[l].end(), *re);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        decls.emplace((*it)[1].str(), static_cast<int>(l + 1));
+      }
+    }
+  }
+  return decls;
+}
+
+/// A contiguous run of lines forming a loop or lambda body.
+struct Region {
+  std::size_t begin_line;  // 0-based, inclusive
+  std::size_t end_line;    // 0-based, inclusive
+};
+
+/// Line starts of `code`, so offsets map back to 1-based lines.
+std::vector<std::size_t> line_starts(std::string_view code) {
+  std::vector<std::size_t> starts = {0};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+std::size_t line_of_offset(const std::vector<std::size_t>& starts,
+                           std::size_t offset) {
+  const auto it = std::upper_bound(starts.begin(), starts.end(), offset);
+  return static_cast<std::size_t>(it - starts.begin()) - 1;  // 0-based
+}
+
+/// The body region opened by the first `{` at or after `from` in `code`
+/// (balanced-brace walk). If a `;` appears first, the body is the single
+/// statement ending at that `;`.
+Region body_region(std::string_view code,
+                   const std::vector<std::size_t>& starts, std::size_t from) {
+  std::size_t i = from;
+  while (i < code.size() && code[i] != '{' && code[i] != ';') ++i;
+  if (i >= code.size() || code[i] == ';') {
+    const std::size_t line = line_of_offset(starts, std::min(i, code.size() - 1));
+    return Region{line_of_offset(starts, from), line};
+  }
+  int depth = 0;
+  std::size_t open = i;
+  for (; i < code.size(); ++i) {
+    if (code[i] == '{') ++depth;
+    if (code[i] == '}' && --depth == 0) break;
+  }
+  return Region{line_of_offset(starts, open),
+                line_of_offset(starts, std::min(i, code.size() - 1))};
 }
 
 struct Pattern {
@@ -357,6 +565,8 @@ const std::vector<Pattern>& locale_patterns() {
   return kPatterns;
 }
 
+}  // namespace
+
 bool suppressed(const Scrubbed& scrubbed, int line, std::string_view rule) {
   for (const int l : {line, line - 1}) {
     const auto it = scrubbed.allows.find(l);
@@ -368,10 +578,9 @@ bool suppressed(const Scrubbed& scrubbed, int line, std::string_view rule) {
   return false;
 }
 
-}  // namespace
-
 std::vector<Finding> lint_source(const std::string& path,
-                                 std::string_view source) {
+                                 std::string_view source,
+                                 const LintOptions& options) {
   const std::string norm = normalized(path);
   const Scrubbed scrubbed = scrub(source);
   const std::vector<std::string> raw_lines = split_lines(source);
@@ -380,13 +589,15 @@ std::vector<Finding> lint_source(const std::string& path,
   std::vector<Finding> findings;
   const auto report = [&](int line, std::string_view rule,
                           std::string message, std::string_view hint) {
-    if (suppressed(scrubbed, line, rule)) return;
+    const bool is_suppressed = suppressed(scrubbed, line, rule);
+    if (is_suppressed && !options.keep_suppressed) return;
     findings.push_back(Finding{path, line, std::string(rule),
-                               std::move(message), std::string(hint)});
+                               std::move(message), std::string(hint),
+                               is_suppressed});
   };
 
   // ---- unordered-iteration -------------------------------------------
-  if (output_adjacent(raw_lines)) {
+  if (options.selected(kUnorderedIteration) && output_adjacent(raw_lines)) {
     const std::vector<std::string> names = unordered_names(scrubbed.code);
     for (const std::string& name : names) {
       const std::regex range_for(R"(for\s*\([^;)]*:\s*)" + name + R"(\s*\))");
@@ -405,7 +616,7 @@ std::vector<Finding> lint_source(const std::string& path,
   }
 
   // ---- banned-entropy -------------------------------------------------
-  if (entropy_scoped(norm)) {
+  if (options.selected(kBannedEntropy) && entropy_scoped(norm)) {
     for (std::size_t l = 0; l < code_lines.size(); ++l) {
       for (const Pattern& p : entropy_patterns()) {
         if (std::regex_search(code_lines[l], p.re)) {
@@ -417,7 +628,7 @@ std::vector<Finding> lint_source(const std::string& path,
   }
 
   // ---- locale-float ---------------------------------------------------
-  if (locale_scoped(norm)) {
+  if (options.selected(kLocaleFloat) && locale_scoped(norm)) {
     static const std::regex printf_re(
         R"(\b(printf|fprintf|sprintf|snprintf|vsnprintf)\s*\()");
     static const std::regex float_conv_re(R"(%[-+ #0-9.*']*l?[aefgAEFG])");
@@ -448,20 +659,128 @@ std::vector<Finding> lint_source(const std::string& path,
     }
   }
 
+  // ---- hot-path-counter ----------------------------------------------
+  // String-keyed access shows as `bump(` / `value(` in the scrubbed text
+  // whose raw counterpart opens with a string literal. The scrubbed match
+  // guards against comment/string mentions; the raw match supplies the
+  // quote that scrubbing blanks out.
+  if (options.selected(kHotPathCounter) && hot_path_scoped(norm)) {
+    static const std::regex call_re(R"(\b(bump|value)\s*\()");
+    static const std::regex string_arg_re(R"(\b(bump|value)\s*\(\s*")");
+    for (std::size_t l = 0; l < code_lines.size(); ++l) {
+      if (!std::regex_search(code_lines[l], call_re)) continue;
+      if (l >= raw_lines.size() ||
+          !std::regex_search(raw_lines[l], string_arg_re)) {
+        continue;
+      }
+      report(static_cast<int>(l + 1), kHotPathCounter,
+             "string-keyed counter access on the request path — hashes the "
+             "name on every event",
+             kHotPathHint);
+    }
+  }
+
+  // ---- float-fold-order -----------------------------------------------
+  if (options.selected(kFloatFoldOrder) && float_fold_scoped(norm)) {
+    const std::vector<std::string> unordered = unordered_names(scrubbed.code);
+    const std::unordered_map<std::string, int> floats =
+        float_decl_lines(code_lines);
+    const std::vector<std::size_t> starts = line_starts(scrubbed.code);
+    static const std::regex add_assign_re(R"(([A-Za-z_]\w*)\s*\+=)");
+
+    // Accumulation targets declared *before* a region (shared state) that
+    // are `+=`'d inside it fold in the region's visit order.
+    const auto flag_folds = [&](const Region& region, std::size_t decl_before,
+                                const std::string& what) {
+      for (std::size_t l = region.begin_line;
+           l <= region.end_line && l < code_lines.size(); ++l) {
+        auto begin = std::sregex_iterator(code_lines[l].begin(),
+                                          code_lines[l].end(), add_assign_re);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+          const auto decl = floats.find((*it)[1].str());
+          if (decl == floats.end()) continue;
+          if (static_cast<std::size_t>(decl->second) > decl_before) continue;
+          report(static_cast<int>(l + 1), kFloatFoldOrder,
+                 "float accumulation into '" + decl->first + "' " + what,
+                 kFloatFoldHint);
+        }
+      }
+    };
+
+    // (a) range-for over an unordered container.
+    for (const std::string& name : unordered) {
+      const std::regex range_for(R"(for\s*\([^;)]*:\s*)" + name +
+                                 R"(\s*\))");
+      auto begin = std::sregex_iterator(scrubbed.code.begin(),
+                                        scrubbed.code.end(), range_for);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::size_t match_end =
+            static_cast<std::size_t>(it->position()) + it->length();
+        const Region body = body_region(scrubbed.code, starts, match_end);
+        const std::size_t loop_line =
+            line_of_offset(starts, static_cast<std::size_t>(it->position())) +
+            1;
+        flag_folds(body, loop_line,
+                   "inside a range-for over unordered container '" + name +
+                       "' — hash order decides the fold");
+      }
+    }
+
+    // (b) std::accumulate over an unordered range.
+    for (const std::string& name : unordered) {
+      const std::regex acc_re(R"(\baccumulate\s*\(\s*)" + name + R"(\s*\.)");
+      for (std::size_t l = 0; l < code_lines.size(); ++l) {
+        if (std::regex_search(code_lines[l], acc_re)) {
+          report(static_cast<int>(l + 1), kFloatFoldOrder,
+                 "std::accumulate over unordered container '" + name +
+                     "' — hash order decides the fold",
+                 kFloatFoldHint);
+        }
+      }
+    }
+
+    // (c) capture-default lambdas in thread-pool files: a float declared
+    // outside the lambda and += inside it folds in thread-completion
+    // order.
+    if (includes_header(raw_lines, "util/thread_pool.h")) {
+      static const std::regex lambda_re(R"(\[\s*[&=][\w\s,&.*]*\])");
+      auto begin = std::sregex_iterator(scrubbed.code.begin(),
+                                        scrubbed.code.end(), lambda_re);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::size_t match_end =
+            static_cast<std::size_t>(it->position()) + it->length();
+        const Region body = body_region(scrubbed.code, starts, match_end);
+        const std::size_t lambda_line =
+            line_of_offset(starts, static_cast<std::size_t>(it->position())) +
+            1;
+        flag_folds(body, lambda_line,
+                   "captured by a lambda in a thread-pool file — fold order "
+                   "follows thread scheduling");
+      }
+    }
+  }
+
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;
               return a.rule < b.rule;
             });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.line == b.line && a.rule == b.rule &&
+                                      a.message == b.message;
+                             }),
+                 findings.end());
   return findings;
 }
 
-std::vector<Finding> lint_file(const std::string& path) {
+std::vector<Finding> lint_file(const std::string& path,
+                               const LintOptions& options) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("detlint: cannot open " + path);
+  if (!in) throw std::runtime_error("prlint: cannot open " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return lint_source(path, buffer.str());
+  return lint_source(path, buffer.str(), options);
 }
 
 std::vector<std::string> collect_sources(

@@ -1,4 +1,4 @@
-// detlint.h — determinism lint for the PRESS/READ source tree.
+// detlint.h — per-file determinism rules of the prlint analyzer.
 //
 // The repo's headline guarantee is byte-identical output across scheduler
 // backends and thread counts; the golden tests check it end-to-end, this
@@ -10,24 +10,41 @@
 //                        salt-dependent, so emitted order is not stable)
 //   banned-entropy       rand()/srand()/std::random_device/time()/
 //                        std::chrono::system_clock inside src/sim, policy,
-//                        exp, fault, redundancy, or the streaming readers under
+//                        exp, fault, redundancy, the streaming readers under
 //                        src/trace (stream_*/request_source*/
 //                        trace_reader* — they feed the run path; the
 //                        ambient-log parsers like CLF stay out because
-//                        timestamp decoding needs <ctime>). Randomness
-//                        must flow from the run's seed; time from the
-//                        simulation clock.
+//                        timestamp decoding needs <ctime>), and — since the
+//                        scope grew to the whole repo — tools/ and bench/.
+//                        Randomness must flow from the run's seed; time
+//                        from the simulation clock.
 //   locale-float         locale-sensitive float formatting/parsing
 //                        outside util/ (stream precision manipulators,
 //                        printf %f/%g/%e, stod/strtod, locale installs) —
 //                        util/fmt.h is the sanctioned formatting path
+//   hot-path-counter     string-keyed CounterRegistry access
+//                        (bump("...") / value("...")) inside the
+//                        request-path subsystems (src/sim, src/policy,
+//                        src/redundancy, src/fault). Interned Handles are
+//                        the sanctioned path (PR 2); per-event string
+//                        hashing is both a hot-path tax and a reporting
+//                        hazard (typos silently create new counters)
+//   float-fold-order     double/float accumulation whose fold order is
+//                        not deterministic: `+=` onto a float declared
+//                        outside a range-for over an unordered container,
+//                        std::accumulate over an unordered range, or `+=`
+//                        onto a float captured by a [&]/[=] lambda in a
+//                        file that uses util/thread_pool.h. The sanctioned
+//                        merge paths are the shard-order helpers in
+//                        src/sim/fleet_sim.* and util/stats.*
 //
 // detlint is a lexical analyzer, not a compiler front end: it scrubs
 // comments and string literals (so neither can produce false positives),
 // then pattern-matches the remaining token text line by line. That keeps
 // it dependency-free and fast enough to run on every CI push; the gtest
 // suite (tests/test_detlint.cpp) pins each rule's positive and negative
-// fixtures.
+// fixtures. The whole-program passes (layer-dag, schema-drift) live in
+// prlint.h.
 //
 // A finding on line N is suppressed by `// detlint:allow(<rule>)` on line
 // N or on line N-1. `--fix-hints` adds a remediation hint per finding.
@@ -47,6 +64,10 @@ struct Finding {
   std::string rule;   // rule id, e.g. "banned-entropy"
   std::string message;
   std::string hint;   // remediation suggestion (shown with --fix-hints)
+  /// True when a detlint:allow(...) marker covers the finding. Suppressed
+  /// findings are dropped by default; LintOptions::keep_suppressed keeps
+  /// them (flagged) so callers can count and budget them.
+  bool suppressed = false;
 };
 
 struct RuleInfo {
@@ -54,8 +75,20 @@ struct RuleInfo {
   std::string_view summary;
 };
 
-/// The rule catalogue, in reporting order.
+/// The per-file rule catalogue, in reporting order. The whole-program
+/// rules (prlint.h) append theirs via prlint::rules().
 const std::vector<RuleInfo>& rules();
+
+/// Lint configuration shared by the per-file rules and the CLI.
+struct LintOptions {
+  /// Run only these rule ids (empty = all rules).
+  std::vector<std::string> select;
+  /// Keep suppressed findings in the result (with suppressed = true)
+  /// instead of dropping them, so suppression budgets can be enforced.
+  bool keep_suppressed = false;
+
+  [[nodiscard]] bool selected(std::string_view rule) const;
+};
 
 /// Comment/literal scrub of `source`: every comment and string/char
 /// literal byte is replaced with a space (newlines kept, so line numbers
@@ -67,16 +100,30 @@ struct Scrubbed {
 };
 Scrubbed scrub(std::string_view source);
 
+/// True when an allow marker on `line` or `line - 1` names `rule` (or *).
+bool suppressed(const Scrubbed& scrubbed, int line, std::string_view rule);
+
+/// Every string literal in `source` with the line it starts on, in
+/// source order. Raw literal bodies are returned verbatim; escaped
+/// quotes in ordinary literals are unescaped to `"` so JSON key patterns
+/// survive. Feeds the schema-drift pass (prlint.h), which must look *at*
+/// emitted text rather than scrub it away.
+std::vector<std::pair<int, std::string>> string_literals(
+    std::string_view source);
+
 /// Lint one in-memory source. `path` is used both for reporting and for
-/// the path-scoped rules (banned-entropy applies under
-/// src/sim|policy|exp|fault|redundancy plus the streaming readers in
-/// src/trace, locale-float everywhere but util/), which is what lets the
-/// test suite lint fixture files under virtual src/ paths.
+/// the path-scoped rules (banned-entropy under src/sim|policy|exp|fault|
+/// redundancy, the streaming readers in src/trace, plus tools/ and bench/;
+/// hot-path-counter under src/sim|policy|redundancy|fault; locale-float
+/// everywhere but util/), which is what lets the test suite lint fixture
+/// files under virtual src/ paths.
 std::vector<Finding> lint_source(const std::string& path,
-                                 std::string_view source);
+                                 std::string_view source,
+                                 const LintOptions& options = {});
 
 /// Load and lint a file. Throws std::runtime_error if unreadable.
-std::vector<Finding> lint_file(const std::string& path);
+std::vector<Finding> lint_file(const std::string& path,
+                               const LintOptions& options = {});
 
 /// Expand files/directories into a sorted list of C++ sources
 /// (.h/.hpp/.cc/.cpp/.cxx); order is lexicographic so runs are stable.

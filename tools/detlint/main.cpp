@@ -1,23 +1,71 @@
-// detlint CLI — determinism lint over the PRESS/READ sources.
+// prlint CLI — whole-program architecture & determinism lint over the
+// PRESS/READ sources (grown from the per-file detlint of PR 4).
 //
-// Usage: detlint [--fix-hints] [--list-rules] <path>...
+// Usage:
+//   prlint [--fix-hints] [--list-rules] [--select <r1,r2,...>]
+//          [--layers <layers.ini>] [--csv-doc <file>] [--jsonl-doc <file>]
+//          [--emit-graph <out.dot>] [--count-suppressions]
+//          [--max-suppressions <n>] <path>...
 //
 // Paths may be files or directories (directories are scanned recursively
-// for .h/.hpp/.cc/.cpp/.cxx). Exit status: 0 clean, 1 findings, 2 usage
-// or I/O error. Output is `path:line: [rule] message`, sorted, so CI logs
-// are stable across runs.
+// for .h/.hpp/.cc/.cpp/.cxx). Per-file rules always run (narrowed by
+// --select); the whole-program passes need their inputs: --layers enables
+// layer-dag, --csv-doc/--jsonl-doc enable the schema-drift sides.
+// --emit-graph writes the extracted include graph as Graphviz DOT (CI
+// uploads it as a build artifact). --count-suppressions reports
+// suppressed findings in the summary; --max-suppressions N (implies
+// counting) fails the run when more than N findings are suppressed — the
+// src/ scan runs with a budget of 0.
+//
+// Exit status: 0 clean, 1 findings (or suppression budget exceeded),
+// 2 usage or I/O error. Output is `path:line: [rule] message`, sorted, so
+// CI logs are stable across runs.
+#include <algorithm>
 #include <cstdio>
 #include <exception>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "detlint.h"
+#include "prlint.h"
 
 namespace {
 
 void print_usage() {
-  std::fprintf(stderr,
-               "usage: detlint [--fix-hints] [--list-rules] <path>...\n");
+  std::fprintf(
+      stderr,
+      "usage: prlint [--fix-hints] [--list-rules] [--select r1,r2]\n"
+      "              [--layers layers.ini] [--csv-doc file] "
+      "[--jsonl-doc file]\n"
+      "              [--emit-graph out.dot] [--count-suppressions]\n"
+      "              [--max-suppressions n] <path>...\n");
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool known_rule(const std::string& id) {
+  for (const auto& rule : detlint::rules()) {
+    if (rule.id == id) return true;
+  }
+  for (const auto& rule : prlint::rules()) {
+    if (rule.id == id) return true;
+  }
+  return false;
+}
+
+std::string read_file(const std::string& path) {
+  const auto sources = prlint::load_sources({path});
+  return sources.front().source;
 }
 
 }  // namespace
@@ -25,18 +73,57 @@ void print_usage() {
 int main(int argc, char** argv) {
   bool fix_hints = false;
   bool list_rules = false;
+  bool count_suppressions = false;
+  std::optional<long> max_suppressions;
+  std::string layers_path;
+  std::string csv_doc_path;
+  std::string jsonl_doc_path;
+  std::string graph_path;
+  detlint::LintOptions options;
   std::vector<std::string> paths;
+
+  const auto next_arg = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "prlint: %s needs an argument\n", flag);
+      print_usage();
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--fix-hints") {
       fix_hints = true;
     } else if (arg == "--list-rules") {
       list_rules = true;
+    } else if (arg == "--count-suppressions") {
+      count_suppressions = true;
+    } else if (arg == "--max-suppressions") {
+      max_suppressions = std::strtol(next_arg(i, "--max-suppressions"),
+                                     nullptr, 10);
+      count_suppressions = true;
+    } else if (arg == "--select") {
+      for (const std::string& id : split_csv(next_arg(i, "--select"))) {
+        if (!known_rule(id)) {
+          std::fprintf(stderr, "prlint: unknown rule '%s'\n", id.c_str());
+          return 2;
+        }
+        options.select.push_back(id);
+      }
+    } else if (arg == "--layers") {
+      layers_path = next_arg(i, "--layers");
+    } else if (arg == "--csv-doc") {
+      csv_doc_path = next_arg(i, "--csv-doc");
+    } else if (arg == "--jsonl-doc") {
+      jsonl_doc_path = next_arg(i, "--jsonl-doc");
+    } else if (arg == "--emit-graph") {
+      graph_path = next_arg(i, "--emit-graph");
     } else if (arg == "--help" || arg == "-h") {
       print_usage();
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "detlint: unknown option '%s'\n", arg.c_str());
+      std::fprintf(stderr, "prlint: unknown option '%s'\n", arg.c_str());
       print_usage();
       return 2;
     } else {
@@ -49,6 +136,10 @@ int main(int argc, char** argv) {
       std::printf("%-20s %s\n", std::string(rule.id).c_str(),
                   std::string(rule.summary).c_str());
     }
+    for (const detlint::RuleInfo& rule : prlint::rules()) {
+      std::printf("%-20s %s\n", std::string(rule.id).c_str(),
+                  std::string(rule.summary).c_str());
+    }
     if (paths.empty()) return 0;
   }
 
@@ -57,17 +148,73 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  options.keep_suppressed = count_suppressions;
+
   int total = 0;
+  long suppressed = 0;
   int files = 0;
+  std::vector<detlint::Finding> findings;
   try {
-    for (const std::string& path : detlint::collect_sources(paths)) {
-      ++files;
-      for (const detlint::Finding& f : detlint::lint_file(path)) {
-        ++total;
-        std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line,
-                    f.rule.c_str(), f.message.c_str());
-        if (fix_hints && !f.hint.empty()) {
-          std::printf("    hint: %s\n", f.hint.c_str());
+    const std::vector<std::string> source_paths =
+        detlint::collect_sources(paths);
+    files = static_cast<int>(source_paths.size());
+
+    // Per-file rules.
+    for (const std::string& path : source_paths) {
+      for (detlint::Finding& f : detlint::lint_file(path, options)) {
+        findings.push_back(std::move(f));
+      }
+    }
+
+    // Whole-program passes (inputs permitting, and honoring --select).
+    const bool want_layers =
+        !layers_path.empty() && options.selected("layer-dag");
+    const bool want_schema = (!csv_doc_path.empty() ||
+                              !jsonl_doc_path.empty()) &&
+                             options.selected("schema-drift");
+    if (want_layers || want_schema || !graph_path.empty()) {
+      const std::vector<prlint::SourceFile> sources =
+          prlint::load_sources(source_paths);
+      if (want_layers || !graph_path.empty()) {
+        std::optional<prlint::LayerConfig> layers;
+        if (!layers_path.empty()) {
+          layers = prlint::load_layers(layers_path);
+        }
+        if (want_layers) {
+          for (detlint::Finding& f :
+               prlint::check_layers(sources, *layers)) {
+            if (f.suppressed && !options.keep_suppressed) continue;
+            findings.push_back(std::move(f));
+          }
+        }
+        if (!graph_path.empty()) {
+          const prlint::IncludeGraph graph =
+              prlint::extract_includes(sources);
+          const std::string dot =
+              prlint::to_dot(graph, layers ? &*layers : nullptr);
+          std::FILE* out = std::fopen(graph_path.c_str(), "wb");
+          if (out == nullptr) {
+            std::fprintf(stderr, "prlint: cannot write %s\n",
+                         graph_path.c_str());
+            return 2;
+          }
+          std::fwrite(dot.data(), 1, dot.size(), out);
+          std::fclose(out);
+        }
+      }
+      if (want_schema) {
+        prlint::SchemaDocs docs;
+        if (!csv_doc_path.empty()) {
+          docs.csv_doc_path = csv_doc_path;
+          docs.csv_doc = read_file(csv_doc_path);
+        }
+        if (!jsonl_doc_path.empty()) {
+          docs.jsonl_doc_path = jsonl_doc_path;
+          docs.jsonl_doc = read_file(jsonl_doc_path);
+        }
+        for (detlint::Finding& f : prlint::check_schema(sources, docs)) {
+          if (f.suppressed && !options.keep_suppressed) continue;
+          findings.push_back(std::move(f));
         }
       }
     }
@@ -76,7 +223,41 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::fprintf(stderr, "detlint: %d finding%s in %d file%s\n", total,
-               total == 1 ? "" : "s", files, files == 1 ? "" : "s");
+  std::sort(findings.begin(), findings.end(),
+            [](const detlint::Finding& a, const detlint::Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
+  for (const detlint::Finding& f : findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      std::printf("%s:%d: [%s] suppressed: %s\n", f.path.c_str(), f.line,
+                  f.rule.c_str(), f.message.c_str());
+      continue;
+    }
+    ++total;
+    std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+    if (fix_hints && !f.hint.empty()) {
+      std::printf("    hint: %s\n", f.hint.c_str());
+    }
+  }
+
+  if (count_suppressions) {
+    std::fprintf(stderr, "prlint: %d finding%s (%ld suppressed) in %d file%s\n",
+                 total, total == 1 ? "" : "s", suppressed, files,
+                 files == 1 ? "" : "s");
+  } else {
+    std::fprintf(stderr, "prlint: %d finding%s in %d file%s\n", total,
+                 total == 1 ? "" : "s", files, files == 1 ? "" : "s");
+  }
+  if (max_suppressions && suppressed > *max_suppressions) {
+    std::fprintf(stderr,
+                 "prlint: suppression budget exceeded: %ld > %ld allowed\n",
+                 suppressed, *max_suppressions);
+    return 1;
+  }
   return total == 0 ? 0 : 1;
 }

@@ -1,0 +1,469 @@
+#include "prlint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace prlint {
+
+namespace {
+
+constexpr std::string_view kLayerDag = "layer-dag";
+constexpr std::string_view kSchemaDrift = "schema-drift";
+
+constexpr std::string_view kLayerHint =
+    "depend downward only: move the shared type into a lower layer, or — "
+    "if the architecture really changed — re-declare the DAG in "
+    "tools/detlint/layers.ini (reviewed like any interface change)";
+constexpr std::string_view kSchemaHint =
+    "document the column/key in the schema table (EXPERIMENTS.md for CSV, "
+    "docs/OBSERVABILITY.md for JSONL) in the same change that emits it, "
+    "or drop the emit; prlint cross-checks emitters against the docs";
+
+std::string normalized(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+/// src-relative id of a path: the part after the last `src/` component
+/// ("src/sim/array_sim.h" -> "sim/array_sim.h"); the normalized path
+/// itself when no src/ component exists (virtual fixture ids).
+std::string src_relative(const std::string& path) {
+  const std::string norm = normalized(path);
+  if (norm.rfind("src/", 0) == 0) return norm.substr(4);
+  const std::size_t at = norm.rfind("/src/");
+  if (at != std::string::npos) return norm.substr(at + 5);
+  return norm;
+}
+
+/// Top-level directory of a src-relative id ("" when the id has none).
+std::string dir_of(const std::string& id) {
+  const std::size_t slash = id.find('/');
+  return slash == std::string::npos ? std::string() : id.substr(0, slash);
+}
+
+std::string basename_of(const std::string& path) {
+  const std::string norm = normalized(path);
+  const std::size_t slash = norm.find_last_of('/');
+  return slash == std::string::npos ? norm : norm.substr(slash + 1);
+}
+
+/// Does `doc` contain `token` as a whole word?
+bool documented(std::string_view token, std::string_view doc) {
+  const auto word_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  std::size_t at = doc.find(token);
+  while (at != std::string_view::npos) {
+    const bool left_ok = at == 0 || !word_char(doc[at - 1]);
+    const std::size_t end = at + token.size();
+    const bool right_ok = end >= doc.size() || !word_char(doc[end]);
+    if (left_ok && right_ok) return true;
+    at = doc.find(token, at + 1);
+  }
+  return false;
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {kLayerDag,
+       "upward or cyclic #include against the layer DAG declared in "
+       "tools/detlint/layers.ini (util -> disk/trace -> workload -> "
+       "obs/press -> sim/fault/redundancy -> policy -> core -> exp)"},
+      {kSchemaDrift,
+       "CSV column (scenario_report.cpp) or JSONL key (jsonl_writer.cpp) "
+       "emitted but not documented in EXPERIMENTS.md / "
+       "docs/OBSERVABILITY.md"},
+  };
+  return kRules;
+}
+
+std::vector<SourceFile> load_sources(const std::vector<std::string>& paths) {
+  std::vector<SourceFile> out;
+  out.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("prlint: cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out.push_back(SourceFile{path, buffer.str()});
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ layer DAG
+
+int LayerConfig::rank_of(std::string_view dir) const {
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    for (const std::string& d : layers[i].dirs) {
+      if (d == dir) return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+const std::string& LayerConfig::name_of(int rank) const {
+  return layers.at(static_cast<std::size_t>(rank)).name;
+}
+
+std::vector<std::string> LayerConfig::declared_dirs() const {
+  std::vector<std::string> out;
+  for (const Layer& layer : layers) {
+    out.insert(out.end(), layer.dirs.begin(), layer.dirs.end());
+  }
+  return out;
+}
+
+LayerConfig parse_layers(std::string_view text, const std::string& path) {
+  LayerConfig config;
+  std::set<std::string> seen_dirs;
+  bool in_layers = false;
+  int line_no = 0;
+  std::size_t start = 0;
+  const auto fail = [&](const std::string& what) {
+    throw std::runtime_error(path + ":" + std::to_string(line_no) + ": " +
+                             what);
+  };
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string line(text.substr(start, end - start));
+    ++line_no;
+    const bool last = end == text.size();
+    start = end + 1;
+
+    // Strip comments and whitespace.
+    const std::size_t comment = line.find_first_of("#;");
+    if (comment != std::string::npos) line.erase(comment);
+    const auto is_space = [](unsigned char c) { return std::isspace(c); };
+    line.erase(line.begin(),
+               std::find_if_not(line.begin(), line.end(), is_space));
+    while (!line.empty() && is_space(static_cast<unsigned char>(line.back()))) {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      if (last) break;
+      continue;
+    }
+
+    if (line.front() == '[') {
+      if (line != "[layers]") fail("unknown section '" + line + "'");
+      if (in_layers) fail("duplicate [layers] section");
+      in_layers = true;
+      if (last) break;
+      continue;
+    }
+    if (!in_layers) fail("expected [layers] before '" + line + "'");
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) fail("expected 'name = dir[, dir...]'");
+    std::string name = line.substr(0, eq);
+    while (!name.empty() && is_space(static_cast<unsigned char>(name.back()))) {
+      name.pop_back();
+    }
+    if (name.empty()) fail("empty layer name");
+
+    LayerConfig::Layer layer;
+    layer.name = name;
+    std::string dirs = line.substr(eq + 1);
+    std::istringstream stream(dirs);
+    std::string dir;
+    while (std::getline(stream, dir, ',')) {
+      dir.erase(dir.begin(),
+                std::find_if_not(dir.begin(), dir.end(), is_space));
+      while (!dir.empty() && is_space(static_cast<unsigned char>(dir.back()))) {
+        dir.pop_back();
+      }
+      if (dir.empty()) fail("empty directory in layer '" + name + "'");
+      if (!seen_dirs.insert(dir).second) {
+        fail("directory '" + dir + "' declared twice");
+      }
+      layer.dirs.push_back(dir);
+    }
+    if (layer.dirs.empty()) fail("layer '" + name + "' declares no dirs");
+    config.layers.push_back(std::move(layer));
+    if (last) break;
+  }
+  if (config.layers.empty()) {
+    throw std::runtime_error(path + ": no layers declared");
+  }
+  return config;
+}
+
+LayerConfig load_layers(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("prlint: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_layers(buffer.str(), path);
+}
+
+IncludeGraph extract_includes(const std::vector<SourceFile>& files) {
+  IncludeGraph graph;
+  static const std::regex include_re(R"re(^\s*#\s*include\s*"([^"]+)")re");
+  for (const SourceFile& file : files) {
+    graph.files.push_back(src_relative(file.path));
+    int line_no = 0;
+    std::size_t start = 0;
+    const std::string& text = file.source;
+    while (start <= text.size()) {
+      std::size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      const std::string line = text.substr(start, end - start);
+      ++line_no;
+      std::smatch m;
+      if (std::regex_search(line, m, include_re)) {
+        const std::string target = normalized(m[1].str());
+        // Same-directory includes written without a path cannot cross a
+        // layer; skip them (they also keep tool sources like
+        // `#include "detlint.h"` out of the graph).
+        if (target.find('/') != std::string::npos) {
+          graph.edges.push_back(IncludeEdge{src_relative(file.path),
+                                            file.path, line_no, target});
+        }
+      }
+      if (end == text.size()) break;
+      start = end + 1;
+    }
+  }
+  std::sort(graph.files.begin(), graph.files.end());
+  graph.files.erase(std::unique(graph.files.begin(), graph.files.end()),
+                    graph.files.end());
+  return graph;
+}
+
+std::string to_dot(const IncludeGraph& graph, const LayerConfig* layers) {
+  // Directory-level aggregation with file-include counts as edge labels.
+  std::set<std::string> dirs;
+  std::map<std::pair<std::string, std::string>, int> edges;
+  for (const std::string& id : graph.files) {
+    const std::string d = dir_of(id);
+    if (!d.empty()) dirs.insert(d);
+  }
+  for (const IncludeEdge& e : graph.edges) {
+    const std::string from = dir_of(e.from);
+    const std::string to = dir_of(e.to);
+    if (from.empty() || to.empty() || from == to) continue;
+    dirs.insert(from);
+    dirs.insert(to);
+    ++edges[{from, to}];
+  }
+  std::ostringstream out;
+  out << "digraph include_graph {\n"
+      << "  rankdir=BT;\n"
+      << "  node [shape=box, fontname=\"monospace\"];\n";
+  if (layers != nullptr) {
+    for (std::size_t i = 0; i < layers->layers.size(); ++i) {
+      const auto& layer = layers->layers[i];
+      out << "  subgraph cluster_" << i << " {\n"
+          << "    label=\"" << i << ": " << layer.name << "\";\n";
+      for (const std::string& d : layer.dirs) {
+        if (dirs.count(d)) out << "    \"" << d << "\";\n";
+      }
+      out << "  }\n";
+    }
+    for (const std::string& d : dirs) {
+      if (layers->rank_of(d) < 0) out << "  \"" << d << "\";\n";
+    }
+  } else {
+    for (const std::string& d : dirs) out << "  \"" << d << "\";\n";
+  }
+  for (const auto& [edge, count] : edges) {
+    out << "  \"" << edge.first << "\" -> \"" << edge.second
+        << "\" [label=" << count << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::vector<Finding> check_layers(const std::vector<SourceFile>& files,
+                                  const LayerConfig& layers) {
+  std::vector<Finding> findings;
+  const IncludeGraph graph = extract_includes(files);
+
+  // Per-file allow markers (the scrub also guards nothing else here —
+  // include extraction works on raw lines, so `detlint:allow` comments
+  // keep their usual same-line / previous-line semantics).
+  std::map<std::string, detlint::Scrubbed> scrubbed;
+  for (const SourceFile& file : files) {
+    scrubbed.emplace(file.path, detlint::scrub(file.source));
+  }
+  const auto report = [&](const std::string& path, int line,
+                          std::string message) {
+    const auto it = scrubbed.find(path);
+    const bool is_suppressed =
+        it != scrubbed.end() &&
+        detlint::suppressed(it->second, line, kLayerDag);
+    findings.push_back(Finding{path, line, std::string(kLayerDag),
+                               std::move(message), std::string(kLayerHint),
+                               is_suppressed});
+  };
+
+  // Undeclared directories: every scanned file must live in a declared
+  // layer, so a new subsystem cannot appear without a DAG decision.
+  std::set<std::string> reported_dirs;
+  for (const SourceFile& file : files) {
+    const std::string dir = dir_of(src_relative(file.path));
+    if (dir.empty() || layers.rank_of(dir) >= 0) continue;
+    if (!reported_dirs.insert(dir).second) continue;
+    report(file.path, 1,
+           "directory '" + dir +
+               "' is not declared in layers.ini — every subsystem needs a "
+               "layer");
+  }
+
+  // Upward includes.
+  for (const IncludeEdge& e : graph.edges) {
+    const std::string from_dir = dir_of(e.from);
+    const std::string to_dir = dir_of(e.to);
+    if (from_dir.empty() || to_dir.empty()) continue;
+    const int from_rank = layers.rank_of(from_dir);
+    const int to_rank = layers.rank_of(to_dir);
+    if (from_rank < 0) continue;  // already reported as undeclared
+    if (to_rank < 0) {
+      report(e.from_path, e.line,
+             "include of '" + e.to + "' — directory '" + to_dir +
+                 "' is not declared in layers.ini");
+      continue;
+    }
+    if (to_rank > from_rank) {
+      report(e.from_path, e.line,
+             "upward include: " + from_dir + " (layer " +
+                 std::to_string(from_rank) + " '" +
+                 layers.name_of(from_rank) + "') includes '" + e.to +
+                 "' (layer " + std::to_string(to_rank) + " '" +
+                 layers.name_of(to_rank) + "')");
+    }
+  }
+
+  // File-level include cycles (DFS over edges whose targets are in the
+  // scanned set). Layer ordering already forbids cross-layer cycles;
+  // this catches same-layer ones (sim <-> fault would compile with
+  // forward declarations yet still knot the build).
+  std::map<std::string, std::vector<const IncludeEdge*>> adj;
+  std::set<std::string> known(graph.files.begin(), graph.files.end());
+  for (const IncludeEdge& e : graph.edges) {
+    if (known.count(e.to)) adj[e.from].push_back(&e);
+  }
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  std::set<std::vector<std::string>> reported_cycles;
+
+  const std::function<void(const std::string&)> dfs =
+      [&](const std::string& node) {
+        color[node] = 1;
+        stack.push_back(node);
+        for (const IncludeEdge* e : adj[node]) {
+          const int c = color[e->to];
+          if (c == 0) {
+            dfs(e->to);
+          } else if (c == 1) {
+            // Back edge: the cycle is the stack suffix from e->to.
+            const auto at = std::find(stack.begin(), stack.end(), e->to);
+            std::vector<std::string> cycle(at, stack.end());
+            std::vector<std::string> key = cycle;
+            std::sort(key.begin(), key.end());
+            if (reported_cycles.insert(key).second) {
+              std::string chain;
+              for (const std::string& n : cycle) chain += n + " -> ";
+              chain += e->to;
+              report(e->from_path, e->line, "include cycle: " + chain);
+            }
+          }
+        }
+        stack.pop_back();
+        color[node] = 2;
+      };
+  for (const std::string& id : graph.files) {
+    if (color[id] == 0) dfs(id);
+  }
+
+  sort_findings(findings);
+  return findings;
+}
+
+// --------------------------------------------------------- schema drift
+
+std::vector<Finding> check_schema(const std::vector<SourceFile>& files,
+                                  const SchemaDocs& docs) {
+  std::vector<Finding> findings;
+
+  const auto report = [&](const SourceFile& file, int line,
+                          std::string message) {
+    const detlint::Scrubbed scrubbed = detlint::scrub(file.source);
+    const bool is_suppressed =
+        detlint::suppressed(scrubbed, line, kSchemaDrift);
+    findings.push_back(Finding{file.path, line, std::string(kSchemaDrift),
+                               std::move(message), std::string(kSchemaHint),
+                               is_suppressed});
+  };
+
+  for (const SourceFile& file : files) {
+    const std::string base = basename_of(file.path);
+
+    // CSV emitters: every comma-separated column-list literal.
+    if (base == "scenario_report.cpp" && !docs.csv_doc.empty()) {
+      static const std::regex column_list_re(
+          R"(^,?[a-z][a-z0-9_]*(,[a-z][a-z0-9_]*)+,?$)");
+      for (const auto& [line, literal] : detlint::string_literals(file.source)) {
+        if (!std::regex_match(literal, column_list_re)) continue;
+        std::istringstream stream(literal);
+        std::string column;
+        while (std::getline(stream, column, ',')) {
+          if (column.empty()) continue;
+          if (documented(column, docs.csv_doc)) continue;
+          report(file, line,
+                 "CSV column '" + column + "' is emitted but not documented "
+                 "in " + docs.csv_doc_path);
+        }
+      }
+    }
+
+    // JSONL emitters: `"key":` patterns plus `"ev":"name"` event names.
+    if (base == "jsonl_writer.cpp" && !docs.jsonl_doc.empty()) {
+      static const std::regex key_re(R"xx("([A-Za-z_]\w*)"\s*:)xx");
+      static const std::regex event_re(R"xx("ev"\s*:\s*"(\w+)")xx");
+      for (const auto& [line, literal] : detlint::string_literals(file.source)) {
+        std::set<std::string> tokens;
+        for (auto it = std::sregex_iterator(literal.begin(), literal.end(),
+                                            key_re);
+             it != std::sregex_iterator(); ++it) {
+          tokens.insert((*it)[1].str());
+        }
+        for (auto it = std::sregex_iterator(literal.begin(), literal.end(),
+                                            event_re);
+             it != std::sregex_iterator(); ++it) {
+          tokens.insert((*it)[1].str());
+        }
+        for (const std::string& token : tokens) {
+          if (documented(token, docs.jsonl_doc)) continue;
+          report(file, line,
+                 "JSONL key '" + token + "' is emitted but not documented "
+                 "in " + docs.jsonl_doc_path);
+        }
+      }
+    }
+  }
+
+  sort_findings(findings);
+  return findings;
+}
+
+}  // namespace prlint

@@ -1,0 +1,123 @@
+// prlint.h — whole-program passes of the prlint analyzer.
+//
+// detlint.h holds the per-file lexical rules; this header holds the two
+// passes that need to see the program as a whole:
+//
+//   layer-dag     the architecture is a DAG of layers declared in
+//                 tools/detlint/layers.ini (bottom layer first). A file
+//                 may #include its own layer or any layer below it;
+//                 an upward include, an include into a directory absent
+//                 from the declaration, or a file-level #include cycle is
+//                 a finding. The include graph is extracted here, from
+//                 the sources themselves — no compiler, no dependencies.
+//   schema-drift  the CSV columns emitted by exp/scenario_report.cpp and
+//                 the JSONL keys emitted by obs/jsonl_writer.cpp must
+//                 each appear in their documentation table
+//                 (EXPERIMENTS.md and docs/OBSERVABILITY.md). Golden
+//                 tests catch a drifted schema *after* a run; this
+//                 rejects the undocumented column at lint time.
+//
+// Both passes honor `// detlint:allow(<rule>)` markers on the offending
+// line or the line above, exactly like the per-file rules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "detlint.h"
+
+namespace prlint {
+
+using detlint::Finding;
+using detlint::RuleInfo;
+
+/// The whole-program rule catalogue (appended to detlint::rules() by the
+/// CLI's --list-rules).
+const std::vector<RuleInfo>& rules();
+
+/// One source file held in memory; `path` may be virtual (fixtures).
+struct SourceFile {
+  std::string path;
+  std::string source;
+};
+
+/// Read every path into a SourceFile. Throws std::runtime_error on I/O.
+std::vector<SourceFile> load_sources(const std::vector<std::string>& paths);
+
+// ----------------------------------------------------------- layer DAG
+
+/// Parsed layers.ini: named layers bottom-to-top, each owning one or
+/// more top-level directories under src/.
+struct LayerConfig {
+  struct Layer {
+    std::string name;
+    std::vector<std::string> dirs;
+  };
+  std::vector<Layer> layers;
+
+  /// Rank of `dir` (0 = bottom), or -1 when the directory is undeclared.
+  [[nodiscard]] int rank_of(std::string_view dir) const;
+  /// Layer name for a rank (valid ranks only).
+  [[nodiscard]] const std::string& name_of(int rank) const;
+  /// Every declared directory, in declaration order.
+  [[nodiscard]] std::vector<std::string> declared_dirs() const;
+};
+
+/// Parse layers.ini text. Grammar (INI-lite, same spirit as scenario
+/// files): `#`/`;` comments, a single `[layers]` section, then one
+/// `name = dir[, dir...]` line per layer, bottom layer first. Throws
+/// std::runtime_error with `path:line:` context on malformed input or a
+/// directory declared twice.
+LayerConfig parse_layers(std::string_view text, const std::string& path);
+
+/// Load and parse a layers.ini file.
+LayerConfig load_layers(const std::string& path);
+
+/// One `#include "..."` of a repo-local header.
+struct IncludeEdge {
+  std::string from;     // src-relative id of the including file
+  std::string from_path;  // path as given (for reporting)
+  int line = 0;         // 1-based line of the #include
+  std::string to;       // include target as written, e.g. "sim/array_sim.h"
+};
+
+/// The quoted-include graph over a set of sources. Angle-bracket system
+/// includes are ignored; so are same-directory includes written without a
+/// path (they cannot cross a layer).
+struct IncludeGraph {
+  std::vector<std::string> files;  // src-relative ids, sorted
+  std::vector<IncludeEdge> edges;
+};
+
+IncludeGraph extract_includes(const std::vector<SourceFile>& files);
+
+/// Graphviz DOT of the directory-level include graph (edge weights =
+/// number of file-level includes), layered as clusters when a config is
+/// given. Stable output: nodes and edges are emitted sorted.
+std::string to_dot(const IncludeGraph& graph, const LayerConfig* layers);
+
+/// The layer-dag pass: upward includes, undeclared directories, and
+/// file-level include cycles.
+std::vector<Finding> check_layers(const std::vector<SourceFile>& files,
+                                  const LayerConfig& layers);
+
+// --------------------------------------------------------- schema drift
+
+/// The schema-drift pass. Emitters are recognized by basename
+/// (scenario_report.cpp → csv_doc, jsonl_writer.cpp → jsonl_doc); pass
+/// empty doc text to skip a side. CSV columns are any comma-separated
+/// [a-z0-9_] string literal in the emitter; JSONL keys are `"key":`
+/// patterns (plus `"ev":"name"` event names) in its literals. A token is
+/// documented when it appears as a whole word in the doc text.
+struct SchemaDocs {
+  std::string csv_doc_path;    // e.g. EXPERIMENTS.md
+  std::string csv_doc;
+  std::string jsonl_doc_path;  // e.g. docs/OBSERVABILITY.md
+  std::string jsonl_doc;
+};
+
+std::vector<Finding> check_schema(const std::vector<SourceFile>& files,
+                                  const SchemaDocs& docs);
+
+}  // namespace prlint
