@@ -1,0 +1,104 @@
+// control_bench — google-benchmark for the feedback-control seam
+// (src/control + the array-simulator telemetry fold/actuation). The
+// question: what does the control loop COST on the hot path? Its
+// per-request work is one admission check plus a telemetry accumulate,
+// and the per-epoch work is one ControlLoop::update() plus knob
+// actuation — so enabled-vs-disabled should be within noise, and this
+// bench is the receipt:
+//
+//   BM_Control/disabled           today's path, control compiled in but
+//                                 off (the byte-identity configuration)
+//   BM_Control/latency_only       target-latency controller driving the
+//                                 spin-down threshold H
+//   BM_Control/full_stack         latency + energy-budget + adaptive
+//                                 epoch + admission window, on the
+//                                 online-READ policy so the per-epoch
+//                                 Zipf re-estimate is in the loop too
+//
+// Workloads are materialized ONCE outside the timing loop; every
+// iteration replays the identical run (byte-determinism makes the
+// points noise-free by construction). PR_BENCH_QUICK=1 scales the
+// request count down ~5× for the CI quick-bench loop.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string_view>
+
+#include "bench_common.h"
+#include "control/control_config.h"
+#include "core/session.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace pr;
+
+SyntheticWorkload make_workload(std::uint64_t requests) {
+  auto wc = worldcup98_light_config(42);
+  wc.file_count = 200;
+  wc.request_count = requests;
+  return generate_workload(wc);
+}
+
+ControlConfig latency_only() {
+  ControlConfig c;
+  c.enabled = true;
+  c.target_rt_ms = 12.0;
+  c.hysteresis = 0.5;
+  c.persistence = 1;
+  return c;
+}
+
+ControlConfig full_stack() {
+  ControlConfig c = latency_only();
+  c.energy_budget_w = 120.0;
+  c.adapt_epoch = true;
+  c.admit_window_s = 2.0;
+  return c;
+}
+
+void run_point(benchmark::State& state, const SyntheticWorkload& workload,
+               const ControlConfig& control, std::string_view policy) {
+  SystemConfig cfg;
+  cfg.sim.disk_count = 6;
+  cfg.sim.epoch = Seconds{100.0};
+  cfg.sim.control = control;
+  for (auto _ : state) {
+    SimulationSession session(cfg);
+    session.with_workload(workload).with_policy(policy);
+    SystemReport report = session.run();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(workload.trace.requests.size()));
+}
+
+void register_point(const char* name, const SyntheticWorkload& workload,
+                    const ControlConfig& control, std::string_view policy) {
+  benchmark::RegisterBenchmark(
+      name,
+      [&workload, control, policy](benchmark::State& state) {
+        run_point(state, workload, control, policy);
+      })
+      ->Unit(benchmark::kMillisecond)
+      ->UseRealTime();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t requests = pr::bench::quick_mode() ? 20'000 : 100'000;
+  const SyntheticWorkload workload = make_workload(requests);
+
+  register_point("BM_Control/disabled", workload, ControlConfig{}, "read");
+  register_point("BM_Control/latency_only", workload, latency_only(), "read");
+  register_point("BM_Control/full_stack", workload, full_stack(),
+                 "online-read");
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

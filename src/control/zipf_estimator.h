@@ -1,0 +1,53 @@
+// zipf_estimator.h — online θ/α popularity-skew estimation over live
+// per-file access counts (the decayed counters OnlineReadPolicy already
+// maintains), feeding the hot-zone controller its guardrail.
+//
+// θ is Lee et al.'s cumulative skew parameter (trace/trace_stats.h:
+// the top x fraction of files captures x^θ of accesses — 1.0 = uniform,
+// small = skewed); α is the Zipf exponent from a least-squares fit of
+// log(count) on log(rank) over the top ranks, mirroring
+// compute_trace_stats' fit so the online estimate converges to the
+// offline characterisation on a stationary workload. Both are pure
+// functions of the counts multiset: deterministic, allocation-bounded by
+// the fit width, no simulator types.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pr {
+
+struct ZipfEstimate {
+  /// Cumulative skew θ ∈ (0, 1]; 1.0 for degenerate inputs (uniform).
+  double theta = 1.0;
+  /// Fitted Zipf exponent; 0 when fewer than 3 distinct active ranks.
+  double alpha = 0.0;
+  /// Files with a non-zero count (the active universe behind both fits).
+  std::size_t active_files = 0;
+};
+
+class ZipfEstimator {
+ public:
+  /// `files_fraction` is the top-B point θ is measured at (trace_stats'
+  /// default 0.2 reproduces the classic 80/20 reading); `fit_ranks`
+  /// bounds the α log-log fit to the top ranks (0 = all active files).
+  /// Throws std::invalid_argument unless 0 < files_fraction < 1.
+  explicit ZipfEstimator(double files_fraction = 0.2,
+                         std::size_t fit_ranks = 64);
+
+  /// Estimate from live counts (need not be sorted; zeros are ignored).
+  /// Deterministic: the result depends only on the counts multiset.
+  [[nodiscard]] ZipfEstimate estimate(
+      std::span<const std::uint64_t> counts) const;
+
+ private:
+  double files_fraction_;
+  std::size_t fit_ranks_;
+  /// Scratch for the per-call top-rank selection, reused across calls so
+  /// steady-state estimation allocates nothing. Mutable-by-design via
+  /// const_cast-free mutable member.
+  mutable std::vector<std::uint64_t> rank_scratch_;
+};
+
+}  // namespace pr

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "control/control_loop.h"
 #include "core/registry.h"
 #include "redundancy/scheme.h"
 #include "sim/fleet_sim.h"
@@ -104,7 +105,8 @@ enum class Section {
   kPolicy,
   kFault,
   kFleet,
-  kRedundancy
+  kRedundancy,
+  kControl
 };
 
 }  // namespace
@@ -175,11 +177,15 @@ ScenarioSpec parse_scenario(std::string_view text, std::string_view source) {
         }
         spec.redundancy.enabled = true;
         section = Section::kRedundancy;
+      } else if (kind == "control") {
+        if (!arg.empty()) fail_at(source, line_no, "[control] takes no name");
+        spec.control.enabled = true;
+        section = Section::kControl;
       } else {
         fail_at(source, line_no,
                 "unknown section [" + std::string(kind) +
                     "]; expected scenario, system, workload, source, policy, "
-                    "fault, fleet or redundancy");
+                    "fault, fleet, redundancy or control");
       }
       continue;
     }
@@ -316,6 +322,42 @@ ScenarioSpec parse_scenario(std::string_view text, std::string_view source) {
                       "rebuild_mbps, rebuild_chunk");
         }
         break;
+      case Section::kControl: {
+        ControlConfig& c = spec.control.config;
+        if (key == "target_rt_ms") {
+          c.target_rt_ms = parse_double(value, key);
+        } else if (key == "gain") {
+          c.gain = parse_double(value, key);
+        } else if (key == "hysteresis") {
+          c.hysteresis = parse_double(value, key);
+        } else if (key == "persistence") {
+          c.persistence = static_cast<std::uint32_t>(parse_u64(value, key));
+        } else if (key == "max_step") {
+          c.max_step = parse_double(value, key);
+        } else if (key == "h_min") {
+          c.h_min_s = parse_double(value, key);
+        } else if (key == "h_max") {
+          c.h_max_s = parse_double(value, key);
+        } else if (key == "energy_budget_w") {
+          c.energy_budget_w = parse_double(value, key);
+        } else if (key == "adapt_epoch") {
+          c.adapt_epoch = parse_bool(value, key);
+        } else if (key == "epoch_min") {
+          c.epoch_min_s = parse_double(value, key);
+        } else if (key == "epoch_max") {
+          c.epoch_max_s = parse_double(value, key);
+        } else if (key == "admit_window") {
+          c.admit_window_s = parse_double(value, key);
+        } else {
+          fail_at(source, line_no,
+                  "unknown key '" + key +
+                      "' in [control]; valid: target_rt_ms, gain, "
+                      "hysteresis, persistence, max_step, h_min, h_max, "
+                      "energy_budget_w, adapt_epoch, epoch_min, epoch_max, "
+                      "admit_window");
+        }
+        break;
+      }
       }
     } catch (const std::invalid_argument& e) {
       // Add "<source>:<line>" context to bare value-parse errors
@@ -467,6 +509,26 @@ void validate_scenario(const ScenarioSpec& spec) {
               " out of range for a " + std::to_string(disks) + "-disk array");
         }
       }
+    }
+  }
+  if (spec.control.enabled) {
+    if (spec.fleet.enabled) {
+      // Scope cut, not an oversight: fleet shards are independent arrays
+      // with no shared telemetry window, so one controller would couple
+      // them; a per-shard loop is future work.
+      throw std::invalid_argument("scenario '" + spec.name +
+                                  "': [control] does not compose with "
+                                  "[fleet]");
+    }
+    ControlConfig config = spec.control.config;
+    config.enabled = true;
+    try {
+      // ControlLoop's constructor owns the knob validation; a bad
+      // [control] section fails here, before any cell runs.
+      (void)ControlLoop(config);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("scenario '" + spec.name +
+                                  "': [control] " + e.what());
     }
   }
   if (spec.redundancy.enabled) {

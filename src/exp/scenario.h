@@ -55,6 +55,20 @@
 //   shards = 125                # independent arrays of [system] disks each
 //   threads = 1                 # workers per fleet cell (0 = hardware)
 //
+//   [control]                   # optional; adaptive feedback control
+//   target_rt_ms = 30           # latency controller target (0 = off)
+//   gain = 0.5                  # proportional gain on relative error
+//   hysteresis = 0.25           # relative dead band around each target
+//   persistence = 2             # same-direction epochs before acting
+//   max_step = 2.0              # per-boundary H scale cap
+//   h_min = 1                   # idleness-threshold clamp, seconds
+//   h_max = 3600
+//   energy_budget_w = 90        # hot-zone controller budget (0 = off)
+//   adapt_epoch = true          # epoch-length controller on/off
+//   epoch_min = 60              # epoch-length clamp, seconds
+//   epoch_max = 14400
+//   admit_window = 0.5          # admission (shed) window, seconds (0 = off)
+//
 // Comments start with '#' or ';' (whole line, or after whitespace).
 #pragma once
 
@@ -64,6 +78,7 @@
 #include <string_view>
 #include <vector>
 
+#include "control/control_config.h"
 #include "redundancy/redundancy_config.h"
 #include "util/param_map.h"
 #include "workload/synthetic.h"
@@ -159,6 +174,21 @@ struct ScenarioFleet {
   unsigned threads = 1;
 };
 
+/// Feedback-control knobs (`[control]` section): every cell runs with
+/// SimConfig::control enabled — the latency / energy / epoch controllers
+/// of control/control_loop.h close the loop between epochs, and the
+/// admission window sheds requests whose backlog exceeds it. Composes
+/// with [fault] and [redundancy]; not with [fleet] (shards share no
+/// controller — rejected by validation). The cell's `epoch_s` value
+/// seeds the adaptive epoch length.
+struct ScenarioControl {
+  bool enabled = false;
+  /// The knobs, minus `enabled` (the section's presence sets it per
+  /// cell). Defaults are control_config.h's: every controller off until
+  /// its target is configured.
+  ControlConfig config;
+};
+
 struct ScenarioSpec {
   std::string name = "scenario";
   /// Worker threads for the sweep (0 = hardware concurrency). Never
@@ -177,6 +207,7 @@ struct ScenarioSpec {
   ScenarioFault fault;
   ScenarioFleet fleet;
   ScenarioRedundancy redundancy;
+  ScenarioControl control;
 };
 
 /// Parse the INI-lite text above. Throws std::invalid_argument with

@@ -411,6 +411,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   result.scenario = spec.name;
   result.faulted = spec.fault.enabled;
   result.redundant = spec.redundancy.enabled;
+  result.controlled = spec.control.enabled;
   result.cells.resize(cell_specs.size());
   pool.parallel_for(cell_specs.size(), [&](std::size_t i) {
     const CellSpec& cs = cell_specs[i];
@@ -425,6 +426,10 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     if (spec.positioned) config.sim.seek_curve = cheetah_seek_curve();
     if (spec.redundancy.enabled) {
       config.sim.redundancy = scenario_redundancy_config(spec);
+    }
+    if (spec.control.enabled) {
+      config.sim.control = spec.control.config;
+      config.sim.control.enabled = true;
     }
 
     auto policy = factories[cs.policy_idx]();
@@ -506,6 +511,19 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
               : 0.0;
       cell.redundancy = score_redundancy_cell(
           spec, cell.report.sim, injected_afr, cs.disks, 1, variant.horizon);
+    }
+    if (spec.control.enabled) {
+      ScenarioControlCell control;
+      control.updates = counter_of(cell.report.sim, "control.updates");
+      control.shed_requests =
+          counter_of(cell.report.sim, "control.shed_requests");
+      control.h_scaled = counter_of(cell.report.sim, "control.h_scaled");
+      control.hot_grows = counter_of(cell.report.sim, "control.hot_grows");
+      control.hot_shrinks =
+          counter_of(cell.report.sim, "control.hot_shrinks");
+      control.epoch_scaled =
+          counter_of(cell.report.sim, "control.epoch_scaled");
+      cell.control = control;
     }
     result.cells[i] = std::move(cell);
   });

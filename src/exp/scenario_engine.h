@@ -57,6 +57,18 @@ struct ScenarioRedundancyCell {
   double observed_over_predicted = 0.0;    ///< 0 when prediction is 0-rate
 };
 
+/// Control-loop results for one cell of a `[control]`-enabled scenario:
+/// what the feedback controllers actually did (the simulator's control.*
+/// counters, verbatim).
+struct ScenarioControlCell {
+  std::uint64_t updates = 0;        ///< epoch windows folded
+  std::uint64_t shed_requests = 0;  ///< dropped by the admission window
+  std::uint64_t h_scaled = 0;       ///< boundaries that rescaled DPM H
+  std::uint64_t hot_grows = 0;      ///< hot-zone disks added
+  std::uint64_t hot_shrinks = 0;    ///< hot-zone disks removed
+  std::uint64_t epoch_scaled = 0;   ///< boundaries that resized the epoch
+};
+
 /// One completed grid point. The axis fields echo the spec values that
 /// produced the cell (trace workloads report load = 1 and seed = 0: the
 /// axes do not apply to a fixed trace).
@@ -75,6 +87,8 @@ struct ScenarioCell {
   /// the prediction) without a `[fault]` section: parity only acts when
   /// failures strike.
   std::optional<ScenarioRedundancyCell> redundancy;
+  /// Present iff the spec had a `[control]` section.
+  std::optional<ScenarioControlCell> control;
 };
 
 struct ScenarioResult {
@@ -85,6 +99,9 @@ struct ScenarioResult {
   /// True when the spec had a `[redundancy]` section; the report layer
   /// appends the redundancy columns exactly in this case.
   bool redundant = false;
+  /// True when the spec had a `[control]` section; the report layer
+  /// appends the control columns exactly in this case.
+  bool controlled = false;
   std::vector<ScenarioCell> cells;  ///< spec order (policy-major)
 };
 

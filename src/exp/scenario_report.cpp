@@ -21,7 +21,8 @@ std::string full(double v) { return format_double(v, 17); }
 
 }  // namespace
 
-std::string scenario_csv_header(bool with_faults, bool with_redundancy) {
+std::string scenario_csv_header(bool with_faults, bool with_redundancy,
+                                bool with_control) {
   std::string header =
       "scenario,policy,workload,load,seed,epoch_s,disks,array_afr,"
       "energy_j,mean_rt_ms,p95_rt_ms,total_transitions,"
@@ -40,11 +41,18 @@ std::string scenario_csv_header(bool with_faults, bool with_redundancy) {
         "predicted_losses_per_year,observed_losses_per_year,"
         "loss_over_predicted";
   }
+  if (with_control) {
+    header +=
+        ",control_updates,control_shed,control_h_scaled,control_hot_grows,"
+        "control_hot_shrinks,control_epoch_scaled";
+  }
   return header;
 }
 
 void write_scenario_csv(const ScenarioResult& result, std::ostream& out) {
-  out << scenario_csv_header(result.faulted, result.redundant) << "\n";
+  out << scenario_csv_header(result.faulted, result.redundant,
+                             result.controlled)
+      << "\n";
   CsvWriter writer(out);
   for (const ScenarioCell& c : result.cells) {
     const SimResult& sim = c.report.sim;
@@ -88,6 +96,14 @@ void write_scenario_csv(const ScenarioResult& result, std::ostream& out) {
                      full(r.predicted_losses_per_year),
                      full(r.observed_losses_per_year),
                      full(r.observed_over_predicted)});
+    }
+    if (result.controlled) {
+      const ScenarioControlCell k = c.control.value_or(ScenarioControlCell{});
+      fields.insert(fields.end(),
+                    {std::to_string(k.updates), std::to_string(k.shed_requests),
+                     std::to_string(k.h_scaled), std::to_string(k.hot_grows),
+                     std::to_string(k.hot_shrinks),
+                     std::to_string(k.epoch_scaled)});
     }
     writer.write_row(fields);
   }
@@ -155,6 +171,14 @@ void write_scenario_json(const ScenarioResult& result, std::ostream& out,
           << full(r.observed_losses_per_year)
           << ",\"loss_over_predicted\":" << full(r.observed_over_predicted)
           << "}";
+    }
+    if (c.control) {
+      const ScenarioControlCell& k = *c.control;
+      out << ",\"control\":{\"updates\":" << k.updates
+          << ",\"shed\":" << k.shed_requests << ",\"h_scaled\":" << k.h_scaled
+          << ",\"hot_grows\":" << k.hot_grows
+          << ",\"hot_shrinks\":" << k.hot_shrinks
+          << ",\"epoch_scaled\":" << k.epoch_scaled << "}";
     }
     if (include_reports) {
       // pr::to_json emits a complete JSON object (plus a trailing

@@ -17,10 +17,13 @@ namespace pr {
 /// degradation windows, recovery times, lost/degraded counts,
 /// PRESS-vs-injected agreement) are appended; with `with_redundancy` the
 /// redundancy columns (reconstructions, data-loss events, rebuild
-/// progress, MTTDL agreement) follow after those — strictly append-only,
-/// so fault-free scenarios keep the narrow schema byte-for-byte.
+/// progress, MTTDL agreement) follow after those; with `with_control`
+/// the control columns (update/shed counts, knob actuations) come last —
+/// strictly append-only, so fault-free scenarios keep the narrow schema
+/// byte-for-byte.
 [[nodiscard]] std::string scenario_csv_header(bool with_faults = false,
-                                              bool with_redundancy = false);
+                                              bool with_redundancy = false,
+                                              bool with_control = false);
 
 /// One row per cell, schema above (widened when result.faulted), full
 /// double precision.

@@ -161,6 +161,20 @@ void JsonlTraceWriter::on_stripe_reconstruct(
          << event.sources << R"(,"bytes":)" << event.bytes << "}\n";
 }
 
+void JsonlTraceWriter::on_control_update(const ControlUpdateEvent& event) {
+  if (!options_.control) return;
+  line() << R"({"ev":"control","t":)" << format_double(event.time.value(), 17)
+         << R"(,"epoch":)" << event.epoch_index << R"(,"requests":)"
+         << event.requests << R"(,"shed":)" << event.shed
+         << R"(,"mean_rt_s":)" << format_double(event.mean_rt_s, 17)
+         << R"(,"backlog_s":)" << format_double(event.max_backlog_s, 17)
+         << R"(,"energy_j":)" << format_double(event.energy_j, 17)
+         << R"(,"h_scale":)" << format_double(event.h_scale, 17)
+         << R"(,"hot_delta":)" << event.hot_delta << R"(,"epoch_scale":)"
+         << format_double(event.epoch_scale, 17) << R"(,"epoch_len_s":)"
+         << format_double(event.epoch_len_s, 17) << "}\n";
+}
+
 void JsonlTraceWriter::on_run_end(const RunEndEvent& event) {
   line() << R"({"ev":"run_end","horizon_s":)" << format_double(event.horizon.value(), 17)
          << R"(,"requests":)" << event.user_requests << R"(,"energy_j":)"

@@ -37,6 +37,10 @@ struct JsonlOptions {
   /// when a parity RedundancyScheme is configured and faults strike, so
   /// every pre-redundancy trace is unchanged (v1 schema safe).
   bool rebuilds = true;
+  /// Control-loop lines (one per epoch boundary of a control-enabled
+  /// run). On by default: they only fire when SimConfig::control.enabled
+  /// is set, so every control-free trace is unchanged (v1 schema safe).
+  bool control = true;
 };
 
 class JsonlTraceWriter final : public SimObserver {
@@ -60,6 +64,7 @@ class JsonlTraceWriter final : public SimObserver {
   void on_rebuild_progress(const RebuildProgressEvent& event) override;
   void on_rebuild_complete(const RebuildCompleteEvent& event) override;
   void on_stripe_reconstruct(const StripeReconstructEvent& event) override;
+  void on_control_update(const ControlUpdateEvent& event) override;
   void on_run_end(const RunEndEvent& event) override;
 
   [[nodiscard]] std::uint64_t lines_written() const { return lines_; }

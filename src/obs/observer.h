@@ -288,6 +288,38 @@ struct StripeReconstructEvent {
   Bytes bytes = 0;
 };
 
+/// Fired at each epoch boundary of a control-enabled run
+/// (SimConfig::control.enabled), after the ControlLoop folded the closing
+/// epoch's window and the simulator actuated its decision — so the event
+/// reports both the observed window and what was done about it. Follows
+/// the boundary's EpochEndEvent; never fires when control is disabled.
+/// Plain scalars only: obs sits below the control layer and does not see
+/// its types.
+struct ControlUpdateEvent {
+  Seconds time{};
+  /// 0-based index of the epoch that just closed.
+  std::uint64_t epoch_index = 0;
+  /// User requests served inside the closed epoch.
+  std::uint64_t requests = 0;
+  /// Requests shed by the admission window inside the closed epoch.
+  std::uint64_t shed = 0;
+  /// Mean response time over the epoch's served requests, seconds.
+  double mean_rt_s = 0.0;
+  /// Worst FCFS backlog seen at any dispatch inside the epoch, seconds.
+  double max_backlog_s = 0.0;
+  /// Ledger energy spent across the epoch, joules (all disks).
+  double energy_j = 0.0;
+  /// Idleness-threshold multiplier the latency controller requested
+  /// (1 = hold; per-disk clamping happens at actuation).
+  double h_scale = 1.0;
+  /// Hot-zone resize the policy actually applied (post-guardrail).
+  int hot_delta = 0;
+  /// Epoch-length multiplier the backlog controller requested (1 = hold).
+  double epoch_scale = 1.0;
+  /// Epoch length in force after actuation, seconds.
+  double epoch_len_s = 0.0;
+};
+
 /// Fired once after the trailing events drained and every ledger closed.
 ///
 /// Conservation identity (pinned by tests/test_observer.cpp): with Σ over
@@ -350,6 +382,9 @@ class SimObserver {
   virtual void on_stripe_reconstruct(const StripeReconstructEvent& event) {
     (void)event;
   }
+  virtual void on_control_update(const ControlUpdateEvent& event) {
+    (void)event;
+  }
   virtual void on_run_end(const RunEndEvent& event) { (void)event; }
 };
 
@@ -409,6 +444,9 @@ class ObserverList final : public SimObserver {
   }
   void on_stripe_reconstruct(const StripeReconstructEvent& event) override {
     for (auto* o : observers_) o->on_stripe_reconstruct(event);
+  }
+  void on_control_update(const ControlUpdateEvent& event) override {
+    for (auto* o : observers_) o->on_control_update(event);
   }
   void on_run_end(const RunEndEvent& event) override {
     for (auto* o : observers_) o->on_run_end(event);

@@ -7,9 +7,12 @@
 // online variant instead maintains *cumulative, exponentially decayed*
 // popularity counts updated per served request, and acts at two cadences:
 //   * per request (after_serve): a cold file whose decayed count climbs
-//     past the current promotion bar (the smallest count in the last
-//     boundary's top-k, plus a configurable margin) is promoted to the hot
-//     zone immediately — no waiting for the boundary;
+//     past the current promotion bar (the *ceiling*-decayed count of the
+//     weakest member of the last boundary's top-k, plus a configurable
+//     margin) is promoted to the hot zone immediately — no waiting for
+//     the boundary. The ceiling matters: the counts themselves decay by
+//     floor shift, so a floor-decayed bar could tie with a file that the
+//     boundary ranking placed strictly below the cut;
 //   * per epoch (on_epoch): the same O(k) nth_element re-ranking machinery
 //     as batch READ (ReadPolicy::rebalance) runs over the decayed counts,
 //     correcting drift, demoting cooled files, refreshing the promotion
@@ -21,6 +24,7 @@
 // SimResult::counters (interned handles, one vector add per bump).
 #pragma once
 
+#include "control/zipf_estimator.h"
 #include "obs/counter_registry.h"
 #include "policy/read_policy.h"
 
@@ -47,6 +51,16 @@ class OnlineReadPolicy final : public ReadPolicy {
   void after_serve(ArrayContext& ctx, const Request& req, DiskId d) override;
   void on_epoch(ArrayContext& ctx, Seconds now) override;
 
+  /// Control actuation (ISSUE 10): the energy controller's hot-zone
+  /// resize request, guarded by the online θ̂/α̂ Zipf estimate over the
+  /// decayed counts. A grow is capped at the zone width the observed skew
+  /// justifies (compute_zoning under θ̂) — a flat workload cannot talk the
+  /// controller into spinning the whole array up; a shrink only bottoms
+  /// out at one hot disk. Refuses everything before warm-up (no ranking
+  /// yet) and returns the signed resize actually applied.
+  int on_control(ArrayContext& ctx, const ControlDecision& decision,
+                 Seconds now) override;
+
   /// Introspection for tests/benches.
   [[nodiscard]] std::uint64_t online_promotions() const {
     return online_promotions_;
@@ -56,6 +70,14 @@ class OnlineReadPolicy final : public ReadPolicy {
   [[nodiscard]] const std::vector<std::uint64_t>& decayed_counts() const {
     return counts_;
   }
+  /// Last on_control Zipf fit over the decayed counts (θ̂ by the
+  /// b-fraction statistic, α̂ by log-log rank regression); default until
+  /// the first control update.
+  [[nodiscard]] const ZipfEstimate& zipf_estimate() const {
+    return estimate_;
+  }
+  [[nodiscard]] double theta_hat() const { return estimate_.theta; }
+  [[nodiscard]] double alpha_hat() const { return estimate_.alpha; }
 
  private:
   OnlineReadConfig online_;
@@ -66,6 +88,9 @@ class OnlineReadPolicy final : public ReadPolicy {
   bool warmed_ = false;
   CounterRegistry::Handle h_promotions_ = 0;
   CounterRegistry::Handle h_demotions_ = 0;
+  ZipfEstimator estimator_;
+  ZipfEstimate estimate_;
+  std::vector<double> load_scratch_;  // desc-sorted loads for the guardrail
 };
 
 }  // namespace pr

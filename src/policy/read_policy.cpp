@@ -170,6 +170,37 @@ void ReadPolicy::adapt_thresholds(ArrayContext& ctx, Seconds now) {
   }
 }
 
+int ReadPolicy::resize_hot_zone(ArrayContext& ctx, std::size_t target) {
+  const std::size_t disks = ctx.disk_count();
+  const std::size_t cap = disks > 1 ? disks - 1 : 1;
+  target = std::clamp<std::size_t>(target, 1, cap);
+  const std::size_t cur = zoning_.hot_disks;
+  if (target == cur) return 0;
+  if (target > cur) {
+    for (std::size_t d = cur; d < target; ++d) {
+      DpmConfig dpm;
+      dpm.spin_down_when_idle = true;
+      dpm.idleness_threshold = config_.idleness_threshold;
+      dpm.spin_up_to_serve = true;
+      ctx.set_dpm(static_cast<DiskId>(d), dpm);
+      ctx.request_transition(static_cast<DiskId>(d), DiskSpeed::kHigh);
+    }
+  } else {
+    for (std::size_t d = target; d < cur; ++d) {
+      DpmConfig dpm;
+      dpm.spin_down_when_idle = false;
+      dpm.spin_up_to_serve = false;
+      ctx.set_dpm(static_cast<DiskId>(d), dpm);
+      ctx.request_transition(static_cast<DiskId>(d), DiskSpeed::kLow);
+    }
+  }
+  zoning_.hot_disks = target;
+  zoning_.cold_disks = disks - target;
+  // The round-robin cursors keep running — they are taken modulo the new
+  // zone widths on the next placement.
+  return static_cast<int>(target) - static_cast<int>(cur);
+}
+
 void ReadPolicy::on_epoch(ArrayContext& ctx, Seconds now) {
   epoch_migrations_ = 0;
   if (ctx.epoch_requests() > 0) {

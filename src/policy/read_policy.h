@@ -88,6 +88,16 @@ class ReadPolicy : public Policy {
   /// off.
   void adapt_thresholds(ArrayContext& ctx, Seconds now);
 
+  /// Control actuation: resize the hot zone to `target` disks, clamped to
+  /// [1, disk_count - 1] (a zone of every disk would leave no cold zone —
+  /// single-disk arrays stay at 1). Disks entering the zone get the hot
+  /// DPM profile (spin-down-when-idle at the configured initial H,
+  /// spin-up-to-serve) and an immediate spin-up; disks leaving it get the
+  /// cold profile and a spin-down. Files are NOT migrated here — the next
+  /// rebalance pass re-places categories against the new zone widths.
+  /// Returns the signed resize actually applied (0 = no change).
+  int resize_hot_zone(ArrayContext& ctx, std::size_t target);
+
   [[nodiscard]] DiskId next_hot_disk();
   [[nodiscard]] DiskId next_cold_disk();
 

@@ -4,6 +4,7 @@
 #include <array>
 #include <stdexcept>
 
+#include "control/control_loop.h"
 #include "redundancy/rebuild.h"
 #include "redundancy/scheme.h"
 #include "util/contracts.h"
@@ -192,7 +193,8 @@ class ArraySimulator {
                  RequestSource& source, Policy& policy, SimObserver* observer,
                  const FaultPlan* faults)
       : config_(config), files_(files), source_(source), policy_(policy),
-        ctx_(config, files), faults_(faults),
+        ctx_(config, files), faults_(faults), control_(config.control),
+        epoch_len_(config.epoch),
         h_epochs_(ctx_.counters_.intern("sim.epochs")),
         h_idle_checks_(ctx_.counters_.intern("sim.idle_checks")),
         h_idle_stale_(ctx_.counters_.intern("sim.idle_checks_stale")),
@@ -245,6 +247,21 @@ class ArraySimulator {
             ctx_.counters_.intern("redundancy.rebuilds_aborted");
       }
     }
+    // Control counters arm only with the subsystem enabled — the same
+    // zero-valued-counter reasoning as the fault set above keeps every
+    // control-free report byte-identical. (The ControlLoop member itself
+    // is always constructed: a bad config errors deterministically even
+    // before the first epoch fires.)
+    control_on_ = config.control.enabled;
+    if (control_on_) {
+      shed_window_ = config.control.admit_window_s;
+      h_ctl_updates_ = ctx_.counters_.intern("control.updates");
+      h_ctl_shed_ = ctx_.counters_.intern("control.shed_requests");
+      h_ctl_h_scaled_ = ctx_.counters_.intern("control.h_scaled");
+      h_ctl_hot_grows_ = ctx_.counters_.intern("control.hot_grows");
+      h_ctl_hot_shrinks_ = ctx_.counters_.intern("control.hot_shrinks");
+      h_ctl_epoch_scaled_ = ctx_.counters_.intern("control.epoch_scaled");
+    }
   }
 
   SimResult run() {
@@ -253,7 +270,7 @@ class ArraySimulator {
     emit_run_start();
     arm_initial_idle_checks();
 
-    next_epoch_ = ctx_.config_->epoch;
+    next_epoch_ = epoch_len_;
     Seconds horizon{0.0};
     Seconds last_arrival{0.0};
     bool any_requests = false;
@@ -311,6 +328,10 @@ class ArraySimulator {
           throw std::logic_error("striped policy produced no chunks");
         }
         primary = chunks.front().disk;
+        // Admission precedes fault handling: a shed request consumes no
+        // degraded-read planning and no service. The primary chunk's disk
+        // stands in for the stripe's backlog.
+        if (control_on_ && !admit(req, primary)) continue;
         if (ctx_.faults_on_) {
           // A striped request needs every chunk; each failed chunk disk
           // consults the redundancy seam. Without a scheme (or with
@@ -377,6 +398,7 @@ class ArraySimulator {
         }
       } else {
         primary = policy_.route(ctx_, req);
+        if (control_on_ && !admit(req, primary)) continue;
         if (ctx_.faults_on_ && ctx_.fault_.failed(primary)) {
           scratch_reads_.clear();
           DiskId redirect = kInvalidDisk;
@@ -448,6 +470,12 @@ class ArraySimulator {
       result_.response_time.add(rt);
       result_.response_time_sample.add(rt);
       ++result_.user_requests;
+      if (control_on_) {
+        // Per-epoch latency window for the control loop; arrival order,
+        // so the fold is deterministic.
+        ++ctl_epoch_served_;
+        ctl_epoch_rt_sum_ += rt;
+      }
 
       if (obs != nullptr) {
         pending_.arrival = req.arrival;
@@ -906,11 +934,125 @@ class ArraySimulator {
         ctx_.observer_->on_epoch_end(
             EpochEndEvent{next_epoch_, epoch_index_, ctx_.epoch_requests_});
       }
+      // Control closes the loop after the boundary's epoch-end event (its
+      // ControlUpdateEvent documents itself as following EpochEndEvent)
+      // and before the counts reset, so the policy's decayed counts it
+      // reads are the ones on_epoch just produced.
+      if (control_on_) control_step(next_epoch_);
       ++epoch_index_;
       std::fill(ctx_.epoch_counts_.begin(), ctx_.epoch_counts_.end(), 0);
       ctx_.epoch_requests_ = 0;
-      next_epoch_ += ctx_.config_->epoch;
+      next_epoch_ += epoch_len_;
     }
+  }
+
+  /// Control-mode admission at dispatch: measure the routed disk's FCFS
+  /// backlog (how long the request would wait before service begins),
+  /// fold it into the epoch window, and — when an admission window is
+  /// configured — shed the request instead of queueing it unboundedly.
+  /// A shed request is recorded, not served: no response-time sample, no
+  /// completion event, no after_serve (the epoch popularity bump stands:
+  /// demand existed even if unmet — same contract as a lost request).
+  bool admit(const Request& req, DiskId primary) {
+    const double backlog = std::max(
+        0.0, (ctx_.disks_[primary].ready_time() - req.arrival).value());
+    if (shed_window_ > 0.0 && backlog > shed_window_) {
+      ctx_.counters_.add(h_ctl_shed_);
+      ++ctl_epoch_shed_;
+      return false;
+    }
+    if (backlog > ctl_epoch_backlog_) ctl_epoch_backlog_ = backlog;
+    return true;
+  }
+
+  /// Close the epoch's control window: fold the observed latency / energy
+  /// / backlog into the ControlLoop, actuate its knob decisions — DPM
+  /// idleness thresholds here, the hot-zone size through
+  /// Policy::on_control, the epoch length via the boundary stride — and
+  /// announce the update to the observer. The energy window is the ledger
+  /// delta between boundaries; ledgers close idle stretches lazily (on
+  /// the next activity), so a window's spend can lag by a trailing idle
+  /// stretch — deterministic, and it evens out across windows.
+  void control_step(Seconds boundary) {
+    const ControlConfig& cfg = config_.control;
+    Joules energy_now{0.0};
+    for (const Disk& disk : ctx_.disks_) energy_now += disk.ledger().energy;
+
+    ControlInputs in;
+    in.epoch_s = epoch_len_.value();
+    in.requests = ctl_epoch_served_;
+    in.mean_rt_s =
+        ctl_epoch_served_ > 0
+            ? ctl_epoch_rt_sum_ / static_cast<double>(ctl_epoch_served_)
+            : 0.0;
+    in.max_backlog_s = ctl_epoch_backlog_;
+    in.energy_j = (energy_now - ctl_last_energy_).value();
+    in.shed = ctl_epoch_shed_;
+
+    const ControlDecision decision = control_.update(in);
+    ctx_.counters_.add(h_ctl_updates_);
+
+    if (decision.h_scale != 1.0) {
+      // Rescale every DPM-managed disk's idleness threshold; disks the
+      // policy left un-managed (cold zones, always-on disks) are not the
+      // latency controller's to touch.
+      bool scaled = false;
+      for (DiskId d = 0; d < ctx_.disks_.size(); ++d) {
+        if (!ctx_.dpm_[d].spin_down_when_idle) continue;
+        const double h = ctx_.dpm_[d].idleness_threshold.value();
+        const double stretched =
+            std::clamp(h * decision.h_scale, cfg.h_min_s, cfg.h_max_s);
+        if (stretched != h) {
+          ctx_.set_idleness_threshold(d, Seconds{stretched});
+          scaled = true;
+        }
+      }
+      if (scaled) ctx_.counters_.add(h_ctl_h_scaled_);
+    }
+
+    int applied = 0;
+    if (decision.hot_delta != 0) {
+      applied = policy_.on_control(ctx_, decision, boundary);
+      if (applied > 0) {
+        ctx_.counters_.add(h_ctl_hot_grows_,
+                           static_cast<std::uint64_t>(applied));
+      } else if (applied < 0) {
+        ctx_.counters_.add(h_ctl_hot_shrinks_,
+                           static_cast<std::uint64_t>(-applied));
+      }
+    }
+
+    if (decision.epoch_scale != 1.0) {
+      const double stretched = std::clamp(
+          epoch_len_.value() * decision.epoch_scale, cfg.epoch_min_s,
+          cfg.epoch_max_s);
+      if (stretched != epoch_len_.value()) {
+        epoch_len_ = Seconds{stretched};
+        ctx_.counters_.add(h_ctl_epoch_scaled_);
+      }
+    }
+
+    if (ctx_.observer_ != nullptr) {
+      ControlUpdateEvent event;
+      event.time = boundary;
+      event.epoch_index = epoch_index_;
+      event.requests = ctl_epoch_served_;
+      event.shed = ctl_epoch_shed_;
+      event.mean_rt_s = in.mean_rt_s;
+      event.max_backlog_s = in.max_backlog_s;
+      event.energy_j = in.energy_j;
+      event.h_scale = decision.h_scale;
+      event.hot_delta = applied;
+      event.epoch_scale = decision.epoch_scale;
+      event.epoch_len_s = epoch_len_.value();
+      ctx_.observer_->on_control_update(event);
+    }
+
+    ctl_last_energy_ = energy_now;
+    ctl_epoch_served_ = 0;
+    ctl_epoch_rt_sum_ = 0.0;
+    ctl_epoch_backlog_ = 0.0;
+    ctl_epoch_shed_ = 0;
   }
 
   void emit_run_start() {
@@ -980,6 +1122,18 @@ class ArraySimulator {
   /// factor across its chunks); drives the kSlowed emission.
   bool request_slowed_ = false;
   double request_slowdown_ = 1.0;
+  // Feedback-control state; armed only when SimConfig::control.enabled.
+  // epoch_len_ starts at config.epoch and only the epoch controller ever
+  // moves it, so control-free runs keep today's fixed boundary stride.
+  bool control_on_ = false;
+  ControlLoop control_;
+  double shed_window_ = 0.0;
+  Seconds epoch_len_{0.0};
+  std::uint64_t ctl_epoch_served_ = 0;
+  double ctl_epoch_rt_sum_ = 0.0;
+  double ctl_epoch_backlog_ = 0.0;
+  std::uint64_t ctl_epoch_shed_ = 0;
+  Joules ctl_last_energy_{0.0};
   Seconds next_epoch_{0.0};
   std::uint64_t epoch_index_ = 0;
   SimResult result_;
@@ -1016,6 +1170,13 @@ class ArraySimulator {
   CounterRegistry::Handle h_rebuilds_started_ = 0;
   CounterRegistry::Handle h_rebuilds_completed_ = 0;
   CounterRegistry::Handle h_rebuilds_aborted_ = 0;
+  // Control counters; interned only when SimConfig::control.enabled.
+  CounterRegistry::Handle h_ctl_updates_ = 0;
+  CounterRegistry::Handle h_ctl_shed_ = 0;
+  CounterRegistry::Handle h_ctl_h_scaled_ = 0;
+  CounterRegistry::Handle h_ctl_hot_grows_ = 0;
+  CounterRegistry::Handle h_ctl_hot_shrinks_ = 0;
+  CounterRegistry::Handle h_ctl_epoch_scaled_ = 0;
 };
 
 SimResult run_simulation(const SimConfig& config, const FileSet& files,

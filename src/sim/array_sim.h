@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "control/control_config.h"
 #include "disk/disk.h"
 #include "disk/telemetry.h"
 #include "fault/fault_plan.h"
@@ -75,6 +76,12 @@ struct SimConfig {
   /// background rebuild of failed disks; it takes precedence over
   /// Policy::redundancy().
   RedundancyConfig redundancy;
+  /// Feedback control (control/control_config.h). Disabled (default)
+  /// preserves today's behavior byte-for-byte: fixed epoch length, fixed
+  /// DPM thresholds, no admission window, no control.* counters. Enabled,
+  /// the simulator folds one telemetry window per epoch into a
+  /// ControlLoop and actuates its knob decisions between epochs.
+  ControlConfig control;
 };
 
 class Policy;
@@ -244,6 +251,11 @@ struct StripeChunk {
 /// still served — a live copy, parity reconstruction, or lost.
 class RedundancyScheme;
 
+/// The control seam (control/control_loop.h): what the epoch-boundary
+/// controllers decided. Forward-declared — only policies that implement
+/// on_control need the full type.
+struct ControlDecision;
+
 /// An energy-saving scheme under evaluation.
 class Policy {
  public:
@@ -284,6 +296,22 @@ class Policy {
   virtual void on_epoch(ArrayContext& ctx, Seconds now) {
     (void)ctx;
     (void)now;
+  }
+
+  /// Control-loop actuation seam: on a control-enabled run whose energy
+  /// controller asked for a hot-zone resize (decision.hot_delta != 0),
+  /// the simulator forwards the decision here at the epoch boundary,
+  /// after on_epoch. The policy applies its own guardrails (e.g. the
+  /// online θ̂ skew estimate bounding how many hot disks the workload
+  /// justifies) and returns the signed resize it actually took — 0 means
+  /// refused, or unsupported (the default for policies without a
+  /// resizable hot zone). Never called when control is disabled.
+  virtual int on_control(ArrayContext& ctx, const ControlDecision& decision,
+                         Seconds now) {
+    (void)ctx;
+    (void)decision;
+    (void)now;
+    return 0;
   }
 
   /// Veto hook for DPM spin-downs (READ's transition cap).

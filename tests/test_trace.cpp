@@ -165,6 +165,77 @@ TEST(Wc98, ToleratesDisorderedTimestamps) {
   EXPECT_EQ(id_map[1], 1u);
 }
 
+TEST(Wc98, DisorderFixturePinsConversion) {
+  // Committed binary log, heavily disordered: the minimum timestamp
+  // (905000008) is the FOURTH record in the file, seconds repeat
+  // non-contiguously, and two records carry unknown/zero sizes.
+  const std::string path = std::string(WC98_FIXTURE_DIR) + "/disorder.wc98";
+  const auto records = read_wc98_records_file(path);
+  ASSERT_EQ(records.size(), 8u);
+  EXPECT_GT(records[0].timestamp, records[3].timestamp);
+  EXPECT_EQ(records[3].timestamp, 905'000'008u);
+
+  Wc98ConvertOptions options;
+  options.default_size = 777;
+  std::vector<std::uint32_t> id_map;
+  const Trace t = wc98_to_trace(records, options, &id_map);
+  ASSERT_EQ(t.size(), 8u);  // disorder never drops records
+  EXPECT_TRUE(t.is_sorted());
+
+  // Rebase is against the sorted minimum, not the first raw record:
+  // the lone arrival in second 905000008 lands at 0.5, second
+  // 905000009 at 1.5, and the three arrivals sharing second 905000010
+  // spread at (k + 0.5)/3 into offset 2.
+  EXPECT_NEAR(t.requests[0].arrival.value(), 0.5, 1e-9);
+  EXPECT_NEAR(t.requests[1].arrival.value(), 1.5, 1e-9);
+  EXPECT_NEAR(t.requests[2].arrival.value(), 2.0 + 0.5 / 3.0, 1e-9);
+  EXPECT_NEAR(t.requests[3].arrival.value(), 2.0 + 1.5 / 3.0, 1e-9);
+  EXPECT_NEAR(t.requests[4].arrival.value(), 2.0 + 2.5 / 3.0, 1e-9);
+  EXPECT_NEAR(t.requests[5].arrival.value(), 4.0 + 0.5 / 3.0, 1e-9);
+  EXPECT_NEAR(t.requests[6].arrival.value(), 4.0 + 1.5 / 3.0, 1e-9);
+  EXPECT_NEAR(t.requests[7].arrival.value(), 4.0 + 2.5 / 3.0, 1e-9);
+
+  // Dense ids follow sorted-arrival order (700 first, then 900, 600,
+  // 800, 500), with duplicates reusing their slot.
+  ASSERT_EQ(id_map.size(), 5u);
+  EXPECT_EQ(id_map[0], 700u);
+  EXPECT_EQ(id_map[1], 900u);
+  EXPECT_EQ(id_map[2], 600u);
+  EXPECT_EQ(id_map[3], 800u);
+  EXPECT_EQ(id_map[4], 500u);
+  EXPECT_EQ(t.requests[0].file, 0u);
+  EXPECT_EQ(t.requests[5].file, 4u);  // object 500 again
+  EXPECT_EQ(t.requests[7].file, 2u);  // object 600 again
+
+  // Unknown (0xFFFFFFFF) and zero sizes both take the default.
+  EXPECT_EQ(t.requests[2].size, 777u);  // raw size 0
+  EXPECT_EQ(t.requests[3].size, 777u);  // raw size unknown
+  EXPECT_EQ(t.requests[0].size, 4096u);
+}
+
+TEST(Wc98, DisorderToleranceIsUnbounded) {
+  // Fully reversed input spanning kiloseconds: the converter's stable
+  // sort is whole-trace, not a bounded reorder window, so the output
+  // must equal the conversion of the forward-sorted input.
+  std::vector<Wc98Record> reversed;
+  std::vector<Wc98Record> forward;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    const Wc98Record r{1000u + i * 37u, 0, i, 10u, 0, 0, 0, 0};
+    forward.push_back(r);
+    reversed.insert(reversed.begin(), r);
+  }
+  const Trace a = wc98_to_trace(forward);
+  const Trace b = wc98_to_trace(reversed);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(b.is_sorted());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.requests[i].arrival.value(), b.requests[i].arrival.value())
+        << i;
+    EXPECT_EQ(a.requests[i].file, b.requests[i].file) << i;
+    EXPECT_EQ(a.requests[i].size, b.requests[i].size) << i;
+  }
+}
+
 TEST(ThetaFromSkew, ClassicEightyTwenty) {
   // 80% of accesses to 20% of files: θ = log(0.8)/log(0.2) ≈ 0.1386.
   EXPECT_NEAR(theta_from_skew(0.8, 0.2), std::log(0.8) / std::log(0.2),

@@ -327,6 +327,169 @@ TEST(BoundedBufferTest, ZeroBufferIsRejectedAtConstruction) {
   EXPECT_THROW(CsvStreamSource(in, "z.csv", options), std::invalid_argument);
 }
 
+// ----------------------------------------- adversarial refill boundaries
+
+/// Fixed CSV fixture: a 23-byte header plus three 11-byte rows. Small
+/// enough that a buffer-size sweep crosses every split alignment — comma
+/// at a refill boundary, newline at a refill boundary, record straddling
+/// two refills.
+constexpr const char* kTinyCsv =
+    "time_s,file_id,bytes,op\n"
+    "0.5,1,100,R\n"
+    "1.5,2,200,W\n"
+    "2.5,3,300,R\n";
+
+std::vector<Request> drain_csv(const std::string& text, std::size_t buffer) {
+  StreamReaderOptions options;
+  options.buffer_bytes = buffer;
+  std::istringstream in(text);
+  CsvStreamSource source(in, "adversarial.csv", options);
+  return drain(source);
+}
+
+std::size_t max_line_length(const std::string& text) {
+  std::size_t longest = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    longest = std::max(longest, nl - start);
+    start = nl + 1;
+  }
+  return longest;
+}
+
+/// Every buffer size from the minimum that frames the header (header
+/// length + newline) up past several record multiples must parse the
+/// same requests the batch reader parses from the same bytes.
+TEST(BufferRefillTest, CsvIdentityAcrossEveryTinyBufferSize) {
+  std::istringstream for_batch(kTinyCsv);
+  const Trace batch = read_csv_trace(for_batch);
+  ASSERT_EQ(batch.requests.size(), 3u);
+  const std::size_t min_buffer = max_line_length(kTinyCsv) + 1;  // 24
+  for (std::size_t buffer = min_buffer; buffer <= 64; ++buffer) {
+    expect_same_requests(drain_csv(kTinyCsv, buffer), batch.requests);
+  }
+}
+
+/// A line of length L needs L+1 buffered bytes (the newline must land in
+/// the window to frame it). One byte under the header's need is a
+/// deterministic buffer-bound error at line 1, never a hang or a
+/// silently split record; the exact minimum succeeds.
+TEST(BufferRefillTest, HeaderLengthPlusMinusOneByte) {
+  const std::size_t header_len = max_line_length(kTinyCsv);  // 23
+  expect_stream_error([&] { (void)drain_csv(kTinyCsv, header_len); },
+                      "adversarial.csv:1:", "buffer bound");
+  expect_same_requests(drain_csv(kTinyCsv, header_len + 1),
+                       drain_csv(kTinyCsv, 4096));
+}
+
+/// Tiny pathological buffers (1 and 7 bytes — smaller than any line) fail
+/// fast with the bound diagnostic instead of looping on refill.
+TEST(BufferRefillTest, TinyBuffersFailFastNotForever) {
+  for (const std::size_t buffer : {std::size_t{1}, std::size_t{7}}) {
+    expect_stream_error([&] { (void)drain_csv(kTinyCsv, buffer); },
+                        "adversarial.csv:1:", "buffer bound");
+    expect_stream_error(
+        [&] {
+          StreamReaderOptions options;
+          options.buffer_bytes = buffer;
+          std::istringstream in("{\"t\":0.5,\"file\":7,\"bytes\":64}\n");
+          JsonlStreamSource source(in, "tiny.jsonl", options);
+          Request r;
+          (void)source.next(r);
+        },
+        "tiny.jsonl:1:", "buffer bound");
+  }
+}
+
+/// Record-length ±1 around a single JSONL record (no header, so the
+/// record alone sets the minimum): length+1 parses it, length exactly is
+/// the bound error.
+TEST(BufferRefillTest, RecordLengthPlusMinusOne) {
+  const std::string line = "{\"t\":0.5,\"file\":7,\"bytes\":64}";
+  StreamReaderOptions options;
+  options.buffer_bytes = line.size() + 1;
+  std::istringstream in(line + "\n");
+  JsonlStreamSource source(in, "edge.jsonl", options);
+  const auto out = drain(source);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].arrival.value(), 0.5);
+  EXPECT_EQ(out[0].file, 7u);
+  EXPECT_EQ(out[0].size, 64u);
+
+  expect_stream_error(
+      [&] {
+        StreamReaderOptions tight;
+        tight.buffer_bytes = line.size();
+        std::istringstream tight_in(line + "\n");
+        JsonlStreamSource tight_source(tight_in, "edge.jsonl", tight);
+        Request r;
+        (void)tight_source.next(r);
+      },
+      "edge.jsonl:1:", "buffer bound");
+}
+
+/// CRLF line endings with the terminator split across refills: the '\r'
+/// can land at the end of one refill chunk with the '\n' in the next, at
+/// every alignment the sweep produces. Parsed requests must match the
+/// batch parse of the LF text (the streaming reader strips '\r' after
+/// framing, so the split can never leak into a field).
+TEST(BufferRefillTest, CrlfSplitAcrossRefillBoundaries) {
+  std::istringstream for_batch(kTinyCsv);
+  const Trace batch = read_csv_trace(for_batch);
+
+  std::string crlf;
+  for (const char c : std::string(kTinyCsv)) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  // Blank CRLF separator line mid-stream, same skip rule as blank LF.
+  const std::size_t second_row = crlf.find("1.5");
+  crlf.insert(second_row, "\r\n");
+
+  const std::size_t min_buffer = max_line_length(crlf) + 1;  // 25
+  for (std::size_t buffer = min_buffer; buffer <= 64; ++buffer) {
+    expect_same_requests(drain_csv(crlf, buffer), batch.requests);
+  }
+}
+
+/// The final line missing its newline is an error at every buffer size,
+/// including ones where the truncated tail arrives split across refills.
+TEST(BufferRefillTest, FinalLineWithoutNewlineAtEveryBufferSize) {
+  std::string truncated(kTinyCsv);
+  truncated.pop_back();
+  for (std::size_t buffer = 24; buffer <= 48; ++buffer) {
+    expect_stream_error([&] { (void)drain_csv(truncated, buffer); },
+                        "adversarial.csv:4:", "truncated");
+  }
+}
+
+/// The full golden workload (8k machine-written rows) at the tightest
+/// legal buffer and at coprime-ish odd sizes: byte-identity with the
+/// materialized reader, for both formats.
+TEST(BufferRefillTest, GoldenWorkloadIdentityAtAdversarialSizes) {
+  const auto workload = generate_workload(golden_workload_config());
+  std::ostringstream csv_text;
+  write_csv_trace(workload.trace, csv_text);
+  std::istringstream for_batch(csv_text.str());
+  const Trace batch = read_csv_trace(for_batch);
+
+  const std::size_t longest = max_line_length(csv_text.str());
+  for (const std::size_t buffer :
+       {longest + 1, longest + 2, longest + 9, 2 * longest + 1}) {
+    expect_same_requests(drain_csv(csv_text.str(), buffer), batch.requests);
+  }
+
+  std::ostringstream jsonl_text;
+  write_jsonl_trace(workload.trace, jsonl_text);
+  StreamReaderOptions options;
+  options.buffer_bytes = max_line_length(jsonl_text.str()) + 1;
+  std::istringstream jsonl_in(jsonl_text.str());
+  JsonlStreamSource jsonl(jsonl_in, "golden.jsonl", options);
+  expect_same_requests(drain(jsonl), workload.trace.requests);
+}
+
 // ----------------------------------------------------- SyntheticSource
 
 TEST(SyntheticSourceTest, MatchesTheMaterializedGenerator) {
